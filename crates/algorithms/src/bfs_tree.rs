@@ -1,0 +1,107 @@
+//! BFS spanning tree (§6, the Hong Kong graph-connectivity case study):
+//! each reachable vertex learns its parent in a breadth-first spanning
+//! tree rooted at the source, plus its depth.
+
+use pregelix_common::error::Result;
+use pregelix_common::Vid;
+use pregelix_core::api::{ComputeContext, MessageCombiner, VertexProgram};
+use pregelix_core::vertex::{Edge, VertexData};
+use std::sync::Arc;
+
+/// Sentinel parent for unvisited vertices.
+pub const NO_PARENT: Vid = Vid::MAX;
+
+/// BFS spanning tree from a root. The vertex value is `(parent, depth)`.
+pub struct BfsTree {
+    /// The tree root.
+    pub root: Vid,
+}
+
+impl BfsTree {
+    /// Spanning tree rooted at `root`.
+    pub fn new(root: Vid) -> BfsTree {
+        BfsTree { root }
+    }
+}
+
+impl VertexProgram for BfsTree {
+    /// `(parent vid, depth)`; `(NO_PARENT, u64::MAX)` = unvisited.
+    type VertexValue = (u64, u64);
+    type EdgeValue = ();
+    /// Message: `(proposed parent, proposed depth)`.
+    type Message = (u64, u64);
+    type Aggregate = ();
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<()> {
+        if ctx.superstep() == 1 {
+            ctx.set_value((NO_PARENT, u64::MAX));
+            if ctx.vid() == self.root {
+                ctx.set_value((ctx.vid(), 0));
+                ctx.send_message_to_all_edges((ctx.vid(), 1));
+            }
+            ctx.vote_to_halt();
+            return Ok(());
+        }
+        if ctx.value().0 == NO_PARENT {
+            // Deterministic tie-break: smallest proposing parent wins.
+            let best = ctx
+                .messages()
+                .iter()
+                .min_by_key(|(parent, _)| *parent)
+                .copied();
+            if let Some((parent, depth)) = best {
+                ctx.set_value((parent, depth));
+                ctx.send_message_to_all_edges((ctx.vid(), depth + 1));
+            }
+        }
+        ctx.vote_to_halt();
+        Ok(())
+    }
+
+    fn init_vertex(&self, vid: Vid, edges: Vec<(Vid, f64)>) -> VertexData<Self> {
+        VertexData::new(
+            vid,
+            (NO_PARENT, u64::MAX),
+            edges.into_iter().map(|(d, _)| Edge::new(d, ())).collect(),
+        )
+    }
+
+    fn combiner(&self) -> Option<MessageCombiner<(u64, u64)>> {
+        // All proposals in one superstep carry the same depth; keep the
+        // smallest parent (matches the compute-side tie-break).
+        Some(Arc::new(|a, b| if a.0 <= b.0 { *a } else { *b }))
+    }
+
+    fn format_vertex(&self, vid: Vid, value: &(u64, u64)) -> String {
+        if value.0 == NO_PARENT {
+            format!("{vid}\tunreached")
+        } else {
+            format!("{vid}\tparent={} depth={}", value.0, value.1)
+        }
+    }
+}
+
+/// Reference BFS depths (parents are implementation-defined; depths are
+/// unique, so tests validate depth and parent-consistency instead).
+pub fn reference_depths(
+    adjacency: &[(Vid, Vec<Vid>)],
+    root: Vid,
+) -> std::collections::HashMap<Vid, u64> {
+    use std::collections::{HashMap, VecDeque};
+    let adj: HashMap<Vid, &Vec<Vid>> = adjacency.iter().map(|(v, e)| (*v, e)).collect();
+    let mut depth = HashMap::new();
+    depth.insert(root, 0u64);
+    let mut q = VecDeque::from([root]);
+    while let Some(v) = q.pop_front() {
+        let d = depth[&v];
+        if let Some(edges) = adj.get(&v) {
+            for u in edges.iter() {
+                if !depth.contains_key(u) {
+                    depth.insert(*u, d + 1);
+                    q.push_back(*u);
+                }
+            }
+        }
+    }
+    depth
+}

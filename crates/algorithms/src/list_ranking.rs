@@ -1,0 +1,133 @@
+//! List ranking by pointer jumping (§6, the Hong Kong graph-connectivity
+//! case study: "BFS spanning tree, Euler tour, list ranking, and
+//! pre/post-ordering").
+//!
+//! Input: a linked list encoded as a graph where every vertex has at most
+//! one out-edge (its successor); the tail has none. Output: each vertex's
+//! *rank* — its distance to the tail — in O(log n) supersteps via pointer
+//! jumping: every vertex repeatedly learns its successor's `(next, rank)`
+//! and composes, halving the remaining chain each round.
+//!
+//! Pointer jumping is a *pull*-shaped algorithm, so it is expressed in
+//! Pregel's push model with request/response rounds of two supersteps:
+//! odd supersteps send requests to the current successor; even supersteps
+//! answer them. This is exactly the pattern the case-study group built
+//! their Euler-tour/pre-post-ordering pipeline from.
+
+use pregelix_common::error::Result;
+use pregelix_common::Vid;
+use pregelix_core::api::{ComputeContext, VertexProgram};
+use pregelix_core::vertex::{Edge, VertexData};
+
+/// Sentinel for "no successor" (the list tail).
+pub const NIL: Vid = Vid::MAX;
+
+/// List ranking over a successor-encoded list (or forest of lists).
+pub struct ListRanking;
+
+/// Message tags.
+const REQ: u8 = 0;
+const ANS: u8 = 1;
+
+impl VertexProgram for ListRanking {
+    /// `(current successor, rank so far, done)` packed as `(u64, u64, u8)`.
+    type VertexValue = (u64, (u64, u8));
+    type EdgeValue = ();
+    /// `(tag, sender, (successor's successor, successor's rank))`.
+    type Message = (u8, u64, (u64, u64));
+    /// Vertices still jumping (for termination).
+    type Aggregate = u64;
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<()> {
+        if ctx.superstep() == 1 {
+            // Initialise: successor from the single out-edge; rank 1 if a
+            // successor exists (one hop to it), 0 for the tail.
+            let succ = ctx.edges().first().map(|e| e.dest).unwrap_or(NIL);
+            let rank = if succ == NIL { 0 } else { 1 };
+            ctx.set_value((succ, (rank, (succ == NIL) as u8)));
+        }
+        // Fold an answer first (answers arrive at odd supersteps, one
+        // round after our request), so this round's request targets the
+        // *jumped* successor. The invariant `rank = distance(self, succ)`
+        // is preserved by every fold: rank' = d(v, s) + d(s, s') = d(v, s').
+        {
+            let (succ, (rank, done)) = *ctx.value();
+            let answer = ctx
+                .messages()
+                .iter()
+                .find(|(t, _, _)| *t == ANS)
+                .copied();
+            if let Some((_, _, (succ_succ, succ_rank))) = answer {
+                if done == 0 {
+                    let new_succ = succ_succ;
+                    let new_rank = rank + succ_rank;
+                    let new_done = (new_succ == NIL) as u8;
+                    ctx.set_value((new_succ, (new_rank, new_done)));
+                }
+                let _ = succ;
+            }
+        }
+        let (succ, (rank, done)) = *ctx.value();
+        if ctx.superstep() % 2 == 1 {
+            // Request phase.
+            if done == 0 && succ != NIL {
+                ctx.aggregate(1);
+                ctx.send_message(succ, (REQ, ctx.vid(), (0, 0)));
+            }
+        } else {
+            // Answer phase: respond to every requester with our current
+            // pointer and rank (done vertices answer too — that is how the
+            // chain's tail information propagates backwards).
+            let me = ctx.vid();
+            let requests: Vec<Vid> = ctx
+                .messages()
+                .iter()
+                .filter(|(t, _, _)| *t == REQ)
+                .map(|(_, s, _)| *s)
+                .collect();
+            for r in requests {
+                ctx.send_message(r, (ANS, me, (succ, rank)));
+            }
+            // Terminate once a whole request round was silent.
+            if ctx.superstep() > 2 && *ctx.global_aggregate() == 0 {
+                ctx.vote_to_halt();
+            }
+        }
+        Ok(())
+    }
+
+    fn init_vertex(&self, vid: Vid, edges: Vec<(Vid, f64)>) -> VertexData<Self> {
+        VertexData::new(
+            vid,
+            (NIL, (0, 0)),
+            edges.into_iter().map(|(d, _)| Edge::new(d, ())).collect(),
+        )
+    }
+
+    fn combine_aggregates(&self, a: u64, b: u64) -> u64 {
+        a + b
+    }
+
+    fn format_vertex(&self, vid: Vid, value: &Self::VertexValue) -> String {
+        format!("{vid}\trank={}", value.1 .0)
+    }
+}
+
+/// Reference ranks: distance to the tail for every vertex of a successor
+/// forest.
+pub fn reference_ranks(successors: &[(Vid, Option<Vid>)]) -> Vec<(Vid, u64)> {
+    use std::collections::HashMap;
+    let next: HashMap<Vid, Option<Vid>> = successors.iter().copied().collect();
+    successors
+        .iter()
+        .map(|(v, _)| {
+            let mut rank = 0;
+            let mut cur = *v;
+            while let Some(Some(n)) = next.get(&cur) {
+                rank += 1;
+                cur = *n;
+            }
+            (*v, rank)
+        })
+        .collect()
+}

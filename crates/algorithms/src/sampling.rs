@@ -1,0 +1,117 @@
+//! Random-walk-based graph sampling (§6, §7.1 footnote 7).
+//!
+//! "We used a random walk graph sampler built on top of Pregelix to create
+//! scaled-down Webmap sample graphs of different sizes." Walkers start at
+//! seed vertices and take a fixed number of steps; every visited vertex is
+//! marked. The sampled graph is the visited-vertex-induced subgraph (the
+//! extraction itself lives in `pregelix-graphgen`, which uses this program
+//! through the normal job API).
+//!
+//! Randomness must be deterministic and replayable across plan choices and
+//! recoveries, so the walker's next hop is drawn from a hash of
+//! `(vid, superstep, walker index, seed)` rather than from ambient RNG
+//! state.
+
+use pregelix_common::error::Result;
+use pregelix_common::Vid;
+use pregelix_core::api::{ComputeContext, MessageCombiner, VertexProgram};
+use pregelix_core::vertex::{Edge, VertexData};
+use std::sync::Arc;
+
+/// Random-walk sampler: value is the visit count of the vertex.
+pub struct RandomWalkSampler {
+    /// Walk seeds: walkers start here.
+    pub seeds: Vec<Vid>,
+    /// Walkers launched per seed.
+    pub walkers_per_seed: u64,
+    /// Steps each walker takes.
+    pub steps: u64,
+    /// Hash seed for deterministic replay.
+    pub seed: u64,
+}
+
+impl RandomWalkSampler {
+    /// A sampler with one walker per seed.
+    pub fn new(seeds: Vec<Vid>, steps: u64, seed: u64) -> RandomWalkSampler {
+        RandomWalkSampler {
+            seeds,
+            walkers_per_seed: 1,
+            steps,
+            seed,
+        }
+    }
+}
+
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    // SplitMix64 finaliser: cheap, well-distributed.
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl VertexProgram for RandomWalkSampler {
+    /// Visit count.
+    type VertexValue = u64;
+    type EdgeValue = ();
+    /// Number of walkers arriving.
+    type Message = u64;
+    /// Total distinct vertices visited so far.
+    type Aggregate = u64;
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<()> {
+        let mut arriving: u64 = ctx.messages().iter().sum();
+        if ctx.superstep() == 1 && self.seeds.contains(&ctx.vid()) {
+            arriving += self.walkers_per_seed;
+        }
+        if arriving > 0 {
+            if *ctx.value() == 0 {
+                ctx.aggregate(1);
+            }
+            ctx.set_value(*ctx.value() + arriving);
+            if ctx.superstep() <= self.steps {
+                let degree = ctx.edges().len();
+                if degree > 0 {
+                    // Forward each arriving walker to a hash-chosen
+                    // neighbour; batch walkers that pick the same edge.
+                    let mut per_edge = vec![0u64; degree];
+                    for w in 0..arriving {
+                        let h = mix(
+                            self.seed
+                                ^ ctx.vid().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                                ^ ctx.superstep().wrapping_mul(0xD1B5_4A32_D192_ED03)
+                                ^ w,
+                        );
+                        per_edge[(h % degree as u64) as usize] += 1;
+                    }
+                    for (i, n) in per_edge.into_iter().enumerate() {
+                        if n > 0 {
+                            let dest = ctx.edges()[i].dest;
+                            ctx.send_message(dest, n);
+                        }
+                    }
+                }
+            }
+        }
+        ctx.vote_to_halt();
+        Ok(())
+    }
+
+    fn init_vertex(&self, vid: Vid, edges: Vec<(Vid, f64)>) -> VertexData<Self> {
+        VertexData::new(
+            vid,
+            0,
+            edges.into_iter().map(|(d, _)| Edge::new(d, ())).collect(),
+        )
+    }
+
+    fn combiner(&self) -> Option<MessageCombiner<u64>> {
+        Some(Arc::new(|a, b| a + b))
+    }
+
+    fn combine_aggregates(&self, a: u64, b: u64) -> u64 {
+        a + b
+    }
+}

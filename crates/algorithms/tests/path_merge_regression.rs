@@ -1,0 +1,30 @@
+//! Exhaustive small-chain merge check: every chain start/length pair must
+//! fully collapse (regression test for the role-coin low-bit correlation
+//! bug that deadlocked same-parity vid pairs).
+use pregelix_algorithms::*;
+use pregelix_core::plan::PregelixJob;
+use pregelix_core::runtime::run_job_from_records;
+use pregelix_dataflow::cluster::{Cluster, ClusterConfig};
+use std::sync::Arc;
+
+#[test]
+fn chains_always_merge_fully() {
+    for start in [0u64, 1, 100, 633, 1001] {
+        for len in 2..12u64 {
+            let records: Vec<(u64, Vec<(u64, f64)>)> = (0..len)
+                .map(|i| {
+                    let v = start + i;
+                    let e = if i + 1 < len { vec![(v + 1, 1.0)] } else { vec![] };
+                    (v, e)
+                })
+                .collect();
+            let c = Cluster::new(ClusterConfig::new(2, 4 << 20)).unwrap();
+            let program = Arc::new(PathMerge::default());
+            let job = PregelixJob::new(format!("m-{start}-{len}")).with_max_supersteps(300);
+            let (summary, graph) = run_job_from_records(&c, &program, &job, records).unwrap();
+            let n = graph.collect_vertices::<PathMerge>().unwrap().len();
+            assert_eq!(n, 1, "start={start} len={len} ss={}", summary.supersteps);
+            assert!(summary.final_gs.halt, "start={start} len={len}");
+        }
+    }
+}

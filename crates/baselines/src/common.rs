@@ -1,0 +1,235 @@
+//! Shared kernel for the baseline engines: the three evaluation
+//! algorithms, the object-overhead memory model, and the engine trait.
+
+use pregelix_common::error::Result;
+use pregelix_common::Vid;
+use std::time::Duration;
+
+/// The three §7 evaluation algorithms, expressed over `f64` vertex values
+/// and `f64` messages so every engine shares one kernel.
+#[derive(Clone, Copy, Debug)]
+pub enum Algorithm {
+    /// PageRank with damping 0.85 for a fixed number of iterations
+    /// (Webmap workloads).
+    PageRank {
+        /// Rank-update iterations.
+        iterations: u64,
+    },
+    /// Single source shortest paths (BTC workloads).
+    Sssp {
+        /// Source vertex.
+        source: Vid,
+    },
+    /// Min-label connected components (BTC workloads).
+    Cc,
+}
+
+impl Algorithm {
+    /// Initial vertex value at superstep 1.
+    pub fn initial_value(&self, vid: Vid, n: u64) -> f64 {
+        match self {
+            Algorithm::PageRank { .. } => 1.0 / n as f64,
+            Algorithm::Sssp { .. } => f64::MAX,
+            Algorithm::Cc => vid as f64,
+        }
+    }
+
+    /// The associative message combiner (every engine that combines uses
+    /// this; Hama deliberately does not).
+    pub fn combine(&self, a: f64, b: f64) -> f64 {
+        match self {
+            Algorithm::PageRank { .. } => a + b,
+            Algorithm::Sssp { .. } | Algorithm::Cc => a.min(b),
+        }
+    }
+
+    /// One vertex-compute step. Returns the new value, the messages to
+    /// send as `(dest, payload)`, and whether the vertex votes to halt.
+    ///
+    /// `msgs` is the combined (or raw, for Hama) inbox; empty on no
+    /// messages. Semantics match `pregelix-algorithms` exactly so results
+    /// can be cross-validated between Pregelix and every baseline.
+    pub fn compute(
+        &self,
+        vid: Vid,
+        value: f64,
+        msgs: &[f64],
+        superstep: u64,
+        edges: &[(Vid, f64)],
+        n: u64,
+    ) -> (f64, Vec<(Vid, f64)>, bool) {
+        match self {
+            Algorithm::PageRank { iterations } => {
+                let new_value = if superstep == 1 {
+                    1.0 / n as f64
+                } else {
+                    let sum: f64 = msgs.iter().sum();
+                    0.15 / n as f64 + 0.85 * sum
+                };
+                let mut out = Vec::new();
+                if superstep <= *iterations && !edges.is_empty() {
+                    let share = new_value / edges.len() as f64;
+                    out.extend(edges.iter().map(|(d, _)| (*d, share)));
+                }
+                (new_value, out, superstep > *iterations)
+            }
+            Algorithm::Sssp { source } => {
+                let value = if superstep == 1 { f64::MAX } else { value };
+                let mut min_dist = if vid == *source { 0.0 } else { f64::MAX };
+                for m in msgs {
+                    min_dist = min_dist.min(*m);
+                }
+                if min_dist < value {
+                    let out = edges.iter().map(|(d, w)| (*d, min_dist + w)).collect();
+                    (min_dist, out, true)
+                } else {
+                    (value, Vec::new(), true)
+                }
+            }
+            Algorithm::Cc => {
+                let mut label = if superstep == 1 { vid as f64 } else { value };
+                for m in msgs {
+                    label = label.min(*m);
+                }
+                if superstep == 1 || label < value {
+                    let out = edges.iter().map(|(d, _)| (*d, label)).collect();
+                    (label, out, true)
+                } else {
+                    (value, Vec::new(), true)
+                }
+            }
+        }
+    }
+}
+
+/// Cluster sizing shared by every baseline run.
+#[derive(Clone, Copy, Debug)]
+pub struct BaselineConfig {
+    /// Worker machine count.
+    pub workers: usize,
+    /// Simulated heap per worker, in bytes (same axis as the Pregelix
+    /// cluster's `worker_ram`).
+    pub worker_ram: usize,
+}
+
+/// The outcome of a baseline job.
+#[derive(Debug)]
+pub struct BaselineRun {
+    /// Supersteps executed.
+    pub supersteps: u64,
+    /// Total wall-clock.
+    pub elapsed: Duration,
+    /// Final `(vid, value)` pairs, sorted by vid.
+    pub values: Vec<(Vid, f64)>,
+}
+
+impl BaselineRun {
+    /// Average per-iteration time (Figure 11's metric).
+    pub fn avg_iteration(&self) -> Duration {
+        if self.supersteps == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.supersteps as u32
+        }
+    }
+}
+
+/// A runnable baseline system.
+pub trait BaselineEngine: Send + Sync {
+    /// Legend name (e.g. `"Giraph-mem"`).
+    fn name(&self) -> &'static str;
+
+    /// Run `algorithm` over `records` on a simulated cluster. Fails with
+    /// [`pregelix_common::error::PregelixError::OutOfMemory`] when the
+    /// engine's architectural memory profile exceeds a worker's heap.
+    fn run(
+        &self,
+        records: &[(Vid, Vec<(Vid, f64)>)],
+        algorithm: Algorithm,
+        config: BaselineConfig,
+    ) -> Result<BaselineRun>;
+}
+
+/// The object-overhead model: what one vertex or message costs on a
+/// JVM-style heap. Pregelix's frames avoid these costs by design (its
+/// "bloat-aware design" \[14\]); the baselines pay them, which is exactly
+/// the asymmetry the paper measures.
+pub mod heap_model {
+    /// Per-object header + padding (JVM-ish).
+    pub const OBJECT_OVERHEAD: usize = 48;
+
+    /// Heap bytes for one vertex object with `edges` outgoing edges.
+    pub fn vertex_bytes(edges: usize) -> usize {
+        // vertex object + boxed value + edge-list object + per-edge objects
+        OBJECT_OVERHEAD + 24 + OBJECT_OVERHEAD + edges * 40
+    }
+
+    /// Heap bytes for one in-flight message object.
+    pub const MESSAGE_BYTES: usize = 40;
+
+    /// Heap bytes for a ghost/replica vertex (GraphLab) — value + stubs,
+    /// no edge list.
+    pub const GHOST_BYTES: usize = 96;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pagerank_kernel_matches_formula() {
+        let (v, out, halt) =
+            Algorithm::PageRank { iterations: 3 }.compute(0, 0.0, &[], 1, &[(1, 1.0)], 4);
+        assert!((v - 0.25).abs() < 1e-12);
+        assert_eq!(out, vec![(1, 0.25)]);
+        assert!(!halt);
+        let (v2, _, halt2) = Algorithm::PageRank { iterations: 3 }.compute(
+            0,
+            v,
+            &[0.5],
+            4,
+            &[(1, 1.0)],
+            4,
+        );
+        assert!((v2 - (0.15 / 4.0 + 0.85 * 0.5)).abs() < 1e-12);
+        assert!(halt2);
+    }
+
+    #[test]
+    fn sssp_kernel_relaxes() {
+        let alg = Algorithm::Sssp { source: 0 };
+        let (v, out, halt) = alg.compute(0, 0.0, &[], 1, &[(1, 2.0)], 10);
+        assert_eq!(v, 0.0);
+        assert_eq!(out, vec![(1, 2.0)]);
+        assert!(halt);
+        // Non-source with no message stays unreached.
+        let (v, out, _) = alg.compute(5, 0.0, &[], 1, &[(1, 2.0)], 10);
+        assert_eq!(v, f64::MAX);
+        assert!(out.is_empty());
+        // Improvement propagates.
+        let (v, out, _) = alg.compute(1, f64::MAX, &[2.0], 2, &[(2, 1.0)], 10);
+        assert_eq!(v, 2.0);
+        assert_eq!(out, vec![(2, 3.0)]);
+    }
+
+    #[test]
+    fn cc_kernel_propagates_min() {
+        let alg = Algorithm::Cc;
+        let (v, out, _) = alg.compute(5, 0.0, &[], 1, &[(6, 1.0)], 10);
+        assert_eq!(v, 5.0);
+        assert_eq!(out, vec![(6, 5.0)]);
+        let (v, out, _) = alg.compute(6, 6.0, &[5.0], 2, &[(5, 1.0)], 10);
+        assert_eq!(v, 5.0);
+        assert_eq!(out, vec![(5, 5.0)]);
+        let (v, out, _) = alg.compute(6, 5.0, &[7.0], 3, &[(5, 1.0)], 10);
+        assert_eq!(v, 5.0);
+        assert!(out.is_empty(), "no improvement, no messages");
+    }
+
+    #[test]
+    fn combiners_match_algorithms() {
+        assert_eq!(Algorithm::PageRank { iterations: 1 }.combine(1.0, 2.0), 3.0);
+        assert_eq!(Algorithm::Sssp { source: 0 }.combine(1.0, 2.0), 1.0);
+        assert_eq!(Algorithm::Cc.combine(5.0, 3.0), 3.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! The Hama-like engine: BSP with "limited support for out-of-core vertex
+//! storage using immutable sorted files, but it requires that the messages
+//! be memory-resident" (§2.3). No combiner runs before delivery, so the
+//! full raw message volume sits on the receivers' heaps — which is why
+//! Hama "fails on even smaller datasets" than the others for
+//! message-intensive workloads (Figure 10).
+
+use crate::bsp::{run_bsp, BspProfile};
+use crate::common::{Algorithm, BaselineConfig, BaselineEngine, BaselineRun};
+use pregelix_common::error::Result;
+use pregelix_common::Vid;
+
+/// The Hama-like engine.
+pub struct HamaEngine;
+
+impl HamaEngine {
+    /// Construct the engine.
+    pub fn new() -> HamaEngine {
+        HamaEngine
+    }
+}
+
+impl Default for HamaEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BaselineEngine for HamaEngine {
+    fn name(&self) -> &'static str {
+        "Hama"
+    }
+
+    fn run(
+        &self,
+        records: &[(Vid, Vec<(Vid, f64)>)],
+        algorithm: Algorithm,
+        config: BaselineConfig,
+    ) -> Result<BaselineRun> {
+        run_bsp(
+            self.name(),
+            records,
+            algorithm,
+            config,
+            BspProfile {
+                vertices_on_disk: true,
+                combine_at_sender: false,
+                immutable_churn: false,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::giraph::GiraphEngine;
+    use pregelix_common::error::PregelixError;
+
+    fn star(n: u64) -> Vec<(Vid, Vec<(Vid, f64)>)> {
+        // Hub 0 connected to everyone, symmetric.
+        let mut g = vec![(0u64, (1..n).map(|v| (v, 1.0)).collect::<Vec<_>>())];
+        g.extend((1..n).map(|v| (v, vec![(0u64, 1.0)])));
+        g
+    }
+
+    #[test]
+    fn hama_matches_giraph_when_it_fits() {
+        let g = star(50);
+        let cfg = BaselineConfig {
+            workers: 2,
+            worker_ram: 8 << 20,
+        };
+        let alg = Algorithm::Sssp { source: 0 };
+        let h = HamaEngine::new().run(&g, alg, cfg).unwrap();
+        let gi = GiraphEngine::in_memory().run(&g, alg, cfg).unwrap();
+        assert_eq!(h.values, gi.values);
+        assert!(h.values[1..].iter().all(|(_, d)| *d == 1.0));
+    }
+
+    #[test]
+    fn uncombined_messages_blow_up_before_giraph() {
+        // A hub receiving one message per spoke: with a combiner this is
+        // one slot; without one (Hama) it is n message objects.
+        let g = star(3000);
+        let cfg = BaselineConfig {
+            workers: 2,
+            worker_ram: 600 << 10,
+        };
+        let alg = Algorithm::PageRank { iterations: 3 };
+        let gi = GiraphEngine::in_memory().run(&g, alg, cfg);
+        assert!(gi.is_ok(), "Giraph-mem fits: {:?}", gi.err().map(|e| e.to_string()));
+        let err = HamaEngine::new().run(&g, alg, cfg).unwrap_err();
+        assert!(matches!(err, PregelixError::OutOfMemory { .. }), "{err}");
+    }
+}

@@ -1,0 +1,47 @@
+//! Process-centric baseline systems for the §7 comparisons.
+//!
+//! The paper compares Pregelix against Giraph (in-memory and out-of-core
+//! modes), distributed GraphLab (PowerGraph), GraphX-on-Spark, and Hama.
+//! Rebuilding those systems verbatim is neither possible nor necessary:
+//! the evaluation's findings hinge on each system's *architectural*
+//! memory/compute profile, which this crate reproduces from scratch:
+//!
+//! | Engine | Architectural properties modelled |
+//! |---|---|
+//! | [`giraph::GiraphEngine`] (mem) | process-centric BSP; every vertex and every in-flight message an object on the worker heap; fails when the partition no longer fits |
+//! | [`giraph::GiraphEngine`] (ooc) | "preliminary out-of-core support": vertices round-trip through ad-hoc partition files every superstep, but messages stay heap-resident — so it thrashes *and* still exhausts memory (§2.3, §7.2) |
+//! | [`graphlab::GraphLabEngine`] | sync GAS over edge-cut with **ghost replicas** of every remote neighbour: fastest per-iteration on small data, but the replication factor exhausts memory much earlier (fails ≈ 0.07 ratio in Figure 10) |
+//! | [`graphx::GraphXEngine`] | Pregel over immutable triplet views: every superstep materialises fresh vertex/triplet collections (RDD churn), the heaviest memory profile — fails to load even BTC-Tiny in the paper |
+//! | [`hama::HamaEngine`] | BSP with sorted-file vertex storage but strictly memory-resident, *uncombined* message queues (§2.3: "it requires that the messages be memory-resident") |
+//!
+//! All engines run the same three evaluation algorithms (PageRank, SSSP,
+//! CC) through a shared [`common::Algorithm`] kernel so per-engine numbers
+//! differ only because of the architecture, not the algorithm coding. A
+//! simulated per-worker heap ([`pregelix_common::memory::MemoryAccountant`]
+//! with a documented object-overhead model) produces the
+//! `OutOfMemory` failures the figures report.
+
+pub(crate) mod bsp;
+pub mod common;
+pub mod giraph;
+pub mod graphlab;
+pub mod graphx;
+pub mod hama;
+
+pub use common::{Algorithm, BaselineConfig, BaselineEngine, BaselineRun};
+pub use giraph::GiraphEngine;
+pub use graphlab::GraphLabEngine;
+pub use graphx::GraphXEngine;
+pub use hama::HamaEngine;
+
+/// All baseline engines, for sweep harnesses, in the order the paper's
+/// figure legends list them.
+pub fn all_engines() -> Vec<Box<dyn BaselineEngine>> {
+    vec![
+        Box::new(GiraphEngine::in_memory()),
+        Box::new(GiraphEngine::out_of_core()),
+        Box::new(GraphLabEngine::new()),
+        Box::new(GraphXEngine::new()),
+        Box::new(HamaEngine::new()),
+    ]
+}

@@ -1,0 +1,110 @@
+//! Figures 10 and 11: overall execution time and average iteration time
+//! vs dataset-size/aggregate-RAM ratio, across all six systems.
+//!
+//! Paper shapes to reproduce (32-machine cluster there; 8 simulated
+//! workers here):
+//!
+//! * Pregelix completes every point, degrading gracefully past the
+//!   in-memory boundary.
+//! * Giraph (both modes) fails once the ratio exceeds ≈ 0.15.
+//! * GraphLab fails beyond ≈ 0.07 but has the best per-iteration times on
+//!   the small datasets.
+//! * GraphX and Hama fail on even smaller datasets.
+//! * In-memory, Pregelix is comparable to Giraph for message-intensive
+//!   PageRank/CC and Giraph's size-scaling curve is steeper.
+
+use pregelix::baselines::all_engines;
+use pregelix::graphgen::{btc_ladder, webmap_ladder};
+use pregelix::prelude::PlanConfig;
+use pregelix_bench::{header, quick_mode, ram_ratio, run_baseline, run_pregelix, RunOutcome, Workload};
+
+const WORKERS: usize = 8;
+const WORKER_RAM: usize = 1 << 20; // 1 MB simulated RAM per worker
+
+fn sweep(title: &str, ladder: &[pregelix::graphgen::Dataset], workload: Workload) {
+    header(
+        title,
+        &format!(
+            "{WORKERS} workers x {} KB RAM; ratio = dataset bytes / aggregate RAM",
+            WORKER_RAM >> 10
+        ),
+    );
+    let engines = all_engines();
+    print!("{:<9} {:>6} | {:>10} {:>10}", "dataset", "ratio", "Pregelix", "Pregelix/it");
+    for e in &engines {
+        print!(" | {:>10} {:>10}", e.name(), "avg-it");
+    }
+    println!();
+    for d in ladder {
+        let stats = d.stats();
+        let ratio = ram_ratio(&stats, WORKERS, WORKER_RAM);
+        let p = run_pregelix(
+            &d.records,
+            workload,
+            PlanConfig::default(),
+            WORKERS,
+            WORKER_RAM,
+            None,
+        );
+        print!(
+            "{:<9} {:>6.3} | {} {}",
+            d.name,
+            ratio,
+            p.total_cell(),
+            p.avg_cell()
+        );
+        for e in &engines {
+            let r = run_baseline(e.as_ref(), &d.records, workload, WORKERS, WORKER_RAM);
+            print!(" | {} {}", r.total_cell(), r.avg_cell());
+        }
+        println!();
+        assert!(
+            matches!(p, RunOutcome::Done { .. }),
+            "Pregelix must complete every ladder point"
+        );
+    }
+}
+
+fn main() {
+    let seed = 7;
+    let mut webmap = webmap_ladder(seed);
+    let mut btc = btc_ladder(seed);
+    // Finer points between the Tiny and X-Small rungs so the graduated
+    // failure boundary (GraphX < GraphLab/Hama < Giraph < Pregelix) is
+    // visible, as in the paper's denser x-axis.
+    {
+        let large_records = webmap.last().expect("ladder non-empty").records.clone();
+        for (name, target) in [("T2", 3600usize), ("T3", 5200)] {
+            let records =
+                pregelix::graphgen::random_walk_sample(&large_records, target, seed ^ 0x55);
+            webmap.push(pregelix::graphgen::Dataset { name, records });
+        }
+        webmap.sort_by_key(|d| d.stats().size_bytes);
+        for (name, n) in [("T2", 12_000u64), ("T3", 14_500)] {
+            btc.push(pregelix::graphgen::Dataset {
+                name,
+                records: pregelix::graphgen::btc::btc(n, 8.94, seed ^ 0x99),
+            });
+        }
+        btc.sort_by_key(|d| d.stats().size_bytes);
+    }
+    if quick_mode() {
+        webmap.truncate(4);
+        btc.truncate(4);
+    }
+    sweep(
+        "Figure 10(a)/11(a) — PageRank on the Webmap-like ladder",
+        &webmap,
+        Workload::PageRank(5),
+    );
+    sweep(
+        "Figure 10(b)/11(b) — SSSP on the BTC-like ladder",
+        &btc,
+        Workload::Sssp(1),
+    );
+    sweep(
+        "Figure 10(c)/11(c) — CC on the BTC-like ladder",
+        &btc,
+        Workload::Cc,
+    );
+}

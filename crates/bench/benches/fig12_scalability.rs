@@ -1,0 +1,143 @@
+//! Figure 12: parallel speedup and scale-up.
+//!
+//! Paper shapes (8→32 machines there; 2→8 simulated workers here):
+//!
+//! * (a) Pregelix PageRank speedup is close to but slightly below ideal —
+//!   the combiner gets less effective as machines are added, so network
+//!   volume grows.
+//! * (b) On the small X-Small dataset, Giraph/GraphLab/GraphX show
+//!   *super-linear* "speedups" — consistent with their super-linearly
+//!   worse behaviour as per-machine data volume grows.
+//! * (c) Scale-up (data grows with machines): flat-ish lines, SSSP
+//!   closest to ideal because it ships the fewest messages.
+
+use pregelix::baselines::{GiraphEngine, GraphLabEngine, GraphXEngine};
+use pregelix::graphgen::{btc, webmap_ladder, Dataset};
+use pregelix::prelude::PlanConfig;
+use pregelix_bench::{header, run_baseline, run_pregelix, RunOutcome, Workload};
+
+const WORKER_RAM: usize = 8 << 20;
+const CLUSTERS: [usize; 4] = [2, 4, 6, 8];
+
+fn rel(base: &RunOutcome, cur: &RunOutcome) -> String {
+    match (base.avg_secs(), cur.avg_secs()) {
+        (Some(b), Some(c)) if b > 0.0 => format!("{:>6.2}", c / b),
+        _ => format!("{:>6}", "FAIL"),
+    }
+}
+
+fn main() {
+    let ladder = webmap_ladder(7);
+
+    header(
+        "Figure 12(a) — Pregelix PageRank speedup (relative avg-iteration time, 2 workers = 1.0)",
+        "ideal line: 1.00 0.50 0.33 0.25",
+    );
+    println!("{:<9} {:>6} {:>6} {:>6} {:>6}", "dataset", 2, 4, 6, 8);
+    for d in ladder.iter().filter(|d| d.name != "Tiny") {
+        let runs: Vec<RunOutcome> = CLUSTERS
+            .iter()
+            .map(|&w| {
+                run_pregelix(
+                    &d.records,
+                    Workload::PageRank(5),
+                    PlanConfig::default(),
+                    w,
+                    WORKER_RAM,
+                    None,
+                )
+            })
+            .collect();
+        print!("{:<9}", d.name);
+        for r in &runs {
+            print!(" {}", rel(&runs[0], r));
+        }
+        println!();
+    }
+
+    header(
+        "Figure 12(b) — cross-system PageRank speedup on Webmap-X-Small",
+        "super-linear curves for the process-centric systems are expected (they degrade super-linearly with per-machine volume)",
+    );
+    let xsmall = ladder
+        .iter()
+        .find(|d| d.name == "X-Small")
+        .expect("ladder has X-Small");
+    println!("{:<12} {:>6} {:>6} {:>6} {:>6}", "system", 2, 4, 6, 8);
+    {
+        let runs: Vec<RunOutcome> = CLUSTERS
+            .iter()
+            .map(|&w| {
+                run_pregelix(
+                    &xsmall.records,
+                    Workload::PageRank(5),
+                    PlanConfig::default(),
+                    w,
+                    WORKER_RAM,
+                    None,
+                )
+            })
+            .collect();
+        print!("{:<12}", "Pregelix");
+        for r in &runs {
+            print!(" {}", rel(&runs[0], r));
+        }
+        println!();
+    }
+    let giraph = GiraphEngine::in_memory();
+    let graphlab = GraphLabEngine::new();
+    let graphx = GraphXEngine::new();
+    let engines: [(&str, &dyn pregelix::baselines::BaselineEngine); 3] = [
+        ("Giraph-mem", &giraph),
+        ("GraphLab", &graphlab),
+        ("GraphX", &graphx),
+    ];
+    for (name, engine) in engines {
+        let runs: Vec<RunOutcome> = CLUSTERS
+            .iter()
+            .map(|&w| {
+                run_baseline(engine, &xsmall.records, Workload::PageRank(5), w, WORKER_RAM)
+            })
+            .collect();
+        print!("{:<12}", name);
+        for r in &runs {
+            print!(" {}", rel(&runs[0], r));
+        }
+        println!();
+    }
+
+    header(
+        "Figure 12(c) — Pregelix scale-up (data size grows with workers; ideal = flat 1.00)",
+        "PageRank/CC ship more messages than SSSP, so they sit further above the ideal",
+    );
+    println!("{:<9} {:>6} {:>6} {:>6} {:>6}", "workload", 2, 4, 6, 8);
+    // Proportional BTC datasets: n = workers * 8000 vertices.
+    let scaled: Vec<Dataset> = CLUSTERS
+        .iter()
+        .map(|&w| Dataset {
+            name: "scaled",
+            records: btc::btc(w as u64 * 8000, 8.94, 7),
+        })
+        .collect();
+    for workload in [Workload::PageRank(5), Workload::Sssp(1), Workload::Cc] {
+        let runs: Vec<RunOutcome> = CLUSTERS
+            .iter()
+            .zip(scaled.iter())
+            .map(|(&w, d)| {
+                run_pregelix(
+                    &d.records,
+                    workload,
+                    PlanConfig::default(),
+                    w,
+                    WORKER_RAM,
+                    None,
+                )
+            })
+            .collect();
+        print!("{:<9}", workload.label());
+        for r in &runs {
+            print!(" {}", rel(&runs[0], r));
+        }
+        println!();
+    }
+}

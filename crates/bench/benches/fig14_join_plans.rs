@@ -1,0 +1,124 @@
+//! Figure 14: index full outer join vs index left outer join, per
+//! workload (8-machine cluster in the paper; 8 workers here).
+//!
+//! Paper shapes:
+//!
+//! * (a) SSSP (message-sparse): the left outer join is *much* faster —
+//!   it probes only the live wavefront instead of scanning every vertex.
+//! * (b) PageRank (message-intensive): the full outer join wins — probing
+//!   the index from the root for every vertex costs more than one
+//!   sequential scan when nearly all leaves qualify anyway.
+//! * (c) CC: starts message-heavy, ends sparse — the two plans come out
+//!   close.
+//!
+//! The message-sparse workload runs on high-diameter road grids (see
+//! `pregelix_graphgen::road` for why this stands in for billion-vertex
+//! BTC at 1/10,000 scale).
+
+use pregelix::graphgen::{btc_ladder, road, webmap_ladder, DatasetStats};
+use pregelix::prelude::*;
+use pregelix_bench::{header, run_pregelix, RunOutcome, Workload};
+
+const WORKERS: usize = 8;
+const WORKER_RAM: usize = 2 << 20;
+
+fn plan(join: JoinStrategy) -> PlanConfig {
+    PlanConfig {
+        join,
+        ..PlanConfig::default()
+    }
+}
+
+fn row(name: &str, stats: &DatasetStats, loj: &RunOutcome, foj: &RunOutcome) {
+    let ratio = pregelix_bench::ram_ratio(stats, WORKERS, WORKER_RAM);
+    let speedup = match (loj.avg_secs(), foj.avg_secs()) {
+        (Some(l), Some(f)) if l > 0.0 => format!("{:>6.2}x", f / l),
+        _ => format!("{:>7}", "-"),
+    };
+    println!(
+        "{:<10} {:>6.3} | LOJ {} | FOJ {} | FOJ/LOJ {}",
+        name,
+        ratio,
+        loj.avg_cell(),
+        foj.avg_cell(),
+        speedup
+    );
+}
+
+fn main() {
+    header(
+        "Figure 14(a) — SSSP: left outer join vs full outer join (avg iteration)",
+        "road grids (high diameter, sparse wavefront); expect LOJ to win big",
+    );
+    for side in [120u64, 180, 260, 340] {
+        let records = road::grid(side, 7);
+        let stats = DatasetStats::of(&format!("grid-{side}"), &records);
+        let loj = run_pregelix(
+            &records,
+            Workload::Sssp(1),
+            plan(JoinStrategy::LeftOuter),
+            WORKERS,
+            WORKER_RAM,
+            Some(100),
+        );
+        let foj = run_pregelix(
+            &records,
+            Workload::Sssp(1),
+            plan(JoinStrategy::FullOuter),
+            WORKERS,
+            WORKER_RAM,
+            Some(100),
+        );
+        row(&stats.name, &stats, &loj, &foj);
+    }
+
+    header(
+        "Figure 14(b) — PageRank: left outer join vs full outer join (avg iteration)",
+        "Webmap-like ladder (message-intensive); expect FOJ to win (FOJ/LOJ < 1)",
+    );
+    for d in webmap_ladder(7).iter().filter(|d| d.name != "Tiny") {
+        let stats = d.stats();
+        let loj = run_pregelix(
+            &d.records,
+            Workload::PageRank(5),
+            plan(JoinStrategy::LeftOuter),
+            WORKERS,
+            WORKER_RAM,
+            None,
+        );
+        let foj = run_pregelix(
+            &d.records,
+            Workload::PageRank(5),
+            plan(JoinStrategy::FullOuter),
+            WORKERS,
+            WORKER_RAM,
+            None,
+        );
+        row(d.name, &stats, &loj, &foj);
+    }
+
+    header(
+        "Figure 14(c) — CC: left outer join vs full outer join (avg iteration)",
+        "BTC-like ladder; message volume decays over supersteps, so the plans come out close",
+    );
+    for d in btc_ladder(7).iter().filter(|d| d.name != "Tiny") {
+        let stats = d.stats();
+        let loj = run_pregelix(
+            &d.records,
+            Workload::Cc,
+            plan(JoinStrategy::LeftOuter),
+            WORKERS,
+            WORKER_RAM,
+            None,
+        );
+        let foj = run_pregelix(
+            &d.records,
+            Workload::Cc,
+            plan(JoinStrategy::FullOuter),
+            WORKERS,
+            WORKER_RAM,
+            None,
+        );
+        row(d.name, &stats, &loj, &foj);
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 7 / §5.3.1 / TR [13] Fig. 9: the four parallel message-combination
+//! strategies, across cluster sizes.
+//!
+//! Shapes to reproduce:
+//!
+//! * The merging connector (lower strategies) can edge out the
+//!   non-merging one on *small* clusters — the receiver needs only a
+//!   one-pass preclustered group-by.
+//! * As the cluster grows, the receiver-side merge must coordinate across
+//!   all senders (it cannot emit until every sender's sorted run is
+//!   sealed), so the merging strategies lose ground — the TR's
+//!   146-machine finding, visible here as a ratio trend.
+//! * HashSort beats Sort when distinct message destinations are few;
+//!   otherwise they are similar.
+
+use pregelix::graphgen::webmap;
+use pregelix::prelude::*;
+use pregelix_bench::{header, run_pregelix, Workload};
+
+const WORKER_RAM: usize = 4 << 20;
+
+fn main() {
+    header(
+        "Figure 7 — message-combination strategies (PageRank avg iteration)",
+        "rows: strategy; columns: cluster size",
+    );
+    let records = webmap::webmap(15, 8.0, 13); // 32k vertices, 260k edges
+    let clusters = [2usize, 4, 8];
+    print!("{:<18}", "strategy");
+    for w in clusters {
+        print!(" {:>10}", format!("{w} workers"));
+    }
+    println!();
+    for strategy in GroupByStrategy::all() {
+        let plan = PlanConfig {
+            groupby: strategy,
+            ..PlanConfig::default()
+        };
+        print!("{:<18}", plan.label().replace("foj-", "").replace("-btree", ""));
+        for w in clusters {
+            let r = run_pregelix(
+                &records,
+                Workload::PageRank(5),
+                plan,
+                w,
+                WORKER_RAM,
+                None,
+            );
+            print!(" {:>10}", r.avg_cell());
+        }
+        println!();
+    }
+}

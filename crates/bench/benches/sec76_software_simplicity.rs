@@ -1,0 +1,87 @@
+//! §7.6 Software Simplicity: lines-of-code accounting.
+//!
+//! Paper: "The Giraph-core module, which implements the Giraph
+//! infrastructure, contains 32,197 lines of code. Its counterpart in
+//! Pregelix contains just 8,514 lines" — the Pregel-on-dataflow layer is
+//! ~4× smaller because the storage/operator/connector infrastructure is
+//! *reused* from Hyracks rather than rebuilt.
+//!
+//! The analogous split here: `crates/core` (the Pregel semantics as
+//! dataflow — the paper's contribution) versus the reused substrate
+//! (`crates/storage` + `crates/dataflow`, our Hyracks stand-in). A
+//! from-scratch process-centric system must re-implement the substrate's
+//! concerns (buffering, spilling, indexes, shuffles) inside its own core,
+//! which is exactly what inflates Giraph-core.
+
+use std::path::Path;
+
+fn loc_of_dir(dir: &Path) -> (u64, u64) {
+    // (code lines, total lines) across *.rs files, excluding blank lines
+    // and comment-only lines from the code count; test modules included in
+    // total but excluded from code via the `#[cfg(test)]` marker split.
+    let mut code = 0u64;
+    let mut total = 0u64;
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return (0, 0);
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let (c, t) = loc_of_dir(&path);
+            code += c;
+            total += t;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let mut in_tests = false;
+            for line in text.lines() {
+                total += 1;
+                let trimmed = line.trim();
+                if trimmed.contains("#[cfg(test)]") {
+                    in_tests = true;
+                }
+                if in_tests || trimmed.is_empty() || trimmed.starts_with("//") {
+                    continue;
+                }
+                code += 1;
+            }
+        }
+    }
+    (code, total)
+}
+
+fn main() {
+    pregelix_bench::header(
+        "Section 7.6 — software simplicity (lines of code)",
+        "code lines exclude blanks, comments, and in-file test modules",
+    );
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let rows = [
+        ("pregelix core (Pregel-as-dataflow)", "crates/core/src"),
+        ("  reused: storage library", "crates/storage/src"),
+        ("  reused: dataflow runtime", "crates/dataflow/src"),
+        ("  reused: common substrate", "crates/common/src"),
+        ("algorithm library", "crates/algorithms/src"),
+        ("baseline engines (all five)", "crates/baselines/src"),
+    ];
+    let mut core = 0;
+    let mut substrate = 0;
+    for (label, rel) in rows {
+        let (code, total) = loc_of_dir(&root.join(rel));
+        println!("{label:<40} {code:>7} code / {total:>7} total");
+        if rel == "crates/core/src" {
+            core = code;
+        }
+        if rel.contains("storage") || rel.contains("dataflow") || rel.contains("common") {
+            substrate += code;
+        }
+    }
+    println!();
+    println!(
+        "contribution / substrate ratio: {core} / {substrate} = {:.2} (paper: 8,514 / 32,197 ≈ 0.26 —\n\
+         the Pregel layer is a fraction of the infrastructure it reuses; a from-scratch\n\
+         process-centric system folds all of that infrastructure into its own core)",
+        core as f64 / substrate.max(1) as f64
+    );
+}

@@ -1,0 +1,158 @@
+//! Criterion micro-benchmarks for the storage and dataflow primitives
+//! that the superstep plan is built from: B-tree point ops and scans,
+//! external sort with combining, frame encode/decode.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use pregelix::common::frame::{keyed_tuple, Frame};
+use pregelix::common::stats::ClusterCounters;
+use pregelix::dataflow::groupby::{GroupByKind, LocalGroupBy, TupleCombiner};
+use pregelix::storage::btree::BTree;
+use pregelix::storage::cache::BufferCache;
+use pregelix::storage::file::{FileManager, TempDir};
+use pregelix::storage::sort::ExternalSorter;
+use rand::prelude::*;
+use std::sync::Arc;
+
+fn make_cache(pages: usize) -> (BufferCache, TempDir) {
+    let dir = TempDir::new("bench").unwrap();
+    let fm = FileManager::new(dir.path(), 4096, ClusterCounters::new()).unwrap();
+    (BufferCache::new(fm, pages), dir)
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree");
+    group.sample_size(20);
+
+    group.bench_function("bulk_load_100k", |b| {
+        b.iter_batched(
+            || make_cache(4096),
+            |(cache, _dir)| {
+                let mut t = BTree::create(cache).unwrap();
+                t.bulk_load(
+                    (0..100_000u64).map(|v| (v.to_be_bytes().to_vec(), vec![7u8; 24])),
+                    0.9,
+                )
+                .unwrap();
+                black_box(t.height());
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    let (cache, _dir) = make_cache(4096);
+    let mut tree = BTree::create(cache).unwrap();
+    tree.bulk_load(
+        (0..100_000u64).map(|v| (v.to_be_bytes().to_vec(), vec![7u8; 24])),
+        0.9,
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    group.bench_function("point_search_hot", |b| {
+        b.iter(|| {
+            let key = rng.gen_range(0..100_000u64).to_be_bytes();
+            black_box(tree.search(&key).unwrap());
+        });
+    });
+    group.bench_function("in_place_update", |b| {
+        b.iter(|| {
+            let key = rng.gen_range(0..100_000u64).to_be_bytes();
+            tree.update(&key, &[9u8; 24]).unwrap();
+        });
+    });
+    group.bench_function("full_scan_100k", |b| {
+        b.iter(|| {
+            let mut scan = tree.scan().unwrap();
+            let mut n = 0u64;
+            while scan.next_entry().unwrap().is_some() {
+                n += 1;
+            }
+            black_box(n);
+        });
+    });
+    group.finish();
+}
+
+fn bench_sort_groupby(c: &mut Criterion) {
+    let mut group = c.benchmark_group("groupby");
+    group.sample_size(15);
+    let dir = TempDir::new("bench-gb").unwrap();
+    let fm = FileManager::new(dir.path(), 4096, ClusterCounters::new()).unwrap();
+
+    let combiner: TupleCombiner = Arc::new(|a: &[u8], b: &[u8]| {
+        let pa = f64::from_le_bytes(a[8..16].try_into().unwrap());
+        let pb = f64::from_le_bytes(b[8..16].try_into().unwrap());
+        keyed_tuple(
+            pregelix::common::frame::tuple_vid(a).unwrap(),
+            &(pa + pb).to_le_bytes(),
+        )
+    });
+
+    let mut tuples = Vec::with_capacity(100_000);
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..100_000 {
+        tuples.push(keyed_tuple(rng.gen_range(0..10_000u64), &1.0f64.to_le_bytes()));
+    }
+
+    for kind in [GroupByKind::Sort, GroupByKind::HashSort] {
+        group.bench_function(format!("{kind:?}_100k_msgs_10k_groups"), |b| {
+            b.iter(|| {
+                let mut gb = LocalGroupBy::new(kind, &fm, "bench", 1 << 20, Some(&combiner));
+                for t in &tuples {
+                    gb.add(t.clone()).unwrap();
+                }
+                let mut stream = gb.finish().unwrap();
+                let mut n = 0;
+                while stream.next_tuple().unwrap().is_some() {
+                    n += 1;
+                }
+                black_box(n);
+            });
+        });
+    }
+
+    group.bench_function("external_sort_spilling_100k", |b| {
+        b.iter(|| {
+            let mut s = ExternalSorter::new(fm.clone(), "bench-sort", 64 << 10);
+            for t in &tuples {
+                s.add(t.clone()).unwrap();
+            }
+            let mut stream = s.finish().unwrap();
+            let mut n = 0;
+            while stream.next_tuple().unwrap().is_some() {
+                n += 1;
+            }
+            black_box(n);
+        });
+    });
+    group.finish();
+}
+
+fn bench_frames(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame");
+    let tuples: Vec<Vec<u8>> = (0..1000u64).map(|v| keyed_tuple(v, &[3u8; 24])).collect();
+    group.bench_function("append_1k_tuples", |b| {
+        b.iter(|| {
+            let mut f = Frame::with_capacity(64 << 10);
+            for t in &tuples {
+                f.try_append(t);
+            }
+            black_box(f.len());
+        });
+    });
+    let mut f = Frame::with_capacity(64 << 10);
+    for t in &tuples {
+        f.try_append(t);
+    }
+    group.bench_function("serialize_roundtrip", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            f.serialize(&mut out);
+            let mut slice = &out[..];
+            black_box(Frame::deserialize(&mut slice).unwrap().len());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_btree, bench_sort_groupby, bench_frames);
+criterion_main!(benches);

@@ -1,0 +1,207 @@
+//! A directory-backed stand-in for HDFS.
+//!
+//! Pregelix uses a distributed file system for four things (§5.2, §5.5):
+//! loading the initial `Vertex` relation, dumping the final result, storing
+//! the primary copy of the global state `GS`, and holding checkpoints.
+//! [`SimDfs`] provides those four roles on top of a local directory tree:
+//! every worker "machine" in the simulated cluster sees the same namespace,
+//! and files survive simulated worker failures — exactly the durability
+//! property recovery (§5.5) relies on.
+//!
+//! Writes are atomic (temp file + rename) so a checkpoint is either fully
+//! present or absent; a crash mid-checkpoint can never leave a torn file that
+//! recovery would trust.
+
+use crate::error::{PregelixError, Result};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Handle to the simulated DFS rooted at a local directory. Cheap to clone;
+/// all clones share the namespace.
+#[derive(Clone, Debug)]
+pub struct SimDfs {
+    root: Arc<PathBuf>,
+    tmp_seq: Arc<AtomicU64>,
+}
+
+impl SimDfs {
+    /// Open (creating if needed) a DFS rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(SimDfs {
+            root: Arc::new(root),
+            tmp_seq: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// The local directory backing this DFS.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn resolve(&self, path: &str) -> Result<PathBuf> {
+        // Reject path escapes: DFS paths are namespace-relative.
+        if path.is_empty() || path.starts_with('/') || path.split('/').any(|c| c == "..") {
+            return Err(PregelixError::plan(format!("invalid DFS path {path:?}")));
+        }
+        Ok(self.root.join(path))
+    }
+
+    /// Atomically write a whole file, creating parent "directories".
+    pub fn write(&self, path: &str, bytes: &[u8]) -> Result<()> {
+        let target = self.resolve(path)?;
+        if let Some(parent) = target.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let tmp = self.root.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, &target)?;
+        Ok(())
+    }
+
+    /// Read a whole file.
+    pub fn read(&self, path: &str) -> Result<Vec<u8>> {
+        Ok(fs::read(self.resolve(path)?)?)
+    }
+
+    /// Whether a file exists at `path`.
+    pub fn exists(&self, path: &str) -> bool {
+        self.resolve(path).map(|p| p.is_file()).unwrap_or(false)
+    }
+
+    /// List the files directly under a directory path, returning their
+    /// namespace-relative paths in sorted order. A missing directory lists as
+    /// empty.
+    pub fn list(&self, dir: &str) -> Result<Vec<String>> {
+        let p = self.resolve(dir)?;
+        let mut out = Vec::new();
+        let entries = match fs::read_dir(&p) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(format!(
+                    "{dir}/{}",
+                    entry.file_name().to_string_lossy()
+                ));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Recursively delete a directory subtree (no-op if absent).
+    pub fn delete_dir(&self, dir: &str) -> Result<()> {
+        let p = self.resolve(dir)?;
+        match fs::remove_dir_all(&p) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dfs() -> (SimDfs, tempdir::TempDir) {
+        let dir = tempdir::TempDir::new();
+        (SimDfs::open(dir.path()).unwrap(), dir)
+    }
+
+    /// Minimal self-contained temp dir (avoids adding a tempfile dependency).
+    mod tempdir {
+        use std::path::{Path, PathBuf};
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+
+        pub struct TempDir(PathBuf);
+        impl TempDir {
+            pub fn new() -> Self {
+                let p = std::env::temp_dir().join(format!(
+                    "pregelix-dfs-test-{}-{}",
+                    std::process::id(),
+                    SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                std::fs::create_dir_all(&p).unwrap();
+                TempDir(p)
+            }
+            pub fn path(&self) -> &Path {
+                &self.0
+            }
+        }
+        impl Drop for TempDir {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_dir_all(&self.0);
+            }
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let (dfs, _d) = tmp_dfs();
+        dfs.write("a/b/c.bin", b"hello").unwrap();
+        assert_eq!(dfs.read("a/b/c.bin").unwrap(), b"hello");
+        assert!(dfs.exists("a/b/c.bin"));
+        assert!(!dfs.exists("a/b/missing"));
+    }
+
+    #[test]
+    fn overwrite_is_atomic_replacement() {
+        let (dfs, _d) = tmp_dfs();
+        dfs.write("gs", b"v1").unwrap();
+        dfs.write("gs", b"v2").unwrap();
+        assert_eq!(dfs.read("gs").unwrap(), b"v2");
+    }
+
+    #[test]
+    fn list_returns_sorted_relative_paths() {
+        let (dfs, _d) = tmp_dfs();
+        dfs.write("ckpt/5/p1", b"").unwrap();
+        dfs.write("ckpt/5/p0", b"").unwrap();
+        dfs.write("ckpt/5/p2", b"").unwrap();
+        assert_eq!(
+            dfs.list("ckpt/5").unwrap(),
+            vec!["ckpt/5/p0", "ckpt/5/p1", "ckpt/5/p2"]
+        );
+        assert!(dfs.list("nothing/here").unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_dir_removes_subtree() {
+        let (dfs, _d) = tmp_dfs();
+        dfs.write("ckpt/5/p0", b"x").unwrap();
+        dfs.delete_dir("ckpt").unwrap();
+        assert!(!dfs.exists("ckpt/5/p0"));
+        dfs.delete_dir("ckpt").unwrap(); // idempotent
+    }
+
+    #[test]
+    fn path_escapes_rejected() {
+        let (dfs, _d) = tmp_dfs();
+        assert!(dfs.write("../evil", b"x").is_err());
+        assert!(dfs.write("/abs", b"x").is_err());
+        assert!(dfs.write("a/../../b", b"x").is_err());
+        assert!(dfs.write("", b"x").is_err());
+    }
+
+    #[test]
+    fn clones_share_namespace() {
+        let (dfs, _d) = tmp_dfs();
+        let other = dfs.clone();
+        dfs.write("shared", b"1").unwrap();
+        assert_eq!(other.read("shared").unwrap(), b"1");
+    }
+}

@@ -1,0 +1,162 @@
+//! The unified error type used across the workspace.
+
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T, E = PregelixError> = std::result::Result<T, E>;
+
+/// Every failure mode a Pregelix job can observe.
+///
+/// The variants are grouped by the layer they originate from. The failure
+/// manager (§5.7) distinguishes *recoverable* infrastructure failures
+/// (I/O errors, worker interruption) from application errors, which are
+/// forwarded to the user; [`PregelixError::is_recoverable`] encodes exactly
+/// that split.
+#[derive(Debug)]
+pub enum PregelixError {
+    /// Underlying file-system error (local working directory or the
+    /// simulated DFS).
+    Io(std::io::Error),
+    /// A (simulated or real) memory budget was exhausted. Process-centric
+    /// baselines surface this when a partition or its messages no longer fit
+    /// in worker RAM; Pregelix itself never raises it because all operators
+    /// spill.
+    OutOfMemory {
+        /// Human-readable owner of the budget, e.g. `"worker-3 heap"`.
+        budget: String,
+        /// Bytes that were requested.
+        requested: usize,
+        /// Bytes that were still available.
+        available: usize,
+    },
+    /// Malformed bytes encountered while decoding a tuple or page.
+    Corrupt(String),
+    /// A storage-layer invariant was violated (bad page id, pinned-page
+    /// eviction, bulk-load ordering, ...).
+    Storage(String),
+    /// A dataflow job was mis-constructed (dangling connector, partition
+    /// count mismatch, unsatisfiable location constraint, ...).
+    Plan(String),
+    /// A simulated worker machine failed (powered off / blacklisted). Carries
+    /// the worker id. Recoverable via checkpoint recovery.
+    WorkerFailure(usize),
+    /// An error raised by user code (a `compute`, `combine`, `aggregate` or
+    /// `resolve` UDF). Never retried: forwarded to the end user, per §5.7.
+    User(String),
+    /// Checkpoint requested for recovery does not exist.
+    NoCheckpoint,
+    /// Any other invariant violation.
+    Internal(String),
+}
+
+impl PregelixError {
+    /// Whether the failure manager should attempt recovery (reload the most
+    /// recent checkpoint onto failure-free workers) rather than surfacing the
+    /// error to the user. Mirrors §5.7: "It only tries to recover from
+    /// interruption errors ... and I/O related failures; it just forwards
+    /// application exceptions to end users."
+    pub fn is_recoverable(&self) -> bool {
+        matches!(self, PregelixError::Io(_) | PregelixError::WorkerFailure(_))
+    }
+
+    /// Shorthand constructor for corrupt-data errors.
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        PregelixError::Corrupt(msg.into())
+    }
+
+    /// Shorthand constructor for storage-invariant errors.
+    pub fn storage(msg: impl Into<String>) -> Self {
+        PregelixError::Storage(msg.into())
+    }
+
+    /// Shorthand constructor for plan-construction errors.
+    pub fn plan(msg: impl Into<String>) -> Self {
+        PregelixError::Plan(msg.into())
+    }
+
+    /// Shorthand constructor for user/UDF errors.
+    pub fn user(msg: impl Into<String>) -> Self {
+        PregelixError::User(msg.into())
+    }
+
+    /// Shorthand constructor for internal invariant violations.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        PregelixError::Internal(msg.into())
+    }
+}
+
+impl fmt::Display for PregelixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PregelixError::Io(e) => write!(f, "I/O error: {e}"),
+            PregelixError::OutOfMemory {
+                budget,
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of memory in {budget}: requested {requested} bytes, {available} available"
+            ),
+            PregelixError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            PregelixError::Storage(m) => write!(f, "storage error: {m}"),
+            PregelixError::Plan(m) => write!(f, "plan error: {m}"),
+            PregelixError::WorkerFailure(w) => write!(f, "worker {w} failed"),
+            PregelixError::User(m) => write!(f, "application error: {m}"),
+            PregelixError::NoCheckpoint => write!(f, "no checkpoint available for recovery"),
+            PregelixError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PregelixError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PregelixError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PregelixError {
+    fn from(e: std::io::Error) -> Self {
+        PregelixError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recoverability_split_matches_failure_manager_policy() {
+        assert!(PregelixError::WorkerFailure(3).is_recoverable());
+        assert!(PregelixError::Io(std::io::Error::other("disk")).is_recoverable());
+        assert!(!PregelixError::user("bad vertex value").is_recoverable());
+        assert!(!PregelixError::OutOfMemory {
+            budget: "w0".into(),
+            requested: 1,
+            available: 0
+        }
+        .is_recoverable());
+        assert!(!PregelixError::plan("dangling").is_recoverable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = PregelixError::OutOfMemory {
+            budget: "worker-1 heap".into(),
+            requested: 4096,
+            available: 128,
+        };
+        let s = e.to_string();
+        assert!(s.contains("worker-1 heap"));
+        assert!(s.contains("4096"));
+    }
+
+    #[test]
+    fn io_error_source_chain() {
+        use std::error::Error;
+        let e = PregelixError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

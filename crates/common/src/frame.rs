@@ -1,0 +1,325 @@
+//! Frames: batches of byte tuples, the unit of data exchange.
+//!
+//! Hyracks moves data between operators as fixed-capacity *frames* — a
+//! contiguous byte buffer plus an offset table — rather than as object
+//! graphs. This keeps the per-tuple overhead at a few bytes, makes spilling a
+//! frame a single buffer write, and is one of the architectural reasons the
+//! paper's dataflow runtime sustains out-of-core workloads where
+//! object-per-vertex runtimes thrash (§5.4, the "bloat-aware design").
+//!
+//! Conventions used by every Pregelix stream:
+//!
+//! * Each tuple is an opaque byte string whose schema is known to both
+//!   endpoints of the dataflow edge.
+//! * Tuples that are keyed by vertex id (`Vertex`, `Msg`, `Vid` and mutation
+//!   tuples) carry the vid in their **first 8 bytes, big-endian**, so byte
+//!   comparison of key prefixes equals numeric comparison of vids. Sorting,
+//!   merging and B-tree search all exploit this.
+
+use crate::error::{PregelixError, Result};
+use crate::Vid;
+
+/// Default frame capacity in bytes. Small relative to production Hyracks
+/// (32 KB–128 KB) because the whole simulated cluster is scaled down; it can
+/// be overridden per job.
+pub const DEFAULT_FRAME_BYTES: usize = 16 * 1024;
+
+/// Encode a vid as a big-endian, memcmp-comparable 8-byte key.
+#[inline]
+pub fn vid_to_key(vid: Vid) -> [u8; 8] {
+    vid.to_be_bytes()
+}
+
+/// Decode a big-endian vid key prefix from a tuple.
+#[inline]
+pub fn tuple_vid(tuple: &[u8]) -> Result<Vid> {
+    let head: [u8; 8] = tuple
+        .get(..8)
+        .ok_or_else(|| PregelixError::corrupt("tuple shorter than vid prefix"))?
+        .try_into()
+        .expect("8-byte slice");
+    Ok(Vid::from_be_bytes(head))
+}
+
+/// Build a keyed tuple: big-endian vid prefix followed by `payload` bytes.
+#[inline]
+pub fn keyed_tuple(vid: Vid, payload: &[u8]) -> Vec<u8> {
+    let mut t = Vec::with_capacity(8 + payload.len());
+    t.extend_from_slice(&vid_to_key(vid));
+    t.extend_from_slice(payload);
+    t
+}
+
+/// The payload portion (after the vid prefix) of a keyed tuple.
+#[inline]
+pub fn tuple_payload(tuple: &[u8]) -> Result<&[u8]> {
+    tuple
+        .get(8..)
+        .ok_or_else(|| PregelixError::corrupt("tuple shorter than vid prefix"))
+}
+
+/// A batch of tuples in a contiguous buffer.
+///
+/// `data` holds the concatenated tuple bytes; `ends[i]` is the exclusive end
+/// offset of tuple `i`, so tuple `i` spans `ends[i-1]..ends[i]`.
+#[derive(Clone, Debug, Default)]
+pub struct Frame {
+    data: Vec<u8>,
+    ends: Vec<u32>,
+    capacity: usize,
+}
+
+impl Frame {
+    /// Create an empty frame with the default byte capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_FRAME_BYTES)
+    }
+
+    /// Create an empty frame with an explicit byte capacity. A frame always
+    /// accepts at least one tuple even if that tuple alone exceeds the
+    /// capacity (matching Hyracks' "big object" frames).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Frame {
+            data: Vec::new(),
+            ends: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// Number of tuples currently in the frame.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Whether the frame holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Bytes of tuple data (excluding the offset table).
+    #[inline]
+    pub fn data_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Approximate total heap footprint of this frame.
+    #[inline]
+    pub fn footprint(&self) -> usize {
+        self.data.len() + self.ends.len() * 4
+    }
+
+    /// Try to append a tuple. Returns `false` when the frame is full — the
+    /// caller should flush it downstream and retry on a fresh frame. A tuple
+    /// is always accepted into an *empty* frame regardless of size.
+    #[inline]
+    pub fn try_append(&mut self, tuple: &[u8]) -> bool {
+        if !self.is_empty() && self.data.len() + tuple.len() > self.capacity {
+            return false;
+        }
+        self.data.extend_from_slice(tuple);
+        self.ends.push(self.data.len() as u32);
+        true
+    }
+
+    /// Borrow tuple `i`.
+    #[inline]
+    pub fn tuple(&self, i: usize) -> &[u8] {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.data[start..self.ends[i] as usize]
+    }
+
+    /// Iterate over all tuples in order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        (0..self.len()).map(move |i| self.tuple(i))
+    }
+
+    /// Drop all tuples, retaining the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.ends.clear();
+    }
+
+    /// Sort the tuples in place by their big-endian key prefix (whole-tuple
+    /// byte order, which for keyed tuples means vid order with payload bytes
+    /// as tiebreaker). Rebuilds the buffer; used when an operator needs a
+    /// sorted frame (e.g. the in-memory phase of the sort-based group-by).
+    pub fn sort(&mut self) {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.sort_by(|&a, &b| self.tuple(a).cmp(self.tuple(b)));
+        let mut data = Vec::with_capacity(self.data.len());
+        let mut ends = Vec::with_capacity(self.ends.len());
+        for i in idx {
+            data.extend_from_slice(self.tuple(i));
+            ends.push(data.len() as u32);
+        }
+        self.data = data;
+        self.ends = ends;
+    }
+
+    /// Serialize the frame for spilling or for crossing a "network" channel:
+    /// `[u32 n][u32 ends; n][data]`.
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.ends.len() as u32).to_le_bytes());
+        for e in &self.ends {
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+        out.extend_from_slice(&self.data);
+    }
+
+    /// Inverse of [`Frame::serialize`]; consumes bytes from the front of
+    /// `buf`.
+    pub fn deserialize(buf: &mut &[u8]) -> Result<Frame> {
+        let n = read_u32(buf)? as usize;
+        let mut ends = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            ends.push(read_u32(buf)?);
+        }
+        let data_len = ends.last().copied().unwrap_or(0) as usize;
+        if buf.len() < data_len {
+            return Err(PregelixError::corrupt("frame data truncated"));
+        }
+        // Validate monotone offsets so `tuple()` can never slice out of
+        // bounds or panic on a reversed range.
+        let mut prev = 0u32;
+        for &e in &ends {
+            if e < prev {
+                return Err(PregelixError::corrupt("frame offsets not monotone"));
+            }
+            prev = e;
+        }
+        let (data, rest) = buf.split_at(data_len);
+        *buf = rest;
+        Ok(Frame {
+            data: data.to_vec(),
+            ends,
+            capacity: DEFAULT_FRAME_BYTES,
+        })
+    }
+}
+
+#[inline]
+fn read_u32(buf: &mut &[u8]) -> Result<u32> {
+    let head: [u8; 4] = buf
+        .get(..4)
+        .ok_or_else(|| PregelixError::corrupt("frame header truncated"))?
+        .try_into()
+        .expect("4-byte slice");
+    *buf = &buf[4..];
+    Ok(u32::from_le_bytes(head))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn append_and_read_back() {
+        let mut f = Frame::with_capacity(64);
+        assert!(f.try_append(b"alpha"));
+        assert!(f.try_append(b"b"));
+        assert!(f.try_append(b""));
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.tuple(0), b"alpha");
+        assert_eq!(f.tuple(1), b"b");
+        assert_eq!(f.tuple(2), b"");
+    }
+
+    #[test]
+    fn capacity_enforced_but_first_tuple_always_fits() {
+        let mut f = Frame::with_capacity(4);
+        assert!(f.try_append(b"oversized tuple"));
+        assert!(!f.try_append(b"x"));
+        f.clear();
+        assert!(f.try_append(b"x"));
+        assert!(f.try_append(b"yz"));
+        assert!(!f.try_append(b"ab"));
+    }
+
+    #[test]
+    fn vid_key_order_matches_numeric_order() {
+        let a = keyed_tuple(5, b"");
+        let b = keyed_tuple(300, b"");
+        let c = keyed_tuple(u64::MAX, b"");
+        assert!(a < b && b < c);
+        assert_eq!(tuple_vid(&b).unwrap(), 300);
+        assert_eq!(tuple_payload(&a).unwrap(), b"");
+    }
+
+    #[test]
+    fn sort_orders_by_vid() {
+        let mut f = Frame::new();
+        for vid in [9u64, 2, 500, 2, 1] {
+            f.try_append(&keyed_tuple(vid, b"p"));
+        }
+        f.sort();
+        let vids: Vec<Vid> = f.iter().map(|t| tuple_vid(t).unwrap()).collect();
+        assert_eq!(vids, vec![1, 2, 2, 9, 500]);
+    }
+
+    #[test]
+    fn serialize_roundtrip() {
+        let mut f = Frame::new();
+        f.try_append(&keyed_tuple(1, b"abc"));
+        f.try_append(&keyed_tuple(2, b""));
+        let mut bytes = Vec::new();
+        f.serialize(&mut bytes);
+        let mut buf = &bytes[..];
+        let g = Frame::deserialize(&mut buf).unwrap();
+        assert!(buf.is_empty());
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.tuple(0), &keyed_tuple(1, b"abc")[..]);
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        assert!(Frame::deserialize(&mut &[1u8][..]).is_err());
+        // claims one tuple ending at 100 but provides no data
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&100u32.to_le_bytes());
+        assert!(Frame::deserialize(&mut &bytes[..]).is_err());
+        // non-monotone offsets
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 4]);
+        assert!(Frame::deserialize(&mut &bytes[..]).is_err());
+    }
+
+    #[test]
+    fn tuple_vid_rejects_short_tuple() {
+        assert!(tuple_vid(b"short").is_err());
+        assert!(tuple_payload(b"short").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_frame_roundtrip(tuples in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..50), 0..40)) {
+            let mut f = Frame::with_capacity(1 << 20);
+            for t in &tuples { prop_assert!(f.try_append(t)); }
+            let mut bytes = Vec::new();
+            f.serialize(&mut bytes);
+            let g = Frame::deserialize(&mut &bytes[..]).unwrap();
+            prop_assert_eq!(g.len(), tuples.len());
+            for (i, t) in tuples.iter().enumerate() {
+                prop_assert_eq!(g.tuple(i), &t[..]);
+            }
+        }
+
+        #[test]
+        fn prop_sort_is_stable_permutation(vids in proptest::collection::vec(any::<u64>(), 0..64)) {
+            let mut f = Frame::with_capacity(1 << 20);
+            for &v in &vids { f.try_append(&keyed_tuple(v, b"x")); }
+            f.sort();
+            let mut sorted = vids.clone();
+            sorted.sort_unstable();
+            let got: Vec<u64> = f.iter().map(|t| tuple_vid(t).unwrap()).collect();
+            prop_assert_eq!(got, sorted);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Byte-granular memory accounting for simulated RAM budgets.
+//!
+//! The paper's out-of-core experiments hinge on the ratio of dataset size to
+//! *aggregate cluster RAM* (the x-axis of Figures 10–15). To reproduce those
+//! curves on one machine we give every simulated worker an explicit budget:
+//! Pregelix components (buffer cache, group-by operators) size themselves
+//! within the budget and spill beyond it, while process-centric baselines
+//! charge their object graphs against it and **fail** with
+//! [`PregelixError::OutOfMemory`] when it is exhausted — exactly the
+//! behaviour Figure 10 reports for Giraph/GraphLab/GraphX/Hama.
+
+use crate::error::{PregelixError, Result};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A shared memory budget. Cheap to clone; clones share the same pool.
+#[derive(Clone, Debug)]
+pub struct MemoryAccountant {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    name: String,
+    budget: usize,
+    used: AtomicUsize,
+    high_water: AtomicUsize,
+}
+
+impl MemoryAccountant {
+    /// Create a pool named `name` with `budget` bytes.
+    pub fn new(name: impl Into<String>, budget: usize) -> Self {
+        MemoryAccountant {
+            inner: Arc::new(Inner {
+                name: name.into(),
+                budget,
+                used: AtomicUsize::new(0),
+                high_water: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// An effectively unlimited pool (for tests and in-memory-only runs).
+    pub fn unbounded(name: impl Into<String>) -> Self {
+        Self::new(name, usize::MAX / 2)
+    }
+
+    /// Total budget in bytes.
+    pub fn budget(&self) -> usize {
+        self.inner.budget
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> usize {
+        self.inner.used.load(Ordering::Relaxed)
+    }
+
+    /// Highest reservation level ever observed.
+    pub fn high_water(&self) -> usize {
+        self.inner.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> usize {
+        self.inner.budget.saturating_sub(self.used())
+    }
+
+    /// Reserve `bytes`, failing with [`PregelixError::OutOfMemory`] if the
+    /// budget would be exceeded.
+    pub fn try_reserve(&self, bytes: usize) -> Result<()> {
+        let mut cur = self.inner.used.load(Ordering::Relaxed);
+        loop {
+            let next = cur.checked_add(bytes).ok_or_else(|| self.oom(bytes, cur))?;
+            if next > self.inner.budget {
+                return Err(self.oom(bytes, cur));
+            }
+            match self.inner.used.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.inner.high_water.fetch_max(next, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Release previously reserved bytes. Releasing more than reserved is an
+    /// accounting bug; we saturate rather than underflow and debug-assert.
+    pub fn release(&self, bytes: usize) {
+        let prev = self.inner.used.fetch_sub(bytes, Ordering::Relaxed);
+        debug_assert!(prev >= bytes, "memory accountant underflow in {}", self.inner.name);
+        if prev < bytes {
+            self.inner.used.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// RAII reservation: releases on drop.
+    pub fn reserve_guard(&self, bytes: usize) -> Result<Reservation> {
+        self.try_reserve(bytes)?;
+        Ok(Reservation {
+            pool: self.clone(),
+            bytes,
+        })
+    }
+
+    fn oom(&self, requested: usize, used: usize) -> PregelixError {
+        PregelixError::OutOfMemory {
+            budget: self.inner.name.clone(),
+            requested,
+            available: self.inner.budget.saturating_sub(used),
+        }
+    }
+}
+
+/// RAII guard for a reservation from [`MemoryAccountant::reserve_guard`].
+#[derive(Debug)]
+pub struct Reservation {
+    pool: MemoryAccountant,
+    bytes: usize,
+}
+
+impl Reservation {
+    /// Size of this reservation in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Grow the reservation in place.
+    pub fn grow(&mut self, extra: usize) -> Result<()> {
+        self.pool.try_reserve(extra)?;
+        self.bytes += extra;
+        Ok(())
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.pool.release(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_release_cycle() {
+        let m = MemoryAccountant::new("w0", 100);
+        m.try_reserve(60).unwrap();
+        assert_eq!(m.used(), 60);
+        assert_eq!(m.available(), 40);
+        m.try_reserve(40).unwrap();
+        assert!(m.try_reserve(1).is_err());
+        m.release(100);
+        assert_eq!(m.used(), 0);
+        assert_eq!(m.high_water(), 100);
+    }
+
+    #[test]
+    fn oom_error_carries_context() {
+        let m = MemoryAccountant::new("worker-7 heap", 10);
+        match m.try_reserve(11) {
+            Err(PregelixError::OutOfMemory {
+                budget,
+                requested,
+                available,
+            }) => {
+                assert_eq!(budget, "worker-7 heap");
+                assert_eq!(requested, 11);
+                assert_eq!(available, 10);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guard_releases_on_drop() {
+        let m = MemoryAccountant::new("g", 50);
+        {
+            let mut r = m.reserve_guard(20).unwrap();
+            r.grow(10).unwrap();
+            assert_eq!(m.used(), 30);
+            assert_eq!(r.bytes(), 30);
+        }
+        assert_eq!(m.used(), 0);
+    }
+
+    #[test]
+    fn concurrent_reservations_never_exceed_budget() {
+        let m = MemoryAccountant::new("c", 1000);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        if m.try_reserve(7).is_ok() {
+                            assert!(m.used() <= 1000);
+                            m.release(7);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(m.used(), 0);
+    }
+}

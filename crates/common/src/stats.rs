@@ -1,0 +1,216 @@
+//! Cluster-wide counters: the statistics collector substrate (§5.7).
+//!
+//! The Pregelix statistics collector gathers system counters (I/O rate,
+//! network usage, memory) and Pregel-specific counters (vertex count, live
+//! vertex count, message count) per job. [`ClusterCounters`] is the shared
+//! atomic backing store those numbers come from; [`StatsSnapshot`] is the
+//! serializable point-in-time view reported to harnesses and printed by the
+//! benchmark tables.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared atomic counters. Cheap to clone; clones share the same counters.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterCounters {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    /// Bytes read from local disk (buffer-cache misses, run files, Msg files).
+    disk_read_bytes: AtomicU64,
+    /// Bytes written to local disk.
+    disk_write_bytes: AtomicU64,
+    /// Bytes moved across inter-worker connector channels ("network").
+    network_bytes: AtomicU64,
+    /// Frames moved across inter-worker connector channels.
+    network_frames: AtomicU64,
+    /// Pregel messages sent (pre-combination).
+    messages_sent: AtomicU64,
+    /// Pregel messages delivered after combination.
+    messages_combined: AtomicU64,
+    /// `compute` UDF invocations.
+    compute_calls: AtomicU64,
+    /// Buffer-cache page hits.
+    cache_hits: AtomicU64,
+    /// Buffer-cache page misses (each implies a disk page read).
+    cache_misses: AtomicU64,
+    /// Pages evicted from the buffer cache.
+    cache_evictions: AtomicU64,
+    /// External-sort runs spilled by group-by/sort operators.
+    sort_runs_spilled: AtomicU64,
+    /// Vertices alive at the end of the most recent superstep.
+    live_vertices: AtomicU64,
+}
+
+macro_rules! counter_api {
+    ($($add:ident / $get:ident => $field:ident),* $(,)?) => {
+        impl ClusterCounters {
+            $(
+                #[doc = concat!("Increment `", stringify!($field), "` by `n`.")]
+                #[inline]
+                pub fn $add(&self, n: u64) {
+                    self.inner.$field.fetch_add(n, Ordering::Relaxed);
+                }
+                #[doc = concat!("Current value of `", stringify!($field), "`.")]
+                #[inline]
+                pub fn $get(&self) -> u64 {
+                    self.inner.$field.load(Ordering::Relaxed)
+                }
+            )*
+        }
+    };
+}
+
+counter_api! {
+    add_disk_read / disk_read_bytes => disk_read_bytes,
+    add_disk_write / disk_write_bytes => disk_write_bytes,
+    add_network_bytes / network_bytes => network_bytes,
+    add_network_frames / network_frames => network_frames,
+    add_messages_sent / messages_sent => messages_sent,
+    add_messages_combined / messages_combined => messages_combined,
+    add_compute_calls / compute_calls => compute_calls,
+    add_cache_hits / cache_hits => cache_hits,
+    add_cache_misses / cache_misses => cache_misses,
+    add_cache_evictions / cache_evictions => cache_evictions,
+    add_sort_runs / sort_runs_spilled => sort_runs_spilled,
+}
+
+impl ClusterCounters {
+    /// Create a fresh, zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the live-vertex count at a superstep boundary (overwrites).
+    pub fn set_live_vertices(&self, n: u64) {
+        self.inner.live_vertices.store(n, Ordering::Relaxed);
+    }
+
+    /// Live vertices at the last superstep boundary.
+    pub fn live_vertices(&self) -> u64 {
+        self.inner.live_vertices.load(Ordering::Relaxed)
+    }
+
+    /// Take a serializable point-in-time snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let c = &self.inner;
+        StatsSnapshot {
+            disk_read_bytes: c.disk_read_bytes.load(Ordering::Relaxed),
+            disk_write_bytes: c.disk_write_bytes.load(Ordering::Relaxed),
+            network_bytes: c.network_bytes.load(Ordering::Relaxed),
+            network_frames: c.network_frames.load(Ordering::Relaxed),
+            messages_sent: c.messages_sent.load(Ordering::Relaxed),
+            messages_combined: c.messages_combined.load(Ordering::Relaxed),
+            compute_calls: c.compute_calls.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: c.cache_evictions.load(Ordering::Relaxed),
+            sort_runs_spilled: c.sort_runs_spilled.load(Ordering::Relaxed),
+            live_vertices: c.live_vertices.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of [`ClusterCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct StatsSnapshot {
+    pub disk_read_bytes: u64,
+    pub disk_write_bytes: u64,
+    pub network_bytes: u64,
+    pub network_frames: u64,
+    pub messages_sent: u64,
+    pub messages_combined: u64,
+    pub compute_calls: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+    pub sort_runs_spilled: u64,
+    pub live_vertices: u64,
+}
+
+impl StatsSnapshot {
+    /// Total disk traffic in bytes.
+    pub fn disk_bytes(&self) -> u64 {
+        self.disk_read_bytes + self.disk_write_bytes
+    }
+
+    /// Counter-wise difference `self - earlier` (for per-superstep deltas).
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            disk_read_bytes: self.disk_read_bytes - earlier.disk_read_bytes,
+            disk_write_bytes: self.disk_write_bytes - earlier.disk_write_bytes,
+            network_bytes: self.network_bytes - earlier.network_bytes,
+            network_frames: self.network_frames - earlier.network_frames,
+            messages_sent: self.messages_sent - earlier.messages_sent,
+            messages_combined: self.messages_combined - earlier.messages_combined,
+            compute_calls: self.compute_calls - earlier.compute_calls,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            cache_evictions: self.cache_evictions - earlier.cache_evictions,
+            sort_runs_spilled: self.sort_runs_spilled - earlier.sort_runs_spilled,
+            live_vertices: self.live_vertices,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = ClusterCounters::new();
+        c.add_messages_sent(10);
+        c.add_messages_sent(5);
+        c.add_network_bytes(128);
+        c.set_live_vertices(42);
+        let s = c.snapshot();
+        assert_eq!(s.messages_sent, 15);
+        assert_eq!(s.network_bytes, 128);
+        assert_eq!(s.live_vertices, 42);
+        assert_eq!(s.cache_hits, 0);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let c = ClusterCounters::new();
+        let d = c.clone();
+        c.add_compute_calls(3);
+        d.add_compute_calls(4);
+        assert_eq!(c.compute_calls(), 7);
+    }
+
+    #[test]
+    fn delta_since_subtracts_monotone_counters() {
+        let c = ClusterCounters::new();
+        c.add_disk_read(100);
+        let before = c.snapshot();
+        c.add_disk_read(50);
+        c.add_cache_misses(2);
+        c.set_live_vertices(9);
+        let d = c.snapshot().delta_since(&before);
+        assert_eq!(d.disk_read_bytes, 50);
+        assert_eq!(d.cache_misses, 2);
+        assert_eq!(d.live_vertices, 9);
+        assert_eq!(d.disk_bytes(), 50);
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let c = ClusterCounters::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.add_messages_sent(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.messages_sent(), 40_000);
+    }
+}

@@ -1,0 +1,123 @@
+//! The global state relation `GS (halt, aggregate, superstep)`.
+//!
+//! `GS` holds a single tuple per job. Its primary copy lives in the DFS
+//! (§5.2), which is why it is *not* part of a checkpoint (§5.5): it is
+//! already durable. Workers read and cache it at the start of a superstep
+//! (the "runtime context", §5.7); the master-side aggregation task writes
+//! the revised tuple at the end (Figure 4).
+
+use pregelix_common::dfs::SimDfs;
+use pregelix_common::error::Result;
+use pregelix_common::writable::Writable;
+use pregelix_common::Superstep;
+
+/// The `GS` tuple, extended with the Pregel-specific statistics the
+/// Pregelix statistics collector tracks per superstep (vertex count, live
+/// vertex count, message count — §5.7).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GlobalState {
+    /// Superstep this state is the *input* of (i.e. produced at the end of
+    /// superstep `superstep - 1`).
+    pub superstep: Superstep,
+    /// True when every vertex halted and no messages are in flight: the
+    /// program terminates.
+    pub halt: bool,
+    /// Encoded user aggregate from the previous superstep.
+    pub aggregate: Vec<u8>,
+    /// Total vertices (maintained across mutations).
+    pub vertex_count: u64,
+    /// Vertices live (halt = false) at the last superstep boundary.
+    pub live_vertices: u64,
+    /// Combined messages delivered into this superstep.
+    pub messages: u64,
+}
+
+impl GlobalState {
+    /// The state a fresh job starts from: superstep 1, everything active.
+    pub fn initial(vertex_count: u64, aggregate: Vec<u8>) -> GlobalState {
+        GlobalState {
+            superstep: 1,
+            halt: false,
+            aggregate,
+            vertex_count,
+            live_vertices: vertex_count,
+            messages: 0,
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.superstep.write(&mut out);
+        self.halt.write(&mut out);
+        self.aggregate.write(&mut out);
+        self.vertex_count.write(&mut out);
+        self.live_vertices.write(&mut out);
+        self.messages.write(&mut out);
+        out
+    }
+
+    fn decode(mut bytes: &[u8]) -> Result<GlobalState> {
+        let buf = &mut bytes;
+        Ok(GlobalState {
+            superstep: Superstep::read(buf)?,
+            halt: bool::read(buf)?,
+            aggregate: Vec::<u8>::read(buf)?,
+            vertex_count: u64::read(buf)?,
+            live_vertices: u64::read(buf)?,
+            messages: u64::read(buf)?,
+        })
+    }
+
+    /// DFS path of a job's GS tuple.
+    pub fn dfs_path(job: &str) -> String {
+        format!("jobs/{job}/gs")
+    }
+
+    /// Write this state as the job's GS primary copy.
+    pub fn store(&self, dfs: &SimDfs, job: &str) -> Result<()> {
+        dfs.write(&Self::dfs_path(job), &self.encode())
+    }
+
+    /// Read a job's GS primary copy.
+    pub fn fetch(dfs: &SimDfs, job: &str) -> Result<GlobalState> {
+        GlobalState::decode(&dfs.read(&Self::dfs_path(job))?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_roundtrip() {
+        let gs = GlobalState {
+            superstep: 7,
+            halt: false,
+            aggregate: vec![1, 2, 3],
+            vertex_count: 1000,
+            live_vertices: 12,
+            messages: 345,
+        };
+        let back = GlobalState::decode(&gs.encode()).unwrap();
+        assert_eq!(back, gs);
+    }
+
+    #[test]
+    fn initial_state_is_all_active() {
+        let gs = GlobalState::initial(50, vec![]);
+        assert_eq!(gs.superstep, 1);
+        assert!(!gs.halt);
+        assert_eq!(gs.live_vertices, 50);
+        assert_eq!(gs.messages, 0);
+    }
+
+    #[test]
+    fn dfs_store_fetch() {
+        let dir = std::env::temp_dir().join(format!("gs-test-{}", std::process::id()));
+        let dfs = SimDfs::open(&dir).unwrap();
+        let gs = GlobalState::initial(3, b"agg".to_vec());
+        gs.store(&dfs, "job1").unwrap();
+        assert_eq!(GlobalState::fetch(&dfs, "job1").unwrap(), gs);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,267 @@
+//! The physical plan space and the job descriptor.
+//!
+//! From one logical plan (Figures 3–5) Pregelix derives sixteen tailored
+//! executions (§5.8): two message-delivery join strategies (Figure 8) ×
+//! four message-combination group-by strategies (Figure 7) × two vertex
+//! storage structures (§5.2). [`PregelixJob`] mirrors the Java job builder
+//! of Figure 9, where the `main` function sets the plan-generator *hints*
+//! (`setMessageVertexJoin`, `setMessageGroupBy`,
+//! `setMessageGroupByConnector`).
+
+pub use pregelix_dataflow::groupby::GroupByStrategy;
+
+/// How the `Msg ⋈ Vertex` join of Figure 8 is executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Index **full outer** join: merge the sorted `Msg` stream with a full
+    /// scan of the `Vertex` index. Best when most vertices are live every
+    /// superstep (PageRank). The Pregelix default.
+    FullOuter,
+    /// Index **left outer** join: merge `Msg` with the `Vid` live-vertex
+    /// index, then *probe* the `Vertex` index per key. Skips the full scan;
+    /// best when messages are sparse and few vertices are live (SSSP).
+    LeftOuter,
+    /// Let the runtime pick per superstep from the previous superstep's
+    /// statistics (live-vertex fraction): sparse supersteps probe
+    /// (left-outer), dense ones scan (full-outer). This is a first cut of
+    /// the cost-based optimizer the paper names as future work (§9),
+    /// driven by exactly the statistics its §7.5 experiments motivate.
+    Adaptive,
+}
+
+impl JoinStrategy {
+    /// Resolve the strategy for the next superstep. `live_fraction` is
+    /// live vertices over total vertices at the last superstep boundary
+    /// (superstep 1 is always a full scan: everything is live).
+    pub fn resolve(self, live_fraction: f64) -> JoinStrategy {
+        match self {
+            JoinStrategy::Adaptive => {
+                // Probe cost ≈ live · (tree descent); scan cost ≈ all ·
+                // (sequential decode). The descent is roughly 4–6× a
+                // sequential touch, so probing wins under ~1/5 liveness.
+                if live_fraction < 0.2 {
+                    JoinStrategy::LeftOuter
+                } else {
+                    JoinStrategy::FullOuter
+                }
+            }
+            fixed => fixed,
+        }
+    }
+}
+
+/// Which index structure stores `Vertex` partitions (§5.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VertexStorageKind {
+    /// B-tree: best for frequent in-place value updates (PageRank).
+    BTree,
+    /// LSM B-tree: best when vertex sizes change drastically or the
+    /// algorithm mutates the graph frequently (genome-assembly path
+    /// merging).
+    Lsm,
+}
+
+/// One point in the 2 × 4 × 2 physical plan space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanConfig {
+    /// Message-delivery join strategy.
+    pub join: JoinStrategy,
+    /// Message-combination group-by strategy.
+    pub groupby: GroupByStrategy,
+    /// Vertex storage structure.
+    pub storage: VertexStorageKind,
+}
+
+impl Default for PlanConfig {
+    /// The Pregelix default plan used throughout §7.2–§7.4: index
+    /// full-outer join, sort-based group-by, m-to-n hash partitioning
+    /// connector, B-tree vertex storage.
+    fn default() -> Self {
+        PlanConfig {
+            join: JoinStrategy::FullOuter,
+            groupby: GroupByStrategy::SortUnmerged,
+            storage: VertexStorageKind::BTree,
+        }
+    }
+}
+
+impl PlanConfig {
+    /// Enumerate all sixteen physical plans (§5.8).
+    pub fn all() -> Vec<PlanConfig> {
+        let mut out = Vec::with_capacity(16);
+        for join in [JoinStrategy::FullOuter, JoinStrategy::LeftOuter] {
+            for groupby in GroupByStrategy::all() {
+                for storage in [VertexStorageKind::BTree, VertexStorageKind::Lsm] {
+                    out.push(PlanConfig {
+                        join,
+                        groupby,
+                        storage,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Short label for reports, e.g. `"loj-hashsort-unmerged-btree"`.
+    pub fn label(&self) -> String {
+        let join = match self.join {
+            JoinStrategy::FullOuter => "foj",
+            JoinStrategy::LeftOuter => "loj",
+            JoinStrategy::Adaptive => "adaptive",
+        };
+        let gb = match self.groupby {
+            GroupByStrategy::SortUnmerged => "sort-unmerged",
+            GroupByStrategy::HashSortUnmerged => "hashsort-unmerged",
+            GroupByStrategy::SortMerged => "sort-merged",
+            GroupByStrategy::HashSortMerged => "hashsort-merged",
+        };
+        let st = match self.storage {
+            VertexStorageKind::BTree => "btree",
+            VertexStorageKind::Lsm => "lsm",
+        };
+        format!("{join}-{gb}-{st}")
+    }
+}
+
+/// A Pregelix job: what to run, on what data, with which physical plan.
+/// Mirrors `PregelixJob` from Figure 9.
+#[derive(Clone, Debug)]
+pub struct PregelixJob {
+    /// Job name (used in DFS paths for GS, checkpoints, output).
+    pub name: String,
+    /// DFS path of the input adjacency text (see [`crate::load`]).
+    pub input_path: String,
+    /// DFS directory for the output dump.
+    pub output_path: String,
+    /// Physical plan hints.
+    pub plan: PlanConfig,
+    /// Vertex partitions per worker machine (the scheduler assigns as many
+    /// partitions to a machine as cores, §5.7; default 1 at our scale).
+    pub partitions_per_worker: usize,
+    /// Checkpoint every N supersteps (`None` = no checkpoints), §5.5.
+    pub checkpoint_interval: Option<u64>,
+    /// Hard stop after this many supersteps (`None` = run to fixpoint).
+    /// PageRank-style algorithms typically bound iterations instead of
+    /// converging exactly.
+    pub max_supersteps: Option<u64>,
+}
+
+impl PregelixJob {
+    /// A job with default plan and settings.
+    pub fn new(name: impl Into<String>) -> PregelixJob {
+        let name = name.into();
+        PregelixJob {
+            input_path: format!("input/{name}"),
+            output_path: format!("output/{name}"),
+            name,
+            plan: PlanConfig::default(),
+            partitions_per_worker: 1,
+            checkpoint_interval: None,
+            max_supersteps: None,
+        }
+    }
+
+    /// Set the message–vertex join strategy (Figure 9's
+    /// `setMessageVertexJoin`).
+    pub fn with_join(mut self, join: JoinStrategy) -> Self {
+        self.plan.join = join;
+        self
+    }
+
+    /// Set the message group-by strategy and connector (Figure 9's
+    /// `setMessageGroupBy` + `setMessageGroupByConnector`).
+    pub fn with_groupby(mut self, groupby: GroupByStrategy) -> Self {
+        self.plan.groupby = groupby;
+        self
+    }
+
+    /// Set the vertex storage structure.
+    pub fn with_storage(mut self, storage: VertexStorageKind) -> Self {
+        self.plan.storage = storage;
+        self
+    }
+
+    /// Set the full plan at once.
+    pub fn with_plan(mut self, plan: PlanConfig) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Set input/output DFS paths.
+    pub fn with_io(mut self, input: impl Into<String>, output: impl Into<String>) -> Self {
+        self.input_path = input.into();
+        self.output_path = output.into();
+        self
+    }
+
+    /// Enable checkpointing every `n` supersteps.
+    pub fn with_checkpoint_interval(mut self, n: u64) -> Self {
+        self.checkpoint_interval = Some(n);
+        self
+    }
+
+    /// Bound the number of supersteps.
+    pub fn with_max_supersteps(mut self, n: u64) -> Self {
+        self.max_supersteps = Some(n);
+        self
+    }
+
+    /// Partitions per worker.
+    pub fn with_partitions_per_worker(mut self, n: usize) -> Self {
+        self.partitions_per_worker = n.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_distinct_plans() {
+        let all = PlanConfig::all();
+        assert_eq!(all.len(), 16);
+        let labels: std::collections::HashSet<String> =
+            all.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 16, "labels must be unique");
+    }
+
+    #[test]
+    fn default_plan_matches_paper() {
+        let p = PlanConfig::default();
+        assert_eq!(p.join, JoinStrategy::FullOuter);
+        assert_eq!(p.groupby, GroupByStrategy::SortUnmerged);
+        assert_eq!(p.storage, VertexStorageKind::BTree);
+        assert_eq!(p.label(), "foj-sort-unmerged-btree");
+    }
+
+    #[test]
+    fn adaptive_resolves_by_live_fraction() {
+        assert_eq!(JoinStrategy::Adaptive.resolve(1.0), JoinStrategy::FullOuter);
+        assert_eq!(JoinStrategy::Adaptive.resolve(0.5), JoinStrategy::FullOuter);
+        assert_eq!(JoinStrategy::Adaptive.resolve(0.05), JoinStrategy::LeftOuter);
+        // Fixed strategies never change.
+        assert_eq!(JoinStrategy::FullOuter.resolve(0.0), JoinStrategy::FullOuter);
+        assert_eq!(JoinStrategy::LeftOuter.resolve(1.0), JoinStrategy::LeftOuter);
+    }
+
+    #[test]
+    fn job_builder_sets_hints() {
+        let job = PregelixJob::new("sssp")
+            .with_join(JoinStrategy::LeftOuter)
+            .with_groupby(GroupByStrategy::HashSortUnmerged)
+            .with_storage(VertexStorageKind::Lsm)
+            .with_checkpoint_interval(5)
+            .with_max_supersteps(30)
+            .with_partitions_per_worker(2)
+            .with_io("in/graph", "out/sssp");
+        assert_eq!(job.plan.join, JoinStrategy::LeftOuter);
+        assert_eq!(job.plan.groupby, GroupByStrategy::HashSortUnmerged);
+        assert_eq!(job.plan.storage, VertexStorageKind::Lsm);
+        assert_eq!(job.checkpoint_interval, Some(5));
+        assert_eq!(job.max_supersteps, Some(30));
+        assert_eq!(job.partitions_per_worker, 2);
+        assert_eq!(job.input_path, "in/graph");
+    }
+}

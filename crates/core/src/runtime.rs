@@ -1,0 +1,393 @@
+//! The Pregelix driver: superstep loop, failure manager, job pipelining.
+//!
+//! [`run_job`] is the top-level entry point mirroring `Client.run` from
+//! Figure 9: load the graph, iterate supersteps until the global halt,
+//! dump the result. [`LoadedGraph`] keeps the partitioned `Vertex` relation
+//! resident between jobs, which is what makes job pipelining (§5.6)
+//! possible: compatible contiguous jobs run back-to-back "without HDFS
+//! writes/reads nor index bulk-loads".
+//!
+//! The failure manager (§5.7) lives in [`LoadedGraph::run`]: recoverable
+//! infrastructure failures (worker powered off, I/O errors) trigger
+//! recovery from the latest checkpoint onto the remaining alive workers;
+//! application exceptions are forwarded to the caller.
+
+use crate::api::VertexProgram;
+use crate::checkpoint;
+use crate::gs::GlobalState;
+use crate::load;
+use crate::plan::{JoinStrategy, PregelixJob};
+use crate::superstep::{run_superstep, PartitionState};
+use parking_lot::Mutex;
+use pregelix_common::error::{PregelixError, Result};
+use pregelix_common::frame::tuple_vid;
+use pregelix_common::stats::StatsSnapshot;
+use pregelix_common::{Superstep, Vid};
+use pregelix_dataflow::cluster::{Cluster, Task};
+use pregelix_dataflow::scheduler::sticky_assignment;
+use pregelix_storage::btree::BTree;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What a finished job reports (feeds the experiment harnesses).
+#[derive(Clone, Debug)]
+pub struct JobSummary {
+    /// Job name.
+    pub name: String,
+    /// Supersteps actually executed.
+    pub supersteps: u64,
+    /// Wall-clock time per superstep.
+    pub superstep_times: Vec<Duration>,
+    /// Total time of the superstep loop (excludes load/dump and
+    /// checkpoint writes): wall-clock in parallel mode, the simulated
+    /// cluster makespan in sequential-timed mode.
+    pub elapsed: Duration,
+    /// Final global state.
+    pub final_gs: GlobalState,
+    /// Cluster counter delta over the run.
+    pub stats: StatsSnapshot,
+    /// Per-superstep counter deltas (the statistics collector's
+    /// per-superstep view, §5.7): one entry per executed superstep, same
+    /// order as `superstep_times`.
+    pub superstep_stats: Vec<StatsSnapshot>,
+    /// Number of checkpoint recoveries performed.
+    pub recoveries: u32,
+}
+
+impl JobSummary {
+    /// Average per-superstep time (Figure 11's metric).
+    pub fn avg_superstep(&self) -> Duration {
+        if self.superstep_times.is_empty() {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.superstep_times.len() as u32
+        }
+    }
+}
+
+/// A graph loaded into the cluster: the partitioned `Vertex` relation plus
+/// per-partition `Msg`/`Vid` state, resident across supersteps and across
+/// pipelined jobs.
+pub struct LoadedGraph {
+    partitions: Vec<Arc<Mutex<PartitionState>>>,
+    sticky: Vec<usize>,
+    vertex_count: u64,
+}
+
+impl LoadedGraph {
+    /// Load a job's input graph from the DFS.
+    pub fn load<P: VertexProgram>(
+        cluster: &Cluster,
+        program: &Arc<P>,
+        job: &PregelixJob,
+    ) -> Result<LoadedGraph> {
+        let alive = cluster.alive_workers();
+        let p_count = alive.len() * job.partitions_per_worker;
+        let sticky = sticky_assignment(p_count, &alive);
+        let (partitions, vertex_count) =
+            load::load_partitions(cluster, program, job, &sticky)?;
+        Ok(LoadedGraph {
+            partitions,
+            sticky,
+            vertex_count,
+        })
+    }
+
+    /// Load from pre-parsed `(vid, edges)` records (bench/test path).
+    pub fn load_from_records<P: VertexProgram>(
+        cluster: &Cluster,
+        program: &Arc<P>,
+        job: &PregelixJob,
+        records: Vec<(Vid, Vec<(Vid, f64)>)>,
+    ) -> Result<LoadedGraph> {
+        let alive = cluster.alive_workers();
+        let p_count = alive.len() * job.partitions_per_worker;
+        let sticky = sticky_assignment(p_count, &alive);
+        let (partitions, vertex_count) =
+            load::load_partitions_from_records(cluster, program, job, &sticky, records)?;
+        Ok(LoadedGraph {
+            partitions,
+            sticky,
+            vertex_count,
+        })
+    }
+
+    /// Number of vertex partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total vertices currently in the graph.
+    pub fn vertex_count(&self) -> u64 {
+        self.vertex_count
+    }
+
+    /// Run one Pregel job over the resident graph to completion.
+    ///
+    /// Every vertex starts active (Pregel job semantics), regardless of
+    /// halt bits carried over from a previous pipelined job — superstep 1
+    /// activates all vertices in both join plans.
+    pub fn run<P: VertexProgram>(
+        &mut self,
+        cluster: &Cluster,
+        program: &Arc<P>,
+        job: &PregelixJob,
+    ) -> Result<JobSummary> {
+        // LOJ plans need the Vid live-vertex index; a fresh job starts with
+        // every vertex live. FOJ plans drop any stale index.
+        match job.plan.join {
+            JoinStrategy::LeftOuter | JoinStrategy::Adaptive => {
+                self.build_full_vid_indexes(cluster)?
+            }
+            JoinStrategy::FullOuter => {
+                for p in &self.partitions {
+                    if let Some(old) = p.lock().vid_index.take() {
+                        old.destroy()?;
+                    }
+                }
+            }
+        }
+        // Drop stale message runs from a previous job.
+        for p in &self.partitions {
+            if let Some(run) = p.lock().msg_run.take() {
+                run.delete()?;
+            }
+        }
+
+        let mut gs = GlobalState::initial(self.vertex_count, Vec::new());
+        gs.store(cluster.dfs(), &job.name)?;
+        let stats_before = cluster.counters().snapshot();
+        let started = Instant::now();
+        let mut superstep_times = Vec::new();
+        let mut superstep_stats = Vec::new();
+        let mut recoveries = 0u32;
+
+        // With checkpointing enabled, snapshot the *initial* state too, so
+        // a failure before the first periodic checkpoint can restart from
+        // superstep 1 rather than aborting the job.
+        let mut initial_ckpt_done = false;
+        loop {
+            let before = cluster.counters().snapshot();
+            let attempt = (|| -> Result<(GlobalState, Duration)> {
+                if job.checkpoint_interval.is_some() && !initial_ckpt_done {
+                    checkpoint::write_checkpoint(
+                        cluster,
+                        job,
+                        &self.partitions,
+                        &self.sticky,
+                        &gs,
+                    )?;
+                }
+                let (new_gs, duration) = run_superstep(
+                    cluster,
+                    program,
+                    &job.name,
+                    job.plan,
+                    &self.partitions,
+                    &self.sticky,
+                    &gs,
+                )?;
+                let finished_ss = gs.superstep;
+                let checkpoint_due = job
+                    .checkpoint_interval
+                    .map(|n| n > 0 && finished_ss % n == 0)
+                    .unwrap_or(false);
+                if checkpoint_due && !new_gs.halt {
+                    checkpoint::write_checkpoint(
+                        cluster,
+                        job,
+                        &self.partitions,
+                        &self.sticky,
+                        &new_gs,
+                    )?;
+                }
+                Ok((new_gs, duration))
+            })();
+            match attempt {
+                Ok((new_gs, duration)) => {
+                    initial_ckpt_done = true;
+                    superstep_times.push(duration);
+                    superstep_stats.push(cluster.counters().snapshot().delta_since(&before));
+                    let finished_ss = gs.superstep;
+                    gs = new_gs;
+                    self.vertex_count = gs.vertex_count;
+                    if gs.halt {
+                        break;
+                    }
+                    if let Some(max) = job.max_supersteps {
+                        if finished_ss >= max {
+                            break;
+                        }
+                    }
+                }
+                Err(e) if e.is_recoverable() && recoveries < 32 => {
+                    // Failure manager (§5.7): blacklist is implicit (failed
+                    // workers stay failed); recover from the latest
+                    // checkpoint onto the surviving machines. A failure
+                    // *during* recovery loops back here and retries against
+                    // the shrunken worker set.
+                    let Some(ckpt_ss) =
+                        checkpoint::latest_checkpoint(cluster.dfs(), &job.name)?
+                    else {
+                        return Err(e);
+                    };
+                    match checkpoint::recover(cluster, job, ckpt_ss) {
+                        Ok((partitions, sticky, ckpt_gs)) => {
+                            self.partitions = partitions;
+                            self.sticky = sticky;
+                            self.vertex_count = ckpt_gs.vertex_count;
+                            gs = ckpt_gs;
+                        }
+                        Err(re) if re.is_recoverable() => {}
+                        Err(re) => return Err(re),
+                    }
+                    recoveries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        let _wall = started.elapsed();
+        Ok(JobSummary {
+            name: job.name.clone(),
+            supersteps: gs.superstep.saturating_sub(1),
+            // Sum of superstep durations: equals wall time in parallel
+            // mode (modulo checkpoint writes), and the simulated parallel
+            // time in sequential-timed mode.
+            elapsed: superstep_times.iter().sum(),
+            superstep_times,
+            final_gs: gs,
+            stats: cluster.counters().snapshot().delta_since(&stats_before),
+            superstep_stats,
+            recoveries,
+        })
+    }
+
+    /// Dump the final `Vertex` relation to the job's DFS output path.
+    pub fn dump<P: VertexProgram>(
+        &self,
+        cluster: &Cluster,
+        program: &Arc<P>,
+        job: &PregelixJob,
+    ) -> Result<()> {
+        load::dump_partitions(cluster, program, job, &self.partitions, &self.sticky)
+    }
+
+    /// Build `Vid` indexes containing *every* vertex (job start: all
+    /// active), replacing any stale ones.
+    fn build_full_vid_indexes(&mut self, cluster: &Cluster) -> Result<()> {
+        let mut tasks = Vec::with_capacity(self.partitions.len());
+        for (p, state) in self.partitions.iter().enumerate() {
+            let state = Arc::clone(state);
+            tasks.push(Task::new(format!("vid-init[{p}]"), self.sticky[p], move |w| {
+                let mut st = state.lock();
+                let mut vids = Vec::new();
+                {
+                    let mut scan = st.store.scan()?;
+                    while let Some((k, _)) = scan.next_entry()? {
+                        vids.push(k);
+                    }
+                }
+                let mut tree = BTree::create(w.cache().clone())?;
+                tree.bulk_load(vids.into_iter().map(|k| (k, Vec::new())), 1.0)?;
+                if let Some(old) = st.vid_index.replace(tree) {
+                    old.destroy()?;
+                }
+                Ok(())
+            }));
+        }
+        cluster.execute(tasks)?;
+        Ok(())
+    }
+
+    /// Read back all vertices as decoded data, sorted by vid (test/bench
+    /// convenience; materialises the whole graph).
+    pub fn collect_vertices<P: VertexProgram>(
+        &self,
+    ) -> Result<Vec<crate::vertex::VertexData<P>>> {
+        let mut out = Vec::new();
+        for state in &self.partitions {
+            let st = state.lock();
+            let mut scan = st.store.scan()?;
+            while let Some((k, v)) = scan.next_entry()? {
+                let vid = tuple_vid(&k)?;
+                out.push(crate::vertex::VertexData::<P>::decode(vid, &v)?);
+            }
+        }
+        out.sort_by_key(|v| v.vid);
+        Ok(out)
+    }
+
+    /// Tear down the resident graph, releasing worker-local files.
+    pub fn destroy(self) -> Result<()> {
+        for state in self.partitions {
+            let mut st = state.lock();
+            if let Some(run) = st.msg_run.take() {
+                run.delete()?;
+            }
+            // Stores and Vid trees release their files with the worker
+            // temp dirs; explicit destruction requires consuming the
+            // store, which Arc<Mutex<..>> interment makes moot here. The
+            // cluster's temp root cleans up on drop.
+        }
+        Ok(())
+    }
+}
+
+/// Run a complete job: load → superstep loop → dump. The Figure 9
+/// `Client.run` path.
+pub fn run_job<P: VertexProgram>(
+    cluster: &Cluster,
+    program: &Arc<P>,
+    job: &PregelixJob,
+) -> Result<JobSummary> {
+    let mut graph = LoadedGraph::load(cluster, program, job)?;
+    let summary = graph.run(cluster, program, job)?;
+    graph.dump(cluster, program, job)?;
+    checkpoint::clear_checkpoints(cluster.dfs(), &job.name)?;
+    Ok(summary)
+}
+
+/// Job pipelining (§5.6): run a sequence of compatible jobs (same vertex
+/// type bits, producer-consumer data relationship) over one resident
+/// graph, loading once and dumping once. Returns one summary per stage.
+///
+/// "A user can choose to enable this option to get improved performance
+/// with reduced fault-tolerance" — checkpoints are per-stage; a failure in
+/// stage k restarts that stage's superstep loop only.
+pub fn run_pipeline<P: VertexProgram>(
+    cluster: &Cluster,
+    stages: &[Arc<P>],
+    job: &PregelixJob,
+) -> Result<Vec<JobSummary>> {
+    let first = stages
+        .first()
+        .ok_or_else(|| PregelixError::plan("empty pipeline"))?;
+    let mut graph = LoadedGraph::load(cluster, first, job)?;
+    let mut summaries = Vec::with_capacity(stages.len());
+    for (i, program) in stages.iter().enumerate() {
+        let stage_job = PregelixJob {
+            name: format!("{}-stage{i}", job.name),
+            ..job.clone()
+        };
+        summaries.push(graph.run(cluster, program, &stage_job)?);
+    }
+    graph.dump(cluster, stages.last().expect("non-empty"), job)?;
+    Ok(summaries)
+}
+
+/// Convenience used by tests and benches: run a job over in-memory records
+/// without writing input text to the DFS.
+pub fn run_job_from_records<P: VertexProgram>(
+    cluster: &Cluster,
+    program: &Arc<P>,
+    job: &PregelixJob,
+    records: Vec<(Vid, Vec<(Vid, f64)>)>,
+) -> Result<(JobSummary, LoadedGraph)> {
+    let mut graph = LoadedGraph::load_from_records(cluster, program, job, records)?;
+    let summary = graph.run(cluster, program, job)?;
+    Ok((summary, graph))
+}
+
+/// The per-superstep boundary type re-exported for harnesses.
+pub type SuperstepCount = Superstep;

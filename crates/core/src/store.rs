@@ -1,0 +1,191 @@
+//! The `Vertex` partition access method: B-tree or LSM B-tree behind one
+//! interface (§5.2). The choice is workload-dependent and user-selectable
+//! via [`crate::plan::VertexStorageKind`].
+
+use crate::plan::VertexStorageKind;
+use pregelix_common::error::Result;
+use pregelix_dataflow::cluster::WorkerHandle;
+use pregelix_storage::btree::{BTree, BTreeScanner};
+use pregelix_storage::lsm::{LsmBTree, LsmScanner};
+
+/// One partition of the `Vertex` relation.
+pub enum VertexStore {
+    /// B-tree backed (in-place update friendly).
+    B(BTree),
+    /// LSM B-tree backed (mutation friendly).
+    L(LsmBTree),
+}
+
+impl VertexStore {
+    /// Create an empty store of the requested kind on a worker.
+    pub fn create(kind: VertexStorageKind, worker: &WorkerHandle) -> Result<VertexStore> {
+        match kind {
+            VertexStorageKind::BTree => Ok(VertexStore::B(BTree::create(worker.cache().clone())?)),
+            VertexStorageKind::Lsm => Ok(VertexStore::L(LsmBTree::create(
+                worker.cache().clone(),
+                worker.groupby_budget().max(16 * 1024),
+                4,
+            ))),
+        }
+    }
+
+    /// Bulk load key-sorted `(key, value)` entries into an empty store.
+    /// Leaves B-tree leaves 10% slack for in-place growth.
+    pub fn bulk_load<I>(&mut self, entries: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    {
+        match self {
+            VertexStore::B(t) => t.bulk_load(entries, 0.9),
+            VertexStore::L(t) => t.bulk_load(entries),
+        }
+    }
+
+    /// Point lookup.
+    pub fn search(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        match self {
+            VertexStore::B(t) => t.search(key),
+            VertexStore::L(t) => t.search(key),
+        }
+    }
+
+    /// Insert-or-replace.
+    pub fn upsert(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        match self {
+            VertexStore::B(t) => t.upsert(key, value),
+            VertexStore::L(t) => t.upsert(key, value),
+        }
+    }
+
+    /// Delete; absent keys are a no-op.
+    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        match self {
+            VertexStore::B(t) => {
+                t.delete(key)?;
+                Ok(())
+            }
+            VertexStore::L(t) => t.delete(key),
+        }
+    }
+
+    /// Whether a key exists.
+    pub fn contains(&self, key: &[u8]) -> Result<bool> {
+        match self {
+            VertexStore::B(t) => t.contains(key),
+            VertexStore::L(t) => t.contains(key),
+        }
+    }
+
+    /// Live entry count (full scan).
+    pub fn count(&self) -> Result<u64> {
+        match self {
+            VertexStore::B(t) => t.count(),
+            VertexStore::L(t) => t.count(),
+        }
+    }
+
+    /// Ordered scan over live entries.
+    pub fn scan(&self) -> Result<VertexScan<'_>> {
+        match self {
+            VertexStore::B(t) => Ok(VertexScan::B(t.scan()?)),
+            VertexStore::L(t) => Ok(VertexScan::L(t.scan()?)),
+        }
+    }
+
+    /// Ordered scan over live entries with key `>= from`. This is what lets
+    /// the fused scan-compute-update operator process the partition in
+    /// bounded-memory chunks: read a chunk, release the scanner, apply the
+    /// updates, re-seek past the last processed key.
+    pub fn scan_from(&self, from: &[u8]) -> Result<VertexScan<'_>> {
+        match self {
+            VertexStore::B(t) => Ok(VertexScan::B(t.scan_from(from)?)),
+            VertexStore::L(t) => Ok(VertexScan::L(t.scan_from(from)?)),
+        }
+    }
+
+    /// Persist dirty state (checkpoint support; for LSM this flushes the
+    /// in-memory component first).
+    pub fn flush(&mut self) -> Result<()> {
+        match self {
+            VertexStore::B(t) => t.flush(),
+            VertexStore::L(t) => t.flush_mem(),
+        }
+    }
+}
+
+/// Ordered scanner over a [`VertexStore`].
+pub enum VertexScan<'a> {
+    /// B-tree scanner.
+    B(BTreeScanner<'a>),
+    /// LSM scanner.
+    L(LsmScanner<'a>),
+}
+
+impl VertexScan<'_> {
+    /// Next `(key, value)` in key order.
+    pub fn next_entry(&mut self) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        match self {
+            VertexScan::B(s) => s.next_entry(),
+            VertexScan::L(s) => s.next_entry(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pregelix_dataflow::cluster::{Cluster, ClusterConfig};
+
+    fn worker() -> (Cluster, WorkerHandle) {
+        let c = Cluster::new(ClusterConfig::new(1, 1 << 20)).unwrap();
+        let w = c.worker(0);
+        (c, w)
+    }
+
+    fn k(v: u64) -> Vec<u8> {
+        v.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn both_kinds_behave_identically() {
+        let (_c, w) = worker();
+        for kind in [VertexStorageKind::BTree, VertexStorageKind::Lsm] {
+            let mut s = VertexStore::create(kind, &w).unwrap();
+            s.bulk_load((0..100u64).map(|v| (k(v), v.to_le_bytes().to_vec())))
+                .unwrap();
+            assert_eq!(s.count().unwrap(), 100);
+            s.upsert(&k(5), b"changed").unwrap();
+            s.upsert(&k(200), b"new").unwrap();
+            s.delete(&k(7)).unwrap();
+            s.delete(&k(999)).unwrap(); // absent: no-op
+            assert_eq!(s.search(&k(5)).unwrap().unwrap(), b"changed");
+            assert_eq!(s.search(&k(200)).unwrap().unwrap(), b"new");
+            assert_eq!(s.search(&k(7)).unwrap(), None);
+            assert!(s.contains(&k(0)).unwrap());
+            assert_eq!(s.count().unwrap(), 100, "{kind:?}"); // -1 +1
+            // Ordered scan.
+            let mut scan = s.scan().unwrap();
+            let mut prev = None;
+            let mut n = 0;
+            while let Some((key, _)) = scan.next_entry().unwrap() {
+                if let Some(p) = &prev {
+                    assert!(*p < key);
+                }
+                prev = Some(key);
+                n += 1;
+            }
+            assert_eq!(n, 100);
+        }
+    }
+
+    #[test]
+    fn flush_is_safe_on_both() {
+        let (_c, w) = worker();
+        for kind in [VertexStorageKind::BTree, VertexStorageKind::Lsm] {
+            let mut s = VertexStore::create(kind, &w).unwrap();
+            s.upsert(&k(1), b"v").unwrap();
+            s.flush().unwrap();
+            assert_eq!(s.search(&k(1)).unwrap().unwrap(), b"v");
+        }
+    }
+}

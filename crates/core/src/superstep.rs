@@ -1,0 +1,951 @@
+//! One superstep = one dataflow job (Figures 3–5).
+//!
+//! Per vertex partition `p` (pinned by sticky constraints to the worker
+//! holding the partition's indexes, §5.3.4) the job runs three tasks:
+//!
+//! * **`compute[p]`** — the fused join/compute/update pipeline of §5.3.2:
+//!   reads the sorted `Msg_i` run, joins it with the `Vertex` index (full
+//!   outer merge or `Vid`-merge + left-outer probe, Figure 8), calls the
+//!   `compute` UDF on each active row, updates `Vertex` in place (D2),
+//!   feeds outgoing messages through the sender-side group-by into the
+//!   message connector (D3), routes mutations (D6), and pre-aggregates the
+//!   global-state contributions (D4, D5 — stage one of §5.3.3).
+//! * **`msgwrite[p]`** — the receiver side of the message-combination
+//!   strategy (Figure 7): re-group (unmerged connector) or preclustered
+//!   pass (merging connector), then materialize the combined messages as
+//!   the vid-sorted `Msg_{i+1}` partition file (§5.2).
+//! * **`mutate[p]`** — receiver-side group-by of mutation tuples by vid +
+//!   the `resolve` UDF, applied to the `Vertex` index (§5.3.3). Runs after
+//!   `compute[p]` releases the partition (mutations take effect in
+//!   superstep S+1, §2.1).
+//!
+//! One extra **`gs`** task is stage two of the global aggregation
+//! (Figure 4): it folds the per-partition contributions into the new `GS`
+//! tuple, decides the global halt, and writes `GS` to the DFS.
+
+use crate::api::{ComputeContext, Mutation, Resolution, VertexProgram};
+use crate::gs::GlobalState;
+use crate::plan::{JoinStrategy, PlanConfig};
+use crate::store::VertexStore;
+use crate::vertex::{decode_msg_list, encode_msg_list, VertexData};
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use pregelix_common::error::{PregelixError, Result};
+use pregelix_common::frame::{keyed_tuple, tuple_payload, tuple_vid, vid_to_key, Frame};
+use pregelix_common::writable::Writable;
+use pregelix_common::Vid;
+use pregelix_dataflow::cluster::{Cluster, Task, WorkerHandle};
+use pregelix_dataflow::connector::{
+    aggregator_channels, merging_channels, partition_channels_cap, AggregatorReceiver,
+    MaterializedPartitioner, MergingReceiver, PartitionReceiver, PartitioningSender,
+};
+use pregelix_dataflow::groupby::{combine_fn, LocalGroupBy, TupleCombiner};
+use pregelix_dataflow::scheduler::{self, LocationConstraint, OperatorSpec};
+use pregelix_storage::btree::BTree;
+use pregelix_storage::runfile::{RunHandle, RunWriter};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Chunk limits for the scan-compute-update pipeline: the operator holds at
+/// most this much decoded vertex data before applying updates and
+/// re-seeking, keeping the fused operator's footprint bounded regardless of
+/// partition size.
+const CHUNK_MAX_BYTES: usize = 256 * 1024;
+const CHUNK_MAX_ROWS: usize = 1024;
+
+/// Runtime state of one vertex partition, owned across supersteps.
+pub struct PartitionState {
+    /// The `Vertex` partition index.
+    pub store: VertexStore,
+    /// The `Vid` live-vertex index (left-outer-join plans only).
+    pub vid_index: Option<BTree>,
+    /// The `Msg_i` sorted partition file (`None` = no messages).
+    pub msg_run: Option<RunHandle>,
+}
+
+/// Build the message-list tuple combiner for a program: with a user
+/// combiner, lists stay at one element; without one, lists concatenate (the
+/// default combine of §3, footnote 4).
+pub(crate) fn msg_tuple_combiner<P: VertexProgram>(program: &Arc<P>) -> TupleCombiner {
+    let user = program.combiner();
+    Arc::new(move |a: &[u8], b: &[u8]| -> Vec<u8> {
+        let vid = tuple_vid(a).expect("keyed msg tuple");
+        let mut la: Vec<P::Message> =
+            decode_msg_list(tuple_payload(a).expect("msg payload")).expect("msg list");
+        let lb: Vec<P::Message> =
+            decode_msg_list(tuple_payload(b).expect("msg payload")).expect("msg list");
+        match &user {
+            Some(c) => {
+                let mut iter = la.into_iter().chain(lb);
+                let first = iter.next().expect("combining empty lists");
+                let folded = iter.fold(first, |acc, m| c(&acc, &m));
+                keyed_tuple(vid, &encode_msg_list(&[folded]))
+            }
+            None => {
+                la.extend(lb);
+                keyed_tuple(vid, &encode_msg_list(&la))
+            }
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Tuple codecs for mutation and stats flows
+// ---------------------------------------------------------------------
+
+fn encode_mutation<P: VertexProgram>(m: &Mutation<P>) -> Vec<u8> {
+    match m {
+        Mutation::Insert(v) => {
+            let mut out = vec![0u8];
+            out.extend_from_slice(&v.encode_value());
+            out
+        }
+        Mutation::Delete => vec![1u8],
+    }
+}
+
+fn decode_mutation<P: VertexProgram>(vid: Vid, payload: &[u8]) -> Result<Mutation<P>> {
+    match payload.first() {
+        Some(0) => Ok(Mutation::Insert(VertexData::decode(vid, &payload[1..])?)),
+        Some(1) => Ok(Mutation::Delete),
+        _ => Err(PregelixError::corrupt("bad mutation tag")),
+    }
+}
+
+const STATS_COMPUTE: u8 = 0;
+const STATS_MSG: u8 = 1;
+const STATS_MUTATE: u8 = 2;
+
+#[derive(Default)]
+struct ComputeStats {
+    live: u64,
+    created: u64,
+    msgs_sent: u64,
+    compute_calls: u64,
+    agg: Vec<u8>, // encoded partition partial; empty = none
+}
+
+impl ComputeStats {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = vec![STATS_COMPUTE];
+        self.live.write(&mut out);
+        self.created.write(&mut out);
+        self.msgs_sent.write(&mut out);
+        self.compute_calls.write(&mut out);
+        self.agg.write(&mut out);
+        out
+    }
+}
+
+fn encode_msg_stats(combined: u64) -> Vec<u8> {
+    let mut out = vec![STATS_MSG];
+    combined.write(&mut out);
+    out
+}
+
+fn encode_mut_stats(inserted: u64, deleted: u64, live_inserted: u64) -> Vec<u8> {
+    let mut out = vec![STATS_MUTATE];
+    inserted.write(&mut out);
+    deleted.write(&mut out);
+    live_inserted.write(&mut out);
+    out
+}
+
+/// Outcome channels shared between the job's tasks and the driver.
+struct SharedSlots {
+    /// `Msg_{i+1}` run per partition, filled by `msgwrite` tasks.
+    next_msgs: Vec<Arc<Mutex<Option<RunHandle>>>>,
+    /// The revised `GS`, filled by the `gs` task.
+    outcome: Arc<Mutex<Option<GlobalState>>>,
+}
+
+/// The message connector's sender half (strategy-dependent).
+enum MsgSender {
+    Pipelined(PartitioningSender),
+    Merged(MaterializedPartitioner),
+}
+
+impl MsgSender {
+    fn send(&mut self, tuple: &[u8]) -> Result<()> {
+        match self {
+            MsgSender::Pipelined(s) => s.send(tuple),
+            MsgSender::Merged(s) => s.send(tuple),
+        }
+    }
+
+    fn finish(self) -> Result<()> {
+        match self {
+            MsgSender::Pipelined(s) => s.finish(),
+            MsgSender::Merged(s) => s.finish(),
+        }
+    }
+}
+
+enum MsgReceiverEnds {
+    Pipelined(Vec<Receiver<Frame>>),
+    Merged(Vec<Receiver<RunHandle>>),
+}
+
+enum MsgSenderEnds {
+    Pipelined(Vec<Sender<Frame>>),
+    Merged(Vec<Sender<RunHandle>>),
+}
+
+/// Execute superstep `gs.superstep`, returning the revised global state
+/// and the superstep's duration (wall-clock, or the simulated makespan in
+/// sequential-timed mode).
+pub fn run_superstep<P: VertexProgram>(
+    cluster: &Cluster,
+    program: &Arc<P>,
+    job_name: &str,
+    plan: PlanConfig,
+    partitions: &[Arc<Mutex<PartitionState>>],
+    sticky: &[usize],
+    gs: &GlobalState,
+) -> Result<(GlobalState, std::time::Duration)> {
+    let p_count = partitions.len();
+    debug_assert_eq!(sticky.len(), p_count);
+    let alive = cluster.alive_workers();
+    if alive.is_empty() {
+        return Err(PregelixError::plan("no alive workers"));
+    }
+    // §5.3.4: declare the per-operator location constraints and let the
+    // constraint solver place every task. The join/compute operator is
+    // pinned *absolutely* to the workers holding the Vertex partitions;
+    // the message group-by and mutation operators are co-located with it
+    // (location-choice constraints); the stage-two GS aggregation is a
+    // count constraint. A sticky worker that has failed makes the absolute
+    // constraint unsatisfiable — surfaced as a recoverable WorkerFailure
+    // so the failure manager reschedules from a checkpoint (§5.5).
+    if let Some(dead) = sticky.iter().find(|w| !alive.contains(w)) {
+        return Err(PregelixError::WorkerFailure(*dead));
+    }
+    let specs = [
+        OperatorSpec::new(
+            "join-compute",
+            p_count,
+            LocationConstraint::Absolute(sticky.to_vec()),
+        ),
+        OperatorSpec::new("msg-groupby", p_count, LocationConstraint::SameAs(0)),
+        OperatorSpec::new("mutate", p_count, LocationConstraint::SameAs(0)),
+        OperatorSpec::new("gs", 1, LocationConstraint::Count(1)),
+    ];
+    let schedule = scheduler::solve(&specs, &alive)?;
+    let gs_worker = schedule.worker(3, 0);
+
+    // Adaptive plans pick the join per superstep from the previous
+    // superstep's live-vertex fraction (the paper's future-work optimizer,
+    // §9). The Vid index is maintained every superstep in that case so a
+    // sparse superstep can switch to probing at zero notice.
+    let live_fraction = if gs.vertex_count == 0 {
+        1.0
+    } else {
+        gs.live_vertices as f64 / gs.vertex_count as f64
+    };
+    let resolved_join = plan.join.resolve(live_fraction);
+    let track_live = plan.join == JoinStrategy::Adaptive
+        || resolved_join == JoinStrategy::LeftOuter;
+    let plan = PlanConfig {
+        join: resolved_join,
+        ..plan
+    };
+
+    // Connector channel matrices (unbounded under sequential-timed
+    // simulation, bounded with backpressure otherwise).
+    let cap = cluster.channel_capacity();
+    let (mut msg_tx, mut msg_rx): (Vec<MsgSenderEnds>, Vec<MsgReceiverEnds>) =
+        if plan.groupby.merged() {
+            let (tx, rx) = merging_channels(p_count, p_count);
+            (
+                tx.into_iter().map(MsgSenderEnds::Merged).collect(),
+                rx.into_iter().map(MsgReceiverEnds::Merged).collect(),
+            )
+        } else {
+            let (tx, rx) = partition_channels_cap(p_count, p_count, cap);
+            (
+                tx.into_iter().map(MsgSenderEnds::Pipelined).collect(),
+                rx.into_iter().map(MsgReceiverEnds::Pipelined).collect(),
+            )
+        };
+    let (mut mut_tx, mut mut_rx) = partition_channels_cap(p_count, p_count, cap);
+    let (gs_tx, gs_rx) = aggregator_channels(3 * p_count);
+
+    let shared = SharedSlots {
+        next_msgs: (0..p_count).map(|_| Arc::new(Mutex::new(None))).collect(),
+        outcome: Arc::new(Mutex::new(None)),
+    };
+
+    let combiner = msg_tuple_combiner(program);
+    // Tasks are emitted phase-major — every compute before any msgwrite
+    // before any mutate before gs. In parallel mode the order is
+    // irrelevant; in sequential-timed mode it is the topological order
+    // that lets tasks run to completion one at a time.
+    let mut tasks: Vec<Task> = Vec::with_capacity(3 * p_count + 1);
+
+    for p in 0..p_count {
+        let state = Arc::clone(&partitions[p]);
+        let program_c = Arc::clone(program);
+        let gs_c = gs.clone();
+        let msg_ends = std::mem::replace(&mut msg_tx[p], MsgSenderEnds::Pipelined(Vec::new()));
+        let mut_ends = std::mem::take(&mut mut_tx[p]);
+        let gs_end = gs_tx[p].clone();
+        let sticky_c = sticky.to_vec();
+        let combiner_c = Arc::clone(&combiner);
+        tasks.push(Task::new(format!("compute[{p}]"), schedule.worker(0, p), move |w| {
+            compute_task(
+                w, state, program_c, gs_c, plan, track_live, msg_ends, mut_ends, gs_end,
+                sticky_c, combiner_c, gs_worker,
+            )
+        }));
+    }
+    for p in 0..p_count {
+        let recv_ends = std::mem::replace(
+            &mut msg_rx[p],
+            MsgReceiverEnds::Pipelined(Vec::new()),
+        );
+        let slot = Arc::clone(&shared.next_msgs[p]);
+        let gs_end = gs_tx[p_count + p].clone();
+        let combiner_c = Arc::clone(&combiner);
+        let superstep = gs.superstep;
+        let gb_kind = plan.groupby.kind();
+        let job_tag = job_name.to_string();
+        tasks.push(Task::new(format!("msgwrite[{p}]"), schedule.worker(1, p), move |w| {
+            msgwrite_task(
+                w, p, superstep, &job_tag, gb_kind, recv_ends, slot, gs_end, combiner_c,
+                gs_worker,
+            )
+        }));
+    }
+    for p in 0..p_count {
+        let state = Arc::clone(&partitions[p]);
+        let program_c = Arc::clone(program);
+        let mut_ins = std::mem::take(&mut mut_rx[p]);
+        let gs_end = gs_tx[2 * p_count + p].clone();
+        tasks.push(Task::new(format!("mutate[{p}]"), schedule.worker(2, p), move |w| {
+            mutate_task(w, state, program_c, mut_ins, gs_end, gs_worker)
+        }));
+    }
+    drop(gs_tx);
+
+    // ---- gs (stage-two aggregation + GS revision) ----
+    let program_c = Arc::clone(program);
+    let gs_c = gs.clone();
+    let outcome = Arc::clone(&shared.outcome);
+    let dfs = cluster.dfs().clone();
+    let job_name_c = job_name.to_string();
+    let expected = 3 * p_count as u64;
+    tasks.push(Task::new("gs", gs_worker, move |w| {
+        gs_task(
+            w, program_c, gs_c, gs_rx, expected, outcome, dfs, job_name_c,
+        )
+    }));
+
+    let duration = cluster.execute(tasks)?;
+
+    // Install Msg_{i+1} runs into the partition states.
+    for p in 0..p_count {
+        let run = shared.next_msgs[p].lock().take();
+        partitions[p].lock().msg_run = run;
+    }
+    let new_gs = shared
+        .outcome
+        .lock()
+        .take()
+        .ok_or_else(|| PregelixError::internal("gs task produced no outcome"))?;
+    cluster.counters().set_live_vertices(new_gs.live_vertices);
+    Ok((new_gs, duration))
+}
+
+// ---------------------------------------------------------------------
+// compute[p]
+// ---------------------------------------------------------------------
+
+/// A sorted reader over `Msg_i[p]`: yields `(vid, message list)`.
+struct MsgStream<P: VertexProgram> {
+    reader: Option<pregelix_storage::runfile::RunReader>,
+    _marker: std::marker::PhantomData<fn() -> P>,
+}
+
+impl<P: VertexProgram> MsgStream<P> {
+    fn open(run: Option<&RunHandle>, w: &WorkerHandle) -> Result<Self> {
+        let reader = match run {
+            Some(h) => Some(h.open(w.counters().clone())?),
+            None => None,
+        };
+        Ok(MsgStream {
+            reader,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    fn next(&mut self) -> Result<Option<(Vid, Vec<P::Message>)>> {
+        let Some(r) = self.reader.as_mut() else {
+            return Ok(None);
+        };
+        match r.next_tuple()? {
+            Some(t) => Ok(Some((
+                tuple_vid(&t)?,
+                decode_msg_list(tuple_payload(&t)?)?,
+            ))),
+            None => Ok(None),
+        }
+    }
+}
+
+/// Everything `compute[p]` accumulates while streaming vertices.
+struct ComputeSide<P: VertexProgram> {
+    program: Arc<P>,
+    gs: GlobalState,
+    agg_prev: P::Aggregate,
+    local_gb: Option<LocalGroupBy>,
+    mutation_tx: PartitioningSender,
+    stats: ComputeStats,
+    agg_partial: Option<P::Aggregate>,
+    live_vids: Vec<Vid>,
+    track_live_vids: bool,
+    counters: pregelix_common::stats::ClusterCounters,
+}
+
+impl<P: VertexProgram> ComputeSide<P> {
+    /// Run `compute` on one joined row and route every output flow.
+    fn process(
+        &mut self,
+        store: &mut VertexStore,
+        vertex: VertexData<P>,
+        msgs: &[P::Message],
+        newly_created: bool,
+    ) -> Result<()> {
+        self.stats.compute_calls += 1;
+        self.counters.add_compute_calls(1);
+        if newly_created {
+            self.stats.created += 1;
+        }
+        let vid = vertex.vid;
+        let mut ctx =
+            ComputeContext::new(vertex, msgs, self.gs.superstep, self.gs.vertex_count, &self.agg_prev);
+        self.program.compute(&mut ctx)?;
+        let out = ctx.into_outputs();
+        // D3: messages through the sender-side group-by.
+        for (dest, m) in &out.messages {
+            self.local_gb
+                .as_mut()
+                .expect("group-by open")
+                .add(keyed_tuple(*dest, &encode_msg_list(std::slice::from_ref(m))))?;
+        }
+        self.stats.msgs_sent += out.messages.len() as u64;
+        self.counters.add_messages_sent(out.messages.len() as u64);
+        // D6: mutations to their owning partitions.
+        for (mvid, m) in &out.mutations {
+            self.mutation_tx
+                .send(&keyed_tuple(*mvid, &encode_mutation(m)))?;
+        }
+        // D5: aggregate contributions (stage one).
+        for a in out.agg {
+            self.agg_partial = Some(match self.agg_partial.take() {
+                None => a,
+                Some(acc) => self.program.combine_aggregates(acc, a),
+            });
+        }
+        // D2 / D4: vertex update + halt contribution.
+        if !out.vertex.halt {
+            self.stats.live += 1;
+            if self.track_live_vids {
+                self.live_vids.push(vid);
+            }
+        }
+        store.upsert(&vid_to_key(vid), &out.vertex.encode_value())?;
+        Ok(())
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compute_task<P: VertexProgram>(
+    w: WorkerHandle,
+    state: Arc<Mutex<PartitionState>>,
+    program: Arc<P>,
+    gs: GlobalState,
+    plan: PlanConfig,
+    track_live: bool,
+    msg_ends: MsgSenderEnds,
+    mut_ends: Vec<Sender<Frame>>,
+    gs_end: Sender<Frame>,
+    sticky: Vec<usize>,
+    combiner: TupleCombiner,
+    gs_worker: usize,
+) -> Result<()> {
+    let mut st = state.lock();
+    let st = &mut *st;
+    let agg_prev = if gs.aggregate.is_empty() {
+        P::Aggregate::default()
+    } else {
+        P::Aggregate::from_bytes(&gs.aggregate)?
+    };
+    let msg_run = st.msg_run.take();
+    let mut msgs = MsgStream::<P>::open(msg_run.as_ref(), &w)?;
+
+    let mut side = ComputeSide {
+        program,
+        gs,
+        agg_prev,
+        local_gb: Some(LocalGroupBy::new(
+            plan.groupby.kind(),
+            w.file_manager(),
+            "msg-local",
+            w.groupby_budget(),
+            Some(&combiner),
+        )),
+        mutation_tx: PartitioningSender::new(
+            mut_ends,
+            w.frame_bytes(),
+            w.id(),
+            sticky.clone(),
+            w.counters().clone(),
+        ),
+        stats: ComputeStats::default(),
+        agg_partial: None,
+        live_vids: Vec::new(),
+        track_live_vids: track_live,
+        counters: w.counters().clone(),
+    };
+
+    let mut m_next = msgs.next()?;
+    // `plan.join` was resolved by the driver: Adaptive never reaches here.
+    match plan.join {
+        JoinStrategy::Adaptive => {
+            return Err(PregelixError::plan(
+                "adaptive join must be resolved before task construction",
+            ))
+        }
+        JoinStrategy::FullOuter => {
+            // Index full outer join: chunked merge of Msg with a full
+            // Vertex scan.
+            let superstep = side.gs.superstep;
+            let mut resume: Option<Vid> = None;
+            'outer: loop {
+                w.check_alive()?;
+                let chunk: Vec<(Vid, Vec<u8>)> = {
+                    let mut scan = match resume {
+                        None => st.store.scan()?,
+                        Some(v) => st.store.scan_from(&vid_to_key(v))?,
+                    };
+                    let mut chunk = Vec::new();
+                    let mut bytes = 0usize;
+                    while bytes < CHUNK_MAX_BYTES && chunk.len() < CHUNK_MAX_ROWS {
+                        match scan.next_entry()? {
+                            Some((k, v)) => {
+                                bytes += v.len() + 16;
+                                chunk.push((tuple_vid(&k)?, v));
+                            }
+                            None => break,
+                        }
+                    }
+                    chunk
+                };
+                if chunk.is_empty() {
+                    // Left-outer remainder: messages to nonexistent vids.
+                    while let Some((mvid, mlist)) = m_next.take() {
+                        side.process(&mut st.store, VertexData::missing(mvid), &mlist, true)?;
+                        m_next = msgs.next()?;
+                    }
+                    break 'outer;
+                }
+                let last_vid = chunk.last().expect("nonempty").0;
+                for (vid, stored) in chunk {
+                    // Messages for vids before this vertex: missing rows.
+                    while m_next.as_ref().is_some_and(|(mvid, _)| *mvid < vid) {
+                        let (mvid, mlist) = m_next.take().expect("peeked");
+                        side.process(&mut st.store, VertexData::missing(mvid), &mlist, true)?;
+                        m_next = msgs.next()?;
+                    }
+                    let matched = if m_next.as_ref().map(|(mvid, _)| *mvid) == Some(vid) {
+                        let (_, mlist) = m_next.take().expect("peeked");
+                        m_next = msgs.next()?;
+                        Some(mlist)
+                    } else {
+                        None
+                    };
+                    let vertex = VertexData::<P>::decode(vid, &stored)?;
+                    // σ(V.halt = false || M.payload != NULL); superstep 1
+                    // activates everything (a fresh Pregel job starts with
+                    // every vertex active, which also powers pipelined jobs
+                    // over a carried-over graph, §5.6).
+                    let active = !vertex.halt || matched.is_some() || superstep == 1;
+                    if active {
+                        let mlist = matched.unwrap_or_default();
+                        side.process(&mut st.store, vertex, &mlist, false)?;
+                    }
+                }
+                if last_vid == Vid::MAX {
+                    break 'outer;
+                }
+                resume = Some(last_vid + 1);
+            }
+        }
+        JoinStrategy::LeftOuter => {
+            // Merge Msg with the Vid live-vertex index (choose() prefers
+            // Msg on duplicates), then probe the Vertex index.
+            let PartitionState {
+                store, vid_index, ..
+            } = st;
+            let vid_tree = vid_index.as_ref().ok_or_else(|| {
+                PregelixError::plan("left-outer join plan requires a Vid index")
+            })?;
+            let mut vid_scan = vid_tree.scan()?;
+            let mut v_next = vid_scan.next_entry()?;
+            let mut processed = 0u64;
+            loop {
+                if processed % 1024 == 0 {
+                    w.check_alive()?;
+                }
+                processed += 1;
+                let v_vid = match &v_next {
+                    Some((vk, _)) => Some(tuple_vid(vk)?),
+                    None => None,
+                };
+                let m_vid = m_next.as_ref().map(|(mvid, _)| *mvid);
+                let (vid, mlist) = match (v_vid, m_vid) {
+                    (None, None) => break,
+                    (Some(vv), None) => {
+                        v_next = vid_scan.next_entry()?;
+                        (vv, Vec::new())
+                    }
+                    (Some(vv), Some(mv)) if vv < mv => {
+                        v_next = vid_scan.next_entry()?;
+                        (vv, Vec::new())
+                    }
+                    (vv, Some(_)) => {
+                        // choose(): on a duplicate vid, take the Msg tuple
+                        // and drop the Vid one.
+                        if vv == m_vid {
+                            v_next = vid_scan.next_entry()?;
+                        }
+                        let (mv, ml) = m_next.take().expect("peeked");
+                        m_next = msgs.next()?;
+                        (mv, ml)
+                    }
+                };
+                match store.search(&vid_to_key(vid))? {
+                    Some(stored) => {
+                        let vertex = VertexData::<P>::decode(vid, &stored)?;
+                        side.process(store, vertex, &mlist, false)?;
+                    }
+                    None => {
+                        if !mlist.is_empty() {
+                            side.process(store, VertexData::missing(vid), &mlist, true)?;
+                        }
+                        // A stale Vid with no row (deleted vertex): skip.
+                    }
+                }
+            }
+        }
+    }
+
+    // Close the mutation flow so mutate[p] tasks can proceed once every
+    // compute finishes.
+    side.mutation_tx.finish()?;
+
+    // Drain the sender-side group-by into the message connector.
+    let mut stream = side.local_gb.take().expect("group-by open").finish()?;
+    let mut msg_sender = match msg_ends {
+        MsgSenderEnds::Pipelined(outs) => MsgSender::Pipelined(PartitioningSender::new(
+            outs,
+            w.frame_bytes(),
+            w.id(),
+            sticky.clone(),
+            w.counters().clone(),
+        )),
+        MsgSenderEnds::Merged(outs) => MsgSender::Merged(MaterializedPartitioner::new(
+            w.file_manager(),
+            outs,
+            w.id(),
+            sticky.clone(),
+        )?),
+    };
+    let mut sent = 0u64;
+    while let Some(t) = stream.next_tuple()? {
+        if sent % 4096 == 0 {
+            w.check_alive()?;
+        }
+        sent += 1;
+        msg_sender.send(&t)?;
+    }
+    drop(stream);
+    msg_sender.finish()?;
+
+    // Rebuild the Vid index (LOJ plans): flow D11/D12 bulk loads the
+    // next superstep's live-vertex index. The old index's file is reused
+    // (truncate + re-init) to avoid per-superstep file churn.
+    if side.track_live_vids {
+        let mut new_tree = match st.vid_index.take() {
+            Some(old) => old.recreate()?,
+            None => BTree::create(w.cache().clone())?,
+        };
+        let live = std::mem::take(&mut side.live_vids);
+        new_tree.bulk_load(
+            live.into_iter().map(|v| (vid_to_key(v).to_vec(), Vec::new())),
+            1.0,
+        )?;
+        st.vid_index = Some(new_tree);
+    }
+
+    // The consumed Msg_i file's path is reused by the next-next
+    // superstep's msgwrite (ping-pong naming), so no delete here: file
+    // create/delete are surprisingly expensive syscalls on some systems.
+    drop(msg_run);
+
+    // Stage-one aggregation result + counters to the gs task.
+    side.stats.agg = match side.agg_partial.take() {
+        Some(a) => a.to_bytes(),
+        None => Vec::new(),
+    };
+    let mut gs_sender = PartitioningSender::new(
+        vec![gs_end],
+        w.frame_bytes(),
+        w.id(),
+        vec![gs_worker],
+        w.counters().clone(),
+    );
+    gs_sender.send_to(0, &side.stats.encode())?;
+    gs_sender.finish()
+}
+
+// ---------------------------------------------------------------------
+// msgwrite[p]
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn msgwrite_task(
+    w: WorkerHandle,
+    p: usize,
+    superstep: u64,
+    job_tag: &str,
+    gb_kind: pregelix_dataflow::groupby::GroupByKind,
+    recv_ends: MsgReceiverEnds,
+    slot: Arc<Mutex<Option<RunHandle>>>,
+    gs_end: Sender<Frame>,
+    combiner: TupleCombiner,
+    gs_worker: usize,
+) -> Result<()> {
+    // The run file is created lazily on the first combined message, so
+    // message-free supersteps (common near convergence) cost no file I/O.
+    // Paths ping-pong on superstep parity: Msg_{i+1} safely overwrites the
+    // file Msg_{i-1} was read from, avoiding per-superstep create/delete.
+    // The job name is part of the path: concurrent jobs share the same
+    // worker machines (§7.4) and must not collide on Msg files.
+    let mut writer: Option<RunWriter> = None;
+    let path = w
+        .file_manager()
+        .root()
+        .join(format!("msg-{job_tag}-p{p}-{}.run", (superstep + 1) % 2));
+    let counters = w.counters().clone();
+    let threshold = 8 * w.frame_bytes(); // small message sets never touch disk
+    let write_tuple = |writer: &mut Option<RunWriter>, t: &[u8]| -> Result<()> {
+        if writer.is_none() {
+            *writer = Some(RunWriter::create_buffered(&path, counters.clone(), threshold));
+        }
+        writer.as_mut().expect("just created").write_tuple(t)
+    };
+    let mut combined = 0u64;
+    match recv_ends {
+        MsgReceiverEnds::Pipelined(ins) => {
+            // Re-group at the receiver (upper strategies of Figure 7): the
+            // fully pipelined connector does not preserve order.
+            let mut rx = PartitionReceiver::new(ins);
+            let mut gb = LocalGroupBy::new(
+                // The receiver-side group-by uses the same kind as the
+                // sender side (Figure 7 pairs them).
+                gb_kind,
+                w.file_manager(),
+                "msg-recv",
+                w.groupby_budget(),
+                Some(&combiner),
+            );
+            let mut seen = 0u64;
+            while let Some(t) = rx.next_tuple()? {
+                if seen % 4096 == 0 {
+                    w.check_alive()?;
+                }
+                seen += 1;
+                gb.add(t)?;
+            }
+            let mut stream = gb.finish()?;
+            while let Some(t) = stream.next_tuple()? {
+                combined += 1;
+                write_tuple(&mut writer, &t)?;
+            }
+        }
+        MsgReceiverEnds::Merged(ins) => {
+            // One-pass preclustered combine over the merged sorted streams
+            // (lower strategies of Figure 7).
+            let rx = MergingReceiver::new(ins, w.counters().clone());
+            let mut stream = rx.into_stream(Some(combine_fn(&combiner)))?;
+            while let Some(t) = stream.next_tuple()? {
+                if combined % 4096 == 0 {
+                    w.check_alive()?;
+                }
+                combined += 1;
+                write_tuple(&mut writer, &t)?;
+            }
+        }
+    }
+    w.counters().add_messages_combined(combined);
+    if let Some(writer) = writer {
+        *slot.lock() = Some(writer.finish()?);
+    }
+    let mut gs_sender = PartitioningSender::new(
+        vec![gs_end],
+        w.frame_bytes(),
+        w.id(),
+        vec![gs_worker],
+        w.counters().clone(),
+    );
+    gs_sender.send_to(0, &encode_msg_stats(combined))?;
+    gs_sender.finish()
+}
+
+// ---------------------------------------------------------------------
+// mutate[p]
+// ---------------------------------------------------------------------
+
+fn mutate_task<P: VertexProgram>(
+    w: WorkerHandle,
+    state: Arc<Mutex<PartitionState>>,
+    program: Arc<P>,
+    mut_ins: Vec<Receiver<Frame>>,
+    gs_end: Sender<Frame>,
+    gs_worker: usize,
+) -> Result<()> {
+    // Receiver-side group-by of mutations by vid (§5.3.3: resolve is not
+    // guaranteed distributive, so there is no sender-side pre-grouping).
+    let mut rx = PartitionReceiver::new(mut_ins);
+    let mut groups: BTreeMap<Vid, Vec<Mutation<P>>> = BTreeMap::new();
+    while let Some(t) = rx.next_tuple()? {
+        let vid = tuple_vid(&t)?;
+        groups
+            .entry(vid)
+            .or_default()
+            .push(decode_mutation::<P>(vid, tuple_payload(&t)?)?);
+    }
+    let (mut inserted, mut deleted, mut live_inserted) = (0u64, 0u64, 0u64);
+    if !groups.is_empty() {
+        // All mutation channels are closed, so every compute task has
+        // passed its mutation flush; the partition lock is (or will soon
+        // be) free, and mutations apply strictly after compute — the
+        // "take effect in superstep S+1" rule.
+        let mut st = state.lock();
+        let st = &mut *st;
+        for (vid, muts) in groups {
+            w.check_alive()?;
+            let key = vid_to_key(vid);
+            match program.resolve(vid, muts) {
+                Resolution::Insert(v) => {
+                    let existed = st.store.contains(&key)?;
+                    st.store.upsert(&key, &v.encode_value())?;
+                    if !existed {
+                        inserted += 1;
+                    }
+                    if !v.halt {
+                        live_inserted += 1;
+                        if let Some(vid_tree) = st.vid_index.as_mut() {
+                            if !vid_tree.contains(&key)? {
+                                vid_tree.insert(&key, &[])?;
+                            }
+                        }
+                    }
+                }
+                Resolution::Delete => {
+                    if st.store.contains(&key)? {
+                        st.store.delete(&key)?;
+                        deleted += 1;
+                    }
+                    if let Some(vid_tree) = st.vid_index.as_mut() {
+                        vid_tree.delete(&key)?;
+                    }
+                }
+                Resolution::Keep => {}
+            }
+        }
+    }
+    let mut gs_sender = PartitioningSender::new(
+        vec![gs_end],
+        w.frame_bytes(),
+        w.id(),
+        vec![gs_worker],
+        w.counters().clone(),
+    );
+    gs_sender.send_to(0, &encode_mut_stats(inserted, deleted, live_inserted))?;
+    gs_sender.finish()
+}
+
+// ---------------------------------------------------------------------
+// gs (stage two)
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn gs_task<P: VertexProgram>(
+    w: WorkerHandle,
+    program: Arc<P>,
+    gs: GlobalState,
+    gs_rx: Vec<Receiver<Frame>>,
+    expected: u64,
+    outcome: Arc<Mutex<Option<GlobalState>>>,
+    dfs: pregelix_common::dfs::SimDfs,
+    job_name: String,
+) -> Result<()> {
+    let mut rx = AggregatorReceiver::new(gs_rx);
+    let (mut live, mut created, mut combined) = (0u64, 0u64, 0u64);
+    let (mut inserted, mut deleted, mut live_inserted) = (0u64, 0u64, 0u64);
+    let mut agg: Option<P::Aggregate> = None;
+    let mut received = 0u64;
+    while let Some(t) = rx.next_tuple()? {
+        w.check_alive()?;
+        received += 1;
+        let mut buf = &t[1..];
+        match t.first() {
+            Some(&STATS_COMPUTE) => {
+                live += u64::read(&mut buf)?;
+                created += u64::read(&mut buf)?;
+                let _msgs_sent = u64::read(&mut buf)?;
+                let _calls = u64::read(&mut buf)?;
+                let partial_bytes = Vec::<u8>::read(&mut buf)?;
+                if !partial_bytes.is_empty() {
+                    let partial = P::Aggregate::from_bytes(&partial_bytes)?;
+                    agg = Some(match agg.take() {
+                        None => partial,
+                        Some(acc) => program.combine_aggregates(acc, partial),
+                    });
+                }
+            }
+            Some(&STATS_MSG) => {
+                combined += u64::read(&mut buf)?;
+            }
+            Some(&STATS_MUTATE) => {
+                inserted += u64::read(&mut buf)?;
+                deleted += u64::read(&mut buf)?;
+                live_inserted += u64::read(&mut buf)?;
+            }
+            _ => return Err(PregelixError::corrupt("bad stats tag")),
+        }
+    }
+    if received != expected {
+        // A partition task died mid-superstep; the partial stats must not
+        // become the job's global state.
+        return Err(PregelixError::internal(format!(
+            "gs received {received}/{expected} partition reports"
+        )));
+    }
+    let new_gs = GlobalState {
+        superstep: gs.superstep + 1,
+        halt: combined == 0 && live == 0 && live_inserted == 0,
+        aggregate: match agg {
+            Some(a) => a.to_bytes(),
+            None => Vec::new(),
+        },
+        vertex_count: gs.vertex_count + created + inserted - deleted,
+        live_vertices: live + live_inserted,
+        messages: combined,
+    };
+    new_gs.store(&dfs, &job_name)?;
+    *outcome.lock() = Some(new_gs);
+    Ok(())
+}

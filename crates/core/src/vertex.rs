@@ -1,0 +1,211 @@
+//! The `Vertex` relation's record type and byte codec.
+//!
+//! A row of the `Vertex` relation (Table 1) is `(vid, halt, value, edges)`.
+//! On disk and on the wire the vid is the 8-byte big-endian tuple key
+//! prefix; the stored *value* under that key is the [`VertexData`] encoding:
+//! `halt (1 byte) | value (V) | edge count (u32) | edges (dest u64 LE, E)*`.
+
+use crate::api::VertexProgram;
+use pregelix_common::error::Result;
+use pregelix_common::writable::Writable;
+use pregelix_common::Vid;
+
+/// A directed edge with a user-defined value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Edge<E> {
+    /// Destination vertex id.
+    pub dest: Vid,
+    /// User-defined edge value.
+    pub value: E,
+}
+
+impl<E: Writable> Edge<E> {
+    /// Construct an edge.
+    pub fn new(dest: Vid, value: E) -> Edge<E> {
+        Edge { dest, value }
+    }
+}
+
+/// One vertex: the non-key fields of a `Vertex` relation row.
+pub struct VertexData<P: VertexProgram> {
+    /// Vertex id (also the relation key).
+    pub vid: Vid,
+    /// Liveness: `true` means the vertex has voted to halt.
+    pub halt: bool,
+    /// User-defined vertex value.
+    pub value: P::VertexValue,
+    /// Outgoing edges.
+    pub edges: Vec<Edge<P::EdgeValue>>,
+}
+
+// Manual impls: deriving would wrongly require `P` itself (not just its
+// associated types) to implement the traits.
+impl<P: VertexProgram> Clone for VertexData<P>
+where
+    P::VertexValue: Clone,
+    P::EdgeValue: Clone,
+{
+    fn clone(&self) -> Self {
+        VertexData {
+            vid: self.vid,
+            halt: self.halt,
+            value: self.value.clone(),
+            edges: self.edges.clone(),
+        }
+    }
+}
+
+impl<P: VertexProgram> std::fmt::Debug for VertexData<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VertexData")
+            .field("vid", &self.vid)
+            .field("halt", &self.halt)
+            .field("value", &self.value)
+            .field("edges", &self.edges.len())
+            .finish()
+    }
+}
+
+impl<P: VertexProgram> PartialEq for VertexData<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.vid == other.vid
+            && self.halt == other.halt
+            && self.value == other.value
+            && self.edges == other.edges
+    }
+}
+
+impl<P: VertexProgram> VertexData<P> {
+    /// A fresh, active vertex.
+    pub fn new(vid: Vid, value: P::VertexValue, edges: Vec<Edge<P::EdgeValue>>) -> Self {
+        VertexData {
+            vid,
+            halt: false,
+            value,
+            edges,
+        }
+    }
+
+    /// The default vertex materialised for the left-outer case of the
+    /// message join (a message addressed to a vid with no `Vertex` row,
+    /// §3): active, default value, no edges.
+    pub fn missing(vid: Vid) -> Self {
+        VertexData {
+            vid,
+            halt: false,
+            value: P::VertexValue::default(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Encode the non-key fields (the stored B-tree value).
+    pub fn encode_value(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.edges.len() * 12);
+        self.halt.write(&mut out);
+        self.value.write(&mut out);
+        (self.edges.len() as u32).write(&mut out);
+        for e in &self.edges {
+            e.dest.write(&mut out);
+            e.value.write(&mut out);
+        }
+        out
+    }
+
+    /// Decode from a stored value plus its key.
+    pub fn decode(vid: Vid, mut stored: &[u8]) -> Result<Self> {
+        let buf = &mut stored;
+        let halt = bool::read(buf)?;
+        let value = P::VertexValue::read(buf)?;
+        let n = u32::read(buf)? as usize;
+        let mut edges = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let dest = Vid::read(buf)?;
+            let value = P::EdgeValue::read(buf)?;
+            edges.push(Edge { dest, value });
+        }
+        Ok(VertexData {
+            vid,
+            halt,
+            value,
+            edges,
+        })
+    }
+
+    /// Approximate in-memory footprint, used by the process-centric
+    /// baselines' heap accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.encode_value().len() + 8
+    }
+}
+
+/// Encode a list of messages as a `Msg` tuple payload. The uniform wire
+/// format is a message *list*: with a user combiner the list stays at one
+/// element; without one, the default combine "gathers all messages for a
+/// given destination into a list" (§3, footnote 4).
+pub fn encode_msg_list<M: Writable>(msgs: &[M]) -> Vec<u8> {
+    let mut out = Vec::new();
+    (msgs.len() as u32).write(&mut out);
+    for m in msgs {
+        m.write(&mut out);
+    }
+    out
+}
+
+/// Decode a `Msg` tuple payload.
+pub fn decode_msg_list<M: Writable>(mut payload: &[u8]) -> Result<Vec<M>> {
+    let buf = &mut payload;
+    let n = u32::read(buf)? as usize;
+    let mut msgs = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        msgs.push(M::read(buf)?);
+    }
+    Ok(msgs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::tests_support::NoopProgram;
+
+    #[test]
+    fn vertex_codec_roundtrip() {
+        let v: VertexData<NoopProgram> = VertexData {
+            vid: 42,
+            halt: true,
+            value: 2.5,
+            edges: vec![Edge::new(1, 0.5), Edge::new(9, 1.5)],
+        };
+        let bytes = v.encode_value();
+        let back = VertexData::<NoopProgram>::decode(42, &bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn missing_vertex_is_active_and_empty() {
+        let v: VertexData<NoopProgram> = VertexData::missing(7);
+        assert_eq!(v.vid, 7);
+        assert!(!v.halt);
+        assert_eq!(v.value, 0.0);
+        assert!(v.edges.is_empty());
+    }
+
+    #[test]
+    fn msg_list_codec_roundtrip() {
+        let msgs = vec![1.0f64, 2.0, 3.0];
+        let payload = encode_msg_list(&msgs);
+        assert_eq!(decode_msg_list::<f64>(&payload).unwrap(), msgs);
+        let empty: Vec<f64> = vec![];
+        assert_eq!(
+            decode_msg_list::<f64>(&encode_msg_list(&empty)).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn truncated_vertex_rejected() {
+        let v: VertexData<NoopProgram> =
+            VertexData::new(1, 1.0, vec![Edge::new(2, 3.0)]);
+        let bytes = v.encode_value();
+        assert!(VertexData::<NoopProgram>::decode(1, &bytes[..bytes.len() - 3]).is_err());
+    }
+}

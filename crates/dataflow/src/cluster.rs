@@ -1,0 +1,591 @@
+//! The simulated shared-nothing cluster.
+//!
+//! A [`Cluster`] stands in for the paper's 32-node IBM x3650 testbed. Each
+//! worker "machine" owns a local-disk directory, a buffer cache sized from
+//! its simulated RAM (by default ¼ of RAM, the paper's default for access
+//! methods, §7.1), and a failure flag for fault-injection experiments. A
+//! *job* is a set of per-partition tasks; [`Cluster::execute`] spawns each
+//! task as a thread pinned to its assigned worker and joins them all,
+//! propagating the most meaningful error (application errors over OOM over
+//! worker failures over plumbing errors).
+//!
+//! The substitution is documented in DESIGN.md: the phenomena the paper
+//! measures are driven by the *ratio* of data to aggregate RAM and by the
+//! memory/disk data paths, both of which this scaled-down cluster preserves.
+
+use pregelix_common::dfs::SimDfs;
+use pregelix_common::error::{PregelixError, Result};
+use pregelix_common::memory::MemoryAccountant;
+use pregelix_common::stats::ClusterCounters;
+use pregelix_storage::cache::BufferCache;
+use pregelix_storage::file::{FileManager, TempDir};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Sizing knobs for a simulated cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of worker machines.
+    pub workers: usize,
+    /// Simulated RAM per worker, in bytes.
+    pub worker_ram: usize,
+    /// Disk page size for access methods.
+    pub page_size: usize,
+    /// Frame capacity for connector channels.
+    pub frame_bytes: usize,
+    /// Fraction of worker RAM given to the buffer cache (paper default ¼).
+    pub cache_fraction: f64,
+    /// Fraction of worker RAM given to each group-by/sort operator instance.
+    pub groupby_fraction: f64,
+    /// Root directory for worker-local storage; `None` = fresh temp dir.
+    pub root: Option<PathBuf>,
+    /// Sequential-timed simulation mode: tasks run one at a time on the
+    /// calling thread, each task's wall time is charged to its worker, and
+    /// [`Cluster::execute`] reports the *makespan* (the busiest worker's
+    /// total) — the job's duration on a cluster of truly parallel
+    /// machines. This is how the scalability experiments measure N-worker
+    /// behaviour on a host with fewer physical cores (see DESIGN.md).
+    /// Connector channels are unbounded in this mode (no backpressure
+    /// without concurrency).
+    pub sequential_timed: bool,
+}
+
+impl ClusterConfig {
+    /// A cluster of `workers` machines with `worker_ram` bytes of simulated
+    /// RAM each and paper-default fractions.
+    pub fn new(workers: usize, worker_ram: usize) -> Self {
+        ClusterConfig {
+            workers,
+            worker_ram,
+            page_size: 4096,
+            frame_bytes: 16 * 1024,
+            cache_fraction: 0.25,
+            groupby_fraction: 0.125,
+            root: None,
+            sequential_timed: false,
+        }
+    }
+
+    /// Switch on sequential-timed simulation (see the field docs).
+    pub fn sequential_timed(mut self) -> Self {
+        self.sequential_timed = true;
+        self
+    }
+
+    /// Aggregate simulated RAM across the cluster (the denominator of the
+    /// x-axis in Figures 10–15).
+    pub fn aggregate_ram(&self) -> usize {
+        self.workers * self.worker_ram
+    }
+}
+
+/// One simulated worker machine.
+pub struct WorkerNode {
+    id: usize,
+    fm: FileManager,
+    cache: BufferCache,
+    failed: AtomicBool,
+    heap: MemoryAccountant,
+    groupby_budget: usize,
+    frame_bytes: usize,
+    pool: WorkerPool,
+}
+
+/// A grow-on-demand pool of long-lived task threads. Spawning an OS thread
+/// costs hundreds of microseconds on some kernels; with three-plus tasks
+/// per worker per superstep that fixed cost would dominate short
+/// supersteps, so threads are parked and reused across jobs. Tasks may
+/// block on connector channels, so the pool must never cap concurrency —
+/// it spawns a new thread whenever no idle one is available.
+struct WorkerPool {
+    tx: crossbeam::channel::Sender<PoolJob>,
+    rx: crossbeam::channel::Receiver<PoolJob>,
+    idle: Arc<std::sync::atomic::AtomicUsize>,
+}
+
+type PoolJob = Box<dyn FnOnce() + Send>;
+
+impl WorkerPool {
+    fn new() -> WorkerPool {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        WorkerPool {
+            tx,
+            rx,
+            idle: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+        }
+    }
+
+    fn submit(&self, job: PoolJob) {
+        if self.idle.load(Ordering::Relaxed) == 0 {
+            let rx = self.rx.clone();
+            let idle = Arc::clone(&self.idle);
+            std::thread::spawn(move || loop {
+                idle.fetch_add(1, Ordering::Relaxed);
+                let job = rx.recv();
+                idle.fetch_sub(1, Ordering::Relaxed);
+                match job {
+                    Ok(job) => job(),
+                    Err(_) => return, // pool dropped
+                }
+            });
+        }
+        self.tx.send(job).expect("own receiver alive");
+    }
+}
+
+/// Shared handle to a worker, passed to every task pinned there.
+#[derive(Clone)]
+pub struct WorkerHandle {
+    node: Arc<WorkerNode>,
+}
+
+impl WorkerHandle {
+    /// This worker's machine id.
+    pub fn id(&self) -> usize {
+        self.node.id
+    }
+
+    /// The worker's buffer cache (access-method RAM).
+    pub fn cache(&self) -> &BufferCache {
+        &self.node.cache
+    }
+
+    /// The worker's local-disk file manager.
+    pub fn file_manager(&self) -> &FileManager {
+        &self.node.fm
+    }
+
+    /// Shared cluster counters.
+    pub fn counters(&self) -> &ClusterCounters {
+        self.node.fm.counters()
+    }
+
+    /// The per-operator-instance sort/group-by memory budget in bytes.
+    pub fn groupby_budget(&self) -> usize {
+        self.node.groupby_budget
+    }
+
+    /// Frame capacity for connector traffic from this worker.
+    pub fn frame_bytes(&self) -> usize {
+        self.node.frame_bytes
+    }
+
+    /// The worker's simulated heap (used by process-centric baselines; the
+    /// Pregelix data path does not allocate per-vertex objects on it).
+    pub fn heap(&self) -> &MemoryAccountant {
+        &self.node.heap
+    }
+
+    /// Fails with [`PregelixError::WorkerFailure`] if this machine has been
+    /// powered off by failure injection. Tasks call this at frame
+    /// boundaries so a failure surfaces promptly.
+    pub fn check_alive(&self) -> Result<()> {
+        if self.node.failed.load(Ordering::Relaxed) {
+            Err(PregelixError::WorkerFailure(self.node.id))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// One schedulable unit: a named closure pinned to a worker.
+pub struct Task {
+    /// Diagnostic name, e.g. `"join-compute[3]"`.
+    pub name: String,
+    /// Worker machine to run on.
+    pub worker: usize,
+    /// The task body.
+    pub run: Box<dyn FnOnce(WorkerHandle) -> Result<()> + Send>,
+}
+
+impl Task {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        worker: usize,
+        run: impl FnOnce(WorkerHandle) -> Result<()> + Send + 'static,
+    ) -> Task {
+        Task {
+            name: name.into(),
+            worker,
+            run: Box::new(run),
+        }
+    }
+}
+
+/// The simulated cluster.
+pub struct Cluster {
+    config: ClusterConfig,
+    workers: Vec<Arc<WorkerNode>>,
+    counters: ClusterCounters,
+    dfs: SimDfs,
+    _tempdir: Option<TempDir>,
+}
+
+impl Cluster {
+    /// Materialise a cluster: one storage directory, buffer cache and heap
+    /// accountant per worker.
+    pub fn new(config: ClusterConfig) -> Result<Cluster> {
+        if config.workers == 0 {
+            return Err(PregelixError::plan("cluster needs at least one worker"));
+        }
+        let (root, tempdir) = match &config.root {
+            Some(r) => (r.clone(), None),
+            None => {
+                let t = TempDir::new("cluster")?;
+                (t.path().to_path_buf(), Some(t))
+            }
+        };
+        let counters = ClusterCounters::new();
+        let dfs = SimDfs::open(root.join("dfs"))?;
+        let mut workers = Vec::with_capacity(config.workers);
+        for id in 0..config.workers {
+            let fm = FileManager::new(
+                root.join(format!("worker-{id}")),
+                config.page_size,
+                counters.clone(),
+            )?;
+            let cache_bytes = (config.worker_ram as f64 * config.cache_fraction) as usize;
+            let cache = BufferCache::with_byte_budget(fm.clone(), cache_bytes);
+            workers.push(Arc::new(WorkerNode {
+                id,
+                fm,
+                cache,
+                failed: AtomicBool::new(false),
+                heap: MemoryAccountant::new(format!("worker-{id} heap"), config.worker_ram),
+                groupby_budget: (config.worker_ram as f64 * config.groupby_fraction) as usize,
+                frame_bytes: config.frame_bytes,
+                pool: WorkerPool::new(),
+            }));
+        }
+        Ok(Cluster {
+            config,
+            workers,
+            counters,
+            dfs,
+            _tempdir: tempdir,
+        })
+    }
+
+    /// The configuration this cluster was built from.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Number of worker machines (alive or failed).
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Shared cluster counters.
+    pub fn counters(&self) -> &ClusterCounters {
+        &self.counters
+    }
+
+    /// The simulated DFS shared by all workers.
+    pub fn dfs(&self) -> &SimDfs {
+        &self.dfs
+    }
+
+    /// Bounded-channel capacity for connectors (`None` = unbounded, used
+    /// by sequential-timed mode where backpressure would deadlock).
+    pub fn channel_capacity(&self) -> Option<usize> {
+        if self.config.sequential_timed {
+            None
+        } else {
+            Some(crate::connector::CHANNEL_FRAMES)
+        }
+    }
+
+    /// Handle to worker `id`.
+    pub fn worker(&self, id: usize) -> WorkerHandle {
+        WorkerHandle {
+            node: Arc::clone(&self.workers[id]),
+        }
+    }
+
+    /// Power off a worker (failure injection). Running and future tasks on
+    /// it fail with [`PregelixError::WorkerFailure`] at their next
+    /// liveness check.
+    pub fn fail_worker(&self, id: usize) {
+        self.workers[id].failed.store(true, Ordering::Relaxed);
+    }
+
+    /// Bring a failed worker back (recovery uses fresh failure-free workers;
+    /// healing exists for tests and long-running scenarios).
+    pub fn heal_worker(&self, id: usize) {
+        self.workers[id].failed.store(false, Ordering::Relaxed);
+    }
+
+    /// Ids of workers not currently failed (the failure manager's
+    /// "blacklist" complement, §5.5).
+    pub fn alive_workers(&self) -> Vec<usize> {
+        self.workers
+            .iter()
+            .filter(|w| !w.failed.load(Ordering::Relaxed))
+            .map(|w| w.id)
+            .collect()
+    }
+
+    /// Run a job and return its duration: wall-clock in parallel mode, the
+    /// per-worker-busy-time *makespan* in sequential-timed mode.
+    ///
+    /// Error priority: application ([`PregelixError::User`]) errors first —
+    /// they must never be masked by the secondary plumbing errors they
+    /// cause — then [`PregelixError::OutOfMemory`], then recoverable
+    /// infrastructure failures, then anything else.
+    pub fn execute(&self, tasks: Vec<Task>) -> Result<std::time::Duration> {
+        for t in &tasks {
+            if t.worker >= self.workers.len() {
+                return Err(PregelixError::plan(format!(
+                    "task {} scheduled on nonexistent worker {}",
+                    t.name, t.worker
+                )));
+            }
+        }
+        if self.config.sequential_timed {
+            return self.execute_sequential(tasks);
+        }
+        let started = std::time::Instant::now();
+        let mut errors: Vec<(String, PregelixError)> = Vec::new();
+        let mut pending = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            let handle = self.worker(task.worker);
+            let name = task.name;
+            let body = task.run;
+            let (done_tx, done_rx) = crossbeam::channel::bounded::<Result<()>>(1);
+            self.workers[handle.id()].pool.submit(Box::new(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    move || -> Result<()> {
+                        handle.check_alive()?;
+                        body(handle)
+                    },
+                ))
+                .unwrap_or_else(|panic| {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "opaque panic payload".to_string());
+                    Err(PregelixError::internal(format!("task panicked: {msg}")))
+                });
+                let _ = done_tx.send(result);
+            }));
+            pending.push((name, done_rx));
+        }
+        for (name, done_rx) in pending {
+            match done_rx.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => errors.push((name, e)),
+                Err(_) => errors.push((
+                    name,
+                    PregelixError::internal("task vanished without reporting"),
+                )),
+            }
+        }
+        if errors.is_empty() {
+            return Ok(started.elapsed());
+        }
+        let rank = |e: &PregelixError| match e {
+            PregelixError::User(_) => 0,
+            PregelixError::OutOfMemory { .. } => 1,
+            PregelixError::WorkerFailure(_) => 2,
+            PregelixError::Io(_) => 3,
+            _ => 4,
+        };
+        errors.sort_by_key(|(_, e)| rank(e));
+        let (name, err) = errors.remove(0);
+        Err(match err {
+            // Keep typed errors intact; annotate only the anonymous ones.
+            PregelixError::Internal(m) => {
+                PregelixError::Internal(format!("task {name}: {m}"))
+            }
+            e => e,
+        })
+    }
+
+    /// Sequential-timed execution: tasks run in submission order on the
+    /// calling thread; each task's wall time accrues to its worker; the
+    /// returned duration is `max` over workers — what a truly parallel
+    /// cluster would take. Requires the task list to be topologically
+    /// ordered (producers before consumers), which the superstep builder
+    /// guarantees by emitting tasks phase-major.
+    fn execute_sequential(&self, tasks: Vec<Task>) -> Result<std::time::Duration> {
+        let mut per_worker = vec![std::time::Duration::ZERO; self.workers.len()];
+        for task in tasks {
+            let handle = self.worker(task.worker);
+            let body = task.run;
+            let t0 = std::time::Instant::now();
+            let result = (|| -> Result<()> {
+                handle.check_alive()?;
+                body(self.worker(task.worker))
+            })();
+            per_worker[task.worker] += t0.elapsed();
+            if let Err(e) = result {
+                return Err(e);
+            }
+        }
+        Ok(per_worker.into_iter().max().unwrap_or_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cluster {
+        Cluster::new(ClusterConfig::new(4, 1 << 20)).unwrap()
+    }
+
+    #[test]
+    fn workers_have_isolated_storage() {
+        let c = small();
+        // File-id namespaces are per worker: each machine's first file is id
+        // 0, backed by a different directory (its own "local disks").
+        let f0 = c.worker(0).file_manager().create().unwrap();
+        c.worker(0).file_manager().allocate_page(f0).unwrap();
+        // Worker 1 has no file yet; looking up worker 0's id there fails.
+        assert!(c.worker(1).file_manager().page_count(f0).is_err());
+        assert_ne!(
+            c.worker(0).file_manager().root(),
+            c.worker(1).file_manager().root()
+        );
+    }
+
+    #[test]
+    fn execute_runs_tasks_on_assigned_workers() {
+        let c = small();
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let mut tasks = Vec::new();
+        for p in 0..4 {
+            let tx = tx.clone();
+            tasks.push(Task::new(format!("t{p}"), p, move |w| {
+                tx.send(w.id()).unwrap();
+                Ok(())
+            }));
+        }
+        drop(tx);
+        c.execute(tasks).unwrap();
+        let mut ids: Vec<usize> = rx.iter().collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn failed_worker_rejects_tasks() {
+        let c = small();
+        c.fail_worker(2);
+        assert_eq!(c.alive_workers(), vec![0, 1, 3]);
+        let err = c
+            .execute(vec![Task::new("x", 2, |_| Ok(()))])
+            .unwrap_err();
+        assert!(matches!(err, PregelixError::WorkerFailure(2)), "{err}");
+        c.heal_worker(2);
+        c.execute(vec![Task::new("x", 2, |_| Ok(()))]).unwrap();
+    }
+
+    #[test]
+    fn error_priority_user_over_infrastructure() {
+        let c = small();
+        let tasks = vec![
+            Task::new("infra", 0, |_| Err(PregelixError::WorkerFailure(0))),
+            Task::new("app", 1, |_| Err(PregelixError::user("bad UDF"))),
+        ];
+        let err = c.execute(tasks).unwrap_err();
+        assert!(matches!(err, PregelixError::User(_)), "{err}");
+    }
+
+    #[test]
+    fn panics_are_contained() {
+        let c = small();
+        let err = c
+            .execute(vec![
+                Task::new("boom", 0, |_| panic!("kaboom")),
+                Task::new("fine", 1, |_| Ok(())),
+            ])
+            .unwrap_err();
+        assert!(err.to_string().contains("boom"), "{err}");
+    }
+
+    #[test]
+    fn scheduling_on_missing_worker_rejected() {
+        let c = small();
+        let err = c
+            .execute(vec![Task::new("x", 99, |_| Ok(()))])
+            .unwrap_err();
+        assert!(matches!(err, PregelixError::Plan(_)));
+    }
+
+    #[test]
+    fn config_aggregate_ram() {
+        let cfg = ClusterConfig::new(8, 1 << 20);
+        assert_eq!(cfg.aggregate_ram(), 8 << 20);
+    }
+
+    #[test]
+    fn sequential_timed_mode_reports_makespan() {
+        let c = Cluster::new(ClusterConfig::new(3, 1 << 20).sequential_timed()).unwrap();
+        // Three tasks with distinct busy times on distinct workers: the
+        // reported duration is the busiest worker's, not the sum.
+        let tasks = (0..3)
+            .map(|w| {
+                Task::new(format!("spin{w}"), w, move |_| {
+                    let t = std::time::Instant::now();
+                    while t.elapsed() < std::time::Duration::from_millis(5 * (w as u64 + 1)) {
+                        std::hint::spin_loop();
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        let d = c.execute(tasks).unwrap();
+        assert!(d >= std::time::Duration::from_millis(15), "{d:?}");
+        assert!(d < std::time::Duration::from_millis(30), "sum would be 30ms: {d:?}");
+    }
+
+    #[test]
+    fn sequential_timed_mode_uses_unbounded_channels() {
+        let c = Cluster::new(ClusterConfig::new(2, 1 << 20).sequential_timed()).unwrap();
+        assert_eq!(c.channel_capacity(), None);
+        let c = Cluster::new(ClusterConfig::new(2, 1 << 20)).unwrap();
+        assert!(c.channel_capacity().is_some());
+    }
+
+    #[test]
+    fn sequential_mode_runs_producer_consumer_in_order() {
+        // A producer fills an unbounded channel completely before the
+        // consumer task runs — the phase-major ordering contract.
+        let c = Cluster::new(ClusterConfig::new(1, 1 << 20).sequential_timed()).unwrap();
+        let (tx, rx) = crossbeam::channel::unbounded::<u64>();
+        let tasks = vec![
+            Task::new("produce", 0, move |_| {
+                for i in 0..10_000u64 {
+                    tx.send(i).unwrap();
+                }
+                Ok(())
+            }),
+            Task::new("consume", 0, move |_| {
+                let mut n = 0;
+                while rx.recv().is_ok() {
+                    n += 1;
+                }
+                assert_eq!(n, 10_000);
+                Ok(())
+            }),
+        ];
+        c.execute(tasks).unwrap();
+    }
+
+    #[test]
+    fn dfs_shared_across_workers() {
+        let c = small();
+        c.dfs().write("gs/job1", b"state").unwrap();
+        let dfs = c.dfs().clone();
+        c.execute(vec![Task::new("reader", 3, move |_| {
+            assert_eq!(dfs.read("gs/job1").unwrap(), b"state");
+            Ok(())
+        })])
+        .unwrap();
+    }
+}

@@ -1,0 +1,631 @@
+//! Hyracks connectors: inter-operator data redistribution (§4).
+//!
+//! Three exchange patterns, matching the paper:
+//!
+//! * **m-to-n partitioning connector** ([`PartitioningSender`] /
+//!   [`PartitionReceiver`]): every sender hash-partitions its tuples by vid
+//!   and pushes frames over bounded channels — the *fully pipelined*
+//!   materialization policy. Receivers consume frames in arrival order, so
+//!   downstream re-grouping is required (the upper two strategies of
+//!   Figure 7).
+//! * **m-to-n partitioning merging connector** ([`MaterializedPartitioner`]
+//!   / [`MergingReceiver`]): senders emit *sorted* streams, written to
+//!   per-receiver run files — the *sender-side materializing pipelined*
+//!   policy the paper uses to avoid the merge-connector deadlock scenarios
+//!   of the query-scheduling literature \[27\]. Each receiver waits for all m
+//!   sender runs and k-way merges them, preserving vid order (the lower two
+//!   strategies of Figure 7). The receiver-side coordination across all
+//!   senders is exactly the cost that makes this connector lose on larger
+//!   clusters (§7.5 / TR \[13\]).
+//! * **aggregator connector** ([`aggregator_channels`] /
+//!   [`AggregatorReceiver`]): reduces all sender streams to one receiver,
+//!   used by the two-stage global aggregation of Figure 4.
+//!
+//! Traffic between distinct workers is charged to the cluster's network
+//! counters; same-worker traffic is not, mirroring the paper's observation
+//! that some messages never leave a machine (Figure 1).
+
+use crossbeam::channel::{bounded, Receiver, Select, Sender};
+use pregelix_common::error::{PregelixError, Result};
+use pregelix_common::frame::{tuple_vid, Frame};
+use pregelix_common::hash_partition;
+use pregelix_common::stats::ClusterCounters;
+use pregelix_storage::file::FileManager;
+use pregelix_storage::runfile::{RunHandle, RunWriter};
+use pregelix_storage::sort::{CombineFn, SortedStream};
+
+/// Default bounded-channel capacity, in frames. Small enough to exert
+/// back-pressure, large enough to decouple sender/receiver scheduling.
+pub const CHANNEL_FRAMES: usize = 64;
+
+/// Build the m×n channel matrix for a partitioning connector.
+///
+/// Returns `(senders, receivers)` where `senders[s]` holds sender `s`'s n
+/// per-receiver endpoints and `receivers[r]` holds receiver `r`'s m
+/// per-sender endpoints.
+pub fn partition_channels(
+    m: usize,
+    n: usize,
+) -> (Vec<Vec<Sender<Frame>>>, Vec<Vec<Receiver<Frame>>>) {
+    partition_channels_cap(m, n, Some(CHANNEL_FRAMES))
+}
+
+/// [`partition_channels`] with an explicit capacity; `None` = unbounded
+/// (required by the cluster's sequential-timed mode, where a bounded
+/// channel's backpressure would block with no concurrent consumer).
+pub fn partition_channels_cap(
+    m: usize,
+    n: usize,
+    cap: Option<usize>,
+) -> (Vec<Vec<Sender<Frame>>>, Vec<Vec<Receiver<Frame>>>) {
+    let mut senders: Vec<Vec<Sender<Frame>>> = (0..m).map(|_| Vec::with_capacity(n)).collect();
+    let mut receivers: Vec<Vec<Receiver<Frame>>> = (0..n).map(|_| Vec::with_capacity(m)).collect();
+    for r in 0..n {
+        for sender_list in senders.iter_mut().take(m) {
+            let (tx, rx) = match cap {
+                Some(c) => bounded(c),
+                None => crossbeam::channel::unbounded(),
+            };
+            sender_list.push(tx);
+            receivers[r].push(rx);
+        }
+    }
+    (senders, receivers)
+}
+
+/// Build the m-to-1 channel set for an aggregator connector. Returns the m
+/// sender endpoints and the single receiver's endpoints.
+pub fn aggregator_channels(m: usize) -> (Vec<Sender<Frame>>, Vec<Receiver<Frame>>) {
+    let (mut senders, mut receivers) = partition_channels(m, 1);
+    (
+        senders.drain(..).map(|mut v| v.remove(0)).collect(),
+        receivers.remove(0),
+    )
+}
+
+/// Sender side of the fully pipelined m-to-n partitioning connector.
+pub struct PartitioningSender {
+    outs: Vec<Sender<Frame>>,
+    staging: Vec<Frame>,
+    my_worker: usize,
+    receiver_workers: Vec<usize>,
+    counters: ClusterCounters,
+}
+
+impl PartitioningSender {
+    /// Wrap one sender's channel endpoints. `receiver_workers[r]` is the
+    /// machine hosting receiver partition `r` (for network accounting).
+    pub fn new(
+        outs: Vec<Sender<Frame>>,
+        frame_bytes: usize,
+        my_worker: usize,
+        receiver_workers: Vec<usize>,
+        counters: ClusterCounters,
+    ) -> PartitioningSender {
+        debug_assert_eq!(outs.len(), receiver_workers.len());
+        let staging = outs
+            .iter()
+            .map(|_| Frame::with_capacity(frame_bytes))
+            .collect();
+        PartitioningSender {
+            outs,
+            staging,
+            my_worker,
+            receiver_workers,
+            counters,
+        }
+    }
+
+    /// Number of receiver partitions.
+    pub fn fanout(&self) -> usize {
+        self.outs.len()
+    }
+
+    /// Route a vid-keyed tuple by hash partitioning.
+    pub fn send(&mut self, tuple: &[u8]) -> Result<()> {
+        let part = hash_partition(tuple_vid(tuple)?, self.outs.len());
+        self.send_to(part, tuple)
+    }
+
+    /// Route a tuple to an explicit receiver partition.
+    pub fn send_to(&mut self, part: usize, tuple: &[u8]) -> Result<()> {
+        if !self.staging[part].try_append(tuple) {
+            self.flush(part)?;
+            let ok = self.staging[part].try_append(tuple);
+            debug_assert!(ok, "fresh frame accepts any tuple");
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self, part: usize) -> Result<()> {
+        if self.staging[part].is_empty() {
+            return Ok(());
+        }
+        let replacement = Frame::with_capacity(frame_capacity(&self.staging[part]));
+        let frame = std::mem::replace(&mut self.staging[part], replacement);
+        if self.receiver_workers[part] != self.my_worker {
+            self.counters.add_network_bytes(frame.footprint() as u64);
+            self.counters.add_network_frames(1);
+        }
+        self.outs[part]
+            .send(frame)
+            .map_err(|_| PregelixError::internal("receiver hung up mid-stream"))?;
+        Ok(())
+    }
+
+    /// Flush residual frames and close all channels (receivers then see
+    /// end-of-stream).
+    pub fn finish(mut self) -> Result<()> {
+        for part in 0..self.outs.len() {
+            self.flush(part)?;
+        }
+        Ok(())
+    }
+}
+
+fn frame_capacity(f: &Frame) -> usize {
+    // Frames created via with_capacity keep it; a fresh staging frame should
+    // match. `Frame` doesn't expose capacity, so reuse the default when in
+    // doubt — staging frames are always built via with_capacity upstream.
+    let _ = f;
+    pregelix_common::frame::DEFAULT_FRAME_BYTES
+}
+
+/// Receiver side of the fully pipelined partitioning connector: drains m
+/// sender channels in arrival order.
+pub struct PartitionReceiver {
+    ins: Vec<Receiver<Frame>>,
+    open: Vec<bool>,
+    pending: Frame,
+    pending_idx: usize,
+}
+
+impl PartitionReceiver {
+    /// Wrap one receiver's channel endpoints.
+    pub fn new(ins: Vec<Receiver<Frame>>) -> PartitionReceiver {
+        let open = vec![true; ins.len()];
+        PartitionReceiver {
+            ins,
+            open,
+            pending: Frame::default(),
+            pending_idx: 0,
+        }
+    }
+
+    /// Next frame from any sender, or `None` once every sender finished.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>> {
+        loop {
+            let live: Vec<usize> = (0..self.ins.len()).filter(|&i| self.open[i]).collect();
+            if live.is_empty() {
+                return Ok(None);
+            }
+            let mut sel = Select::new();
+            for &i in &live {
+                sel.recv(&self.ins[i]);
+            }
+            let op = sel.select();
+            let chosen = live[op.index()];
+            match op.recv(&self.ins[chosen]) {
+                Ok(frame) => return Ok(Some(frame)),
+                Err(_) => {
+                    self.open[chosen] = false; // sender finished
+                }
+            }
+        }
+    }
+
+    /// Next tuple across all senders (frame boundaries hidden).
+    pub fn next_tuple(&mut self) -> Result<Option<Vec<u8>>> {
+        loop {
+            if self.pending_idx < self.pending.len() {
+                let t = self.pending.tuple(self.pending_idx).to_vec();
+                self.pending_idx += 1;
+                return Ok(Some(t));
+            }
+            match self.next_frame()? {
+                Some(f) => {
+                    self.pending = f;
+                    self.pending_idx = 0;
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
+/// The aggregator connector's receiver: all senders reduced to one stream.
+pub type AggregatorReceiver = PartitionReceiver;
+
+// ---------------------------------------------------------------------
+// m-to-n partitioning merging connector
+// ---------------------------------------------------------------------
+
+/// Build the m×n run-handle channel matrix for a merging connector. Each
+/// `(sender, receiver)` pair carries exactly one sealed run handle.
+pub fn merging_channels(
+    m: usize,
+    n: usize,
+) -> (
+    Vec<Vec<Sender<RunHandle>>>,
+    Vec<Vec<Receiver<RunHandle>>>,
+) {
+    let mut senders: Vec<Vec<Sender<RunHandle>>> =
+        (0..m).map(|_| Vec::with_capacity(n)).collect();
+    let mut receivers: Vec<Vec<Receiver<RunHandle>>> =
+        (0..n).map(|_| Vec::with_capacity(m)).collect();
+    for r in 0..n {
+        for sender_list in senders.iter_mut().take(m) {
+            let (tx, rx) = bounded(1);
+            sender_list.push(tx);
+            receivers[r].push(rx);
+        }
+    }
+    (senders, receivers)
+}
+
+/// Sender side of the merging connector under the sender-side materializing
+/// pipelined policy: tuples (which must arrive in vid order, as group-by
+/// output does) are hash-partitioned into one sorted run file per receiver;
+/// `finish` seals the runs and hands them to the receivers.
+pub struct MaterializedPartitioner {
+    writers: Vec<RunWriter>,
+    handle_txs: Vec<Sender<RunHandle>>,
+    my_worker: usize,
+    receiver_workers: Vec<usize>,
+    counters: ClusterCounters,
+    #[cfg(debug_assertions)]
+    last_vid: Option<u64>,
+}
+
+impl MaterializedPartitioner {
+    /// Create the per-receiver run writers in this worker's local disk.
+    pub fn new(
+        fm: &FileManager,
+        handle_txs: Vec<Sender<RunHandle>>,
+        my_worker: usize,
+        receiver_workers: Vec<usize>,
+    ) -> Result<MaterializedPartitioner> {
+        let mut writers = Vec::with_capacity(handle_txs.len());
+        for r in 0..handle_txs.len() {
+            // Buffered: a small channel's worth of data never touches disk
+            // (the sender-side materialization exists for decoupling and
+            // deadlock-freedom, not to force I/O on tiny streams).
+            writers.push(RunWriter::create_buffered(
+                fm.temp_file_path(&format!("mat-ch-{r}")),
+                fm.counters().clone(),
+                64 * 1024,
+            ));
+        }
+        Ok(MaterializedPartitioner {
+            writers,
+            handle_txs,
+            my_worker,
+            receiver_workers,
+            counters: fm.counters().clone(),
+            #[cfg(debug_assertions)]
+            last_vid: None,
+        })
+    }
+
+    /// Route a vid-keyed tuple. Tuples must be fed in non-decreasing vid
+    /// order so every per-receiver run stays sorted.
+    pub fn send(&mut self, tuple: &[u8]) -> Result<()> {
+        let vid = tuple_vid(tuple)?;
+        #[cfg(debug_assertions)]
+        {
+            if let Some(prev) = self.last_vid {
+                debug_assert!(prev <= vid, "merging connector input out of order");
+            }
+            self.last_vid = Some(vid);
+        }
+        let part = hash_partition(vid, self.writers.len());
+        self.writers[part].write_tuple(tuple)
+    }
+
+    /// Seal every run and ship the handles ("the data transfer").
+    pub fn finish(self) -> Result<()> {
+        for (r, (writer, tx)) in self
+            .writers
+            .into_iter()
+            .zip(self.handle_txs.into_iter())
+            .enumerate()
+        {
+            let handle = writer.finish()?;
+            if self.receiver_workers[r] != self.my_worker {
+                self.counters.add_network_bytes(handle.bytes());
+                self.counters.add_network_frames(handle.frames());
+            }
+            tx.send(handle)
+                .map_err(|_| PregelixError::internal("merge receiver hung up"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Receiver side of the merging connector: waits for all m sender runs,
+/// then k-way merges them into a vid-ordered stream. The wait-for-all
+/// coordination is inherent to receiver-side merging.
+pub struct MergingReceiver {
+    ins: Vec<Receiver<RunHandle>>,
+    counters: ClusterCounters,
+}
+
+impl MergingReceiver {
+    /// Wrap one receiver's handle channels.
+    pub fn new(ins: Vec<Receiver<RunHandle>>, counters: ClusterCounters) -> MergingReceiver {
+        MergingReceiver { ins, counters }
+    }
+
+    /// Block until every sender delivers its run, then merge. An optional
+    /// combiner collapses equal-vid tuples during the merge (the
+    /// preclustered group-by of the lower Figure 7 strategies). Senders that
+    /// disconnect without delivering (task failure) surface as an error.
+    pub fn into_stream(self, combiner: Option<CombineFn>) -> Result<SortedStream> {
+        let mut runs = Vec::with_capacity(self.ins.len());
+        for rx in &self.ins {
+            let handle = rx
+                .recv()
+                .map_err(|_| PregelixError::internal("merge sender died before delivering"))?;
+            runs.push(handle);
+        }
+        SortedStream::from_parts(Vec::new(), runs, combiner, self.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterConfig, Task};
+    use pregelix_common::frame::keyed_tuple;
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::new(ClusterConfig::new(n, 1 << 20)).unwrap()
+    }
+
+    #[test]
+    fn m_to_n_partitioning_delivers_everything_partitioned() {
+        let c = cluster(4);
+        let m = 3;
+        let n = 4;
+        let (mut sends, mut recvs) = partition_channels(m, n);
+        let recv_workers: Vec<usize> = (0..n).collect();
+        let received: std::sync::Arc<Mutex<HashMap<usize, Vec<u64>>>> = Default::default();
+        let mut tasks = Vec::new();
+        for s in 0..m {
+            let outs = std::mem::take(&mut sends[s]);
+            let rw = recv_workers.clone();
+            tasks.push(Task::new(format!("send{s}"), s % 4, move |w| {
+                let mut tx = PartitioningSender::new(
+                    outs,
+                    w.frame_bytes(),
+                    w.id(),
+                    rw,
+                    w.counters().clone(),
+                );
+                for i in 0..1000u64 {
+                    let vid = (s as u64) * 1000 + i;
+                    tx.send(&keyed_tuple(vid, b"payload"))?;
+                }
+                tx.finish()
+            }));
+        }
+        for r in 0..n {
+            let ins = std::mem::take(&mut recvs[r]);
+            let received = received.clone();
+            tasks.push(Task::new(format!("recv{r}"), r, move |_| {
+                let mut rx = PartitionReceiver::new(ins);
+                let mut got = Vec::new();
+                while let Some(t) = rx.next_tuple()? {
+                    got.push(tuple_vid(&t)?);
+                }
+                received.lock().unwrap().insert(r, got);
+                Ok(())
+            }));
+        }
+        c.execute(tasks).unwrap();
+        let received = received.lock().unwrap();
+        let mut all: Vec<u64> = Vec::new();
+        for (r, vids) in received.iter() {
+            for &v in vids {
+                assert_eq!(hash_partition(v, n), *r, "vid {v} on wrong partition");
+                all.push(v);
+            }
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..3000u64).collect::<Vec<_>>());
+        assert!(c.counters().network_bytes() > 0, "cross-worker traffic counted");
+    }
+
+    #[test]
+    fn same_worker_traffic_not_counted_as_network() {
+        let c = cluster(1);
+        let (mut sends, mut recvs) = partition_channels(1, 1);
+        let outs = std::mem::take(&mut sends[0]);
+        let ins = std::mem::take(&mut recvs[0]);
+        c.execute(vec![
+            Task::new("send", 0, move |w| {
+                let mut tx = PartitioningSender::new(
+                    outs,
+                    w.frame_bytes(),
+                    w.id(),
+                    vec![0],
+                    w.counters().clone(),
+                );
+                for i in 0..100u64 {
+                    tx.send(&keyed_tuple(i, b""))?;
+                }
+                tx.finish()
+            }),
+            Task::new("recv", 0, move |_| {
+                let mut rx = PartitionReceiver::new(ins);
+                let mut n = 0;
+                while rx.next_tuple()?.is_some() {
+                    n += 1;
+                }
+                assert_eq!(n, 100);
+                Ok(())
+            }),
+        ])
+        .unwrap();
+        assert_eq!(c.counters().network_bytes(), 0);
+    }
+
+    #[test]
+    fn merging_connector_produces_globally_sorted_streams() {
+        let c = cluster(2);
+        let m = 2;
+        let n = 2;
+        let (mut sends, mut recvs) = merging_channels(m, n);
+        let mut tasks = Vec::new();
+        for s in 0..m {
+            let txs = std::mem::take(&mut sends[s]);
+            tasks.push(Task::new(format!("send{s}"), s, move |w| {
+                let mut tx = MaterializedPartitioner::new(
+                    w.file_manager(),
+                    txs,
+                    w.id(),
+                    vec![0, 1],
+                )?;
+                // Sender s emits sorted vids s, s+2, s+4, ...
+                for i in 0..500u64 {
+                    tx.send(&keyed_tuple(s as u64 + 2 * i, b"x"))?;
+                }
+                tx.finish()
+            }));
+        }
+        let results: std::sync::Arc<Mutex<Vec<Vec<u64>>>> =
+            std::sync::Arc::new(Mutex::new(vec![Vec::new(), Vec::new()]));
+        for r in 0..n {
+            let ins = std::mem::take(&mut recvs[r]);
+            let results = results.clone();
+            tasks.push(Task::new(format!("recv{r}"), r, move |w| {
+                let rx = MergingReceiver::new(ins, w.counters().clone());
+                let mut stream = rx.into_stream(None)?;
+                let mut got = Vec::new();
+                while let Some(t) = stream.next_tuple()? {
+                    got.push(tuple_vid(&t)?);
+                }
+                results.lock().unwrap()[r] = got;
+                Ok(())
+            }));
+        }
+        c.execute(tasks).unwrap();
+        let results = results.lock().unwrap();
+        let mut total = 0;
+        for (r, vids) in results.iter().enumerate() {
+            assert!(vids.windows(2).all(|w| w[0] <= w[1]), "receiver {r} unsorted");
+            for &v in vids {
+                assert_eq!(hash_partition(v, n), r);
+            }
+            total += vids.len();
+        }
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn merging_connector_combiner_collapses_duplicates() {
+        let c = cluster(1);
+        let (mut sends, mut recvs) = merging_channels(2, 1);
+        let mut tasks = Vec::new();
+        for s in 0..2 {
+            let txs = std::mem::take(&mut sends[s]);
+            tasks.push(Task::new(format!("send{s}"), 0, move |w| {
+                let mut tx =
+                    MaterializedPartitioner::new(w.file_manager(), txs, w.id(), vec![0])?;
+                for vid in 0..100u64 {
+                    tx.send(&keyed_tuple(vid, &1u64.to_le_bytes()))?;
+                }
+                tx.finish()
+            }));
+        }
+        let ins = std::mem::take(&mut recvs[0]);
+        tasks.push(Task::new("recv", 0, move |w| {
+            let rx = MergingReceiver::new(ins, w.counters().clone());
+            let combine: CombineFn = Box::new(|a, b| {
+                let pa = u64::from_le_bytes(a[8..16].try_into().unwrap());
+                let pb = u64::from_le_bytes(b[8..16].try_into().unwrap());
+                keyed_tuple(tuple_vid(a).unwrap(), &(pa + pb).to_le_bytes())
+            });
+            let mut stream = rx.into_stream(Some(combine))?;
+            let mut count = 0;
+            while let Some(t) = stream.next_tuple()? {
+                let sum = u64::from_le_bytes(t[8..16].try_into().unwrap());
+                assert_eq!(sum, 2, "both senders' contributions combined");
+                count += 1;
+            }
+            assert_eq!(count, 100);
+            Ok(())
+        }));
+        c.execute(tasks).unwrap();
+    }
+
+    #[test]
+    fn aggregator_reduces_to_single_partition() {
+        let c = cluster(3);
+        let (sends, recv) = aggregator_channels(3);
+        let mut tasks = Vec::new();
+        for (s, tx_chan) in sends.into_iter().enumerate() {
+            tasks.push(Task::new(format!("send{s}"), s, move |w| {
+                let mut tx = PartitioningSender::new(
+                    vec![tx_chan],
+                    w.frame_bytes(),
+                    w.id(),
+                    vec![0],
+                    w.counters().clone(),
+                );
+                tx.send_to(0, &keyed_tuple(s as u64, &(s as u64).to_le_bytes()))?;
+                tx.finish()
+            }));
+        }
+        tasks.push(Task::new("agg", 0, move |_| {
+            let mut rx = AggregatorReceiver::new(recv);
+            let mut sum = 0u64;
+            let mut n = 0;
+            while let Some(t) = rx.next_tuple()? {
+                sum += u64::from_le_bytes(t[8..16].try_into().unwrap());
+                n += 1;
+            }
+            assert_eq!(n, 3);
+            assert_eq!(sum, 0 + 1 + 2);
+            Ok(())
+        }));
+        c.execute(tasks).unwrap();
+    }
+
+    #[test]
+    fn backpressure_does_not_deadlock_pipelined_connector() {
+        // One slow receiver, channel capacity CHANNEL_FRAMES: sender must
+        // block and resume rather than deadlock or drop.
+        let c = cluster(2);
+        let (mut sends, mut recvs) = partition_channels(1, 1);
+        let outs = std::mem::take(&mut sends[0]);
+        let ins = std::mem::take(&mut recvs[0]);
+        c.execute(vec![
+            Task::new("send", 0, move |w| {
+                let mut tx = PartitioningSender::new(
+                    outs,
+                    256, // tiny frames -> many frames -> exercises bounding
+                    w.id(),
+                    vec![1],
+                    w.counters().clone(),
+                );
+                for i in 0..50_000u64 {
+                    tx.send(&keyed_tuple(i, &[0u8; 32]))?;
+                }
+                tx.finish()
+            }),
+            Task::new("recv", 1, move |_| {
+                let mut rx = PartitionReceiver::new(ins);
+                let mut n = 0u64;
+                while rx.next_tuple()?.is_some() {
+                    n += 1;
+                }
+                assert_eq!(n, 50_000);
+                Ok(())
+            }),
+        ])
+        .unwrap();
+    }
+}

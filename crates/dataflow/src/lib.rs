@@ -1,0 +1,36 @@
+//! The Hyracks-style shared-nothing dataflow runtime (§4).
+//!
+//! Hyracks executes jobs expressed as DAGs of *operators* (which consume and
+//! produce partitions of data) and *connectors* (which redistribute data
+//! between operator partitions). This crate reproduces the subset Pregelix
+//! leans on:
+//!
+//! * [`cluster`] — the simulated shared-nothing cluster: each worker
+//!   "machine" has its own local disk directory, buffer cache, and failure
+//!   flag; jobs are sets of per-partition tasks spawned as threads pinned to
+//!   workers by location constraints.
+//! * [`scheduler`] — the constraint solver that maps operator partitions to
+//!   workers (absolute/sticky constraints, count constraints), used to keep
+//!   `Vertex`, `Msg` and `Vid` partitions co-located across supersteps
+//!   (§5.3.4).
+//! * [`connector`] — the three data-exchange patterns: the m-to-n
+//!   partitioning connector (fully pipelined, channel-based), the m-to-n
+//!   partitioning **merging** connector (sender-side materializing pipelined
+//!   policy: senders write sorted per-receiver runs, receivers k-way merge
+//!   them), and the aggregator connector (all-to-one).
+//! * [`groupby`] — the three group-by operator implementations (sort-based,
+//!   HashSort, preclustered) and the four parallel message-combination
+//!   strategies of Figure 7 composed from them.
+
+pub mod cluster;
+pub mod connector;
+pub mod groupby;
+pub mod scheduler;
+
+pub use cluster::{Cluster, ClusterConfig, WorkerHandle};
+pub use connector::{
+    partition_channels, AggregatorReceiver, MaterializedPartitioner, MergingReceiver,
+    PartitionReceiver, PartitioningSender,
+};
+pub use groupby::{GroupByStrategy, HashSortGroupBy, PreclusteredGroupBy, SortGroupBy};
+pub use scheduler::{LocationConstraint, Schedule};

@@ -1,0 +1,193 @@
+//! The constraint-based task scheduler (§4 "User-configurable task
+//! scheduling", §5.3.4).
+//!
+//! Hyracks lets a job attach scheduling constraints to each operator; the
+//! scheduler is "a constraint solver that comes up with a schedule
+//! satisfying the user-defined constraints". Pregelix uses this to pin the
+//! join and group-by operators of every superstep to the workers that hold
+//! the corresponding `Vertex` partitions — the *sticky* property that makes
+//! `Msg` and `Vertex` permanently co-partitioned so the per-superstep join
+//! needs no repartitioning.
+
+use pregelix_common::error::{PregelixError, Result};
+
+/// A scheduling constraint for one operator's partitions.
+#[derive(Clone, Debug)]
+pub enum LocationConstraint {
+    /// No preference: partitions are spread round-robin over alive workers.
+    Any,
+    /// Exactly this many partitions, placed round-robin (count constraint).
+    Count(usize),
+    /// Partition `i` must run on worker `absolute[i]` (absolute location
+    /// constraint — the sticky placement for storage-bound operators).
+    Absolute(Vec<usize>),
+    /// Same placement as a previously declared operator (location *choice*
+    /// constraint): partition-for-partition co-location, used to glue the
+    /// group-by to the join.
+    SameAs(usize),
+}
+
+/// One operator's scheduling declaration.
+#[derive(Clone, Debug)]
+pub struct OperatorSpec {
+    /// Diagnostic name.
+    pub name: String,
+    /// Number of partitions (ignored for `Absolute`, which fixes it).
+    pub partitions: usize,
+    /// Placement constraint.
+    pub constraint: LocationConstraint,
+}
+
+impl OperatorSpec {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        partitions: usize,
+        constraint: LocationConstraint,
+    ) -> OperatorSpec {
+        OperatorSpec {
+            name: name.into(),
+            partitions,
+            constraint,
+        }
+    }
+}
+
+/// The solved schedule: `assignment[op][partition] = worker`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    assignments: Vec<Vec<usize>>,
+}
+
+impl Schedule {
+    /// Worker assigned to `(op, partition)`.
+    pub fn worker(&self, op: usize, partition: usize) -> usize {
+        self.assignments[op][partition]
+    }
+
+    /// All partments of operator `op` as a `partition -> worker` slice.
+    pub fn op_assignment(&self, op: usize) -> &[usize] {
+        &self.assignments[op]
+    }
+}
+
+/// Solve the constraints against the set of alive workers.
+///
+/// Fails when an absolute constraint names a failed/unknown worker (the
+/// failure manager then reschedules on fresh machines, §5.5) or when a
+/// `SameAs` refers forward.
+pub fn solve(ops: &[OperatorSpec], alive_workers: &[usize]) -> Result<Schedule> {
+    if alive_workers.is_empty() {
+        return Err(PregelixError::plan("no alive workers to schedule on"));
+    }
+    let mut assignments: Vec<Vec<usize>> = Vec::with_capacity(ops.len());
+    let mut rr = 0usize;
+    for (i, op) in ops.iter().enumerate() {
+        let assignment = match &op.constraint {
+            LocationConstraint::Any => round_robin(op.partitions, alive_workers, &mut rr),
+            LocationConstraint::Count(n) => round_robin(*n, alive_workers, &mut rr),
+            LocationConstraint::Absolute(workers) => {
+                for w in workers {
+                    if !alive_workers.contains(w) {
+                        return Err(PregelixError::plan(format!(
+                            "operator {} pinned to dead/unknown worker {w}",
+                            op.name
+                        )));
+                    }
+                }
+                workers.clone()
+            }
+            LocationConstraint::SameAs(j) => {
+                if *j >= i {
+                    return Err(PregelixError::plan(format!(
+                        "operator {} SameAs({j}) must refer to an earlier operator",
+                        op.name
+                    )));
+                }
+                assignments[*j].clone()
+            }
+        };
+        assignments.push(assignment);
+    }
+    Ok(Schedule { assignments })
+}
+
+fn round_robin(n: usize, alive: &[usize], rr: &mut usize) -> Vec<usize> {
+    (0..n)
+        .map(|_| {
+            let w = alive[*rr % alive.len()];
+            *rr += 1;
+            w
+        })
+        .collect()
+}
+
+/// The sticky partition→worker map Pregelix uses for storage-bound
+/// operators: partition `p` of every relation lives on `alive[p % alive.len()]`
+/// for the lifetime of the loaded graph.
+pub fn sticky_assignment(partitions: usize, alive_workers: &[usize]) -> Vec<usize> {
+    (0..partitions)
+        .map(|p| alive_workers[p % alive_workers.len()])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_spreads_round_robin() {
+        let ops = vec![OperatorSpec::new("scan", 4, LocationConstraint::Any)];
+        let s = solve(&ops, &[0, 1]).unwrap();
+        assert_eq!(s.op_assignment(0), &[0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn absolute_is_respected_and_validated() {
+        let ops = vec![OperatorSpec::new(
+            "join",
+            3,
+            LocationConstraint::Absolute(vec![2, 0, 1]),
+        )];
+        let s = solve(&ops, &[0, 1, 2]).unwrap();
+        assert_eq!(s.op_assignment(0), &[2, 0, 1]);
+        assert_eq!(s.worker(0, 0), 2);
+        // Worker 2 failed: the absolute constraint is now unsatisfiable.
+        assert!(solve(&ops, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn same_as_coschedules() {
+        let ops = vec![
+            OperatorSpec::new("join", 4, LocationConstraint::Absolute(vec![3, 2, 1, 0])),
+            OperatorSpec::new("groupby", 4, LocationConstraint::SameAs(0)),
+        ];
+        let s = solve(&ops, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(s.op_assignment(1), s.op_assignment(0));
+    }
+
+    #[test]
+    fn same_as_forward_reference_rejected() {
+        let ops = vec![OperatorSpec::new("g", 2, LocationConstraint::SameAs(0))];
+        assert!(solve(&ops, &[0]).is_err());
+    }
+
+    #[test]
+    fn count_constraint_controls_partitions() {
+        let ops = vec![OperatorSpec::new("agg", 0, LocationConstraint::Count(1))];
+        let s = solve(&ops, &[5, 7]).unwrap();
+        assert_eq!(s.op_assignment(0).len(), 1);
+    }
+
+    #[test]
+    fn no_workers_is_an_error() {
+        assert!(solve(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn sticky_assignment_is_stable_mod_workers() {
+        assert_eq!(sticky_assignment(5, &[0, 1, 2]), vec![0, 1, 2, 0, 1]);
+        // After worker 1 fails, recovery remaps onto the survivors.
+        assert_eq!(sticky_assignment(5, &[0, 2]), vec![0, 2, 0, 2, 0]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Road-network-like graphs: 2D grids with random edge weights.
+//!
+//! High diameter (≈ 2·side) with narrow SSSP wavefronts — the regime where
+//! the paper's left-outer-join plan wins by an order of magnitude
+//! (Figure 14(a)). At the paper's scale BTC itself has this property
+//! (billions of vertices, wavefronts a tiny fraction of the graph); at our
+//! 1/10,000 scale a random graph's wavefront covers most vertices within a
+//! few hops, so the message-sparse regime is reproduced structurally with
+//! a grid instead. Used by the Figure 14/15 harnesses alongside BTC-like
+//! inputs; documented in DESIGN.md.
+
+use pregelix_common::Vid;
+use rand::prelude::*;
+
+/// An undirected `side × side` grid with uniform random weights in
+/// `1..10`, encoded as symmetric directed records.
+pub fn grid(side: u64, seed: u64) -> Vec<(Vid, Vec<(Vid, f64)>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let idx = |r: u64, c: u64| r * side + c;
+    let mut records: Vec<(Vid, Vec<(Vid, f64)>)> =
+        (0..side * side).map(|v| (v, Vec::new())).collect();
+    for r in 0..side {
+        for c in 0..side {
+            if c + 1 < side {
+                let w = rng.gen_range(1..10) as f64;
+                records[idx(r, c) as usize].1.push((idx(r, c + 1), w));
+                records[idx(r, c + 1) as usize].1.push((idx(r, c), w));
+            }
+            if r + 1 < side {
+                let w = rng.gen_range(1..10) as f64;
+                records[idx(r, c) as usize].1.push((idx(r + 1, c), w));
+                records[idx(r + 1, c) as usize].1.push((idx(r, c), w));
+            }
+        }
+    }
+    for (_, e) in &mut records {
+        e.sort_unstable_by_key(|(d, _)| *d);
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(10, 1);
+        assert_eq!(g.len(), 100);
+        // Corner has 2 edges, interior has 4.
+        assert_eq!(g[0].1.len(), 2);
+        assert_eq!(g[55].1.len(), 4);
+        // Symmetric.
+        for (v, es) in &g {
+            for (d, w) in es {
+                let back = &g[*d as usize].1;
+                assert!(back.iter().any(|(bd, bw)| bd == v && bw == w));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_is_deterministic() {
+        assert_eq!(grid(8, 5), grid(8, 5));
+    }
+}

@@ -1,0 +1,149 @@
+//! Down-sampling and scale-up, following the paper's own methods (§7.1):
+//! random-walk sampling for Webmap samples, copy-and-renumber for BTC
+//! scale-ups.
+
+use pregelix_common::Vid;
+use rand::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// Random-walk down-sample: walk the graph from random restarts until
+/// `target_vertices` distinct vertices are visited, then return the
+/// visited-vertex-induced subgraph, renumbered densely (0..target).
+pub fn random_walk_sample(
+    records: &[(Vid, Vec<(Vid, f64)>)],
+    target_vertices: usize,
+    seed: u64,
+) -> Vec<(Vid, Vec<(Vid, f64)>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let index: HashMap<Vid, usize> = records
+        .iter()
+        .enumerate()
+        .map(|(i, (v, _))| (*v, i))
+        .collect();
+    let target = target_vertices.min(records.len());
+    let mut visited: HashSet<Vid> = HashSet::with_capacity(target);
+    let mut order: Vec<Vid> = Vec::with_capacity(target);
+    let mut current = records[rng.gen_range(0..records.len())].0;
+    let mut steps_since_progress = 0u32;
+    while visited.len() < target {
+        if visited.insert(current) {
+            order.push(current);
+            steps_since_progress = 0;
+        } else {
+            steps_since_progress += 1;
+        }
+        let edges = &records[index[&current]].1;
+        // Restart on dead ends, with 15% teleport (PageRank-style) and on
+        // stagnation.
+        if edges.is_empty() || rng.gen_bool(0.15) || steps_since_progress > 64 {
+            current = records[rng.gen_range(0..records.len())].0;
+            steps_since_progress = 0;
+        } else {
+            current = edges[rng.gen_range(0..edges.len())].0;
+        }
+    }
+    // Renumber by visit order and induce the subgraph.
+    let renumber: HashMap<Vid, Vid> = order
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (*v, i as Vid))
+        .collect();
+    let mut out: Vec<(Vid, Vec<(Vid, f64)>)> = order
+        .iter()
+        .map(|v| {
+            let edges = records[index[v]]
+                .1
+                .iter()
+                .filter_map(|(d, w)| renumber.get(d).map(|nd| (*nd, *w)))
+                .collect();
+            (renumber[v], edges)
+        })
+        .collect();
+    out.sort_unstable_by_key(|(v, _)| *v);
+    out
+}
+
+/// Scale-up by deep copy + renumber (the paper's BTC method): `factor`
+/// disjoint copies of the graph, copy `k`'s vertex `v` renumbered to
+/// `k * n + v`.
+pub fn scale_up(
+    records: &[(Vid, Vec<(Vid, f64)>)],
+    factor: u64,
+) -> Vec<(Vid, Vec<(Vid, f64)>)> {
+    let n = records
+        .iter()
+        .map(|(v, _)| *v + 1)
+        .max()
+        .unwrap_or(0);
+    let mut out = Vec::with_capacity(records.len() * factor as usize);
+    for k in 0..factor {
+        let base = k * n;
+        for (v, edges) in records {
+            out.push((
+                base + v,
+                edges.iter().map(|(d, w)| (base + d, *w)).collect(),
+            ));
+        }
+    }
+    out.sort_unstable_by_key(|(v, _)| *v);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: u64) -> Vec<(Vid, Vec<(Vid, f64)>)> {
+        (0..n)
+            .map(|v| {
+                let e = if v + 1 < n { vec![(v + 1, 1.0)] } else { vec![] };
+                (v, e)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sample_hits_target_size_with_dense_ids() {
+        let g = chain(1000);
+        let s = random_walk_sample(&g, 100, 9);
+        assert_eq!(s.len(), 100);
+        for (i, (v, edges)) in s.iter().enumerate() {
+            assert_eq!(*v, i as Vid, "dense renumbering");
+            for (d, _) in edges {
+                assert!(*d < 100, "edges stay inside the sample");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_larger_than_graph_returns_whole_graph() {
+        let g = chain(10);
+        let s = random_walk_sample(&g, 100, 1);
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn sample_is_deterministic() {
+        let g = chain(500);
+        assert_eq!(
+            random_walk_sample(&g, 50, 7),
+            random_walk_sample(&g, 50, 7)
+        );
+    }
+
+    #[test]
+    fn scale_up_copies_are_disjoint() {
+        let g = vec![(0, vec![(1, 1.0)]), (1, vec![(0, 2.0)])];
+        let s = scale_up(&g, 3);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s[2], (2, vec![(3, 1.0)]));
+        assert_eq!(s[5], (5, vec![(4, 2.0)]));
+        // No cross-copy edges.
+        for (v, edges) in &s {
+            let copy = v / 2;
+            for (d, _) in edges {
+                assert_eq!(d / 2, copy, "edge {v}->{d} crosses copies");
+            }
+        }
+    }
+}

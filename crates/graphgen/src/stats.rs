@@ -1,0 +1,106 @@
+//! Dataset statistics in the shape of Tables 3 and 4.
+
+use pregelix_common::Vid;
+use serde::Serialize;
+
+/// One row of a Table-3/4-style dataset table.
+#[derive(Clone, Debug, Serialize)]
+pub struct DatasetStats {
+    /// Ladder name.
+    pub name: String,
+    /// Size of the text encoding in bytes (the tables' "Size" column; for
+    /// us this is also the bytes that cross the DFS at load time).
+    pub size_bytes: u64,
+    /// Vertex count.
+    pub vertices: u64,
+    /// Directed edge count.
+    pub edges: u64,
+    /// Average (out-)degree.
+    pub avg_degree: f64,
+}
+
+impl DatasetStats {
+    /// Compute statistics for a record set.
+    pub fn of(name: &str, records: &[(Vid, Vec<(Vid, f64)>)]) -> DatasetStats {
+        let vertices = records.len() as u64;
+        let edges: u64 = records.iter().map(|(_, e)| e.len() as u64).sum();
+        let size_bytes = records
+            .iter()
+            .map(|(v, e)| {
+                // "vid" + per edge " dst:w.w" — matches text.rs's encoding.
+                digits(*v) + e.iter().map(|(d, _)| digits(*d) + 5).sum::<u64>() + 1
+            })
+            .sum();
+        DatasetStats {
+            name: name.to_string(),
+            size_bytes,
+            vertices,
+            edges,
+            avg_degree: if vertices == 0 {
+                0.0
+            } else {
+                edges as f64 / vertices as f64
+            },
+        }
+    }
+
+    /// Human-readable size.
+    pub fn size_human(&self) -> String {
+        let b = self.size_bytes as f64;
+        if b >= 1024.0 * 1024.0 {
+            format!("{:.2}MB", b / (1024.0 * 1024.0))
+        } else if b >= 1024.0 {
+            format!("{:.2}KB", b / 1024.0)
+        } else {
+            format!("{b}B")
+        }
+    }
+
+    /// One table row: `Name Size #Vertices #Edges AvgDegree`.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<8} {:>10} {:>12} {:>12} {:>8.2}",
+            self.name,
+            self.size_human(),
+            self.vertices,
+            self.edges,
+            self.avg_degree
+        )
+    }
+}
+
+fn digits(mut v: u64) -> u64 {
+    let mut n = 1;
+    while v >= 10 {
+        v /= 10;
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_count_correctly() {
+        let records = vec![
+            (0u64, vec![(1, 1.0), (2, 1.0)]),
+            (1, vec![(2, 1.0)]),
+            (2, vec![]),
+        ];
+        let s = DatasetStats::of("Test", &records);
+        assert_eq!(s.vertices, 3);
+        assert_eq!(s.edges, 3);
+        assert!((s.avg_degree - 1.0).abs() < 1e-9);
+        assert!(s.size_bytes > 0);
+        assert!(s.row().contains("Test"));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let s = DatasetStats::of("Empty", &[]);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.avg_degree, 0.0);
+    }
+}

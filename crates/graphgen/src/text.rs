@@ -1,0 +1,49 @@
+//! Text encoding of adjacency records, matching `pregelix-core`'s input
+//! format (`src dst1:w dst2:w ...`).
+
+use pregelix_common::dfs::SimDfs;
+use pregelix_common::error::Result;
+use pregelix_common::Vid;
+use std::fmt::Write as _;
+
+/// Render records as input text.
+pub fn to_text(records: &[(Vid, Vec<(Vid, f64)>)]) -> String {
+    let mut out = String::new();
+    for (v, edges) in records {
+        let _ = write!(out, "{v}");
+        for (d, w) in edges {
+            if (*w - 1.0).abs() < f64::EPSILON {
+                let _ = write!(out, " {d}");
+            } else {
+                let _ = write!(out, " {d}:{w}");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write records to a DFS path as a single input file.
+pub fn write_to_dfs(
+    dfs: &SimDfs,
+    path: &str,
+    records: &[(Vid, Vec<(Vid, f64)>)],
+) -> Result<()> {
+    dfs.write(path, to_text(records).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_roundtrips_through_core_parser() {
+        let records = vec![
+            (0u64, vec![(1, 1.0), (2, 2.5)]),
+            (1, vec![]),
+            (2, vec![(0, 1.0)]),
+        ];
+        let text = to_text(&records);
+        assert_eq!(text, "0 1 2:2.5\n1\n2 0\n");
+    }
+}

@@ -1,0 +1,174 @@
+//! Webmap-like directed power-law graphs (Table 3 substitute).
+//!
+//! An R-MAT generator (Chakrabarti et al.) with the canonical
+//! (0.57, 0.19, 0.19, 0.05) quadrant probabilities produces the skewed
+//! in/out-degree distribution characteristic of web crawls — the property
+//! PageRank's cost structure (hub message fan-in, combiner effectiveness)
+//! depends on. The ladder reproduces Table 3's *relative* proportions at
+//! 1/10,000 scale: the largest instance is generated directly and the
+//! smaller ones are random-walk down-samples of it, the paper's own
+//! sampling methodology (§7.1 footnote 7).
+
+use crate::sample::random_walk_sample;
+use crate::Dataset;
+use pregelix_common::Vid;
+use rand::prelude::*;
+
+/// R-MAT edge generator over `2^scale` vertices.
+pub fn rmat_edges(scale: u32, edges: u64, seed: u64) -> Vec<(Vid, Vid)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 1u64 << scale;
+    let mut out = Vec::with_capacity(edges as usize);
+    for _ in 0..edges {
+        let (mut x0, mut x1) = (0u64, n);
+        let (mut y0, mut y1) = (0u64, n);
+        while x1 - x0 > 1 {
+            let mx = (x0 + x1) / 2;
+            let my = (y0 + y1) / 2;
+            let r: f64 = rng.gen();
+            // Quadrant probabilities a=0.57, b=0.19, c=0.19, d=0.05 with
+            // a little noise to avoid exact self-similar striping.
+            let noise: f64 = rng.gen_range(-0.01..0.01);
+            if r < 0.57 + noise {
+                x1 = mx;
+                y1 = my;
+            } else if r < 0.76 {
+                x1 = mx;
+                y0 = my;
+            } else if r < 0.95 {
+                x0 = mx;
+                y1 = my;
+            } else {
+                x0 = mx;
+                y0 = my;
+            }
+        }
+        if x0 != y0 {
+            out.push((x0, y0));
+        }
+    }
+    out
+}
+
+/// Build adjacency records from a directed edge list over `n` vertices
+/// (every vertex 0..n gets a record, matching crawl datasets where every
+/// page is listed).
+pub fn to_records(n: u64, edges: &[(Vid, Vid)]) -> Vec<(Vid, Vec<(Vid, f64)>)> {
+    let mut adj: Vec<Vec<(Vid, f64)>> = vec![Vec::new(); n as usize];
+    for &(s, d) in edges {
+        adj[s as usize].push((d, 1.0));
+    }
+    adj.into_iter()
+        .enumerate()
+        .map(|(v, mut e)| {
+            e.sort_unstable_by_key(|(d, _)| *d);
+            e.dedup_by_key(|(d, _)| *d);
+            (v as Vid, e)
+        })
+        .collect()
+}
+
+/// Generate one Webmap-like graph: `2^scale` vertices, `avg_degree`
+/// average out-degree.
+pub fn webmap(scale: u32, avg_degree: f64, seed: u64) -> Vec<(Vid, Vec<(Vid, f64)>)> {
+    let n = 1u64 << scale;
+    let edges = rmat_edges(scale, (n as f64 * avg_degree) as u64, seed);
+    to_records(n, &edges)
+}
+
+/// The Table-3 ladder at 1/10,000 scale. Proportions match the paper:
+///
+/// | Name | Paper #V | Here #V (≈) | Paper avg degree |
+/// |---|---|---|---|
+/// | Large | 1.41 B | 2^17 ≈ 131 k | 5.69 |
+/// | Medium | 710 M | sample ≈ 66 k | 4.15 |
+/// | Small | 143 M | sample ≈ 13 k | 10.27 |
+/// | X-Small | 75.6 M | sample ≈ 7 k | 14.31 |
+/// | Tiny | 25.4 M | sample ≈ 2.4 k | 12.02 |
+///
+/// Large is generated; the rest are random-walk samples of it (per the
+/// paper's methodology), so degree shape is inherited rather than resampled.
+pub fn webmap_ladder(seed: u64) -> Vec<Dataset> {
+    let large = webmap(17, 5.69, seed);
+    let n_large = large.len() as u64;
+    let mut ladder = Vec::with_capacity(5);
+    // Sample fractions tuned to the paper's vertex-count ratios.
+    let fractions: [(&'static str, f64); 4] = [
+        ("Medium", 710.0 / 1413.0),
+        ("Small", 143.0 / 1413.0),
+        ("X-Small", 75.6 / 1413.0),
+        ("Tiny", 25.4 / 1413.0),
+    ];
+    for (name, frac) in fractions {
+        let target = (n_large as f64 * frac) as usize;
+        let records = random_walk_sample(&large, target, seed ^ 0xABCD);
+        ladder.push(Dataset { name, records });
+    }
+    ladder.push(Dataset {
+        name: "Large",
+        records: large,
+    });
+    ladder.reverse(); // Large, X… no: order Tiny..Large ascending
+    ladder.sort_by_key(|d| d.records.len());
+    ladder
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_degrees_are_skewed() {
+        let records = webmap(12, 8.0, 7);
+        assert_eq!(records.len(), 4096);
+        let mut degrees: Vec<usize> = records.iter().map(|(_, e)| e.len()).collect();
+        degrees.sort_unstable();
+        let max = *degrees.last().unwrap();
+        let median = degrees[degrees.len() / 2];
+        assert!(
+            max > median.max(1) * 10,
+            "power law expected: max {max} vs median {median}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = webmap(10, 4.0, 5);
+        let b = webmap(10, 4.0, 5);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn ladder_is_ascending_and_complete() {
+        let ladder = webmap_ladder(3);
+        assert_eq!(ladder.len(), 5);
+        let names: Vec<&str> = ladder.iter().map(|d| d.name).collect();
+        assert_eq!(names, vec!["Tiny", "X-Small", "Small", "Medium", "Large"]);
+        for pair in ladder.windows(2) {
+            assert!(pair[0].records.len() < pair[1].records.len());
+        }
+        // Vertex-count proportions roughly match Table 3.
+        let large = ladder[4].records.len() as f64;
+        let tiny = ladder[0].records.len() as f64;
+        let ratio = tiny / large;
+        assert!(
+            (0.005..0.08).contains(&ratio),
+            "tiny/large ratio {ratio} out of band"
+        );
+    }
+
+    #[test]
+    fn records_have_no_self_loops_or_duplicate_edges() {
+        let records = webmap(11, 6.0, 9);
+        for (v, edges) in &records {
+            let mut seen = std::collections::HashSet::new();
+            for (d, _) in edges {
+                assert_ne!(d, v, "self loop at {v}");
+                assert!(seen.insert(*d), "duplicate edge {v}->{d}");
+            }
+        }
+    }
+}

@@ -1,0 +1,1077 @@
+//! A disk-based B-tree over the buffer cache.
+//!
+//! This is the `Vertex` relation's default access method (§5.2): "A B-tree
+//! index performs well on jobs that frequently update vertex data in-place,
+//! e.g., PageRank." Keys are arbitrary byte strings compared as memcmp
+//! (Pregelix uses 8-byte big-endian vids); values are arbitrary bytes, with
+//! values too large to inline (high-degree vertices) transparently spilled
+//! to chained overflow pages.
+//!
+//! Supported operations: [`BTree::bulk_load`] (the initial graph load and
+//! checkpoint recovery path), point [`BTree::search`], ordered full scans
+//! ([`BTree::scan`]) used by the index full-outer join, point probes used by
+//! the index left-outer join, and [`BTree::insert`] / [`BTree::update`] /
+//! [`BTree::delete`] used by in-place vertex updates and graph mutations.
+//!
+//! Deletion does not rebalance (underfull pages persist until the next bulk
+//! rebuild); graph-mutation-heavy workloads are steered to the LSM B-tree
+//! instead, exactly as §5.2 advises.
+
+use crate::cache::BufferCache;
+use crate::file::{FileId, PageId};
+use crate::page::{PageMut, PageRef, PageType, HEADER_LEN, NO_PAGE};
+use pregelix_common::error::{PregelixError, Result};
+
+/// Value-encoding tags used inside leaf entries.
+const TAG_INLINE: u8 = 0;
+const TAG_OVERFLOW: u8 = 1;
+
+/// Meta-page magic for corruption detection on open.
+const META_MAGIC: u64 = 0x5052_4547_4C58_4254; // "PREGLXBT"
+
+/// A B-tree bound to one file of a worker's buffer cache.
+pub struct BTree {
+    cache: BufferCache,
+    file: FileId,
+    root: PageId,
+    height: u8,
+    /// Recycled overflow pages (in-memory only; see module docs).
+    free_overflow: Vec<PageId>,
+}
+
+impl BTree {
+    /// Create a fresh, empty tree in a new file.
+    pub fn create(cache: BufferCache) -> Result<BTree> {
+        let file = cache.file_manager().create()?;
+        Self::create_in(cache, file)
+    }
+
+    /// Re-initialise an existing file as a fresh, empty tree, reusing the
+    /// file id and disk space. Any cached pages of the file are discarded.
+    /// This is the cheap path for indexes rebuilt every superstep (`Vid`).
+    pub fn recreate(self) -> Result<BTree> {
+        let cache = self.cache.clone();
+        let file = self.file;
+        cache.purge_file(file, false)?;
+        cache.file_manager().truncate(file)?;
+        Self::create_in(cache, file)
+    }
+
+    fn create_in(cache: BufferCache, file: FileId) -> Result<BTree> {
+        // Page 0: meta. Page 1: empty leaf root.
+        let (meta_id, meta) = cache.new_page(file)?;
+        debug_assert_eq!(meta_id, 0);
+        let (root_id, root) = cache.new_page(file)?;
+        {
+            let mut buf = root.write();
+            PageMut::init(&mut buf, PageType::Leaf, 0);
+        }
+        drop(root);
+        let tree = BTree {
+            cache,
+            file,
+            root: root_id,
+            height: 1,
+            free_overflow: Vec::new(),
+        };
+        {
+            let mut buf = meta.write();
+            tree.write_meta(&mut buf);
+        }
+        drop(meta);
+        Ok(tree)
+    }
+
+    /// Re-open a tree persisted in `file` (used by checkpoint recovery and
+    /// LSM disk components).
+    pub fn open(cache: BufferCache, file: FileId) -> Result<BTree> {
+        let meta = cache.pin(file, 0)?;
+        let buf = meta.read();
+        if buf.len() < 32 || u64::from_le_bytes(buf[0..8].try_into().expect("8")) != META_MAGIC {
+            return Err(PregelixError::corrupt("bad B-tree meta page"));
+        }
+        let root = u64::from_le_bytes(buf[8..16].try_into().expect("8"));
+        let height = buf[16];
+        drop(buf);
+        Ok(BTree {
+            cache,
+            file,
+            root,
+            height,
+            free_overflow: Vec::new(),
+        })
+    }
+
+    fn write_meta(&self, buf: &mut [u8]) {
+        buf[0..8].copy_from_slice(&META_MAGIC.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.root.to_le_bytes());
+        buf[16] = self.height;
+    }
+
+    fn sync_meta(&self) -> Result<()> {
+        let meta = self.cache.pin(self.file, 0)?;
+        let mut buf = meta.write();
+        self.write_meta(&mut buf);
+        Ok(())
+    }
+
+    /// The file holding this tree.
+    pub fn file(&self) -> FileId {
+        self.file
+    }
+
+    /// The buffer cache this tree reads through.
+    pub fn cache(&self) -> &BufferCache {
+        &self.cache
+    }
+
+    /// Tree height (1 = root is a leaf).
+    pub fn height(&self) -> u8 {
+        self.height
+    }
+
+    /// Write back all dirty pages (meta included) so [`BTree::open`] sees
+    /// the current state after a cache purge or process restart.
+    pub fn flush(&self) -> Result<()> {
+        self.sync_meta()?;
+        self.cache.flush_file(self.file)
+    }
+
+    /// Delete the backing file (consumes the tree).
+    pub fn destroy(self) -> Result<()> {
+        self.cache.purge_file(self.file, false)?;
+        self.cache.file_manager().delete(self.file)
+    }
+
+    // ------------------------------------------------------------------
+    // Value encoding: inline vs overflow
+    // ------------------------------------------------------------------
+
+    /// Largest encoded leaf entry we inline: a leaf page must always be able
+    /// to hold at least 4 entries.
+    fn max_inline_entry(&self) -> usize {
+        (self.cache.page_size() - HEADER_LEN) / 4 - 2
+    }
+
+    fn overflow_chunk_capacity(&self) -> usize {
+        self.cache.page_size() - HEADER_LEN
+    }
+
+    fn alloc_overflow_page(&mut self) -> Result<PageId> {
+        if let Some(p) = self.free_overflow.pop() {
+            return Ok(p);
+        }
+        let (pid, guard) = self.cache.new_page(self.file)?;
+        drop(guard);
+        Ok(pid)
+    }
+
+    /// Encode `value` for storage in a leaf: inline when small, otherwise
+    /// spilled to an overflow chain.
+    fn encode_value(&mut self, key_len: usize, value: &[u8]) -> Result<Vec<u8>> {
+        let inline_entry = PageMut::entry_size(key_len, 1 + value.len());
+        if inline_entry <= self.max_inline_entry() {
+            let mut out = Vec::with_capacity(1 + value.len());
+            out.push(TAG_INLINE);
+            out.extend_from_slice(value);
+            return Ok(out);
+        }
+        // Spill to an overflow chain, last chunk first so each page can
+        // point at the next.
+        let cap = self.overflow_chunk_capacity();
+        let mut next = NO_PAGE;
+        let mut start = (value.len() / cap) * cap;
+        if start == value.len() && start > 0 {
+            start -= cap;
+        }
+        loop {
+            let chunk = &value[start..(start + cap).min(value.len())];
+            let pid = self.alloc_overflow_page()?;
+            let guard = self.cache.pin(self.file, pid)?;
+            {
+                let mut buf = guard.write();
+                let mut p = PageMut::init(&mut buf, PageType::Overflow, 0);
+                p.set_next_page(next);
+                // Chunk length in header bytes 8..12; data from HEADER_LEN.
+                buf[8..12].copy_from_slice(&(chunk.len() as u32).to_le_bytes());
+                buf[HEADER_LEN..HEADER_LEN + chunk.len()].copy_from_slice(chunk);
+            }
+            next = pid;
+            if start == 0 {
+                break;
+            }
+            start -= cap;
+        }
+        let mut out = Vec::with_capacity(17);
+        out.push(TAG_OVERFLOW);
+        out.extend_from_slice(&(value.len() as u64).to_le_bytes());
+        out.extend_from_slice(&next.to_le_bytes());
+        Ok(out)
+    }
+
+    /// Decode a stored leaf value, following overflow chains.
+    fn decode_value(&self, stored: &[u8]) -> Result<Vec<u8>> {
+        match stored.first() {
+            Some(&TAG_INLINE) => Ok(stored[1..].to_vec()),
+            Some(&TAG_OVERFLOW) => {
+                if stored.len() != 17 {
+                    return Err(PregelixError::corrupt("bad overflow pointer"));
+                }
+                let total = u64::from_le_bytes(stored[1..9].try_into().expect("8")) as usize;
+                let mut page = u64::from_le_bytes(stored[9..17].try_into().expect("8"));
+                let mut out = Vec::with_capacity(total);
+                while page != NO_PAGE {
+                    let guard = self.cache.pin(self.file, page)?;
+                    let buf = guard.read();
+                    let r = PageRef::new(&buf);
+                    if r.page_type()? != PageType::Overflow {
+                        return Err(PregelixError::corrupt("overflow chain hit non-overflow page"));
+                    }
+                    let len = u32::from_le_bytes(buf[8..12].try_into().expect("4")) as usize;
+                    out.extend_from_slice(&buf[HEADER_LEN..HEADER_LEN + len]);
+                    page = r.next_page();
+                }
+                if out.len() != total {
+                    return Err(PregelixError::corrupt(format!(
+                        "overflow chain length {} != recorded {total}",
+                        out.len()
+                    )));
+                }
+                Ok(out)
+            }
+            _ => Err(PregelixError::corrupt("empty leaf value")),
+        }
+    }
+
+    /// Recycle the overflow chain behind a stored value (if any).
+    fn free_value(&mut self, stored: &[u8]) -> Result<()> {
+        if stored.first() == Some(&TAG_OVERFLOW) && stored.len() == 17 {
+            let mut page = u64::from_le_bytes(stored[9..17].try_into().expect("8"));
+            while page != NO_PAGE {
+                let guard = self.cache.pin(self.file, page)?;
+                let next = {
+                    let buf = guard.read();
+                    PageRef::new(&buf).next_page()
+                };
+                self.free_overflow.push(page);
+                page = next;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Search and scan
+    // ------------------------------------------------------------------
+
+    /// Descend to the leaf that would contain `key`.
+    fn find_leaf(&self, key: &[u8]) -> Result<PageId> {
+        let mut page = self.root;
+        loop {
+            let guard = self.cache.pin(self.file, page)?;
+            let buf = guard.read();
+            let r = PageRef::new(&buf);
+            match r.page_type()? {
+                PageType::Leaf => return Ok(page),
+                PageType::Interior => {
+                    let idx = match r.search(key) {
+                        Ok(i) => i,
+                        Err(0) => 0,
+                        Err(i) => i - 1,
+                    };
+                    let child = u64::from_le_bytes(r.value(idx).try_into().map_err(|_| {
+                        PregelixError::corrupt("interior value is not a child pointer")
+                    })?);
+                    drop(buf);
+                    page = child;
+                }
+                t => return Err(PregelixError::corrupt(format!("unexpected page type {t:?}"))),
+            }
+        }
+    }
+
+    /// Point lookup: the value stored under `key`, if present.
+    pub fn search(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let leaf = self.find_leaf(key)?;
+        let guard = self.cache.pin(self.file, leaf)?;
+        let buf = guard.read();
+        let r = PageRef::new(&buf);
+        match r.search(key) {
+            Ok(i) => {
+                let stored = r.value(i).to_vec();
+                drop(buf);
+                drop(guard);
+                Ok(Some(self.decode_value(&stored)?))
+            }
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Whether `key` is present (no value materialisation, so overflow
+    /// chains are not followed).
+    pub fn contains(&self, key: &[u8]) -> Result<bool> {
+        let leaf = self.find_leaf(key)?;
+        let guard = self.cache.pin(self.file, leaf)?;
+        let buf = guard.read();
+        Ok(PageRef::new(&buf).search(key).is_ok())
+    }
+
+    /// Ordered scan over the whole tree.
+    pub fn scan(&self) -> Result<BTreeScanner<'_>> {
+        // Leftmost leaf: descend always taking child 0.
+        let mut page = self.root;
+        loop {
+            let guard = self.cache.pin(self.file, page)?;
+            let buf = guard.read();
+            let r = PageRef::new(&buf);
+            match r.page_type()? {
+                PageType::Leaf => break,
+                PageType::Interior => {
+                    let child =
+                        u64::from_le_bytes(r.value(0).try_into().expect("child pointer"));
+                    drop(buf);
+                    page = child;
+                }
+                t => return Err(PregelixError::corrupt(format!("unexpected page type {t:?}"))),
+            }
+        }
+        BTreeScanner::start(self, page, None)
+    }
+
+    /// Ordered scan starting at the first key `>= from`.
+    pub fn scan_from(&self, from: &[u8]) -> Result<BTreeScanner<'_>> {
+        let leaf = self.find_leaf(from)?;
+        BTreeScanner::start(self, leaf, Some(from.to_vec()))
+    }
+
+    /// Total number of live entries (walks every leaf).
+    pub fn count(&self) -> Result<u64> {
+        let mut n = 0u64;
+        let mut scan = self.scan()?;
+        while scan.next_entry()?.is_some() {
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation
+    // ------------------------------------------------------------------
+
+    /// Insert a new key. Fails with a storage error if the key exists (use
+    /// [`BTree::upsert`] for replace-or-insert semantics).
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        if key.len() + 8 > self.max_inline_entry() {
+            return Err(PregelixError::storage("key too large for page"));
+        }
+        let stored = self.encode_value(key.len(), value)?;
+        if let Some((sep, right)) = self.insert_rec(self.root, key, &stored, false)? {
+            self.grow_root(sep, right)?;
+        }
+        Ok(())
+    }
+
+    /// Insert or replace.
+    pub fn upsert(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        if self.update(key, value)? {
+            return Ok(());
+        }
+        self.insert(key, value)
+    }
+
+    /// Replace the value of an existing key. Returns `false` when absent.
+    pub fn update(&mut self, key: &[u8], value: &[u8]) -> Result<bool> {
+        let leaf = self.find_leaf(key)?;
+        // Read the old stored value first so overflow pages can be recycled
+        // and so a failed in-page replace can fall back to a split-insert.
+        let old_stored = {
+            let guard = self.cache.pin(self.file, leaf)?;
+            let buf = guard.read();
+            let r = PageRef::new(&buf);
+            match r.search(key) {
+                Ok(i) => r.value(i).to_vec(),
+                Err(_) => return Ok(false),
+            }
+        };
+        self.free_value(&old_stored)?;
+        let stored = self.encode_value(key.len(), value)?;
+        let guard = self.cache.pin(self.file, leaf)?;
+        let replaced = {
+            let mut buf = guard.write();
+            let mut p = PageMut::new(&mut buf);
+            match p.as_ref().search(key) {
+                Ok(i) => p.replace_value(i, &stored),
+                Err(_) => {
+                    return Err(PregelixError::internal(
+                        "key vanished between pins (single-writer discipline violated)",
+                    ))
+                }
+            }
+        };
+        drop(guard);
+        if !replaced {
+            // The entry was removed inside `replace_value`; re-insert via
+            // the split-capable path. `stored` is already encoded, so use
+            // the raw insertion routine.
+            if let Some((sep, right)) = self.insert_rec(self.root, key, &stored, true)? {
+                self.grow_root(sep, right)?;
+            }
+        }
+        Ok(true)
+    }
+
+    /// Remove a key. Returns `false` when absent. Pages are never merged;
+    /// empty leaves remain in the sibling chain and scans skip them.
+    pub fn delete(&mut self, key: &[u8]) -> Result<bool> {
+        let leaf = self.find_leaf(key)?;
+        let old_stored = {
+            let guard = self.cache.pin(self.file, leaf)?;
+            let mut buf = guard.write();
+            let mut p = PageMut::new(&mut buf);
+            match p.as_ref().search(key) {
+                Ok(i) => {
+                    let stored = p.as_ref().value(i).to_vec();
+                    p.remove(i);
+                    stored
+                }
+                Err(_) => return Ok(false),
+            }
+        };
+        self.free_value(&old_stored)?;
+        Ok(true)
+    }
+
+    /// Recursive insert of an already-encoded value. `allow_replace` is used
+    /// by the update fallback (the key is known absent then, so it is moot,
+    /// but kept for clarity of the two call sites).
+    fn insert_rec(
+        &mut self,
+        page: PageId,
+        key: &[u8],
+        stored: &[u8],
+        _allow_replace: bool,
+    ) -> Result<Option<(Vec<u8>, PageId)>> {
+        let (ptype, level) = {
+            let guard = self.cache.pin(self.file, page)?;
+            let buf = guard.read();
+            let r = PageRef::new(&buf);
+            (r.page_type()?, r.level())
+        };
+        match ptype {
+            PageType::Leaf => self.leaf_insert(page, key, stored),
+            PageType::Interior => {
+                let (idx, child) = {
+                    let guard = self.cache.pin(self.file, page)?;
+                    let buf = guard.read();
+                    let r = PageRef::new(&buf);
+                    let idx = match r.search(key) {
+                        Ok(i) => i,
+                        Err(0) => 0,
+                        Err(i) => i - 1,
+                    };
+                    (
+                        idx,
+                        u64::from_le_bytes(r.value(idx).try_into().expect("child pointer")),
+                    )
+                };
+                let _ = idx;
+                if let Some((sep, right)) = self.insert_rec(child, key, stored, _allow_replace)? {
+                    return self.interior_insert(page, level, &sep, right);
+                }
+                Ok(None)
+            }
+            t => Err(PregelixError::corrupt(format!("unexpected page type {t:?}"))),
+        }
+    }
+
+    fn leaf_insert(
+        &mut self,
+        page: PageId,
+        key: &[u8],
+        stored: &[u8],
+    ) -> Result<Option<(Vec<u8>, PageId)>> {
+        // Fast path: fits in place.
+        {
+            let guard = self.cache.pin(self.file, page)?;
+            let mut buf = guard.write();
+            let mut p = PageMut::new(&mut buf);
+            match p.as_ref().search(key) {
+                Ok(_) => {
+                    return Err(PregelixError::storage(format!(
+                        "duplicate key insert ({} bytes)",
+                        key.len()
+                    )))
+                }
+                Err(pos) => {
+                    if p.insert_at(pos, key, stored) {
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+        // Split. Allocate the right sibling, move the upper half, then
+        // insert into whichever side owns the key.
+        let (right_id, right_guard) = self.cache.new_page(self.file)?;
+        let left_guard = self.cache.pin(self.file, page)?;
+        let sep = {
+            let mut lbuf = left_guard.write();
+            let mut rbuf = right_guard.write();
+            let mut left = PageMut::new(&mut lbuf);
+            let mut right = PageMut::init(&mut rbuf, PageType::Leaf, 0);
+            right.set_next_page(left.as_ref().next_page());
+            let sep = left.split_into(&mut right);
+            left.set_next_page(right_id);
+            // Insert into the owning side.
+            let target = if key < sep.as_slice() {
+                &mut left
+            } else {
+                &mut right
+            };
+            let pos = target
+                .as_ref()
+                .search(key)
+                .expect_err("key known absent");
+            if !target.insert_at(pos, key, stored) {
+                return Err(PregelixError::storage(
+                    "entry does not fit in a half-empty page (tuple too large)",
+                ));
+            }
+            sep
+        };
+        Ok(Some((sep, right_id)))
+    }
+
+    fn interior_insert(
+        &mut self,
+        page: PageId,
+        level: u8,
+        sep: &[u8],
+        child: PageId,
+    ) -> Result<Option<(Vec<u8>, PageId)>> {
+        let child_bytes = child.to_le_bytes();
+        {
+            let guard = self.cache.pin(self.file, page)?;
+            let mut buf = guard.write();
+            let mut p = PageMut::new(&mut buf);
+            let pos = match p.as_ref().search(sep) {
+                Ok(i) => i + 1, // duplicate separators cannot happen with unique keys
+                Err(i) => i,
+            };
+            if p.insert_at(pos, sep, &child_bytes) {
+                return Ok(None);
+            }
+        }
+        let (right_id, right_guard) = self.cache.new_page(self.file)?;
+        let left_guard = self.cache.pin(self.file, page)?;
+        let up_sep = {
+            let mut lbuf = left_guard.write();
+            let mut rbuf = right_guard.write();
+            let mut left = PageMut::new(&mut lbuf);
+            let mut right = PageMut::init(&mut rbuf, PageType::Interior, level);
+            let up = left.split_into(&mut right);
+            let target = if sep < up.as_slice() {
+                &mut left
+            } else {
+                &mut right
+            };
+            let pos = match target.as_ref().search(sep) {
+                Ok(i) => i + 1,
+                Err(i) => i,
+            };
+            if !target.insert_at(pos, sep, &child_bytes) {
+                return Err(PregelixError::storage("separator does not fit after split"));
+            }
+            up
+        };
+        Ok(Some((up_sep, right_id)))
+    }
+
+    fn grow_root(&mut self, sep: Vec<u8>, right: PageId) -> Result<()> {
+        let old_root = self.root;
+        let (new_root_id, guard) = self.cache.new_page(self.file)?;
+        {
+            let mut buf = guard.write();
+            let mut p = PageMut::init(&mut buf, PageType::Interior, self.height);
+            // Leftmost child keyed by the empty string (compares lowest).
+            let ok1 = p.append(b"", &old_root.to_le_bytes());
+            let ok2 = p.append(&sep, &right.to_le_bytes());
+            debug_assert!(ok1 && ok2, "fresh root must fit two entries");
+        }
+        self.root = new_root_id;
+        self.height += 1;
+        self.sync_meta()
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk load
+    // ------------------------------------------------------------------
+
+    /// Build the tree from key-sorted `(key, value)` pairs. The tree must be
+    /// freshly created and empty. `fill` is the leaf fill factor in (0, 1];
+    /// bulk loads that will see in-place growth should leave slack.
+    ///
+    /// This is the graph-load path (§5.2): scan HDFS input, partition, sort
+    /// by vid, bulk load one tree per partition. Also the recovery path
+    /// (§5.5).
+    pub fn bulk_load<I>(&mut self, entries: I, fill: f64) -> Result<()>
+    where
+        I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    {
+        let fill = fill.clamp(0.1, 1.0);
+        let budget = ((self.cache.page_size() - HEADER_LEN) as f64 * fill) as usize;
+        // Current leaf being filled = the initial empty root leaf.
+        let mut leaves: Vec<(Vec<u8>, PageId)> = Vec::new(); // (first_key, page)
+        let mut cur_leaf = self.root;
+        let mut cur_first: Option<Vec<u8>> = None;
+        let mut cur_used = 0usize;
+        let mut last_key: Option<Vec<u8>> = None;
+
+        for (key, value) in entries {
+            if let Some(prev) = &last_key {
+                if *prev >= key {
+                    return Err(PregelixError::storage(
+                        "bulk load input not strictly key-sorted",
+                    ));
+                }
+            }
+            let stored = self.encode_value(key.len(), &value)?;
+            let entry = PageMut::entry_size(key.len(), stored.len()) + 2;
+            if cur_first.is_some() && cur_used + entry > budget {
+                // Seal current leaf, start a new one.
+                leaves.push((cur_first.take().expect("non-empty leaf"), cur_leaf));
+                let (new_id, new_guard) = self.cache.new_page(self.file)?;
+                {
+                    let mut buf = new_guard.write();
+                    PageMut::init(&mut buf, PageType::Leaf, 0);
+                }
+                let prev_guard = self.cache.pin(self.file, cur_leaf)?;
+                {
+                    let mut buf = prev_guard.write();
+                    PageMut::new(&mut buf).set_next_page(new_id);
+                }
+                cur_leaf = new_id;
+                cur_used = 0;
+            }
+            let guard = self.cache.pin(self.file, cur_leaf)?;
+            {
+                let mut buf = guard.write();
+                let mut p = PageMut::new(&mut buf);
+                if !p.append(&key, &stored) {
+                    return Err(PregelixError::storage(
+                        "bulk-load entry exceeds page capacity",
+                    ));
+                }
+            }
+            if cur_first.is_none() {
+                cur_first = Some(key.clone());
+            }
+            cur_used += entry;
+            last_key = Some(key);
+        }
+        if let Some(first) = cur_first {
+            leaves.push((first, cur_leaf));
+        }
+        if leaves.len() <= 1 {
+            // Root stays the single leaf.
+            return self.sync_meta();
+        }
+
+        // Build interior levels bottom-up.
+        let mut level_nodes = leaves;
+        let mut level = 1u8;
+        while level_nodes.len() > 1 {
+            let mut next_level: Vec<(Vec<u8>, PageId)> = Vec::new();
+            let mut cur: Option<(PageId, Vec<u8>)> = None; // (page, first_key)
+            for (i, (first_key, child)) in level_nodes.iter().enumerate() {
+                // The first entry of each interior node uses the empty key
+                // so descents for keys below the first separator still land
+                // in the leftmost child.
+                let entry_key: &[u8] = if cur.is_none() { b"" } else { first_key };
+                if cur.is_none() {
+                    let (pid, guard) = self.cache.new_page(self.file)?;
+                    {
+                        let mut buf = guard.write();
+                        PageMut::init(&mut buf, PageType::Interior, level);
+                    }
+                    cur = Some((pid, first_key.clone()));
+                    let _ = i;
+                }
+                let (pid, _) = cur.as_ref().expect("just set");
+                let pid = *pid;
+                let guard = self.cache.pin(self.file, pid)?;
+                let appended = {
+                    let mut buf = guard.write();
+                    let mut p = PageMut::new(&mut buf);
+                    p.append(entry_key, &child.to_le_bytes())
+                };
+                if !appended {
+                    // Seal this interior node, open another, retry entry.
+                    let (done_pid, done_first) = cur.take().expect("open node");
+                    next_level.push((done_first, done_pid));
+                    let (npid, nguard) = self.cache.new_page(self.file)?;
+                    {
+                        let mut buf = nguard.write();
+                        let mut p = PageMut::init(&mut buf, PageType::Interior, level);
+                        let ok = p.append(b"", &child.to_le_bytes());
+                        debug_assert!(ok, "fresh interior fits one entry");
+                    }
+                    cur = Some((npid, first_key.clone()));
+                }
+            }
+            let (pid, first) = cur.expect("at least one node per level");
+            next_level.push((first, pid));
+            level_nodes = next_level;
+            level += 1;
+        }
+        self.root = level_nodes[0].1;
+        self.height = level;
+        self.sync_meta()
+    }
+}
+
+/// Ordered scanner over a B-tree's live entries, batching one leaf at a
+/// time. Values are fully materialised (overflow chains resolved).
+pub struct BTreeScanner<'a> {
+    tree: &'a BTree,
+    batch: Vec<(Vec<u8>, Vec<u8>)>,
+    idx: usize,
+    next_leaf: u64,
+}
+
+impl<'a> BTreeScanner<'a> {
+    fn start(tree: &'a BTree, leaf: PageId, from: Option<Vec<u8>>) -> Result<Self> {
+        let mut s = BTreeScanner {
+            tree,
+            batch: Vec::new(),
+            idx: 0,
+            next_leaf: leaf,
+        };
+        s.load_next_leaf(from.as_deref())?;
+        Ok(s)
+    }
+
+    fn load_next_leaf(&mut self, from: Option<&[u8]>) -> Result<bool> {
+        loop {
+            if self.next_leaf == NO_PAGE {
+                self.batch.clear();
+                self.idx = 0;
+                return Ok(false);
+            }
+            let stored: Vec<(Vec<u8>, Vec<u8>)> = {
+                let guard = self.tree.cache.pin(self.tree.file, self.next_leaf)?;
+                let buf = guard.read();
+                let r = PageRef::new(&buf);
+                self.next_leaf = r.next_page();
+                let start = match from {
+                    Some(k) => match r.search(k) {
+                        Ok(i) => i,
+                        Err(i) => i,
+                    },
+                    None => 0,
+                };
+                (start..r.len())
+                    .map(|i| {
+                        let (k, v) = r.entry(i);
+                        (k.to_vec(), v.to_vec())
+                    })
+                    .collect()
+            };
+            // Resolve overflow values outside the page pin.
+            self.batch.clear();
+            for (k, stored_v) in stored {
+                self.batch.push((k, self.tree.decode_value(&stored_v)?));
+            }
+            self.idx = 0;
+            if !self.batch.is_empty() {
+                return Ok(true);
+            }
+            // Empty leaf (all entries deleted): keep walking the chain, and
+            // `from` only applies to the first leaf.
+            if self.next_leaf == NO_PAGE {
+                return Ok(false);
+            }
+        }
+    }
+
+    /// The next `(key, value)` in key order, or `None` at the end.
+    pub fn next_entry(&mut self) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        if self.idx >= self.batch.len() && !self.load_next_leaf(None)? {
+            return Ok(None);
+        }
+        let item = std::mem::take(&mut self.batch[self.idx]);
+        self.idx += 1;
+        Ok(Some(item))
+    }
+
+    /// Peek at the next key without consuming the entry.
+    pub fn peek_key(&mut self) -> Result<Option<&[u8]>> {
+        if self.idx >= self.batch.len() && !self.load_next_leaf(None)? {
+            return Ok(None);
+        }
+        Ok(Some(&self.batch[self.idx].0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::{FileManager, TempDir};
+    use pregelix_common::stats::ClusterCounters;
+    use rand::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn make_cache(capacity: usize, page_size: usize) -> (BufferCache, TempDir) {
+        let dir = TempDir::new("btree").unwrap();
+        let fm = FileManager::new(dir.path(), page_size, ClusterCounters::new()).unwrap();
+        (BufferCache::new(fm, capacity), dir)
+    }
+
+    fn k(v: u64) -> Vec<u8> {
+        v.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let (cache, _d) = make_cache(64, 512);
+        let t = BTree::create(cache).unwrap();
+        assert_eq!(t.search(&k(1)).unwrap(), None);
+        assert_eq!(t.count().unwrap(), 0);
+        let mut s = t.scan().unwrap();
+        assert!(s.next_entry().unwrap().is_none());
+    }
+
+    #[test]
+    fn insert_search_small() {
+        let (cache, _d) = make_cache(64, 512);
+        let mut t = BTree::create(cache).unwrap();
+        for v in [5u64, 1, 9, 3] {
+            t.insert(&k(v), format!("val{v}").as_bytes()).unwrap();
+        }
+        assert_eq!(t.search(&k(9)).unwrap().unwrap(), b"val9");
+        assert_eq!(t.search(&k(4)).unwrap(), None);
+        assert!(t.contains(&k(1)).unwrap());
+        assert_eq!(t.count().unwrap(), 4);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let (cache, _d) = make_cache(64, 512);
+        let mut t = BTree::create(cache).unwrap();
+        t.insert(&k(1), b"a").unwrap();
+        assert!(t.insert(&k(1), b"b").is_err());
+        t.upsert(&k(1), b"b").unwrap();
+        assert_eq!(t.search(&k(1)).unwrap().unwrap(), b"b");
+    }
+
+    #[test]
+    fn many_inserts_split_and_stay_sorted() {
+        let (cache, _d) = make_cache(256, 256);
+        let mut t = BTree::create(cache).unwrap();
+        let mut vids: Vec<u64> = (0..2000).collect();
+        vids.shuffle(&mut StdRng::seed_from_u64(7));
+        for v in &vids {
+            t.insert(&k(*v), &v.to_le_bytes()).unwrap();
+        }
+        assert!(t.height() > 1, "tree must have split");
+        // Full ordered scan.
+        let mut scan = t.scan().unwrap();
+        let mut expect = 0u64;
+        while let Some((key, val)) = scan.next_entry().unwrap() {
+            assert_eq!(key, k(expect));
+            assert_eq!(val, expect.to_le_bytes());
+            expect += 1;
+        }
+        assert_eq!(expect, 2000);
+        // Point lookups.
+        for v in [0u64, 1, 999, 1999] {
+            assert_eq!(t.search(&k(v)).unwrap().unwrap(), v.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn updates_in_place_and_with_growth() {
+        let (cache, _d) = make_cache(256, 256);
+        let mut t = BTree::create(cache).unwrap();
+        for v in 0..500u64 {
+            t.insert(&k(v), &[1u8; 8]).unwrap();
+        }
+        // Same-size updates (PageRank-style).
+        for v in 0..500u64 {
+            assert!(t.update(&k(v), &v.to_le_bytes()).unwrap());
+        }
+        assert_eq!(t.search(&k(123)).unwrap().unwrap(), 123u64.to_le_bytes());
+        // Growing updates force removes/reinserts and possibly splits.
+        for v in 0..500u64 {
+            let grown = vec![v as u8; 40];
+            assert!(t.update(&k(v), &grown).unwrap());
+        }
+        for v in (0..500u64).step_by(37) {
+            assert_eq!(t.search(&k(v)).unwrap().unwrap(), vec![v as u8; 40]);
+        }
+        assert_eq!(t.count().unwrap(), 500);
+        assert!(!t.update(&k(10_000), b"x").unwrap());
+    }
+
+    #[test]
+    fn delete_removes_and_scan_skips() {
+        let (cache, _d) = make_cache(256, 256);
+        let mut t = BTree::create(cache).unwrap();
+        for v in 0..300u64 {
+            t.insert(&k(v), b"v").unwrap();
+        }
+        for v in (0..300u64).filter(|v| v % 2 == 0) {
+            assert!(t.delete(&k(v)).unwrap());
+        }
+        assert!(!t.delete(&k(0)).unwrap(), "double delete is a no-op");
+        assert_eq!(t.count().unwrap(), 150);
+        let mut scan = t.scan().unwrap();
+        while let Some((key, _)) = scan.next_entry().unwrap() {
+            let v = u64::from_be_bytes(key.try_into().unwrap());
+            assert_eq!(v % 2, 1);
+        }
+    }
+
+    #[test]
+    fn bulk_load_builds_multi_level_tree() {
+        let (cache, _d) = make_cache(256, 256);
+        let mut t = BTree::create(cache).unwrap();
+        let entries: Vec<_> = (0..5000u64).map(|v| (k(v), v.to_le_bytes().to_vec())).collect();
+        t.bulk_load(entries, 0.9).unwrap();
+        assert!(t.height() >= 3, "5000 entries on 256B pages needs 3+ levels");
+        assert_eq!(t.count().unwrap(), 5000);
+        for v in [0u64, 1, 2499, 4999] {
+            assert_eq!(t.search(&k(v)).unwrap().unwrap(), v.to_le_bytes());
+        }
+        assert_eq!(t.search(&k(5000)).unwrap(), None);
+        // scan_from starts mid-tree.
+        let mut s = t.scan_from(&k(4990)).unwrap();
+        let mut seen = 0;
+        while s.next_entry().unwrap().is_some() {
+            seen += 1;
+        }
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn bulk_load_rejects_unsorted_input() {
+        let (cache, _d) = make_cache(64, 256);
+        let mut t = BTree::create(cache).unwrap();
+        let entries = vec![(k(2), vec![]), (k(1), vec![])];
+        assert!(t.bulk_load(entries, 0.9).is_err());
+    }
+
+    #[test]
+    fn inserts_after_bulk_load() {
+        let (cache, _d) = make_cache(256, 256);
+        let mut t = BTree::create(cache).unwrap();
+        let entries: Vec<_> = (0..1000u64).map(|v| (k(v * 2), vec![0u8; 8])).collect();
+        t.bulk_load(entries, 0.8).unwrap();
+        for v in 0..1000u64 {
+            t.insert(&k(v * 2 + 1), &[1u8; 8]).unwrap();
+        }
+        assert_eq!(t.count().unwrap(), 2000);
+        let mut scan = t.scan().unwrap();
+        let mut prev: Option<Vec<u8>> = None;
+        while let Some((key, _)) = scan.next_entry().unwrap() {
+            if let Some(p) = &prev {
+                assert!(*p < key);
+            }
+            prev = Some(key);
+        }
+    }
+
+    #[test]
+    fn overflow_values_roundtrip() {
+        let (cache, _d) = make_cache(64, 256);
+        let mut t = BTree::create(cache).unwrap();
+        let big = (0..10_000u32).map(|i| i as u8).collect::<Vec<_>>();
+        t.insert(&k(7), &big).unwrap();
+        t.insert(&k(8), b"small").unwrap();
+        assert_eq!(t.search(&k(7)).unwrap().unwrap(), big);
+        assert_eq!(t.search(&k(8)).unwrap().unwrap(), b"small");
+        // Update the big value: old chain recycled, new content visible.
+        let bigger = vec![0xCD; 20_000];
+        assert!(t.update(&k(7), &bigger).unwrap());
+        assert_eq!(t.search(&k(7)).unwrap().unwrap(), bigger);
+        // Scan resolves overflow too.
+        let mut scan = t.scan().unwrap();
+        let (key, val) = scan.next_entry().unwrap().unwrap();
+        assert_eq!(key, k(7));
+        assert_eq!(val.len(), 20_000);
+    }
+
+    #[test]
+    fn flush_and_reopen() {
+        let (cache, _d) = make_cache(256, 256);
+        let file;
+        {
+            let mut t = BTree::create(cache.clone()).unwrap();
+            file = t.file();
+            for v in 0..800u64 {
+                t.insert(&k(v), &v.to_le_bytes()).unwrap();
+            }
+            t.flush().unwrap();
+        }
+        cache.purge_file(file, true).unwrap();
+        let t = BTree::open(cache, file).unwrap();
+        assert_eq!(t.count().unwrap(), 800);
+        assert_eq!(t.search(&k(321)).unwrap().unwrap(), 321u64.to_le_bytes());
+    }
+
+    #[test]
+    fn works_under_tiny_cache_out_of_core() {
+        // 8-page cache, 256B pages = 2KB of "RAM" holding a ~64KB tree.
+        let (cache, _d) = make_cache(8, 256);
+        let mut t = BTree::create(cache.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut reference = BTreeMap::new();
+        for _ in 0..3000 {
+            let key = rng.gen_range(0..1500u64);
+            let val = vec![rng.gen::<u8>(); rng.gen_range(1..30)];
+            t.upsert(&k(key), &val).unwrap();
+            reference.insert(key, val);
+        }
+        for (key, val) in &reference {
+            assert_eq!(t.search(&k(*key)).unwrap().unwrap(), *val);
+        }
+        assert_eq!(t.count().unwrap() as usize, reference.len());
+        assert!(
+            cache.file_manager().counters().cache_evictions() > 0,
+            "tiny cache must have evicted"
+        );
+    }
+
+    #[test]
+    fn randomised_against_reference_model() {
+        let (cache, _d) = make_cache(128, 256);
+        let mut t = BTree::create(cache).unwrap();
+        let mut model = BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(2024);
+        for step in 0..5000 {
+            let key = rng.gen_range(0..800u64);
+            match rng.gen_range(0..10) {
+                0..=5 => {
+                    let val = vec![(step % 251) as u8; rng.gen_range(0..20)];
+                    t.upsert(&k(key), &val).unwrap();
+                    model.insert(key, val);
+                }
+                6..=7 => {
+                    let expected = model.remove(&key).is_some();
+                    assert_eq!(t.delete(&k(key)).unwrap(), expected);
+                }
+                _ => {
+                    assert_eq!(t.search(&k(key)).unwrap(), model.get(&key).cloned());
+                }
+            }
+        }
+        // Final full comparison via scan.
+        let mut scan = t.scan().unwrap();
+        let mut model_iter = model.iter();
+        while let Some((key, val)) = scan.next_entry().unwrap() {
+            let (mk, mv) = model_iter.next().expect("model shorter than tree");
+            assert_eq!(key, k(*mk));
+            assert_eq!(&val, mv);
+        }
+        assert!(model_iter.next().is_none(), "tree shorter than model");
+    }
+}

@@ -1,0 +1,412 @@
+//! The buffer cache: a bounded pool of page frames with LRU replacement.
+//!
+//! This is the mechanism behind the paper's transparent out-of-core support
+//! (§5.4): "B-trees and LSM-trees both leverage a buffer cache that caches
+//! partition pages and gracefully spills to disk only when necessary using a
+//! standard replacement policy, i.e., LRU." Access methods never touch the
+//! [`FileManager`] directly; they pin pages here, and the pool size — set
+//! from the worker's simulated RAM budget — is what decides whether a given
+//! workload runs memory-resident or disk-based.
+
+use crate::file::{FileId, FileManager, PageId};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use pregelix_common::error::Result;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A page resident in the cache.
+struct PageSlot {
+    key: (FileId, PageId),
+    pins: AtomicU32,
+    dirty: AtomicBool,
+    /// Tick of the most recent unpin; used to invalidate stale LRU entries.
+    lru_tick: AtomicU64,
+    data: RwLock<Vec<u8>>,
+}
+
+struct CacheState {
+    map: HashMap<(FileId, PageId), Arc<PageSlot>>,
+    /// Approximate LRU queue: `(key, tick)` entries; an entry is live only if
+    /// the slot's current `lru_tick` equals `tick` (stale entries are skipped
+    /// during eviction, giving amortised O(1) maintenance).
+    lru: VecDeque<((FileId, PageId), u64)>,
+    next_tick: u64,
+}
+
+struct Inner {
+    fm: FileManager,
+    capacity: usize,
+    state: Mutex<CacheState>,
+}
+
+/// Shared handle to a worker's buffer cache. Cheap to clone.
+#[derive(Clone)]
+pub struct BufferCache {
+    inner: Arc<Inner>,
+}
+
+impl BufferCache {
+    /// Create a cache over `fm` holding at most `capacity_pages` unpinned
+    /// pages. A capacity of at least 8 pages is enforced so that a single
+    /// B-tree root-to-leaf path plus a bulk-load frontier always fits.
+    pub fn new(fm: FileManager, capacity_pages: usize) -> Self {
+        BufferCache {
+            inner: Arc::new(Inner {
+                fm,
+                capacity: capacity_pages.max(8),
+                state: Mutex::new(CacheState {
+                    map: HashMap::new(),
+                    lru: VecDeque::new(),
+                    next_tick: 0,
+                }),
+            }),
+        }
+    }
+
+    /// Build a cache whose page budget is `budget_bytes` of the worker's
+    /// simulated RAM.
+    pub fn with_byte_budget(fm: FileManager, budget_bytes: usize) -> Self {
+        let pages = budget_bytes / fm.page_size();
+        Self::new(fm, pages)
+    }
+
+    /// The underlying file manager.
+    pub fn file_manager(&self) -> &FileManager {
+        &self.inner.fm
+    }
+
+    /// The page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.inner.fm.page_size()
+    }
+
+    /// Maximum resident pages.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Pages currently resident.
+    pub fn resident(&self) -> usize {
+        self.inner.state.lock().map.len()
+    }
+
+    /// Pin an existing page, reading it from disk on a miss.
+    pub fn pin(&self, file: FileId, page: PageId) -> Result<PageGuard> {
+        let counters = self.inner.fm.counters().clone();
+        {
+            let state = self.inner.state.lock();
+            if let Some(slot) = state.map.get(&(file, page)) {
+                slot.pins.fetch_add(1, Ordering::Relaxed);
+                counters.add_cache_hits(1);
+                let slot = Arc::clone(slot);
+                drop(state);
+                return Ok(PageGuard {
+                    cache: self.clone(),
+                    slot,
+                });
+            }
+        }
+        counters.add_cache_misses(1);
+        // Read outside the lock, then insert (racing pins of the same page
+        // are resolved by re-checking the map).
+        let mut buf = vec![0u8; self.page_size()];
+        self.inner.fm.read_page(file, page, &mut buf)?;
+        self.insert_slot(file, page, buf, false)
+    }
+
+    /// Allocate and pin a fresh page of `file`, zero-initialised and dirty.
+    pub fn new_page(&self, file: FileId) -> Result<(PageId, PageGuard)> {
+        let page = self.inner.fm.allocate_page(file)?;
+        let buf = vec![0u8; self.page_size()];
+        let guard = self.insert_slot(file, page, buf, true)?;
+        Ok((page, guard))
+    }
+
+    fn insert_slot(
+        &self,
+        file: FileId,
+        page: PageId,
+        buf: Vec<u8>,
+        dirty: bool,
+    ) -> Result<PageGuard> {
+        let mut state = self.inner.state.lock();
+        // Another thread may have inserted the same page while we were
+        // reading it; prefer the existing slot (our read is discarded).
+        if let Some(slot) = state.map.get(&(file, page)) {
+            slot.pins.fetch_add(1, Ordering::Relaxed);
+            let slot = Arc::clone(slot);
+            drop(state);
+            return Ok(PageGuard {
+                cache: self.clone(),
+                slot,
+            });
+        }
+        self.evict_to_fit(&mut state)?;
+        let slot = Arc::new(PageSlot {
+            key: (file, page),
+            pins: AtomicU32::new(1),
+            dirty: AtomicBool::new(dirty),
+            lru_tick: AtomicU64::new(0),
+            data: RwLock::new(buf),
+        });
+        state.map.insert((file, page), Arc::clone(&slot));
+        drop(state);
+        Ok(PageGuard {
+            cache: self.clone(),
+            slot,
+        })
+    }
+
+    /// Evict unpinned LRU pages until there is room for one more. Pinned
+    /// pages are skipped; if everything is pinned the cache temporarily
+    /// overflows (the pin discipline of the access methods keeps pinned
+    /// working sets to a handful of pages).
+    fn evict_to_fit(&self, state: &mut CacheState) -> Result<()> {
+        while state.map.len() >= self.inner.capacity {
+            let mut evicted = false;
+            while let Some((key, tick)) = state.lru.pop_front() {
+                let Some(slot) = state.map.get(&key) else {
+                    continue; // already gone
+                };
+                if slot.lru_tick.load(Ordering::Relaxed) != tick {
+                    continue; // stale entry; a fresher one exists
+                }
+                if slot.pins.load(Ordering::Relaxed) != 0 {
+                    continue; // pinned; its next unpin re-queues it
+                }
+                let slot = state.map.remove(&key).expect("checked above");
+                // Write back outside the LRU bookkeeping but under the state
+                // lock: the slot is no longer reachable, so nobody can pin it
+                // while we flush.
+                if slot.dirty.load(Ordering::Relaxed) {
+                    let data = slot.data.read();
+                    self.inner.fm.write_page(key.0, key.1, &data)?;
+                }
+                self.inner.fm.counters().add_cache_evictions(1);
+                evicted = true;
+                break;
+            }
+            if !evicted {
+                // All resident pages pinned: allow overflow.
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn unpin(&self, slot: &Arc<PageSlot>) {
+        let mut state = self.inner.state.lock();
+        let prev = slot.pins.fetch_sub(1, Ordering::Relaxed);
+        debug_assert!(prev >= 1, "unpin without pin");
+        if prev == 1 {
+            let tick = state.next_tick;
+            state.next_tick += 1;
+            slot.lru_tick.store(tick, Ordering::Relaxed);
+            state.lru.push_back((slot.key, tick));
+        }
+    }
+
+    /// Write back all dirty pages of `file` (pages stay cached).
+    pub fn flush_file(&self, file: FileId) -> Result<()> {
+        let state = self.inner.state.lock();
+        for (key, slot) in state.map.iter() {
+            if key.0 == file && slot.dirty.swap(false, Ordering::Relaxed) {
+                let data = slot.data.read();
+                self.inner.fm.write_page(key.0, key.1, &data)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop all of `file`'s pages from the cache. With `write_back` the dirty
+    /// ones are flushed first; without it they are discarded (used right
+    /// before file deletion). Panics in debug builds if any page is pinned.
+    pub fn purge_file(&self, file: FileId, write_back: bool) -> Result<()> {
+        let mut state = self.inner.state.lock();
+        let keys: Vec<_> = state
+            .map
+            .keys()
+            .filter(|k| k.0 == file)
+            .copied()
+            .collect();
+        for key in keys {
+            let slot = state.map.remove(&key).expect("listed above");
+            debug_assert_eq!(
+                slot.pins.load(Ordering::Relaxed),
+                0,
+                "purging pinned page {key:?}"
+            );
+            if write_back && slot.dirty.load(Ordering::Relaxed) {
+                let data = slot.data.read();
+                self.inner.fm.write_page(key.0, key.1, &data)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A pinned page. The page cannot be evicted while a guard exists; dropping
+/// the guard unpins it and makes it an LRU candidate again.
+pub struct PageGuard {
+    cache: BufferCache,
+    slot: Arc<PageSlot>,
+}
+
+impl PageGuard {
+    /// The `(file, page)` identity of the pinned page.
+    pub fn key(&self) -> (FileId, PageId) {
+        self.slot.key
+    }
+
+    /// The page id within its file.
+    pub fn page_id(&self) -> PageId {
+        self.slot.key.1
+    }
+
+    /// Read access to the page bytes.
+    pub fn read(&self) -> RwLockReadGuard<'_, Vec<u8>> {
+        self.slot.data.read()
+    }
+
+    /// Write access to the page bytes; marks the page dirty.
+    pub fn write(&self) -> RwLockWriteGuard<'_, Vec<u8>> {
+        self.slot.dirty.store(true, Ordering::Relaxed);
+        self.slot.data.write()
+    }
+}
+
+impl Drop for PageGuard {
+    fn drop(&mut self) {
+        self.cache.unpin(&self.slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::TempDir;
+    use pregelix_common::stats::ClusterCounters;
+
+    fn cache(capacity: usize) -> (BufferCache, TempDir) {
+        let dir = TempDir::new("cache").unwrap();
+        let fm = FileManager::new(dir.path(), 64, ClusterCounters::new()).unwrap();
+        (BufferCache::new(fm, capacity), dir)
+    }
+
+    #[test]
+    fn new_page_roundtrips_through_cache() {
+        let (c, _d) = cache(8);
+        let f = c.file_manager().create().unwrap();
+        let (pid, g) = c.new_page(f).unwrap();
+        g.write()[0] = 0xAB;
+        drop(g);
+        let g = c.pin(f, pid).unwrap();
+        assert_eq!(g.read()[0], 0xAB);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let (c, _d) = cache(8);
+        let f = c.file_manager().create().unwrap();
+        let mut ids = Vec::new();
+        for i in 0..32u8 {
+            let (pid, g) = c.new_page(f).unwrap();
+            g.write()[0] = i;
+            ids.push(pid);
+        }
+        assert!(c.resident() <= 8);
+        // All pages readable with their data intact despite eviction.
+        for (i, pid) in ids.iter().enumerate() {
+            let g = c.pin(f, *pid).unwrap();
+            assert_eq!(g.read()[0], i as u8, "page {pid}");
+        }
+        assert!(c.file_manager().counters().cache_evictions() >= 24);
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure() {
+        let (c, _d) = cache(8);
+        let f = c.file_manager().create().unwrap();
+        let (pid, g) = c.new_page(f).unwrap();
+        g.write()[0] = 0x77;
+        // Flood the cache while holding the pin.
+        for _ in 0..64 {
+            let (_, h) = c.new_page(f).unwrap();
+            drop(h);
+        }
+        assert_eq!(g.read()[0], 0x77);
+        assert_eq!(g.page_id(), pid);
+    }
+
+    #[test]
+    fn hits_and_misses_counted() {
+        let (c, _d) = cache(8);
+        let f = c.file_manager().create().unwrap();
+        let (pid, g) = c.new_page(f).unwrap();
+        drop(g);
+        let _g = c.pin(f, pid).unwrap(); // hit
+        let counters = c.file_manager().counters();
+        assert_eq!(counters.cache_hits(), 1);
+        // Evict, then re-pin: miss.
+        drop(_g);
+        for _ in 0..16 {
+            let (_, h) = c.new_page(f).unwrap();
+            drop(h);
+        }
+        let _g = c.pin(f, pid).unwrap();
+        assert!(counters.cache_misses() >= 1);
+    }
+
+    #[test]
+    fn flush_then_purge_then_reload() {
+        let (c, _d) = cache(8);
+        let f = c.file_manager().create().unwrap();
+        let (pid, g) = c.new_page(f).unwrap();
+        g.write()[3] = 9;
+        drop(g);
+        c.flush_file(f).unwrap();
+        c.purge_file(f, false).unwrap();
+        assert_eq!(c.resident(), 0);
+        let g = c.pin(f, pid).unwrap();
+        assert_eq!(g.read()[3], 9);
+    }
+
+    #[test]
+    fn purge_without_writeback_discards_changes() {
+        let (c, _d) = cache(8);
+        let f = c.file_manager().create().unwrap();
+        let (pid, g) = c.new_page(f).unwrap();
+        g.write()[0] = 1;
+        drop(g);
+        c.flush_file(f).unwrap();
+        let g = c.pin(f, pid).unwrap();
+        g.write()[0] = 2;
+        drop(g);
+        c.purge_file(f, false).unwrap();
+        let g = c.pin(f, pid).unwrap();
+        assert_eq!(g.read()[0], 1, "dirty change must be discarded");
+    }
+
+    #[test]
+    fn concurrent_pins_of_same_page() {
+        let (c, _d) = cache(8);
+        let f = c.file_manager().create().unwrap();
+        let (pid, g) = c.new_page(f).unwrap();
+        g.write()[0] = 5;
+        drop(g);
+        c.flush_file(f).unwrap();
+        c.purge_file(f, false).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let g = c.pin(f, pid).unwrap();
+                        assert_eq!(g.read()[0], 5);
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,474 @@
+//! The LSM B-tree access method.
+//!
+//! §5.2: "An LSM B-tree index performs well when the size of vertex data is
+//! changed drastically from superstep to superstep, or when the algorithm
+//! performs frequent graph mutations, e.g., the path merging algorithm in
+//! genome assemblers."
+//!
+//! Structure: one in-memory component (a `BTreeMap` holding live values and
+//! tombstones, charged against a budget) plus a stack of immutable on-disk
+//! components, each a bulk-loaded [`BTree`]. Updates and deletes go to the
+//! in-memory component; when it exceeds its budget it is flushed to a new
+//! disk component. When the number of disk components exceeds the merge
+//! threshold they are merged into one (a *full* merge, so tombstones can be
+//! dropped). Lookups consult newest-to-oldest; scans k-way-merge all
+//! components with newest-wins semantics.
+//!
+//! Disk-component values are tagged: `0` = live value bytes follow, `1` =
+//! tombstone.
+
+use crate::btree::{BTree, BTreeScanner};
+use crate::cache::BufferCache;
+use pregelix_common::error::Result;
+use std::collections::BTreeMap;
+
+const LIVE: u8 = 0;
+const TOMBSTONE: u8 = 1;
+
+/// An LSM B-tree bound to a worker's buffer cache.
+pub struct LsmBTree {
+    cache: BufferCache,
+    mem: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    mem_bytes: usize,
+    mem_budget: usize,
+    /// Disk components, newest last.
+    components: Vec<BTree>,
+    merge_threshold: usize,
+}
+
+impl LsmBTree {
+    /// Create an empty LSM tree. `mem_budget` bounds the in-memory
+    /// component; `merge_threshold` caps the number of disk components
+    /// before a full merge.
+    pub fn create(cache: BufferCache, mem_budget: usize, merge_threshold: usize) -> LsmBTree {
+        LsmBTree {
+            cache,
+            mem: BTreeMap::new(),
+            mem_bytes: 0,
+            mem_budget: mem_budget.max(4096),
+            components: Vec::new(),
+            merge_threshold: merge_threshold.max(2),
+        }
+    }
+
+    /// Bulk load key-sorted entries as the initial disk component. The tree
+    /// must be empty. This is the graph-load and checkpoint-recovery path
+    /// for LSM-backed `Vertex` partitions.
+    pub fn bulk_load<I>(&mut self, entries: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    {
+        debug_assert!(self.mem.is_empty() && self.components.is_empty());
+        let mut tree = BTree::create(self.cache.clone())?;
+        tree.bulk_load(
+            entries.into_iter().map(|(k, v)| (k, encode(Some(&v)))),
+            1.0,
+        )?;
+        tree.flush()?;
+        self.components.push(tree);
+        Ok(())
+    }
+
+    /// Number of on-disk components (diagnostics / tests).
+    pub fn disk_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Bytes held by the in-memory component.
+    pub fn mem_bytes(&self) -> usize {
+        self.mem_bytes
+    }
+
+    fn charge(&mut self, key: &[u8], value: Option<&[u8]>) {
+        self.mem_bytes += key.len() + value.map_or(0, |v| v.len()) + 48;
+    }
+
+    /// Insert or replace a key.
+    pub fn upsert(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.charge(key, Some(value));
+        self.mem.insert(key.to_vec(), Some(value.to_vec()));
+        self.maybe_flush()
+    }
+
+    /// Delete a key (tombstone). Deleting an absent key is a no-op that
+    /// still writes a tombstone, matching LSM semantics.
+    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        self.charge(key, None);
+        self.mem.insert(key.to_vec(), None);
+        self.maybe_flush()
+    }
+
+    /// Point lookup across all components, newest first.
+    pub fn search(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        if let Some(entry) = self.mem.get(key) {
+            return Ok(entry.clone());
+        }
+        for comp in self.components.iter().rev() {
+            if let Some(stored) = comp.search(key)? {
+                return Ok(decode(&stored)?);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Whether `key` currently has a live value.
+    pub fn contains(&self, key: &[u8]) -> Result<bool> {
+        Ok(self.search(key)?.is_some())
+    }
+
+    /// Count live entries (full scan).
+    pub fn count(&self) -> Result<u64> {
+        let mut scan = self.scan()?;
+        let mut n = 0;
+        while scan.next_entry()?.is_some() {
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    fn maybe_flush(&mut self) -> Result<()> {
+        if self.mem_bytes > self.mem_budget {
+            self.flush_mem()?;
+        }
+        if self.components.len() > self.merge_threshold {
+            self.merge_all()?;
+        }
+        Ok(())
+    }
+
+    /// Flush the in-memory component to a new disk component. Public so
+    /// checkpointing can force a flush (§5.5).
+    pub fn flush_mem(&mut self) -> Result<()> {
+        if self.mem.is_empty() {
+            return Ok(());
+        }
+        let mut tree = BTree::create(self.cache.clone())?;
+        let entries = std::mem::take(&mut self.mem)
+            .into_iter()
+            .map(|(k, v)| (k, encode(v.as_deref())));
+        tree.bulk_load(entries, 1.0)?;
+        tree.flush()?;
+        self.mem_bytes = 0;
+        self.components.push(tree);
+        Ok(())
+    }
+
+    /// Merge all disk components into one, dropping tombstones (a full merge
+    /// sees every component, so a tombstone can never shadow anything
+    /// older than itself).
+    pub fn merge_all(&mut self) -> Result<()> {
+        if self.components.len() <= 1 {
+            return Ok(());
+        }
+        let old = std::mem::take(&mut self.components);
+        let merged_entries = {
+            let mut scanners: Vec<BTreeScanner<'_>> = Vec::with_capacity(old.len());
+            for t in &old {
+                scanners.push(t.scan()?);
+            }
+            // newest-wins k-way merge; scanner index = age (larger = newer).
+            let mut heads: Vec<Option<(Vec<u8>, Vec<u8>)>> = Vec::new();
+            for s in &mut scanners {
+                heads.push(s.next_entry()?);
+            }
+            let mut out: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+            loop {
+                // Find the minimal key among heads; among equals, the newest
+                // component (highest index) wins and the rest are skipped.
+                let mut min_key: Option<&[u8]> = None;
+                for h in heads.iter().flatten() {
+                    match min_key {
+                        None => min_key = Some(&h.0),
+                        Some(mk) if h.0.as_slice() < mk => min_key = Some(&h.0),
+                        _ => {}
+                    }
+                }
+                let Some(min_key) = min_key.map(|k| k.to_vec()) else {
+                    break;
+                };
+                let mut winner: Option<Vec<u8>> = None;
+                for (i, h) in heads.iter_mut().enumerate() {
+                    if let Some((k, v)) = h {
+                        if *k == min_key {
+                            winner = Some(std::mem::take(v)); // later i overwrite: newest wins
+                            *h = scanners[i].next_entry()?;
+                        }
+                    }
+                }
+                let stored = winner.expect("some head matched min key");
+                if stored.first() == Some(&LIVE) {
+                    out.push((min_key, stored));
+                }
+            }
+            out
+        };
+        let mut merged = BTree::create(self.cache.clone())?;
+        merged.bulk_load(merged_entries, 1.0)?;
+        merged.flush()?;
+        for t in old {
+            t.destroy()?;
+        }
+        self.components.push(merged);
+        Ok(())
+    }
+
+    /// Ordered scan over live entries across all components.
+    pub fn scan(&self) -> Result<LsmScanner<'_>> {
+        let mut scanners = Vec::with_capacity(self.components.len());
+        let mut heads = Vec::with_capacity(self.components.len());
+        for t in &self.components {
+            let mut s = t.scan()?;
+            heads.push(s.next_entry()?);
+            scanners.push(s);
+        }
+        Ok(LsmScanner {
+            mem: self.mem.range::<Vec<u8>, _>(..),
+            mem_head: None,
+            scanners,
+            heads,
+            primed: false,
+        })
+    }
+
+    /// Ordered scan over live entries with key `>= from`.
+    pub fn scan_from(&self, from: &[u8]) -> Result<LsmScanner<'_>> {
+        let mut scanners = Vec::with_capacity(self.components.len());
+        let mut heads = Vec::with_capacity(self.components.len());
+        for t in &self.components {
+            let mut s = t.scan_from(from)?;
+            heads.push(s.next_entry()?);
+            scanners.push(s);
+        }
+        Ok(LsmScanner {
+            mem: self.mem.range::<Vec<u8>, _>(from.to_vec()..),
+            mem_head: None,
+            scanners,
+            heads,
+            primed: false,
+        })
+    }
+}
+
+fn encode(value: Option<&[u8]>) -> Vec<u8> {
+    match value {
+        Some(v) => {
+            let mut out = Vec::with_capacity(1 + v.len());
+            out.push(LIVE);
+            out.extend_from_slice(v);
+            out
+        }
+        None => vec![TOMBSTONE],
+    }
+}
+
+fn decode(stored: &[u8]) -> Result<Option<Vec<u8>>> {
+    match stored.first() {
+        Some(&LIVE) => Ok(Some(stored[1..].to_vec())),
+        Some(&TOMBSTONE) => Ok(None),
+        _ => Err(pregelix_common::error::PregelixError::corrupt(
+            "empty LSM component value",
+        )),
+    }
+}
+
+/// Ordered merged scanner over an [`LsmBTree`]'s live entries.
+pub struct LsmScanner<'a> {
+    mem: std::collections::btree_map::Range<'a, Vec<u8>, Option<Vec<u8>>>,
+    mem_head: Option<(&'a Vec<u8>, &'a Option<Vec<u8>>)>,
+    scanners: Vec<BTreeScanner<'a>>,
+    heads: Vec<Option<(Vec<u8>, Vec<u8>)>>,
+    primed: bool,
+}
+
+impl LsmScanner<'_> {
+    /// The next live `(key, value)`, or `None` at the end.
+    pub fn next_entry(&mut self) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        if !self.primed {
+            self.mem_head = self.mem.next();
+            self.primed = true;
+        }
+        loop {
+            // Minimum key across mem head and component heads.
+            let mut min_key: Option<Vec<u8>> = self.mem_head.map(|(k, _)| k.clone());
+            for h in self.heads.iter().flatten() {
+                match &min_key {
+                    None => min_key = Some(h.0.clone()),
+                    Some(mk) if h.0 < *mk => min_key = Some(h.0.clone()),
+                    _ => {}
+                }
+            }
+            let Some(min_key) = min_key else {
+                return Ok(None);
+            };
+            // Resolve winner: mem beats disk; among disk, newest (highest
+            // index) wins. Advance every source positioned at min_key.
+            let mut winner: Option<Option<Vec<u8>>> = None;
+            for (i, h) in self.heads.iter_mut().enumerate() {
+                if let Some((k, v)) = h {
+                    if *k == min_key {
+                        winner = Some(decode(v)?);
+                        *h = self.scanners[i].next_entry()?;
+                    }
+                }
+            }
+            if let Some((k, v)) = self.mem_head {
+                if *k == min_key {
+                    winner = Some(v.clone());
+                    self.mem_head = self.mem.next();
+                }
+            }
+            match winner.expect("some source matched min key") {
+                Some(value) => return Ok(Some((min_key, value))),
+                None => continue, // tombstoned: skip
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::BufferCache;
+    use crate::file::{FileManager, TempDir};
+    use pregelix_common::stats::ClusterCounters;
+    use rand::prelude::*;
+    use std::collections::BTreeMap as Model;
+
+    fn make(mem_budget: usize) -> (LsmBTree, TempDir) {
+        let dir = TempDir::new("lsm").unwrap();
+        let fm = FileManager::new(dir.path(), 256, ClusterCounters::new()).unwrap();
+        let cache = BufferCache::new(fm, 128);
+        (LsmBTree::create(cache, mem_budget, 3), dir)
+    }
+
+    fn k(v: u64) -> Vec<u8> {
+        v.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn mem_only_upsert_search_delete() {
+        let (mut t, _d) = make(1 << 20);
+        t.upsert(&k(1), b"a").unwrap();
+        t.upsert(&k(2), b"b").unwrap();
+        t.upsert(&k(1), b"a2").unwrap();
+        assert_eq!(t.search(&k(1)).unwrap().unwrap(), b"a2");
+        t.delete(&k(1)).unwrap();
+        assert_eq!(t.search(&k(1)).unwrap(), None);
+        assert!(t.contains(&k(2)).unwrap());
+        assert_eq!(t.disk_components(), 0);
+    }
+
+    #[test]
+    fn flush_moves_data_to_disk_component() {
+        let (mut t, _d) = make(1 << 20);
+        for v in 0..100u64 {
+            t.upsert(&k(v), &v.to_le_bytes()).unwrap();
+        }
+        t.flush_mem().unwrap();
+        assert_eq!(t.disk_components(), 1);
+        assert_eq!(t.mem_bytes(), 0);
+        assert_eq!(t.search(&k(42)).unwrap().unwrap(), 42u64.to_le_bytes());
+        assert_eq!(t.count().unwrap(), 100);
+    }
+
+    #[test]
+    fn tombstones_shadow_older_components() {
+        let (mut t, _d) = make(1 << 20);
+        t.upsert(&k(7), b"old").unwrap();
+        t.flush_mem().unwrap();
+        t.delete(&k(7)).unwrap();
+        t.flush_mem().unwrap();
+        assert_eq!(t.disk_components(), 2);
+        assert_eq!(t.search(&k(7)).unwrap(), None, "tombstone must shadow");
+        assert_eq!(t.count().unwrap(), 0);
+        // After a full merge the tombstone is dropped entirely.
+        t.merge_all().unwrap();
+        assert_eq!(t.disk_components(), 1);
+        assert_eq!(t.search(&k(7)).unwrap(), None);
+    }
+
+    #[test]
+    fn newest_component_wins() {
+        let (mut t, _d) = make(1 << 20);
+        t.upsert(&k(1), b"v1").unwrap();
+        t.flush_mem().unwrap();
+        t.upsert(&k(1), b"v2").unwrap();
+        t.flush_mem().unwrap();
+        t.upsert(&k(1), b"v3").unwrap(); // in mem
+        assert_eq!(t.search(&k(1)).unwrap().unwrap(), b"v3");
+        let mut scan = t.scan().unwrap();
+        let (key, val) = scan.next_entry().unwrap().unwrap();
+        assert_eq!(key, k(1));
+        assert_eq!(val, b"v3");
+        assert!(scan.next_entry().unwrap().is_none());
+    }
+
+    #[test]
+    fn automatic_flush_and_merge_under_tiny_budget() {
+        let (mut t, _d) = make(4096);
+        for v in 0..3000u64 {
+            t.upsert(&k(v), &[7u8; 16]).unwrap();
+        }
+        // Budget forces flushes; threshold forces merges.
+        assert!(t.disk_components() <= 4, "merges must bound components");
+        assert_eq!(t.count().unwrap(), 3000);
+        assert_eq!(t.search(&k(2999)).unwrap().unwrap(), vec![7u8; 16]);
+    }
+
+    #[test]
+    fn scan_is_sorted_and_deduplicated() {
+        let (mut t, _d) = make(4096);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let v = rng.gen_range(0..500u64);
+            t.upsert(&k(v), &v.to_le_bytes()).unwrap();
+        }
+        let mut scan = t.scan().unwrap();
+        let mut prev: Option<Vec<u8>> = None;
+        let mut n = 0;
+        while let Some((key, _)) = scan.next_entry().unwrap() {
+            if let Some(p) = &prev {
+                assert!(*p < key, "scan must be strictly ascending");
+            }
+            prev = Some(key);
+            n += 1;
+        }
+        assert!(n <= 500);
+    }
+
+    #[test]
+    fn randomised_against_model_with_mutation_heavy_workload() {
+        // This is the genome-assembly access pattern: interleaved inserts
+        // and deletes with value sizes that change drastically (§5.2).
+        let (mut t, _d) = make(2048);
+        let mut model: Model<u64, Vec<u8>> = Model::new();
+        let mut rng = StdRng::seed_from_u64(77);
+        for step in 0..4000u64 {
+            let key = rng.gen_range(0..600u64);
+            if rng.gen_bool(0.7) {
+                let val = vec![(step % 256) as u8; rng.gen_range(1..64)];
+                t.upsert(&k(key), &val).unwrap();
+                model.insert(key, val);
+            } else {
+                t.delete(&k(key)).unwrap();
+                model.remove(&key);
+            }
+        }
+        for key in 0..600u64 {
+            assert_eq!(
+                t.search(&k(key)).unwrap(),
+                model.get(&key).cloned(),
+                "mismatch at key {key}"
+            );
+        }
+        // Full scan equivalence.
+        let mut scan = t.scan().unwrap();
+        let mut model_iter = model.iter();
+        while let Some((key, val)) = scan.next_entry().unwrap() {
+            let (mk, mv) = model_iter.next().expect("model exhausted early");
+            assert_eq!(key, k(*mk));
+            assert_eq!(&val, mv);
+        }
+        assert!(model_iter.next().is_none());
+    }
+}

@@ -1,0 +1,459 @@
+//! Sequential frame-structured temporary files ("run files").
+//!
+//! Run files are the workhorse of every spilling path in the system: sort
+//! runs of the external sort, the sender-side materialized channels of the
+//! m-to-n partitioning-merging connector (§4, materialization policies),
+//! and the partition-local `Msg` relation files that carry combined
+//! messages from one superstep to the next (§5.2).
+//!
+//! On disk a run is a sequence of `[u32 len][serialized frame]` records.
+//! A run may be *buffered*: it stays in a memory buffer until a byte
+//! threshold and only then spills to its backing file — small runs (a
+//! sparse superstep's messages) then cost no file I/O at all, which is the
+//! behaviour a warm OS page cache would give on faster file systems.
+//! Disk-traffic counters only see bytes that actually hit the file.
+
+use pregelix_common::error::{PregelixError, Result};
+use pregelix_common::frame::Frame;
+use pregelix_common::stats::ClusterCounters;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+enum Sink {
+    /// Buffering in memory until `threshold` bytes.
+    Mem { buf: Vec<u8>, threshold: usize },
+    /// Spilled (or created unbuffered) file.
+    File(BufWriter<File>),
+}
+
+/// Writes frames to a run.
+pub struct RunWriter {
+    path: PathBuf,
+    sink: Sink,
+    counters: ClusterCounters,
+    bytes: u64,
+    frames: u64,
+    /// Staging frame for tuple-level writes.
+    staging: Frame,
+    scratch: Vec<u8>,
+}
+
+impl RunWriter {
+    /// Create an unbuffered run file at `path` (truncating any existing
+    /// file). Every record goes straight to disk.
+    pub fn create(path: impl Into<PathBuf>, counters: ClusterCounters) -> Result<RunWriter> {
+        let path = path.into();
+        let file = File::create(&path)?;
+        Ok(RunWriter {
+            path,
+            sink: Sink::File(BufWriter::new(file)),
+            counters,
+            bytes: 0,
+            frames: 0,
+            staging: Frame::new(),
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Create a buffered run: data stays in memory until it exceeds
+    /// `threshold` bytes, then transparently spills to `path`. The file is
+    /// not created (and nothing is disk-accounted) unless the spill
+    /// happens.
+    pub fn create_buffered(
+        path: impl Into<PathBuf>,
+        counters: ClusterCounters,
+        threshold: usize,
+    ) -> RunWriter {
+        RunWriter {
+            path: path.into(),
+            sink: Sink::Mem {
+                buf: Vec::new(),
+                threshold,
+            },
+            counters,
+            bytes: 0,
+            frames: 0,
+            staging: Frame::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Append a whole frame.
+    pub fn write_frame(&mut self, frame: &Frame) -> Result<()> {
+        self.scratch.clear();
+        frame.serialize(&mut self.scratch);
+        let rec_len = 4 + self.scratch.len() as u64;
+        match &mut self.sink {
+            Sink::Mem { buf, threshold } => {
+                buf.extend_from_slice(&(self.scratch.len() as u32).to_le_bytes());
+                buf.extend_from_slice(&self.scratch);
+                if buf.len() > *threshold {
+                    // Spill: everything buffered so far hits the disk now.
+                    let mut file = BufWriter::new(File::create(&self.path)?);
+                    file.write_all(buf)?;
+                    self.counters.add_disk_write(buf.len() as u64);
+                    self.sink = Sink::File(file);
+                }
+            }
+            Sink::File(out) => {
+                out.write_all(&(self.scratch.len() as u32).to_le_bytes())?;
+                out.write_all(&self.scratch)?;
+                self.counters.add_disk_write(rec_len);
+            }
+        }
+        self.bytes += rec_len;
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Append a single tuple, buffering into an internal staging frame.
+    pub fn write_tuple(&mut self, tuple: &[u8]) -> Result<()> {
+        if !self.staging.try_append(tuple) {
+            let full = std::mem::replace(&mut self.staging, Frame::new());
+            self.write_frame(&full)?;
+            let ok = self.staging.try_append(tuple);
+            debug_assert!(ok, "empty frame accepts any tuple");
+        }
+        Ok(())
+    }
+
+    /// Flush buffers and seal the run, returning a reusable handle.
+    pub fn finish(mut self) -> Result<RunHandle> {
+        if !self.staging.is_empty() {
+            let last = std::mem::take(&mut self.staging);
+            self.write_frame(&last)?;
+        }
+        let backing = match self.sink {
+            Sink::Mem { buf, .. } => Backing::Mem(Arc::new(buf)),
+            Sink::File(mut out) => {
+                out.flush()?;
+                Backing::File(self.path)
+            }
+        };
+        Ok(RunHandle {
+            backing,
+            bytes: self.bytes,
+            frames: self.frames,
+        })
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Backing {
+    Mem(Arc<Vec<u8>>),
+    File(PathBuf),
+}
+
+/// A sealed run that can be opened for reading any number of times.
+#[derive(Clone, Debug)]
+pub struct RunHandle {
+    backing: Backing,
+    bytes: u64,
+    frames: u64,
+}
+
+impl RunHandle {
+    /// Total serialized size in bytes (including record headers).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of frames in the run.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Whether the run is held in memory (never spilled).
+    pub fn in_memory(&self) -> bool {
+        matches!(self.backing, Backing::Mem(_))
+    }
+
+    /// The backing path for file-backed runs.
+    pub fn path(&self) -> Option<&Path> {
+        match &self.backing {
+            Backing::File(p) => Some(p),
+            Backing::Mem(_) => None,
+        }
+    }
+
+    /// The complete serialized record stream (checkpointing support).
+    pub fn read_all(&self) -> Result<Vec<u8>> {
+        match &self.backing {
+            Backing::Mem(buf) => Ok(buf.as_ref().clone()),
+            Backing::File(p) => Ok(std::fs::read(p)?),
+        }
+    }
+
+    /// Open the run for sequential reading.
+    pub fn open(&self, counters: ClusterCounters) -> Result<RunReader> {
+        let input = match &self.backing {
+            Backing::Mem(buf) => Input::Mem {
+                buf: Arc::clone(buf),
+                pos: 0,
+            },
+            Backing::File(p) => Input::File(BufReader::new(File::open(p)?)),
+        };
+        Ok(RunReader {
+            input,
+            counters,
+            pending: Frame::default(),
+            pending_idx: 0,
+            done: false,
+        })
+    }
+
+    /// Delete the backing file (no-op for in-memory runs or already
+    /// deleted files).
+    pub fn delete(self) -> Result<()> {
+        match self.backing {
+            Backing::Mem(_) => Ok(()),
+            Backing::File(p) => match std::fs::remove_file(&p) {
+                Ok(()) => Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+                Err(e) => Err(e.into()),
+            },
+        }
+    }
+}
+
+enum Input {
+    Mem { buf: Arc<Vec<u8>>, pos: usize },
+    File(BufReader<File>),
+}
+
+impl Input {
+    fn read_exact(&mut self, out: &mut [u8]) -> std::io::Result<()> {
+        match self {
+            Input::Mem { buf, pos } => {
+                if buf.len() - *pos < out.len() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "in-memory run exhausted",
+                    ));
+                }
+                out.copy_from_slice(&buf[*pos..*pos + out.len()]);
+                *pos += out.len();
+                Ok(())
+            }
+            Input::File(f) => f.read_exact(out),
+        }
+    }
+
+    fn is_file(&self) -> bool {
+        matches!(self, Input::File(_))
+    }
+}
+
+/// Sequential reader over a run.
+pub struct RunReader {
+    input: Input,
+    counters: ClusterCounters,
+    pending: Frame,
+    pending_idx: usize,
+    done: bool,
+}
+
+impl RunReader {
+    /// Read the next frame, or `None` at end of run.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>> {
+        let mut len_buf = [0u8; 4];
+        match self.input.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut buf = vec![0u8; len];
+        self.input.read_exact(&mut buf)?;
+        if self.input.is_file() {
+            self.counters.add_disk_read(4 + len as u64);
+        }
+        let mut slice = &buf[..];
+        let frame = Frame::deserialize(&mut slice)?;
+        if !slice.is_empty() {
+            return Err(PregelixError::corrupt("trailing bytes in run record"));
+        }
+        Ok(Some(frame))
+    }
+
+    /// Read the next tuple (frame boundaries hidden), or `None` at the end.
+    pub fn next_tuple(&mut self) -> Result<Option<Vec<u8>>> {
+        loop {
+            if self.pending_idx < self.pending.len() {
+                let t = self.pending.tuple(self.pending_idx).to_vec();
+                self.pending_idx += 1;
+                return Ok(Some(t));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            match self.next_frame()? {
+                Some(f) => {
+                    self.pending = f;
+                    self.pending_idx = 0;
+                }
+                None => {
+                    self.done = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::TempDir;
+    use pregelix_common::frame::keyed_tuple;
+
+    fn counters() -> ClusterCounters {
+        ClusterCounters::new()
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let dir = TempDir::new("run").unwrap();
+        let path = dir.path().join("a.run");
+        let mut w = RunWriter::create(&path, counters()).unwrap();
+        let mut f1 = Frame::new();
+        f1.try_append(b"one");
+        f1.try_append(b"two");
+        let mut f2 = Frame::new();
+        f2.try_append(b"three");
+        w.write_frame(&f1).unwrap();
+        w.write_frame(&f2).unwrap();
+        let h = w.finish().unwrap();
+        assert_eq!(h.frames(), 2);
+        assert!(!h.in_memory());
+        let mut r = h.open(counters()).unwrap();
+        let g1 = r.next_frame().unwrap().unwrap();
+        assert_eq!(g1.len(), 2);
+        assert_eq!(g1.tuple(1), b"two");
+        let g2 = r.next_frame().unwrap().unwrap();
+        assert_eq!(g2.tuple(0), b"three");
+        assert!(r.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn tuple_level_io_spans_frames() {
+        let dir = TempDir::new("run").unwrap();
+        let path = dir.path().join("t.run");
+        let mut w = RunWriter::create(&path, counters()).unwrap();
+        for vid in 0..10_000u64 {
+            w.write_tuple(&keyed_tuple(vid, &vid.to_le_bytes())).unwrap();
+        }
+        let h = w.finish().unwrap();
+        assert!(h.frames() > 1, "10k tuples must span multiple frames");
+        let mut r = h.open(counters()).unwrap();
+        let mut n = 0u64;
+        while let Some(t) = r.next_tuple().unwrap() {
+            assert_eq!(pregelix_common::frame::tuple_vid(&t).unwrap(), n);
+            n += 1;
+        }
+        assert_eq!(n, 10_000);
+    }
+
+    #[test]
+    fn empty_run_reads_empty() {
+        let dir = TempDir::new("run").unwrap();
+        let w = RunWriter::create(dir.path().join("e.run"), counters()).unwrap();
+        let h = w.finish().unwrap();
+        let mut r = h.open(counters()).unwrap();
+        assert!(r.next_tuple().unwrap().is_none());
+        assert!(r.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn reopenable_and_deletable() {
+        let dir = TempDir::new("run").unwrap();
+        let mut w = RunWriter::create(dir.path().join("d.run"), counters()).unwrap();
+        w.write_tuple(b"x").unwrap();
+        let h = w.finish().unwrap();
+        for _ in 0..2 {
+            let mut r = h.open(counters()).unwrap();
+            assert_eq!(r.next_tuple().unwrap().unwrap(), b"x");
+        }
+        let path = h.path().unwrap().to_path_buf();
+        h.delete().unwrap();
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn io_counted_only_for_files() {
+        let dir = TempDir::new("run").unwrap();
+        let c = counters();
+        let mut w = RunWriter::create(dir.path().join("c.run"), c.clone()).unwrap();
+        w.write_tuple(&[7u8; 100]).unwrap();
+        let h = w.finish().unwrap();
+        assert!(c.snapshot().disk_write_bytes >= 100);
+        let mut r = h.open(c.clone()).unwrap();
+        while r.next_frame().unwrap().is_some() {}
+        assert!(c.snapshot().disk_read_bytes >= 100);
+    }
+
+    #[test]
+    fn buffered_run_stays_in_memory_below_threshold() {
+        let dir = TempDir::new("run").unwrap();
+        let c = counters();
+        let path = dir.path().join("m.run");
+        let mut w = RunWriter::create_buffered(&path, c.clone(), 1 << 20);
+        for vid in 0..100u64 {
+            w.write_tuple(&keyed_tuple(vid, b"payload")).unwrap();
+        }
+        let h = w.finish().unwrap();
+        assert!(h.in_memory());
+        assert!(!path.exists(), "no file below threshold");
+        assert_eq!(c.snapshot().disk_write_bytes, 0);
+        let mut r = h.open(c.clone()).unwrap();
+        let mut n = 0;
+        while r.next_tuple().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 100);
+        assert_eq!(c.snapshot().disk_read_bytes, 0, "memory reads not disk-counted");
+        // read_all works for checkpointing.
+        assert!(!h.read_all().unwrap().is_empty());
+        h.delete().unwrap(); // no-op
+    }
+
+    #[test]
+    fn buffered_run_spills_past_threshold() {
+        let dir = TempDir::new("run").unwrap();
+        let c = counters();
+        let path = dir.path().join("s.run");
+        let mut w = RunWriter::create_buffered(&path, c.clone(), 4096);
+        for vid in 0..5_000u64 {
+            w.write_tuple(&keyed_tuple(vid, &[0u8; 32])).unwrap();
+        }
+        let h = w.finish().unwrap();
+        assert!(!h.in_memory());
+        assert!(path.exists());
+        assert!(c.snapshot().disk_write_bytes > 4096);
+        let mut r = h.open(c.clone()).unwrap();
+        let mut n = 0;
+        while r.next_tuple().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 5_000);
+        // Spilled and direct-file contents agree byte-for-byte.
+        assert_eq!(h.read_all().unwrap(), std::fs::read(&path).unwrap());
+    }
+
+    #[test]
+    fn truncated_run_detected() {
+        let dir = TempDir::new("run").unwrap();
+        let path = dir.path().join("bad.run");
+        let mut w = RunWriter::create(&path, counters()).unwrap();
+        let mut f = Frame::new();
+        f.try_append(&[1u8; 64]);
+        w.write_frame(&f).unwrap();
+        let h = w.finish().unwrap();
+        // Chop the file mid-record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let mut r = h.open(counters()).unwrap();
+        assert!(r.next_frame().is_err());
+    }
+}

@@ -1,0 +1,384 @@
+//! External sort with bounded memory and aggregation-during-sort.
+//!
+//! This implements the engine behind the sort-based and HashSort group-by
+//! operators (§4): tuples are collected into a bounded in-memory buffer;
+//! when the buffer exceeds its budget it is sorted (by the whole tuple's
+//! byte order — for keyed tuples this is vid order) and spilled as a run
+//! file; `finish` merges all runs plus the residual buffer with a k-way
+//! merge.
+//!
+//! An optional *combiner* is applied to adjacent equal-key tuples in **both**
+//! the in-memory phase and the merge phase, exactly as the paper describes
+//! for the sort-based group-by ("pushes group-by aggregations into both the
+//! in-memory sort phase and the merge phase of an external sort operator").
+//! Combining before spilling is what keeps message-intensive workloads like
+//! PageRank from writing the full message volume to disk.
+
+use crate::file::FileManager;
+use crate::runfile::{RunHandle, RunReader, RunWriter};
+use pregelix_common::error::Result;
+use pregelix_common::frame::tuple_vid;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Combines two tuples that share the same 8-byte key prefix into one.
+/// Receives the accumulated tuple and the incoming tuple; returns the merged
+/// tuple (which must keep the same key prefix).
+pub type CombineFn = Box<dyn FnMut(&[u8], &[u8]) -> Vec<u8> + Send>;
+
+/// An external sorter over keyed tuples.
+pub struct ExternalSorter {
+    fm: FileManager,
+    label: String,
+    budget_bytes: usize,
+    buffer: Vec<Vec<u8>>,
+    buffer_bytes: usize,
+    runs: Vec<RunHandle>,
+    combiner: Option<CombineFn>,
+}
+
+impl ExternalSorter {
+    /// Create a sorter spilling through `fm` with an in-memory budget of
+    /// `budget_bytes`. `label` names the temp files for debuggability.
+    pub fn new(fm: FileManager, label: impl Into<String>, budget_bytes: usize) -> Self {
+        ExternalSorter {
+            fm,
+            label: label.into(),
+            budget_bytes: budget_bytes.max(1024),
+            buffer: Vec::new(),
+            buffer_bytes: 0,
+            runs: Vec::new(),
+            combiner: None,
+        }
+    }
+
+    /// Install a combiner applied to adjacent equal-key tuples during the
+    /// sort and merge phases.
+    pub fn with_combiner(mut self, combiner: CombineFn) -> Self {
+        self.combiner = Some(combiner);
+        self
+    }
+
+    /// Number of runs spilled so far.
+    pub fn spilled_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Add a tuple; may trigger a spill.
+    pub fn add(&mut self, tuple: Vec<u8>) -> Result<()> {
+        self.buffer_bytes += tuple.len() + 24; // approximate Vec overhead
+        self.buffer.push(tuple);
+        if self.buffer_bytes > self.budget_bytes {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    /// Sort (and combine) the buffer in place, returning the ready tuples.
+    fn sorted_combined_buffer(&mut self) -> Vec<Vec<u8>> {
+        let mut buf = std::mem::take(&mut self.buffer);
+        self.buffer_bytes = 0;
+        buf.sort_unstable();
+        if let Some(comb) = &mut self.combiner {
+            let mut out: Vec<Vec<u8>> = Vec::with_capacity(buf.len());
+            for t in buf {
+                match out.last_mut() {
+                    Some(acc) if same_key(acc, &t) => {
+                        let merged = comb(acc, &t);
+                        *acc = merged;
+                    }
+                    _ => out.push(t),
+                }
+            }
+            out
+        } else {
+            buf
+        }
+    }
+
+    fn spill(&mut self) -> Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let tuples = self.sorted_combined_buffer();
+        let path = self.fm.temp_file_path(&self.label);
+        let mut w = RunWriter::create(path, self.fm.counters().clone())?;
+        for t in &tuples {
+            w.write_tuple(t)?;
+        }
+        self.runs.push(w.finish()?);
+        self.fm.counters().add_sort_runs(1);
+        Ok(())
+    }
+
+    /// Finish adding tuples and return a sorted (combined) stream.
+    pub fn finish(mut self) -> Result<SortedStream> {
+        let memory = self.sorted_combined_buffer();
+        let mut readers = Vec::with_capacity(self.runs.len());
+        for run in &self.runs {
+            readers.push(run.open(self.fm.counters().clone())?);
+        }
+        let mut stream = SortedStream {
+            memory,
+            memory_idx: 0,
+            readers,
+            heap: BinaryHeap::new(),
+            runs: std::mem::take(&mut self.runs),
+            combiner: self.combiner.take(),
+            pending: None,
+        };
+        stream.prime()?;
+        Ok(stream)
+    }
+}
+
+#[inline]
+fn same_key(a: &[u8], b: &[u8]) -> bool {
+    a.len() >= 8 && b.len() >= 8 && a[..8] == b[..8]
+}
+
+/// Heap entry: reversed ordering on (tuple, source) for a min-heap.
+type HeapEntry = Reverse<(Vec<u8>, usize)>;
+
+/// The merged output of an [`ExternalSorter`]: tuples in ascending byte
+/// order with the combiner applied across runs. Deletes the spilled run
+/// files when dropped.
+pub struct SortedStream {
+    memory: Vec<Vec<u8>>,
+    memory_idx: usize,
+    readers: Vec<RunReader>,
+    heap: BinaryHeap<HeapEntry>,
+    runs: Vec<RunHandle>,
+    combiner: Option<CombineFn>,
+    pending: Option<Vec<u8>>,
+}
+
+/// Source index reserved for the in-memory buffer in the merge heap.
+const MEMORY_SOURCE: usize = usize::MAX;
+
+impl SortedStream {
+    /// Assemble a merged stream from already-sorted parts: an in-memory
+    /// sorted (and pre-combined) tuple vector plus sealed sorted runs. Used
+    /// by the HashSort group-by, which produces its runs by draining a hash
+    /// table in key order. Takes ownership of the runs and deletes them when
+    /// the stream is dropped.
+    pub fn from_parts(
+        memory: Vec<Vec<u8>>,
+        runs: Vec<RunHandle>,
+        combiner: Option<CombineFn>,
+        counters: pregelix_common::stats::ClusterCounters,
+    ) -> Result<SortedStream> {
+        debug_assert!(memory.windows(2).all(|w| w[0] <= w[1]), "memory not sorted");
+        let mut readers = Vec::with_capacity(runs.len());
+        for run in &runs {
+            readers.push(run.open(counters.clone())?);
+        }
+        let mut stream = SortedStream {
+            memory,
+            memory_idx: 0,
+            readers,
+            heap: BinaryHeap::new(),
+            runs,
+            combiner,
+            pending: None,
+        };
+        stream.prime()?;
+        Ok(stream)
+    }
+
+    fn prime(&mut self) -> Result<()> {
+        for i in 0..self.readers.len() {
+            if let Some(t) = self.readers[i].next_tuple()? {
+                self.heap.push(Reverse((t, i)));
+            }
+        }
+        if self.memory_idx < self.memory.len() {
+            let t = std::mem::take(&mut self.memory[self.memory_idx]);
+            self.memory_idx += 1;
+            self.heap.push(Reverse((t, MEMORY_SOURCE)));
+        }
+        Ok(())
+    }
+
+    fn pop_raw(&mut self) -> Result<Option<Vec<u8>>> {
+        let Some(Reverse((tuple, source))) = self.heap.pop() else {
+            return Ok(None);
+        };
+        // Refill from the source that produced this tuple.
+        if source == MEMORY_SOURCE {
+            if self.memory_idx < self.memory.len() {
+                let t = std::mem::take(&mut self.memory[self.memory_idx]);
+                self.memory_idx += 1;
+                self.heap.push(Reverse((t, MEMORY_SOURCE)));
+            }
+        } else if let Some(t) = self.readers[source].next_tuple()? {
+            self.heap.push(Reverse((t, source)));
+        }
+        Ok(Some(tuple))
+    }
+
+    /// The next tuple in sorted order, or `None` when exhausted.
+    pub fn next_tuple(&mut self) -> Result<Option<Vec<u8>>> {
+        let mut acc = match self.pending.take() {
+            Some(t) => t,
+            None => match self.pop_raw()? {
+                Some(t) => t,
+                None => return Ok(None),
+            },
+        };
+        if self.combiner.is_none() {
+            return Ok(Some(acc));
+        }
+        loop {
+            match self.pop_raw()? {
+                Some(t) if same_key(&acc, &t) => {
+                    let comb = self.combiner.as_mut().expect("checked above");
+                    acc = comb(&acc, &t);
+                }
+                Some(t) => {
+                    self.pending = Some(t);
+                    return Ok(Some(acc));
+                }
+                None => return Ok(Some(acc)),
+            }
+        }
+    }
+
+    /// Drain the remainder into a vector (test/convenience path).
+    pub fn collect_all(mut self) -> Result<Vec<Vec<u8>>> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next_tuple()? {
+            out.push(t);
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for SortedStream {
+    fn drop(&mut self) {
+        for run in self.runs.drain(..) {
+            let _ = run.delete();
+        }
+    }
+}
+
+/// Convenience: the vid of a keyed tuple (first 8 bytes, big-endian).
+pub fn sort_key_vid(tuple: &[u8]) -> u64 {
+    tuple_vid(tuple).expect("keyed tuple")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::{FileManager, TempDir};
+    use pregelix_common::frame::{keyed_tuple, tuple_payload, tuple_vid};
+    use pregelix_common::stats::ClusterCounters;
+    use rand::prelude::*;
+
+    fn fm() -> (FileManager, TempDir) {
+        let dir = TempDir::new("sort").unwrap();
+        let f = FileManager::new(dir.path(), 4096, ClusterCounters::new()).unwrap();
+        (f, dir)
+    }
+
+    #[test]
+    fn in_memory_sort() {
+        let (f, _d) = fm();
+        let mut s = ExternalSorter::new(f, "t", 1 << 20);
+        for vid in [5u64, 1, 3, 2, 4] {
+            s.add(keyed_tuple(vid, b"p")).unwrap();
+        }
+        assert_eq!(s.spilled_runs(), 0);
+        let out = s.finish().unwrap().collect_all().unwrap();
+        let vids: Vec<u64> = out.iter().map(|t| tuple_vid(t).unwrap()).collect();
+        assert_eq!(vids, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn spilling_sort_matches_std_sort() {
+        let (f, _d) = fm();
+        // 2KB budget forces many spills for 20k tuples.
+        let mut s = ExternalSorter::new(f, "t", 2048);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut expect = Vec::new();
+        for _ in 0..20_000 {
+            let vid = rng.gen_range(0..5_000u64);
+            let t = keyed_tuple(vid, &vid.to_le_bytes());
+            expect.push(t.clone());
+            s.add(t).unwrap();
+        }
+        assert!(s.spilled_runs() > 2);
+        expect.sort_unstable();
+        let got = s.finish().unwrap().collect_all().unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn combiner_applied_within_and_across_runs() {
+        let (f, _d) = fm();
+        // Sum-combiner over u64 payloads.
+        let combine: CombineFn = Box::new(|a, b| {
+            let va = u64::from_le_bytes(tuple_payload(a).unwrap().try_into().unwrap());
+            let vb = u64::from_le_bytes(tuple_payload(b).unwrap().try_into().unwrap());
+            keyed_tuple(tuple_vid(a).unwrap(), &(va + vb).to_le_bytes())
+        });
+        let mut s = ExternalSorter::new(f, "c", 2048).with_combiner(combine);
+        // 100 keys, 200 contributions of 1 each, interleaved to cross runs.
+        for round in 0..200u64 {
+            for vid in 0..100u64 {
+                let _ = round;
+                s.add(keyed_tuple(vid, &1u64.to_le_bytes())).unwrap();
+            }
+        }
+        assert!(s.spilled_runs() > 0, "must exercise merge-phase combining");
+        let out = s.finish().unwrap().collect_all().unwrap();
+        assert_eq!(out.len(), 100);
+        for (i, t) in out.iter().enumerate() {
+            assert_eq!(tuple_vid(t).unwrap(), i as u64);
+            let sum = u64::from_le_bytes(tuple_payload(t).unwrap().try_into().unwrap());
+            assert_eq!(sum, 200);
+        }
+    }
+
+    #[test]
+    fn empty_sorter_yields_nothing() {
+        let (f, _d) = fm();
+        let s = ExternalSorter::new(f, "e", 4096);
+        assert!(s.finish().unwrap().collect_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn run_files_cleaned_up_on_drop() {
+        let (f, _d) = fm();
+        let root = f.root().to_path_buf();
+        let mut s = ExternalSorter::new(f, "gc", 1024);
+        for vid in 0..5000u64 {
+            s.add(keyed_tuple(vid, b"pay")).unwrap();
+        }
+        assert!(s.spilled_runs() > 0);
+        let stream = s.finish().unwrap();
+        drop(stream);
+        let leftovers: Vec<_> = std::fs::read_dir(&root)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("gc"))
+            .collect();
+        assert!(leftovers.is_empty(), "spill files must be deleted: {leftovers:?}");
+    }
+
+    #[test]
+    fn stream_is_incremental() {
+        let (f, _d) = fm();
+        let mut s = ExternalSorter::new(f, "i", 1024);
+        for vid in (0..1000u64).rev() {
+            s.add(keyed_tuple(vid, b"")).unwrap();
+        }
+        let mut stream = s.finish().unwrap();
+        for expect in 0..1000u64 {
+            let t = stream.next_tuple().unwrap().unwrap();
+            assert_eq!(tuple_vid(&t).unwrap(), expect);
+        }
+        assert!(stream.next_tuple().unwrap().is_none());
+        assert!(stream.next_tuple().unwrap().is_none(), "idempotent at end");
+    }
+}

@@ -1,0 +1,16 @@
+//! Host crate for the cross-crate integration tests in `tests/tests/`:
+//!
+//! * `plan_equivalence` — all sixteen physical plans, every worker/partition
+//!   shape, one answer.
+//! * `fault_tolerance` — checkpoint/recovery under injected worker failures
+//!   (§5.5).
+//! * `out_of_core` — in-memory vs spilled runs are bit-identical (§5.4) and
+//!   Pregelix survives the baselines' OOM points.
+//! * `cross_system_agreement` — Pregelix and all five baseline engines
+//!   compute identical answers.
+//! * `dfs_io_and_pipelining` — text load/dump through the DFS (§5.2) and
+//!   multi-stage pipelined jobs (§5.6).
+//! * `mutations` — vertex addition/removal, `resolve` conflicts,
+//!   message-created vertices (§2.1, Figure 5).
+//! * `property_based` — proptest: random graphs × random plans vs
+//!   single-machine references.

@@ -1,0 +1,113 @@
+//! Every baseline system and Pregelix must compute the same answers for
+//! the three evaluation algorithms — otherwise the figures would compare
+//! different computations.
+
+use pregelix::baselines::{all_engines, Algorithm, BaselineConfig};
+use pregelix::graphgen::btc;
+use pregelix::prelude::*;
+use std::sync::Arc;
+
+const CFG: BaselineConfig = BaselineConfig {
+    workers: 3,
+    worker_ram: 32 << 20,
+};
+
+fn pregelix_values<P: pregelix::core::api::VertexProgram<VertexValue = f64>>(
+    records: &[(u64, Vec<(u64, f64)>)],
+    program: P,
+) -> Vec<(u64, f64)> {
+    let cluster = Cluster::new(ClusterConfig::new(3, 32 << 20)).unwrap();
+    let job = PregelixJob::new("xsys");
+    let (_s, graph) =
+        run_job_from_records(&cluster, &Arc::new(program), &job, records.to_vec()).unwrap();
+    graph
+        .collect_vertices::<P>()
+        .unwrap()
+        .into_iter()
+        .map(|v| (v.vid, v.value))
+        .collect()
+}
+
+#[test]
+fn all_systems_agree_on_pagerank() {
+    let records = btc::btc(1_000, 6.0, 70);
+    let reference = pregelix_values(&records, PageRank::new(5));
+    for engine in all_engines() {
+        let run = engine
+            .run(&records, Algorithm::PageRank { iterations: 5 }, CFG)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", engine.name()));
+        assert_eq!(run.values.len(), reference.len(), "{}", engine.name());
+        for ((v1, r1), (v2, r2)) in reference.iter().zip(run.values.iter()) {
+            assert_eq!(v1, v2, "{}", engine.name());
+            assert!(
+                (r1 - r2).abs() < 1e-9,
+                "{}: vid {v1} {r1} vs {r2}",
+                engine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_systems_agree_on_sssp() {
+    let records = btc::btc(1_500, 5.0, 71);
+    let reference = pregelix_values(&records, ShortestPaths::new(0));
+    for engine in all_engines() {
+        let run = engine
+            .run(&records, Algorithm::Sssp { source: 0 }, CFG)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", engine.name()));
+        for ((v1, r1), (v2, r2)) in reference.iter().zip(run.values.iter()) {
+            assert_eq!(v1, v2, "{}", engine.name());
+            // Baselines encode UNREACHED as f64::MAX too.
+            assert!(
+                (r1 - r2).abs() < 1e-9 || (*r1 == f64::MAX && *r2 == f64::MAX),
+                "{}: vid {v1} {r1} vs {r2}",
+                engine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_systems_agree_on_cc() {
+    let records = btc::btc(2_000, 2.0, 72); // sparse -> several components
+    let reference = pregelix_cc_u64(&records);
+    for engine in all_engines() {
+        let run = engine
+            .run(&records, Algorithm::Cc, CFG)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", engine.name()));
+        for ((v1, r1), (v2, r2)) in reference.iter().zip(run.values.iter()) {
+            assert_eq!(v1, v2, "{}", engine.name());
+            assert_eq!(*r1, *r2 as u64, "{}: vid {v1}", engine.name());
+        }
+    }
+}
+
+fn pregelix_cc_u64(records: &[(u64, Vec<(u64, f64)>)]) -> Vec<(u64, u64)> {
+    let cluster = Cluster::new(ClusterConfig::new(3, 32 << 20)).unwrap();
+    let job = PregelixJob::new("xsys-cc");
+    let (_s, graph) =
+        run_job_from_records(&cluster, &Arc::new(ConnectedComponents), &job, records.to_vec())
+            .unwrap();
+    graph
+        .collect_vertices::<ConnectedComponents>()
+        .unwrap()
+        .into_iter()
+        .map(|v| (v.vid, v.value))
+        .collect()
+}
+
+#[test]
+fn cc_labels_match_union_find_exactly() {
+    let records = btc::btc(800, 2.5, 73);
+    let u = pregelix_cc_u64(&records);
+    let adjacency: Vec<(u64, Vec<u64>)> = records
+        .iter()
+        .map(|(v, e)| (*v, e.iter().map(|(d, _)| *d).collect()))
+        .collect();
+    let expected =
+        pregelix::algorithms::connected_components::reference_components(&adjacency);
+    for (vid, label) in u {
+        assert_eq!(label, expected[&vid]);
+    }
+}

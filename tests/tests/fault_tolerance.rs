@@ -1,0 +1,138 @@
+//! Checkpointing and recovery (§5.5) under injected worker failures.
+
+use pregelix::graphgen::btc;
+use pregelix::prelude::*;
+use std::sync::Arc;
+
+fn reference_cc(records: &[(u64, Vec<(u64, f64)>)]) -> std::collections::HashMap<u64, u64> {
+    let adjacency: Vec<(u64, Vec<u64>)> = records
+        .iter()
+        .map(|(v, e)| (*v, e.iter().map(|(d, _)| *d).collect()))
+        .collect();
+    pregelix::algorithms::connected_components::reference_components(&adjacency)
+}
+
+#[test]
+fn job_recovers_from_mid_run_worker_failure() {
+    let records = btc::btc(6_000, 5.0, 50);
+    let expected = reference_cc(&records);
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 8 << 20)).unwrap());
+    let job = PregelixJob::new("ft-cc").with_checkpoint_interval(1);
+    let program = Arc::new(ConnectedComponents);
+    let mut graph =
+        LoadedGraph::load_from_records(&cluster, &program, &job, records.clone()).unwrap();
+
+    // Power off worker 2 shortly after the job starts.
+    let saboteur = {
+        let cluster = Arc::clone(&cluster);
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(60));
+            cluster.fail_worker(2);
+        })
+    };
+    let summary = graph.run(&cluster, &program, &job).unwrap();
+    saboteur.join().unwrap();
+
+    assert!(summary.recoveries >= 1, "failure must have triggered recovery");
+    assert_eq!(cluster.alive_workers(), vec![0, 1, 3]);
+    for v in graph.collect_vertices::<ConnectedComponents>().unwrap() {
+        assert_eq!(v.value, expected[&v.vid], "vid {}", v.vid);
+    }
+}
+
+#[test]
+fn failure_without_checkpoints_surfaces_the_error() {
+    let records = btc::btc(6_000, 5.0, 51);
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 8 << 20)).unwrap());
+    let job = PregelixJob::new("ft-nockpt"); // no checkpoint interval
+    let program = Arc::new(ConnectedComponents);
+    let mut graph =
+        LoadedGraph::load_from_records(&cluster, &program, &job, records).unwrap();
+    let saboteur = {
+        let cluster = Arc::clone(&cluster);
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            cluster.fail_worker(1);
+        })
+    };
+    let result = graph.run(&cluster, &program, &job);
+    saboteur.join().unwrap();
+    match result {
+        Err(e) => assert!(e.is_recoverable(), "should surface the worker failure: {e}"),
+        // Timing race: the job may legitimately finish before the
+        // sabotage lands; detect and accept that.
+        Ok(summary) => assert_eq!(summary.recoveries, 0),
+    }
+}
+
+#[test]
+fn recovery_works_with_left_outer_join_plans_too() {
+    // LOJ recovery must restore the Vid index from the checkpoint.
+    let records = btc::btc(6_000, 5.0, 52);
+    let expected = reference_cc(&records);
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 8 << 20)).unwrap());
+    let job = PregelixJob::new("ft-loj")
+        .with_join(JoinStrategy::LeftOuter)
+        .with_checkpoint_interval(1);
+    let program = Arc::new(ConnectedComponents);
+    let mut graph =
+        LoadedGraph::load_from_records(&cluster, &program, &job, records.clone()).unwrap();
+    let saboteur = {
+        let cluster = Arc::clone(&cluster);
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(60));
+            cluster.fail_worker(3);
+        })
+    };
+    let summary = graph.run(&cluster, &program, &job).unwrap();
+    saboteur.join().unwrap();
+    assert!(summary.recoveries >= 1);
+    for v in graph.collect_vertices::<ConnectedComponents>().unwrap() {
+        assert_eq!(v.value, expected[&v.vid]);
+    }
+}
+
+#[test]
+fn repeated_failures_keep_recovering_until_one_worker_remains() {
+    let records = btc::btc(4_000, 5.0, 53);
+    let expected = reference_cc(&records);
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(3, 8 << 20)).unwrap());
+    let job = PregelixJob::new("ft-repeat").with_checkpoint_interval(1);
+    let program = Arc::new(ConnectedComponents);
+    let mut graph =
+        LoadedGraph::load_from_records(&cluster, &program, &job, records.clone()).unwrap();
+    let saboteur = {
+        let cluster = Arc::clone(&cluster);
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            cluster.fail_worker(0);
+            std::thread::sleep(std::time::Duration::from_millis(80));
+            cluster.fail_worker(1);
+        })
+    };
+    let summary = graph.run(&cluster, &program, &job).unwrap();
+    saboteur.join().unwrap();
+    assert_eq!(cluster.alive_workers(), vec![2]);
+    assert!(summary.recoveries >= 1);
+    for v in graph.collect_vertices::<ConnectedComponents>().unwrap() {
+        assert_eq!(v.value, expected[&v.vid]);
+    }
+}
+
+#[test]
+fn checkpoint_files_are_cleared_after_run_job() {
+    let records = btc::btc(1_000, 4.0, 54);
+    let cluster = Cluster::new(ClusterConfig::new(2, 8 << 20)).unwrap();
+    pregelix::graphgen::text::write_to_dfs(cluster.dfs(), "input/ckpt-clear", &records)
+        .unwrap();
+    let job = PregelixJob::new("ckpt-clear")
+        .with_io("input/ckpt-clear", "output/ckpt-clear")
+        .with_checkpoint_interval(1);
+    let program = Arc::new(ConnectedComponents);
+    run_job(&cluster, &program, &job).unwrap();
+    assert!(cluster
+        .dfs()
+        .list("jobs/ckpt-clear/ckpt-manifests")
+        .unwrap()
+        .is_empty());
+}

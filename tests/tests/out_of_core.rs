@@ -1,0 +1,108 @@
+//! Transparent out-of-core execution (§5.4): the same job must produce
+//! identical results whether the graph fits in the buffer caches or not,
+//! and the process-centric baselines must fail at memory points Pregelix
+//! survives (the Figure 10 claim, as an assertion).
+
+use pregelix::baselines::{
+    Algorithm, BaselineConfig, BaselineEngine, GiraphEngine, GraphLabEngine,
+};
+use pregelix::graphgen::webmap;
+use pregelix::prelude::*;
+use std::sync::Arc;
+
+fn pagerank_values(
+    records: &[(u64, Vec<(u64, f64)>)],
+    worker_ram: usize,
+) -> (Vec<(u64, f64)>, pregelix::common::stats::StatsSnapshot) {
+    let cluster = Cluster::new(ClusterConfig::new(4, worker_ram)).unwrap();
+    let job = PregelixJob::new("ooc-pr");
+    let program = Arc::new(PageRank::new(5));
+    let (summary, graph) =
+        run_job_from_records(&cluster, &program, &job, records.to_vec()).unwrap();
+    let values = graph
+        .collect_vertices::<PageRank>()
+        .unwrap()
+        .into_iter()
+        .map(|v| (v.vid, v.value))
+        .collect();
+    (values, summary.stats)
+}
+
+#[test]
+fn out_of_core_run_matches_in_memory_run_exactly() {
+    let records = webmap::webmap(13, 6.0, 60);
+    let (big, big_stats) = pagerank_values(&records, 64 << 20);
+    let (small, small_stats) = pagerank_values(&records, 192 << 10);
+    assert_eq!(big.len(), small.len());
+    for ((v1, r1), (v2, r2)) in big.iter().zip(small.iter()) {
+        assert_eq!(v1, v2);
+        assert!((r1 - r2).abs() < 1e-12, "vid {v1}: {r1} vs {r2}");
+    }
+    // The small-memory run must actually have gone to disk.
+    assert!(
+        small_stats.cache_evictions > big_stats.cache_evictions,
+        "tiny cache must evict: {} vs {}",
+        small_stats.cache_evictions,
+        big_stats.cache_evictions
+    );
+    assert!(small_stats.disk_read_bytes > big_stats.disk_read_bytes);
+}
+
+#[test]
+fn pregelix_survives_where_giraph_and_graphlab_fail() {
+    let records = webmap::webmap(14, 8.0, 61);
+    let worker_ram = 256 << 10;
+
+    // Baselines at this memory point: OOM.
+    let giraph = GiraphEngine::in_memory().run(
+        &records,
+        Algorithm::PageRank { iterations: 3 },
+        BaselineConfig {
+            workers: 4,
+            worker_ram,
+        },
+    );
+    assert!(giraph.is_err(), "Giraph-mem should OOM here");
+    let graphlab = GraphLabEngine::new().run(
+        &records,
+        Algorithm::PageRank { iterations: 3 },
+        BaselineConfig {
+            workers: 4,
+            worker_ram,
+        },
+    );
+    assert!(graphlab.is_err(), "GraphLab should OOM here");
+
+    // Pregelix at the same point: completes, with correct results.
+    let cluster = Cluster::new(ClusterConfig::new(4, worker_ram)).unwrap();
+    let job = PregelixJob::new("ooc-survive");
+    let program = Arc::new(PageRank::new(3));
+    let (summary, graph) =
+        run_job_from_records(&cluster, &program, &job, records.clone()).unwrap();
+    assert_eq!(summary.supersteps, 4);
+    let adjacency: Vec<(u64, Vec<u64>)> = records
+        .iter()
+        .map(|(v, e)| (*v, e.iter().map(|(d, _)| *d).collect()))
+        .collect();
+    let expected = pregelix::algorithms::pagerank::reference_pagerank(&adjacency, 0.85, 3);
+    for (v, (evid, erank)) in graph
+        .collect_vertices::<PageRank>()
+        .unwrap()
+        .iter()
+        .zip(expected.iter())
+    {
+        assert_eq!(v.vid, *evid);
+        assert!((v.value - erank).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn groupby_spills_when_message_volume_exceeds_budget() {
+    // A dense graph at tiny RAM: the sort-based group-by must spill runs.
+    let records = webmap::webmap(13, 12.0, 62);
+    let (_vals, stats) = pagerank_values(&records, 96 << 10);
+    assert!(
+        stats.sort_runs_spilled > 0,
+        "message combination should have spilled: {stats:?}"
+    );
+}

@@ -1,0 +1,113 @@
+//! Cross-crate invariant: every physical plan computes the same answer.
+//!
+//! §5.8 promises sixteen tailored executions of one logical plan; they
+//! must be observationally identical. The e2e suite in
+//! `pregelix-algorithms` checks PageRank; here SSSP and CC sweep all
+//! sixteen plans, plus partition-count and worker-count variations.
+
+use pregelix::graphgen::btc;
+use pregelix::prelude::*;
+use std::sync::Arc;
+
+fn result_sssp(
+    records: &[(u64, Vec<(u64, f64)>)],
+    plan: PlanConfig,
+    workers: usize,
+    ppw: usize,
+) -> Vec<(u64, f64)> {
+    let cluster = Cluster::new(ClusterConfig::new(workers, 8 << 20)).unwrap();
+    let job = PregelixJob::new(format!("pe-sssp-{}-{workers}-{ppw}", plan.label()))
+        .with_plan(plan)
+        .with_partitions_per_worker(ppw);
+    let program = Arc::new(ShortestPaths::new(0));
+    let (_s, graph) = run_job_from_records(&cluster, &program, &job, records.to_vec()).unwrap();
+    graph
+        .collect_vertices::<ShortestPaths>()
+        .unwrap()
+        .into_iter()
+        .map(|v| (v.vid, v.value))
+        .collect()
+}
+
+#[test]
+fn sixteen_plans_agree_on_sssp() {
+    let records = btc::btc(2_000, 6.0, 42);
+    let mut baseline = None;
+    for plan in PlanConfig::all() {
+        let got = result_sssp(&records, plan, 3, 1);
+        match &baseline {
+            None => baseline = Some(got),
+            Some(b) => assert_eq!(b, &got, "plan {} diverged", plan.label()),
+        }
+    }
+}
+
+#[test]
+fn worker_and_partition_counts_do_not_change_results() {
+    let records = btc::btc(1_500, 5.0, 43);
+    let reference = result_sssp(&records, PlanConfig::default(), 1, 1);
+    for (workers, ppw) in [(1, 2), (2, 1), (2, 2), (5, 1), (5, 3)] {
+        let got = result_sssp(&records, PlanConfig::default(), workers, ppw);
+        assert_eq!(reference, got, "workers={workers} ppw={ppw}");
+    }
+}
+
+#[test]
+fn cc_agrees_across_plans_and_matches_union_find() {
+    let records = btc::btc(2_500, 3.0, 44);
+    let adjacency: Vec<(u64, Vec<u64>)> = records
+        .iter()
+        .map(|(v, e)| (*v, e.iter().map(|(d, _)| *d).collect()))
+        .collect();
+    let expected =
+        pregelix::algorithms::connected_components::reference_components(&adjacency);
+    for plan in [
+        PlanConfig::default(),
+        PlanConfig {
+            join: JoinStrategy::LeftOuter,
+            groupby: GroupByStrategy::HashSortMerged,
+            storage: VertexStorageKind::Lsm,
+        },
+        PlanConfig {
+            join: JoinStrategy::FullOuter,
+            groupby: GroupByStrategy::SortMerged,
+            storage: VertexStorageKind::Lsm,
+        },
+    ] {
+        let cluster = Cluster::new(ClusterConfig::new(4, 8 << 20)).unwrap();
+        let job = PregelixJob::new(format!("pe-cc-{}", plan.label())).with_plan(plan);
+        let program = Arc::new(ConnectedComponents);
+        let (_s, graph) =
+            run_job_from_records(&cluster, &program, &job, records.clone()).unwrap();
+        for v in graph.collect_vertices::<ConnectedComponents>().unwrap() {
+            assert_eq!(v.value, expected[&v.vid], "plan {} vid {}", plan.label(), v.vid);
+        }
+    }
+}
+
+#[test]
+fn global_aggregate_is_plan_independent() {
+    let records = btc::btc(1_200, 6.0, 45);
+    let mut baseline: Option<Vec<u8>> = None;
+    for plan in [
+        PlanConfig::default(),
+        PlanConfig {
+            join: JoinStrategy::LeftOuter,
+            ..PlanConfig::default()
+        },
+        PlanConfig {
+            groupby: GroupByStrategy::HashSortMerged,
+            ..PlanConfig::default()
+        },
+    ] {
+        let cluster = Cluster::new(ClusterConfig::new(3, 8 << 20)).unwrap();
+        let job = PregelixJob::new(format!("pe-tri-{}", plan.label())).with_plan(plan);
+        let program = Arc::new(TriangleCount);
+        let (summary, _g) =
+            run_job_from_records(&cluster, &program, &job, records.clone()).unwrap();
+        match &baseline {
+            None => baseline = Some(summary.final_gs.aggregate.clone()),
+            Some(b) => assert_eq!(b, &summary.final_gs.aggregate, "plan {}", plan.label()),
+        }
+    }
+}
