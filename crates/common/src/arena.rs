@@ -1,0 +1,246 @@
+//! Pooled tuple arenas: frame-native bulk storage for operator buffers.
+//!
+//! The sort/group-by hot path used to buffer every message as its own
+//! `Vec<u8>` — one heap allocation and one pointer chase per tuple, exactly
+//! the object-graph overhead the paper's byte-oriented frame design avoids
+//! (§5.4, "bloat-aware design"). A [`TupleArena`] instead appends tuple
+//! bytes into large contiguous chunks (the same layout idea as
+//! [`crate::frame::Frame`], sized for operator buffers rather than network
+//! exchange) and hands back a compact [`TupleRef`] per tuple. Sorting a
+//! buffered batch then permutes the 12-byte refs, never the tuple bytes,
+//! and spilling a sorted run is a sequential walk over the chunks.
+//!
+//! Chunks are pooled: [`TupleArena::reset`] recycles them for the next
+//! buffer fill instead of freeing, so a spilling external sort performs
+//! O(budget / chunk_size) allocations for its whole lifetime regardless of
+//! how many million tuples pass through. Fresh chunk allocations are
+//! charged to the `arena_frames_allocated` cluster counter so that bound
+//! is observable.
+
+use crate::stats::ClusterCounters;
+
+/// Default arena chunk capacity in bytes. Larger than a network frame
+/// ([`crate::frame::DEFAULT_FRAME_BYTES`]) because arenas back operator
+/// buffers whose budgets are set in megabytes.
+pub const DEFAULT_ARENA_CHUNK_BYTES: usize = 256 * 1024;
+
+/// Compact handle to one tuple stored in a [`TupleArena`].
+///
+/// Refs stay valid until the arena is [`reset`](TupleArena::reset); they are
+/// plain indices, so a `Vec<TupleRef>` can be sorted or shuffled freely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TupleRef {
+    chunk: u32,
+    off: u32,
+    len: u32,
+}
+
+impl TupleRef {
+    /// Length of the referenced tuple in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the referenced tuple is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// An append-only byte arena holding tuples in pooled contiguous chunks.
+pub struct TupleArena {
+    /// Chunks currently holding data. `len()` of each is its fill level.
+    chunks: Vec<Vec<u8>>,
+    /// Recycled chunks awaiting reuse (cleared, capacity retained).
+    free: Vec<Vec<u8>>,
+    chunk_bytes: usize,
+    used_bytes: usize,
+    tuples: usize,
+    counters: Option<ClusterCounters>,
+}
+
+impl TupleArena {
+    /// Create an arena with the given chunk capacity (at least 1 KB).
+    pub fn new(chunk_bytes: usize) -> Self {
+        TupleArena {
+            chunks: Vec::new(),
+            free: Vec::new(),
+            chunk_bytes: chunk_bytes.max(1024),
+            used_bytes: 0,
+            tuples: 0,
+            counters: None,
+        }
+    }
+
+    /// Create an arena that charges fresh chunk allocations to
+    /// `counters.arena_frames_allocated`.
+    pub fn with_counters(chunk_bytes: usize, counters: ClusterCounters) -> Self {
+        let mut a = Self::new(chunk_bytes);
+        a.counters = Some(counters);
+        a
+    }
+
+    /// Append a tuple, returning its ref. Never fails: a tuple larger than
+    /// the chunk size gets a dedicated oversized chunk (matching the
+    /// "big object" rule of [`crate::frame::Frame`]).
+    #[inline]
+    pub fn append(&mut self, tuple: &[u8]) -> TupleRef {
+        let need = tuple.len();
+        let fits = self
+            .chunks
+            .last()
+            .is_some_and(|c| c.capacity() - c.len() >= need);
+        if !fits {
+            self.grow(need);
+        }
+        let chunk_idx = self.chunks.len() - 1;
+        let chunk = &mut self.chunks[chunk_idx];
+        let off = chunk.len();
+        chunk.extend_from_slice(tuple);
+        self.used_bytes += need;
+        self.tuples += 1;
+        TupleRef {
+            chunk: chunk_idx as u32,
+            off: off as u32,
+            len: need as u32,
+        }
+    }
+
+    fn grow(&mut self, min_capacity: usize) {
+        let chunk = if min_capacity <= self.chunk_bytes {
+            match self.free.pop() {
+                Some(c) => c,
+                None => {
+                    if let Some(ctr) = &self.counters {
+                        ctr.add_arena_frames(1);
+                    }
+                    Vec::with_capacity(self.chunk_bytes)
+                }
+            }
+        } else {
+            if let Some(ctr) = &self.counters {
+                ctr.add_arena_frames(1);
+            }
+            Vec::with_capacity(min_capacity)
+        };
+        self.chunks.push(chunk);
+    }
+
+    /// Borrow the tuple behind `r`. The ref must come from this arena and
+    /// from the current fill (refs are invalidated by [`reset`](Self::reset)).
+    #[inline]
+    pub fn get(&self, r: TupleRef) -> &[u8] {
+        &self.chunks[r.chunk as usize][r.off as usize..(r.off + r.len) as usize]
+    }
+
+    /// Total tuple bytes currently stored.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Number of tuples appended since the last reset.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples
+    }
+
+    /// Whether no tuples are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples == 0
+    }
+
+    /// Chunks currently holding data (the arena's frame count).
+    #[inline]
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Drop all tuples, recycling chunk allocations into the free pool.
+    /// Outstanding [`TupleRef`]s are invalidated.
+    pub fn reset(&mut self) {
+        for mut c in self.chunks.drain(..) {
+            if c.capacity() >= self.chunk_bytes {
+                c.clear();
+                self.free.push(c);
+            }
+        }
+        self.used_bytes = 0;
+        self.tuples = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_get_roundtrip() {
+        let mut a = TupleArena::new(1024);
+        let r1 = a.append(b"hello");
+        let r2 = a.append(b"");
+        let r3 = a.append(b"world!");
+        assert_eq!(a.get(r1), b"hello");
+        assert_eq!(a.get(r2), b"");
+        assert_eq!(a.get(r3), b"world!");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.bytes(), 11);
+        assert!(r2.is_empty());
+        assert_eq!(r3.len(), 6);
+    }
+
+    #[test]
+    fn spans_multiple_chunks() {
+        let mut a = TupleArena::new(1024);
+        let refs: Vec<TupleRef> = (0..100u32)
+            .map(|i| a.append(&i.to_le_bytes().repeat(8))) // 32 bytes each
+            .collect();
+        assert!(a.chunk_count() >= 3, "3200 bytes must span 1KB chunks");
+        for (i, r) in refs.iter().enumerate() {
+            assert_eq!(a.get(*r), (i as u32).to_le_bytes().repeat(8));
+        }
+    }
+
+    #[test]
+    fn oversized_tuple_gets_dedicated_chunk() {
+        let mut a = TupleArena::new(1024);
+        let big = vec![7u8; 5000];
+        let r = a.append(&big);
+        assert_eq!(a.get(r), &big[..]);
+        let r2 = a.append(b"small");
+        assert_eq!(a.get(r2), b"small");
+    }
+
+    #[test]
+    fn reset_recycles_chunks_and_caps_allocations() {
+        let c = ClusterCounters::new();
+        let mut a = TupleArena::with_counters(1024, c.clone());
+        for _round in 0..50 {
+            for i in 0..64u64 {
+                a.append(&i.to_be_bytes());
+            }
+            a.reset();
+        }
+        // 512 bytes per round fits one chunk; all 50 rounds reuse it.
+        assert_eq!(c.arena_frames_allocated(), 1);
+    }
+
+    #[test]
+    fn counter_tracks_fresh_allocations_only() {
+        let c = ClusterCounters::new();
+        let mut a = TupleArena::with_counters(1024, c.clone());
+        for _ in 0..5 {
+            a.append(&[0u8; 900]); // ~one chunk each
+        }
+        let first_fill = c.arena_frames_allocated();
+        assert_eq!(first_fill, 5);
+        a.reset();
+        for _ in 0..5 {
+            a.append(&[1u8; 900]);
+        }
+        assert_eq!(c.arena_frames_allocated(), first_fill, "reuse allocates nothing");
+    }
+}

@@ -9,6 +9,9 @@
 //!   exposed to users.
 //! * [`frame`] — contiguous byte *frames* holding batches of tuples, the unit
 //!   of data exchange between dataflow operators (mirrors Hyracks frames).
+//! * [`arena`] — pooled tuple arenas backing operator buffers (external
+//!   sort, group-by): contiguous chunk storage plus compact tuple refs, so
+//!   the message hot path performs no per-tuple heap allocation.
 //! * [`dfs`] — a directory-backed stand-in for HDFS used for graph
 //!   input/output, the global-state primary copy, and checkpoints.
 //! * [`memory`] — a byte-granular memory accountant used to enforce simulated
@@ -17,6 +20,7 @@
 //! * [`stats`] — cluster-wide counters mirroring the Pregelix statistics
 //!   collector (CPU-ish work units, I/O, network bytes, message counts).
 
+pub mod arena;
 pub mod dfs;
 pub mod error;
 pub mod frame;

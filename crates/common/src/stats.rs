@@ -41,6 +41,13 @@ struct Counters {
     cache_evictions: AtomicU64,
     /// External-sort runs spilled by group-by/sort operators.
     sort_runs_spilled: AtomicU64,
+    /// Tuple bytes written into spilled sort/group-by runs (spill *volume*,
+    /// complementing the run count above).
+    sort_bytes_spilled: AtomicU64,
+    /// Fresh chunk allocations performed by tuple arenas (pooled reuse is
+    /// not counted, so this stays O(buffer budget / chunk size) on a
+    /// healthy message path regardless of tuple count).
+    arena_frames_allocated: AtomicU64,
     /// Vertices alive at the end of the most recent superstep.
     live_vertices: AtomicU64,
 }
@@ -76,6 +83,8 @@ counter_api! {
     add_cache_misses / cache_misses => cache_misses,
     add_cache_evictions / cache_evictions => cache_evictions,
     add_sort_runs / sort_runs_spilled => sort_runs_spilled,
+    add_sort_bytes_spilled / sort_bytes_spilled => sort_bytes_spilled,
+    add_arena_frames / arena_frames_allocated => arena_frames_allocated,
 }
 
 impl ClusterCounters {
@@ -109,6 +118,8 @@ impl ClusterCounters {
             cache_misses: c.cache_misses.load(Ordering::Relaxed),
             cache_evictions: c.cache_evictions.load(Ordering::Relaxed),
             sort_runs_spilled: c.sort_runs_spilled.load(Ordering::Relaxed),
+            sort_bytes_spilled: c.sort_bytes_spilled.load(Ordering::Relaxed),
+            arena_frames_allocated: c.arena_frames_allocated.load(Ordering::Relaxed),
             live_vertices: c.live_vertices.load(Ordering::Relaxed),
         }
     }
@@ -128,6 +139,8 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     pub cache_evictions: u64,
     pub sort_runs_spilled: u64,
+    pub sort_bytes_spilled: u64,
+    pub arena_frames_allocated: u64,
     pub live_vertices: u64,
 }
 
@@ -151,6 +164,9 @@ impl StatsSnapshot {
             cache_misses: self.cache_misses - earlier.cache_misses,
             cache_evictions: self.cache_evictions - earlier.cache_evictions,
             sort_runs_spilled: self.sort_runs_spilled - earlier.sort_runs_spilled,
+            sort_bytes_spilled: self.sort_bytes_spilled - earlier.sort_bytes_spilled,
+            arena_frames_allocated: self.arena_frames_allocated
+                - earlier.arena_frames_allocated,
             live_vertices: self.live_vertices,
         }
     }

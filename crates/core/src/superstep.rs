@@ -404,6 +404,10 @@ struct ComputeSide<P: VertexProgram> {
     live_vids: Vec<Vid>,
     track_live_vids: bool,
     counters: pregelix_common::stats::ClusterCounters,
+    /// Reused encoding buffer for outgoing message tuples, so the per-message
+    /// fast path performs no heap allocation (the group-by copies the tuple
+    /// into its own arena/table storage).
+    msg_scratch: Vec<u8>,
 }
 
 impl<P: VertexProgram> ComputeSide<P> {
@@ -425,12 +429,18 @@ impl<P: VertexProgram> ComputeSide<P> {
             ComputeContext::new(vertex, msgs, self.gs.superstep, self.gs.vertex_count, &self.agg_prev);
         self.program.compute(&mut ctx)?;
         let out = ctx.into_outputs();
-        // D3: messages through the sender-side group-by.
+        // D3: messages through the sender-side group-by. The tuple
+        // (vid key + singleton message list) is staged in the reusable
+        // scratch buffer, not a fresh allocation per message.
         for (dest, m) in &out.messages {
+            self.msg_scratch.clear();
+            self.msg_scratch.extend_from_slice(&vid_to_key(*dest));
+            1u32.write(&mut self.msg_scratch);
+            m.write(&mut self.msg_scratch);
             self.local_gb
                 .as_mut()
                 .expect("group-by open")
-                .add(keyed_tuple(*dest, &encode_msg_list(std::slice::from_ref(m))))?;
+                .add(&self.msg_scratch)?;
         }
         self.stats.msgs_sent += out.messages.len() as u64;
         self.counters.add_messages_sent(out.messages.len() as u64);
@@ -506,6 +516,7 @@ fn compute_task<P: VertexProgram>(
         live_vids: Vec::new(),
         track_live_vids: track_live,
         counters: w.counters().clone(),
+        msg_scratch: Vec::new(),
     };
 
     let mut m_next = msgs.next()?;
@@ -667,7 +678,7 @@ fn compute_task<P: VertexProgram>(
             w.check_alive()?;
         }
         sent += 1;
-        msg_sender.send(&t)?;
+        msg_sender.send(t)?;
     }
     drop(stream);
     msg_sender.finish()?;
@@ -771,7 +782,7 @@ fn msgwrite_task(
             let mut stream = gb.finish()?;
             while let Some(t) = stream.next_tuple()? {
                 combined += 1;
-                write_tuple(&mut writer, &t)?;
+                write_tuple(&mut writer, t)?;
             }
         }
         MsgReceiverEnds::Merged(ins) => {
@@ -784,7 +795,7 @@ fn msgwrite_task(
                     w.check_alive()?;
                 }
                 combined += 1;
-                write_tuple(&mut writer, &t)?;
+                write_tuple(&mut writer, t)?;
             }
         }
     }
@@ -820,11 +831,11 @@ fn mutate_task<P: VertexProgram>(
     let mut rx = PartitionReceiver::new(mut_ins);
     let mut groups: BTreeMap<Vid, Vec<Mutation<P>>> = BTreeMap::new();
     while let Some(t) = rx.next_tuple()? {
-        let vid = tuple_vid(&t)?;
+        let vid = tuple_vid(t)?;
         groups
             .entry(vid)
             .or_default()
-            .push(decode_mutation::<P>(vid, tuple_payload(&t)?)?);
+            .push(decode_mutation::<P>(vid, tuple_payload(t)?)?);
     }
     let (mut inserted, mut deleted, mut live_inserted) = (0u64, 0u64, 0u64);
     if !groups.is_empty() {

@@ -214,13 +214,15 @@ impl PartitionReceiver {
         }
     }
 
-    /// Next tuple across all senders (frame boundaries hidden).
-    pub fn next_tuple(&mut self) -> Result<Option<Vec<u8>>> {
+    /// Next tuple across all senders (frame boundaries hidden). The slice
+    /// borrows the receiver's pending frame — valid until the next call —
+    /// so draining a channel costs zero per-tuple allocations.
+    pub fn next_tuple(&mut self) -> Result<Option<&[u8]>> {
         loop {
             if self.pending_idx < self.pending.len() {
-                let t = self.pending.tuple(self.pending_idx).to_vec();
+                let i = self.pending_idx;
                 self.pending_idx += 1;
-                return Ok(Some(t));
+                return Ok(Some(self.pending.tuple(i)));
             }
             match self.next_frame()? {
                 Some(f) => {
@@ -418,7 +420,7 @@ mod tests {
                 let mut rx = PartitionReceiver::new(ins);
                 let mut got = Vec::new();
                 while let Some(t) = rx.next_tuple()? {
-                    got.push(tuple_vid(&t)?);
+                    got.push(tuple_vid(t)?);
                 }
                 received.lock().unwrap().insert(r, got);
                 Ok(())
@@ -505,7 +507,7 @@ mod tests {
                 let mut stream = rx.into_stream(None)?;
                 let mut got = Vec::new();
                 while let Some(t) = stream.next_tuple()? {
-                    got.push(tuple_vid(&t)?);
+                    got.push(tuple_vid(t)?);
                 }
                 results.lock().unwrap()[r] = got;
                 Ok(())

@@ -116,8 +116,8 @@ impl SortGroupBy {
         SortGroupBy { sorter }
     }
 
-    /// Feed one tuple.
-    pub fn add(&mut self, tuple: Vec<u8>) -> Result<()> {
+    /// Feed one tuple (copied into the sorter's arena — no allocation).
+    pub fn add(&mut self, tuple: &[u8]) -> Result<()> {
         self.sorter.add(tuple)
     }
 
@@ -164,12 +164,14 @@ impl HashSortGroupBy {
         }
     }
 
-    /// Feed one vid-keyed tuple.
-    pub fn add(&mut self, tuple: Vec<u8>) -> Result<()> {
-        let vid = pregelix_common::frame::tuple_vid(&tuple)?;
+    /// Feed one vid-keyed tuple. With a combiner, repeat keys fold into the
+    /// existing entry in place — only the first occurrence of a key
+    /// allocates, so allocation count is O(distinct keys), not O(tuples).
+    pub fn add(&mut self, tuple: &[u8]) -> Result<()> {
+        let vid = pregelix_common::frame::tuple_vid(tuple)?;
         match (self.map.get_mut(&vid), &self.combiner) {
             (Some(existing), Some(c)) => {
-                let merged = c(existing, &tuple);
+                let merged = c(existing, tuple);
                 self.bytes = self.bytes + merged.len() - existing.len();
                 *existing = merged;
             }
@@ -178,13 +180,13 @@ impl HashSortGroupBy {
                 // fall back to treating each tuple as its own unit by
                 // spilling through the sort path. Simplest correct move:
                 // push the existing entry to a run and replace.
-                let old = std::mem::replace(existing, tuple);
+                let old = std::mem::replace(existing, tuple.to_vec());
                 self.bytes += existing.len();
                 self.spill_single(old)?;
             }
             (None, _) => {
                 self.bytes += tuple.len() + 48;
-                self.map.insert(vid, tuple);
+                self.map.insert(vid, tuple.to_vec());
             }
         }
         if self.bytes > self.budget {
@@ -209,11 +211,14 @@ impl HashSortGroupBy {
             self.fm.temp_file_path(&self.label),
             self.counters.clone(),
         )?;
+        let mut spilled_bytes = 0u64;
         for t in &tuples {
+            spilled_bytes += t.len() as u64;
             w.write_tuple(t)?;
         }
         self.runs.push(w.finish()?);
         self.counters.add_sort_runs(1);
+        self.counters.add_sort_bytes_spilled(spilled_bytes);
         Ok(())
     }
 
@@ -224,6 +229,7 @@ impl HashSortGroupBy {
         )?;
         w.write_tuple(&tuple)?;
         self.runs.push(w.finish()?);
+        self.counters.add_sort_bytes_spilled(tuple.len() as u64);
         Ok(())
     }
 
@@ -265,8 +271,9 @@ impl LocalGroupBy {
         }
     }
 
-    /// Feed one tuple.
-    pub fn add(&mut self, tuple: Vec<u8>) -> Result<()> {
+    /// Feed one tuple (borrowed; implementations copy into their own
+    /// arena/table storage).
+    pub fn add(&mut self, tuple: &[u8]) -> Result<()> {
         match self {
             LocalGroupBy::Sort(g) => g.add(tuple),
             LocalGroupBy::HashSort(g) => g.add(tuple),
@@ -299,17 +306,18 @@ impl PreclusteredGroupBy {
     }
 
     /// Feed the next tuple (must be key-clustered). Returns the previous
-    /// group's result when this tuple starts a new group.
-    pub fn push(&mut self, tuple: Vec<u8>) -> Option<Vec<u8>> {
+    /// group's result when this tuple starts a new group. Tuples are
+    /// borrowed: only group boundaries copy (one allocation per group).
+    pub fn push(&mut self, tuple: &[u8]) -> Option<Vec<u8>> {
         match &mut self.acc {
             Some(acc) if acc[..8] == tuple[..8] => {
-                let merged = (self.combiner)(acc, &tuple);
+                let merged = (self.combiner)(acc, tuple);
                 *acc = merged;
                 None
             }
-            Some(_) => self.acc.replace(tuple),
+            Some(_) => self.acc.replace(tuple.to_vec()),
             None => {
-                self.acc = Some(tuple);
+                self.acc = Some(tuple.to_vec());
                 None
             }
         }
@@ -352,14 +360,14 @@ mod tests {
         }
         tuples.shuffle(&mut rng);
         for t in tuples {
-            g.add(t).unwrap();
+            g.add(&t).unwrap();
         }
         let mut out = Vec::new();
         let mut stream = g.finish().unwrap();
         while let Some(t) = stream.next_tuple().unwrap() {
             out.push((
-                tuple_vid(&t).unwrap(),
-                u64::from_le_bytes(tuple_payload(&t).unwrap().try_into().unwrap()),
+                tuple_vid(t).unwrap(),
+                u64::from_le_bytes(tuple_payload(t).unwrap().try_into().unwrap()),
             ));
         }
         out
@@ -416,7 +424,7 @@ mod tests {
         let mut g = PreclusteredGroupBy::new(c);
         let mut out = Vec::new();
         for vid in [1u64, 1, 1, 2, 3, 3] {
-            if let Some(done) = g.push(keyed_tuple(vid, &1u64.to_le_bytes())) {
+            if let Some(done) = g.push(&keyed_tuple(vid, &1u64.to_le_bytes())) {
                 out.push(done);
             }
         }
@@ -458,12 +466,12 @@ mod tests {
         let (f, _d) = fm();
         let mut g = HashSortGroupBy::new(&f, "nc", 1 << 20, None);
         for vid in [3u64, 1, 3, 2, 1, 1] {
-            g.add(keyed_tuple(vid, &vid.to_le_bytes())).unwrap();
+            g.add(&keyed_tuple(vid, &vid.to_le_bytes())).unwrap();
         }
         let mut stream = g.finish().unwrap();
         let mut vids = Vec::new();
         while let Some(t) = stream.next_tuple().unwrap() {
-            vids.push(tuple_vid(&t).unwrap());
+            vids.push(tuple_vid(t).unwrap());
         }
         vids.sort_unstable();
         assert_eq!(vids, vec![1, 1, 1, 2, 3, 3]);

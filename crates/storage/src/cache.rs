@@ -7,6 +7,15 @@
 //! [`FileManager`] directly; they pin pages here, and the pool size — set
 //! from the worker's simulated RAM budget — is what decides whether a given
 //! workload runs memory-resident or disk-based.
+//!
+//! The cache is **lock-striped**: pages hash by `(FileId, PageId)` onto one
+//! of N independent stripes, each owning its own map, LRU queue and share of
+//! the page budget. Concurrent workers probing their B-trees during the
+//! index join of a superstep therefore contend only when they touch the same
+//! stripe, not on one global mutex — the same reason production buffer
+//! managers partition their latch space. Striping the budget slightly
+//! relaxes global LRU (each stripe evicts locally), which is an accepted
+//! trade for removing the serialization point.
 
 use crate::file::{FileId, FileManager, PageId};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -14,6 +23,10 @@ use pregelix_common::error::Result;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Default stripe count. Eight matches the worker thread counts used by the
+/// scaling experiments; contention halves roughly linearly in stripes.
+pub const DEFAULT_CACHE_STRIPES: usize = 8;
 
 /// A page resident in the cache.
 struct PageSlot {
@@ -34,10 +47,16 @@ struct CacheState {
     next_tick: u64,
 }
 
+/// One lock-striped segment: an independent map + LRU + page budget share.
+struct Stripe {
+    capacity: usize,
+    state: Mutex<CacheState>,
+}
+
 struct Inner {
     fm: FileManager,
     capacity: usize,
-    state: Mutex<CacheState>,
+    stripes: Vec<Stripe>,
 }
 
 /// Shared handle to a worker's buffer cache. Cheap to clone.
@@ -48,18 +67,38 @@ pub struct BufferCache {
 
 impl BufferCache {
     /// Create a cache over `fm` holding at most `capacity_pages` unpinned
-    /// pages. A capacity of at least 8 pages is enforced so that a single
-    /// B-tree root-to-leaf path plus a bulk-load frontier always fits.
+    /// pages, striped over [`DEFAULT_CACHE_STRIPES`] segments. A capacity of
+    /// at least 8 pages is enforced so that a single B-tree root-to-leaf
+    /// path plus a bulk-load frontier always fits (and every stripe gets a
+    /// non-zero budget).
     pub fn new(fm: FileManager, capacity_pages: usize) -> Self {
-        BufferCache {
-            inner: Arc::new(Inner {
-                fm,
-                capacity: capacity_pages.max(8),
+        Self::with_stripes(fm, capacity_pages, DEFAULT_CACHE_STRIPES)
+    }
+
+    /// Create a cache with an explicit stripe count. `stripes = 1` degrades
+    /// to the single-mutex layout (useful for contention benchmarks).
+    pub fn with_stripes(fm: FileManager, capacity_pages: usize, stripes: usize) -> Self {
+        let stripes = stripes.max(1);
+        let capacity = capacity_pages.max(8).max(stripes);
+        // Split the budget evenly; the first `capacity % stripes` stripes
+        // absorb the remainder so shares sum exactly to `capacity`.
+        let base = capacity / stripes;
+        let extra = capacity % stripes;
+        let stripes = (0..stripes)
+            .map(|i| Stripe {
+                capacity: base + usize::from(i < extra),
                 state: Mutex::new(CacheState {
                     map: HashMap::new(),
                     lru: VecDeque::new(),
                     next_tick: 0,
                 }),
+            })
+            .collect();
+        BufferCache {
+            inner: Arc::new(Inner {
+                fm,
+                capacity,
+                stripes,
             }),
         }
     }
@@ -81,21 +120,40 @@ impl BufferCache {
         self.inner.fm.page_size()
     }
 
-    /// Maximum resident pages.
+    /// Maximum resident pages (summed over stripes).
     pub fn capacity(&self) -> usize {
         self.inner.capacity
     }
 
-    /// Pages currently resident.
+    /// Number of lock stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.inner.stripes.len()
+    }
+
+    /// Pages currently resident (summed over stripes).
     pub fn resident(&self) -> usize {
-        self.inner.state.lock().map.len()
+        self.inner
+            .stripes
+            .iter()
+            .map(|s| s.state.lock().map.len())
+            .sum()
+    }
+
+    /// The stripe owning `(file, page)`. A Fibonacci multiplicative hash of
+    /// both components spreads sequential page ids of one file across all
+    /// stripes (sequential scans would otherwise hammer one segment).
+    #[inline]
+    fn stripe(&self, file: FileId, page: PageId) -> &Stripe {
+        let h = (file.0 ^ page.rotate_left(32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let idx = (h >> 32) as usize % self.inner.stripes.len();
+        &self.inner.stripes[idx]
     }
 
     /// Pin an existing page, reading it from disk on a miss.
     pub fn pin(&self, file: FileId, page: PageId) -> Result<PageGuard> {
         let counters = self.inner.fm.counters().clone();
         {
-            let state = self.inner.state.lock();
+            let state = self.stripe(file, page).state.lock();
             if let Some(slot) = state.map.get(&(file, page)) {
                 slot.pins.fetch_add(1, Ordering::Relaxed);
                 counters.add_cache_hits(1);
@@ -130,7 +188,8 @@ impl BufferCache {
         buf: Vec<u8>,
         dirty: bool,
     ) -> Result<PageGuard> {
-        let mut state = self.inner.state.lock();
+        let stripe = self.stripe(file, page);
+        let mut state = stripe.state.lock();
         // Another thread may have inserted the same page while we were
         // reading it; prefer the existing slot (our read is discarded).
         if let Some(slot) = state.map.get(&(file, page)) {
@@ -142,7 +201,7 @@ impl BufferCache {
                 slot,
             });
         }
-        self.evict_to_fit(&mut state)?;
+        self.evict_to_fit(stripe, &mut state)?;
         let slot = Arc::new(PageSlot {
             key: (file, page),
             pins: AtomicU32::new(1),
@@ -158,12 +217,12 @@ impl BufferCache {
         })
     }
 
-    /// Evict unpinned LRU pages until there is room for one more. Pinned
-    /// pages are skipped; if everything is pinned the cache temporarily
-    /// overflows (the pin discipline of the access methods keeps pinned
-    /// working sets to a handful of pages).
-    fn evict_to_fit(&self, state: &mut CacheState) -> Result<()> {
-        while state.map.len() >= self.inner.capacity {
+    /// Evict unpinned LRU pages from one stripe until there is room for one
+    /// more. Pinned pages are skipped; if everything is pinned the stripe
+    /// temporarily overflows (the pin discipline of the access methods keeps
+    /// pinned working sets to a handful of pages).
+    fn evict_to_fit(&self, stripe: &Stripe, state: &mut CacheState) -> Result<()> {
+        while state.map.len() >= stripe.capacity {
             let mut evicted = false;
             while let Some((key, tick)) = state.lru.pop_front() {
                 let Some(slot) = state.map.get(&key) else {
@@ -176,7 +235,7 @@ impl BufferCache {
                     continue; // pinned; its next unpin re-queues it
                 }
                 let slot = state.map.remove(&key).expect("checked above");
-                // Write back outside the LRU bookkeeping but under the state
+                // Write back outside the LRU bookkeeping but under the stripe
                 // lock: the slot is no longer reachable, so nobody can pin it
                 // while we flush.
                 if slot.dirty.load(Ordering::Relaxed) {
@@ -196,7 +255,8 @@ impl BufferCache {
     }
 
     fn unpin(&self, slot: &Arc<PageSlot>) {
-        let mut state = self.inner.state.lock();
+        let stripe = self.stripe(slot.key.0, slot.key.1);
+        let mut state = stripe.state.lock();
         let prev = slot.pins.fetch_sub(1, Ordering::Relaxed);
         debug_assert!(prev >= 1, "unpin without pin");
         if prev == 1 {
@@ -209,11 +269,13 @@ impl BufferCache {
 
     /// Write back all dirty pages of `file` (pages stay cached).
     pub fn flush_file(&self, file: FileId) -> Result<()> {
-        let state = self.inner.state.lock();
-        for (key, slot) in state.map.iter() {
-            if key.0 == file && slot.dirty.swap(false, Ordering::Relaxed) {
-                let data = slot.data.read();
-                self.inner.fm.write_page(key.0, key.1, &data)?;
+        for stripe in &self.inner.stripes {
+            let state = stripe.state.lock();
+            for (key, slot) in state.map.iter() {
+                if key.0 == file && slot.dirty.swap(false, Ordering::Relaxed) {
+                    let data = slot.data.read();
+                    self.inner.fm.write_page(key.0, key.1, &data)?;
+                }
             }
         }
         Ok(())
@@ -223,23 +285,25 @@ impl BufferCache {
     /// ones are flushed first; without it they are discarded (used right
     /// before file deletion). Panics in debug builds if any page is pinned.
     pub fn purge_file(&self, file: FileId, write_back: bool) -> Result<()> {
-        let mut state = self.inner.state.lock();
-        let keys: Vec<_> = state
-            .map
-            .keys()
-            .filter(|k| k.0 == file)
-            .copied()
-            .collect();
-        for key in keys {
-            let slot = state.map.remove(&key).expect("listed above");
-            debug_assert_eq!(
-                slot.pins.load(Ordering::Relaxed),
-                0,
-                "purging pinned page {key:?}"
-            );
-            if write_back && slot.dirty.load(Ordering::Relaxed) {
-                let data = slot.data.read();
-                self.inner.fm.write_page(key.0, key.1, &data)?;
+        for stripe in &self.inner.stripes {
+            let mut state = stripe.state.lock();
+            let keys: Vec<_> = state
+                .map
+                .keys()
+                .filter(|k| k.0 == file)
+                .copied()
+                .collect();
+            for key in keys {
+                let slot = state.map.remove(&key).expect("listed above");
+                debug_assert_eq!(
+                    slot.pins.load(Ordering::Relaxed),
+                    0,
+                    "purging pinned page {key:?}"
+                );
+                if write_back && slot.dirty.load(Ordering::Relaxed) {
+                    let data = slot.data.read();
+                    self.inner.fm.write_page(key.0, key.1, &data)?;
+                }
             }
         }
         Ok(())
@@ -350,7 +414,7 @@ mod tests {
         assert_eq!(counters.cache_hits(), 1);
         // Evict, then re-pin: miss.
         drop(_g);
-        for _ in 0..16 {
+        for _ in 0..64 {
             let (_, h) = c.new_page(f).unwrap();
             drop(h);
         }
@@ -408,5 +472,38 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn stripes_partition_the_budget_exactly() {
+        let dir = TempDir::new("cache").unwrap();
+        let fm = FileManager::new(dir.path(), 64, ClusterCounters::new()).unwrap();
+        for stripes in [1, 3, 8] {
+            let c = BufferCache::with_stripes(fm.clone(), 21, stripes);
+            assert_eq!(c.capacity(), 21);
+            assert_eq!(c.stripe_count(), stripes);
+            let total: usize = c.inner.stripes.iter().map(|s| s.capacity).sum();
+            assert_eq!(total, 21, "shares must sum to the budget");
+            assert!(c.inner.stripes.iter().all(|s| s.capacity >= 1));
+        }
+    }
+
+    #[test]
+    fn single_stripe_behaves_like_global_lru() {
+        let dir = TempDir::new("cache").unwrap();
+        let fm = FileManager::new(dir.path(), 64, ClusterCounters::new()).unwrap();
+        let c = BufferCache::with_stripes(fm, 8, 1);
+        let f = c.file_manager().create().unwrap();
+        let mut ids = Vec::new();
+        for i in 0..32u8 {
+            let (pid, g) = c.new_page(f).unwrap();
+            g.write()[0] = i;
+            ids.push(pid);
+        }
+        assert!(c.resident() <= 8);
+        for (i, pid) in ids.iter().enumerate() {
+            let g = c.pin(f, *pid).unwrap();
+            assert_eq!(g.read()[0], i as u8);
+        }
     }
 }

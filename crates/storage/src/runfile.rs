@@ -300,6 +300,46 @@ impl RunReader {
             }
         }
     }
+
+    /// Advance the lending cursor to the next tuple. Returns `true` when a
+    /// tuple is available via [`current`](Self::current). This is the
+    /// allocation-free counterpart of [`next_tuple`](Self::next_tuple): the
+    /// cursor borrows tuples in place from the reader's current frame. Do
+    /// not mix the two styles on one reader.
+    pub fn advance(&mut self) -> Result<bool> {
+        loop {
+            let next = self.pending_idx.wrapping_add(1);
+            if next < self.pending.len() {
+                self.pending_idx = next;
+                return Ok(true);
+            }
+            if self.done {
+                self.pending_idx = self.pending.len();
+                return Ok(false);
+            }
+            match self.next_frame()? {
+                Some(f) => {
+                    self.pending = f;
+                    // One less than the first index, so the wrapping
+                    // increment above lands on tuple 0.
+                    self.pending_idx = usize::MAX;
+                }
+                None => {
+                    self.done = true;
+                }
+            }
+        }
+    }
+
+    /// The tuple under the lending cursor, or `None` before the first
+    /// [`advance`](Self::advance) / after exhaustion.
+    pub fn current(&self) -> Option<&[u8]> {
+        if self.pending_idx < self.pending.len() {
+            Some(self.pending.tuple(self.pending_idx))
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -439,6 +479,28 @@ mod tests {
         assert_eq!(n, 5_000);
         // Spilled and direct-file contents agree byte-for-byte.
         assert_eq!(h.read_all().unwrap(), std::fs::read(&path).unwrap());
+    }
+
+    #[test]
+    fn lending_cursor_matches_owned_iteration() {
+        let dir = TempDir::new("run").unwrap();
+        let path = dir.path().join("cur.run");
+        let mut w = RunWriter::create(&path, counters()).unwrap();
+        for vid in 0..10_000u64 {
+            w.write_tuple(&keyed_tuple(vid, &vid.to_le_bytes())).unwrap();
+        }
+        let h = w.finish().unwrap();
+        let mut r = h.open(counters()).unwrap();
+        assert!(r.current().is_none(), "no tuple before first advance");
+        let mut n = 0u64;
+        while r.advance().unwrap() {
+            let t = r.current().unwrap();
+            assert_eq!(pregelix_common::frame::tuple_vid(t).unwrap(), n);
+            n += 1;
+        }
+        assert_eq!(n, 10_000);
+        assert!(r.current().is_none(), "no tuple after exhaustion");
+        assert!(!r.advance().unwrap(), "advance idempotent at end");
     }
 
     #[test]

@@ -7,6 +7,21 @@
 //! file; `finish` merges all runs plus the residual buffer with a k-way
 //! merge.
 //!
+//! The in-memory phase is **frame-native**: tuples append into a pooled
+//! [`TupleArena`] (contiguous chunk storage, recycled across spills) and
+//! sorting permutes a vector of small sort entries — an 8-byte normalized
+//! key prefix plus a 12-byte [`TupleRef`]. Comparisons resolve on the
+//! prefix `u64` for all but equal-key tuples, so the sort rarely touches
+//! tuple bytes at all. No per-tuple heap allocation happens anywhere on
+//! this path — the asymmetry against object-per-message runtimes that the
+//! paper's byte-oriented frame design buys (§5.4). Spilling a sorted run is
+//! a sequential walk over the arena chunks into a [`RunWriter`]. The merge
+//! phase is equally allocation-free:
+//! a manual binary heap orders *source indices* whose current tuples are
+//! borrowed in place from the residual arena or from each run reader's
+//! current frame, and [`SortedStream::next_tuple`] lends `&[u8]` slices to
+//! the consumer instead of handing out owned vectors.
+//!
 //! An optional *combiner* is applied to adjacent equal-key tuples in **both**
 //! the in-memory phase and the merge phase, exactly as the paper describes
 //! for the sort-based group-by ("pushes group-by aggregations into both the
@@ -16,23 +31,41 @@
 
 use crate::file::FileManager;
 use crate::runfile::{RunHandle, RunReader, RunWriter};
+use pregelix_common::arena::{TupleArena, TupleRef, DEFAULT_ARENA_CHUNK_BYTES};
 use pregelix_common::error::Result;
 use pregelix_common::frame::tuple_vid;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::cmp::Ordering;
 
 /// Combines two tuples that share the same 8-byte key prefix into one.
 /// Receives the accumulated tuple and the incoming tuple; returns the merged
 /// tuple (which must keep the same key prefix).
 pub type CombineFn = Box<dyn FnMut(&[u8], &[u8]) -> Vec<u8> + Send>;
 
+/// Per-buffered-tuple bookkeeping cost charged against the memory budget
+/// (the size of one sort entry: key prefix + [`TupleRef`]).
+const REF_COST: usize = std::mem::size_of::<(u64, TupleRef)>();
+
+/// Normalized sort key: the first 8 tuple bytes as a big-endian `u64`,
+/// zero-padded for shorter tuples. Ordering by `(key_prefix(t), t)` equals
+/// plain lexicographic ordering of `t`: if two zero-padded prefixes differ,
+/// the tuples first differ at a byte the prefixes cover (padding only ever
+/// compares as `0`, the smallest byte, against a real byte or nothing), and
+/// on equal prefixes the tie-break compares the full tuples anyway.
+#[inline]
+fn key_prefix(t: &[u8]) -> u64 {
+    let mut p = [0u8; 8];
+    let n = t.len().min(8);
+    p[..n].copy_from_slice(&t[..n]);
+    u64::from_be_bytes(p)
+}
+
 /// An external sorter over keyed tuples.
 pub struct ExternalSorter {
     fm: FileManager,
     label: String,
     budget_bytes: usize,
-    buffer: Vec<Vec<u8>>,
-    buffer_bytes: usize,
+    arena: TupleArena,
+    refs: Vec<(u64, TupleRef)>,
     runs: Vec<RunHandle>,
     combiner: Option<CombineFn>,
 }
@@ -41,12 +74,18 @@ impl ExternalSorter {
     /// Create a sorter spilling through `fm` with an in-memory budget of
     /// `budget_bytes`. `label` names the temp files for debuggability.
     pub fn new(fm: FileManager, label: impl Into<String>, budget_bytes: usize) -> Self {
+        let budget_bytes = budget_bytes.max(1024);
+        // Chunks no larger than the budget, so small-budget sorters do not
+        // overshoot their simulated RAM share; pooling keeps the per-spill
+        // allocation count at O(budget / chunk size) either way.
+        let chunk = budget_bytes.min(DEFAULT_ARENA_CHUNK_BYTES);
+        let arena = TupleArena::with_counters(chunk, fm.counters().clone());
         ExternalSorter {
             fm,
             label: label.into(),
-            budget_bytes: budget_bytes.max(1024),
-            buffer: Vec::new(),
-            buffer_bytes: 0,
+            budget_bytes,
+            arena,
+            refs: Vec::new(),
             runs: Vec::new(),
             combiner: None,
         }
@@ -64,68 +103,92 @@ impl ExternalSorter {
         self.runs.len()
     }
 
-    /// Add a tuple; may trigger a spill.
-    pub fn add(&mut self, tuple: Vec<u8>) -> Result<()> {
-        self.buffer_bytes += tuple.len() + 24; // approximate Vec overhead
-        self.buffer.push(tuple);
-        if self.buffer_bytes > self.budget_bytes {
+    /// Add a tuple; may trigger a spill. The tuple bytes are copied into
+    /// the arena — no allocation is performed for the copy.
+    pub fn add(&mut self, tuple: &[u8]) -> Result<()> {
+        let r = self.arena.append(tuple);
+        self.refs.push((key_prefix(tuple), r));
+        if self.arena.bytes() + self.refs.len() * REF_COST > self.budget_bytes {
             self.spill()?;
         }
         Ok(())
     }
 
-    /// Sort (and combine) the buffer in place, returning the ready tuples.
-    fn sorted_combined_buffer(&mut self) -> Vec<Vec<u8>> {
-        let mut buf = std::mem::take(&mut self.buffer);
-        self.buffer_bytes = 0;
-        buf.sort_unstable();
-        if let Some(comb) = &mut self.combiner {
-            let mut out: Vec<Vec<u8>> = Vec::with_capacity(buf.len());
-            for t in buf {
-                match out.last_mut() {
-                    Some(acc) if same_key(acc, &t) => {
-                        let merged = comb(acc, &t);
-                        *acc = merged;
-                    }
-                    _ => out.push(t),
-                }
-            }
-            out
-        } else {
-            buf
-        }
+    /// Sort the buffered refs by whole-tuple byte order. The normalized key
+    /// prefix decides most comparisons without dereferencing into the arena.
+    fn sort_refs(&mut self) {
+        let arena = &self.arena;
+        self.refs.sort_unstable_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| arena.get(a.1).cmp(arena.get(b.1)))
+        });
     }
 
     fn spill(&mut self) -> Result<()> {
-        if self.buffer.is_empty() {
+        if self.refs.is_empty() {
             return Ok(());
         }
-        let tuples = self.sorted_combined_buffer();
+        self.sort_refs();
         let path = self.fm.temp_file_path(&self.label);
         let mut w = RunWriter::create(path, self.fm.counters().clone())?;
-        for t in &tuples {
-            w.write_tuple(t)?;
+        let mut spilled_bytes = 0u64;
+        match &mut self.combiner {
+            Some(comb) => {
+                fold_groups(&self.arena, &self.refs, comb, |t| {
+                    spilled_bytes += t.len() as u64;
+                    w.write_tuple(t)
+                })?;
+            }
+            None => {
+                for &(_, r) in &self.refs {
+                    let t = self.arena.get(r);
+                    spilled_bytes += t.len() as u64;
+                    w.write_tuple(t)?;
+                }
+            }
         }
         self.runs.push(w.finish()?);
         self.fm.counters().add_sort_runs(1);
+        self.fm.counters().add_sort_bytes_spilled(spilled_bytes);
+        self.arena.reset();
+        self.refs.clear();
         Ok(())
     }
 
     /// Finish adding tuples and return a sorted (combined) stream.
     pub fn finish(mut self) -> Result<SortedStream> {
-        let memory = self.sorted_combined_buffer();
+        self.sort_refs();
+        // Pre-combine the residual buffer (runs were pre-combined at spill
+        // time), so the merge phase sees one tuple per key per source —
+        // the same layout the merge combiner expects from runs.
+        let memory_refs: Vec<TupleRef> = if self.combiner.is_some() && !self.refs.is_empty() {
+            let mut out =
+                TupleArena::with_counters(DEFAULT_ARENA_CHUNK_BYTES, self.fm.counters().clone());
+            let mut out_refs = Vec::new();
+            let comb = self.combiner.as_mut().expect("checked above");
+            fold_groups(&self.arena, &self.refs, comb, |t| {
+                out_refs.push(out.append(t));
+                Ok(())
+            })?;
+            self.arena = out;
+            out_refs
+        } else {
+            self.refs.iter().map(|&(_, r)| r).collect()
+        };
         let mut readers = Vec::with_capacity(self.runs.len());
         for run in &self.runs {
             readers.push(run.open(self.fm.counters().clone())?);
         }
         let mut stream = SortedStream {
-            memory,
-            memory_idx: 0,
+            memory_arena: self.arena,
+            memory_refs,
+            memory_pos: 0,
             readers,
-            heap: BinaryHeap::new(),
-            runs: std::mem::take(&mut self.runs),
-            combiner: self.combiner.take(),
-            pending: None,
+            heap: Vec::new(),
+            last: None,
+            runs: self.runs,
+            combiner: self.combiner,
+            acc: Vec::new(),
         };
         stream.prime()?;
         Ok(stream)
@@ -137,24 +200,64 @@ fn same_key(a: &[u8], b: &[u8]) -> bool {
     a.len() >= 8 && b.len() >= 8 && a[..8] == b[..8]
 }
 
-/// Heap entry: reversed ordering on (tuple, source) for a min-heap.
-type HeapEntry = Reverse<(Vec<u8>, usize)>;
-
-/// The merged output of an [`ExternalSorter`]: tuples in ascending byte
-/// order with the combiner applied across runs. Deletes the spilled run
-/// files when dropped.
-pub struct SortedStream {
-    memory: Vec<Vec<u8>>,
-    memory_idx: usize,
-    readers: Vec<RunReader>,
-    heap: BinaryHeap<HeapEntry>,
-    runs: Vec<RunHandle>,
-    combiner: Option<CombineFn>,
-    pending: Option<Vec<u8>>,
+/// Walk `refs` (which must be sorted) group-by-group, folding equal-key
+/// neighbours through `comb` and handing each finished group to `emit`.
+/// The accumulator is one reused scratch buffer; single-tuple groups cost
+/// one memcpy and zero allocations.
+fn fold_groups(
+    arena: &TupleArena,
+    refs: &[(u64, TupleRef)],
+    comb: &mut CombineFn,
+    mut emit: impl FnMut(&[u8]) -> Result<()>,
+) -> Result<()> {
+    let mut acc: Vec<u8> = Vec::new();
+    let mut have = false;
+    for &(_, r) in refs {
+        let t = arena.get(r);
+        if have && same_key(&acc, t) {
+            acc = comb(&acc, t);
+        } else {
+            if have {
+                emit(&acc)?;
+            }
+            acc.clear();
+            acc.extend_from_slice(t);
+            have = true;
+        }
+    }
+    if have {
+        emit(&acc)?;
+    }
+    Ok(())
 }
 
-/// Source index reserved for the in-memory buffer in the merge heap.
+/// Source index reserved for the in-memory buffer in the merge heap. Equal
+/// tuples break ties by source index, so the memory buffer sorts after
+/// every run — matching run spill order.
 const MEMORY_SOURCE: usize = usize::MAX;
+
+/// The merged output of an [`ExternalSorter`]: tuples in ascending byte
+/// order with the combiner applied across runs. `next_tuple` lends slices
+/// into internal buffers; nothing is allocated per tuple. Deletes the
+/// spilled run files when dropped.
+pub struct SortedStream {
+    memory_arena: TupleArena,
+    memory_refs: Vec<TupleRef>,
+    /// Index of the memory source's *current* tuple.
+    memory_pos: usize,
+    readers: Vec<RunReader>,
+    /// Manual binary min-heap of live source indices, ordered by each
+    /// source's current tuple (ties by source index). Heap entries never
+    /// own tuple bytes — comparisons borrow from the sources in place.
+    heap: Vec<usize>,
+    /// Source whose current tuple was lent out by the previous
+    /// `next_tuple` call; it is advanced and re-pushed on the next call.
+    last: Option<usize>,
+    runs: Vec<RunHandle>,
+    combiner: Option<CombineFn>,
+    /// Scratch accumulator for combined groups (reused across calls).
+    acc: Vec<u8>,
+}
 
 impl SortedStream {
     /// Assemble a merged stream from already-sorted parts: an in-memory
@@ -169,18 +272,22 @@ impl SortedStream {
         counters: pregelix_common::stats::ClusterCounters,
     ) -> Result<SortedStream> {
         debug_assert!(memory.windows(2).all(|w| w[0] <= w[1]), "memory not sorted");
+        let mut arena = TupleArena::with_counters(DEFAULT_ARENA_CHUNK_BYTES, counters.clone());
+        let memory_refs: Vec<TupleRef> = memory.iter().map(|t| arena.append(t)).collect();
         let mut readers = Vec::with_capacity(runs.len());
         for run in &runs {
             readers.push(run.open(counters.clone())?);
         }
         let mut stream = SortedStream {
-            memory,
-            memory_idx: 0,
+            memory_arena: arena,
+            memory_refs,
+            memory_pos: 0,
             readers,
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
+            last: None,
             runs,
             combiner,
-            pending: None,
+            acc: Vec::new(),
         };
         stream.prime()?;
         Ok(stream)
@@ -188,69 +295,178 @@ impl SortedStream {
 
     fn prime(&mut self) -> Result<()> {
         for i in 0..self.readers.len() {
-            if let Some(t) = self.readers[i].next_tuple()? {
-                self.heap.push(Reverse((t, i)));
+            if self.readers[i].advance()? {
+                self.heap_push(i);
             }
         }
-        if self.memory_idx < self.memory.len() {
-            let t = std::mem::take(&mut self.memory[self.memory_idx]);
-            self.memory_idx += 1;
-            self.heap.push(Reverse((t, MEMORY_SOURCE)));
+        if !self.memory_refs.is_empty() {
+            self.heap_push(MEMORY_SOURCE);
         }
         Ok(())
     }
 
-    fn pop_raw(&mut self) -> Result<Option<Vec<u8>>> {
-        let Some(Reverse((tuple, source))) = self.heap.pop() else {
+    /// The current tuple of a live source.
+    fn src_current(&self, s: usize) -> Option<&[u8]> {
+        if s == MEMORY_SOURCE {
+            self.memory_refs
+                .get(self.memory_pos)
+                .map(|r| self.memory_arena.get(*r))
+        } else {
+            self.readers[s].current()
+        }
+    }
+
+    /// Strict ordering of two live sources by (current tuple, source id).
+    fn src_less(&self, a: usize, b: usize) -> bool {
+        let ta = self.src_current(a).expect("heap source must be live");
+        let tb = self.src_current(b).expect("heap source must be live");
+        match ta.cmp(tb) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => a < b,
+        }
+    }
+
+    fn heap_push(&mut self, s: usize) {
+        self.heap.push(s);
+        let mut i = self.heap.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.src_less(self.heap[i], self.heap[parent]) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_pop(&mut self) -> Option<usize> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let n = self.heap.len();
+        self.heap.swap(0, n - 1);
+        let s = self.heap.pop().expect("nonempty");
+        let mut i = 0;
+        loop {
+            let l = 2 * i + 1;
+            if l >= self.heap.len() {
+                break;
+            }
+            let r = l + 1;
+            let mut min = l;
+            if r < self.heap.len() && self.src_less(self.heap[r], self.heap[l]) {
+                min = r;
+            }
+            if self.src_less(self.heap[min], self.heap[i]) {
+                self.heap.swap(i, min);
+                i = min;
+            } else {
+                break;
+            }
+        }
+        Some(s)
+    }
+
+    /// Advance (and re-queue if still live) the source whose tuple was lent
+    /// out by the previous `next_tuple` call.
+    fn advance_last(&mut self) -> Result<()> {
+        let Some(s) = self.last.take() else {
+            return Ok(());
+        };
+        let live = if s == MEMORY_SOURCE {
+            self.memory_pos += 1;
+            self.memory_pos < self.memory_refs.len()
+        } else {
+            self.readers[s].advance()?
+        };
+        if live {
+            self.heap_push(s);
+        }
+        Ok(())
+    }
+
+    /// The next tuple in sorted order, or `None` when exhausted. The slice
+    /// borrows from the stream and is valid until the next call.
+    pub fn next_tuple(&mut self) -> Result<Option<&[u8]>> {
+        self.advance_last()?;
+        let Some(s) = self.heap_pop() else {
             return Ok(None);
         };
-        // Refill from the source that produced this tuple.
-        if source == MEMORY_SOURCE {
-            if self.memory_idx < self.memory.len() {
-                let t = std::mem::take(&mut self.memory[self.memory_idx]);
-                self.memory_idx += 1;
-                self.heap.push(Reverse((t, MEMORY_SOURCE)));
-            }
-        } else if let Some(t) = self.readers[source].next_tuple()? {
-            self.heap.push(Reverse((t, source)));
-        }
-        Ok(Some(tuple))
-    }
-
-    /// The next tuple in sorted order, or `None` when exhausted.
-    pub fn next_tuple(&mut self) -> Result<Option<Vec<u8>>> {
-        let mut acc = match self.pending.take() {
-            Some(t) => t,
-            None => match self.pop_raw()? {
-                Some(t) => t,
-                None => return Ok(None),
-            },
-        };
+        self.last = Some(s);
         if self.combiner.is_none() {
-            return Ok(Some(acc));
+            return Ok(self.src_current(s));
+        }
+        // Combining: seed the scratch accumulator from the popped tuple,
+        // then fold while the heap root shares its key.
+        {
+            let Self {
+                acc,
+                memory_arena,
+                memory_refs,
+                memory_pos,
+                readers,
+                ..
+            } = self;
+            let cur = current_of(memory_arena, memory_refs, *memory_pos, readers, s)
+                .expect("popped source is live");
+            acc.clear();
+            acc.extend_from_slice(cur);
         }
         loop {
-            match self.pop_raw()? {
-                Some(t) if same_key(&acc, &t) => {
-                    let comb = self.combiner.as_mut().expect("checked above");
-                    acc = comb(&acc, &t);
+            self.advance_last()?;
+            let Some(&root) = self.heap.first() else {
+                break;
+            };
+            {
+                let cur = self.src_current(root).expect("heap source must be live");
+                if !same_key(&self.acc, cur) {
+                    break;
                 }
-                Some(t) => {
-                    self.pending = Some(t);
-                    return Ok(Some(acc));
-                }
-                None => return Ok(Some(acc)),
             }
+            let s2 = self.heap_pop().expect("root observed above");
+            self.last = Some(s2);
+            let Self {
+                acc,
+                combiner,
+                memory_arena,
+                memory_refs,
+                memory_pos,
+                readers,
+                ..
+            } = self;
+            let cur = current_of(memory_arena, memory_refs, *memory_pos, readers, s2)
+                .expect("popped source is live");
+            let merged = (combiner.as_mut().expect("combining path"))(acc.as_slice(), cur);
+            *acc = merged;
         }
+        Ok(Some(&self.acc))
     }
 
-    /// Drain the remainder into a vector (test/convenience path).
+    /// Drain the remainder into owned vectors (test/convenience path).
     pub fn collect_all(mut self) -> Result<Vec<Vec<u8>>> {
         let mut out = Vec::new();
         while let Some(t) = self.next_tuple()? {
-            out.push(t);
+            out.push(t.to_vec());
         }
         Ok(out)
+    }
+}
+
+/// Field-disjoint variant of [`SortedStream::src_current`], callable while
+/// the combiner (another field) is mutably borrowed.
+fn current_of<'a>(
+    arena: &'a TupleArena,
+    refs: &[TupleRef],
+    pos: usize,
+    readers: &'a [RunReader],
+    s: usize,
+) -> Option<&'a [u8]> {
+    if s == MEMORY_SOURCE {
+        refs.get(pos).copied().map(|r| arena.get(r))
+    } else {
+        readers[s].current()
     }
 }
 
@@ -286,7 +502,7 @@ mod tests {
         let (f, _d) = fm();
         let mut s = ExternalSorter::new(f, "t", 1 << 20);
         for vid in [5u64, 1, 3, 2, 4] {
-            s.add(keyed_tuple(vid, b"p")).unwrap();
+            s.add(&keyed_tuple(vid, b"p")).unwrap();
         }
         assert_eq!(s.spilled_runs(), 0);
         let out = s.finish().unwrap().collect_all().unwrap();
@@ -298,16 +514,17 @@ mod tests {
     fn spilling_sort_matches_std_sort() {
         let (f, _d) = fm();
         // 2KB budget forces many spills for 20k tuples.
-        let mut s = ExternalSorter::new(f, "t", 2048);
+        let mut s = ExternalSorter::new(f.clone(), "t", 2048);
         let mut rng = StdRng::seed_from_u64(11);
         let mut expect = Vec::new();
         for _ in 0..20_000 {
             let vid = rng.gen_range(0..5_000u64);
             let t = keyed_tuple(vid, &vid.to_le_bytes());
-            expect.push(t.clone());
-            s.add(t).unwrap();
+            s.add(&t).unwrap();
+            expect.push(t);
         }
         assert!(s.spilled_runs() > 2);
+        assert!(f.counters().sort_bytes_spilled() > 0, "spill volume counted");
         expect.sort_unstable();
         let got = s.finish().unwrap().collect_all().unwrap();
         assert_eq!(got, expect);
@@ -327,7 +544,7 @@ mod tests {
         for round in 0..200u64 {
             for vid in 0..100u64 {
                 let _ = round;
-                s.add(keyed_tuple(vid, &1u64.to_le_bytes())).unwrap();
+                s.add(&keyed_tuple(vid, &1u64.to_le_bytes())).unwrap();
             }
         }
         assert!(s.spilled_runs() > 0, "must exercise merge-phase combining");
@@ -353,7 +570,7 @@ mod tests {
         let root = f.root().to_path_buf();
         let mut s = ExternalSorter::new(f, "gc", 1024);
         for vid in 0..5000u64 {
-            s.add(keyed_tuple(vid, b"pay")).unwrap();
+            s.add(&keyed_tuple(vid, b"pay")).unwrap();
         }
         assert!(s.spilled_runs() > 0);
         let stream = s.finish().unwrap();
@@ -371,14 +588,34 @@ mod tests {
         let (f, _d) = fm();
         let mut s = ExternalSorter::new(f, "i", 1024);
         for vid in (0..1000u64).rev() {
-            s.add(keyed_tuple(vid, b"")).unwrap();
+            s.add(&keyed_tuple(vid, b"")).unwrap();
         }
         let mut stream = s.finish().unwrap();
         for expect in 0..1000u64 {
             let t = stream.next_tuple().unwrap().unwrap();
-            assert_eq!(tuple_vid(&t).unwrap(), expect);
+            assert_eq!(tuple_vid(t).unwrap(), expect);
         }
         assert!(stream.next_tuple().unwrap().is_none());
         assert!(stream.next_tuple().unwrap().is_none(), "idempotent at end");
+    }
+
+    #[test]
+    fn in_memory_phase_allocates_no_per_tuple_frames() {
+        let (f, _d) = fm();
+        let counters = f.counters().clone();
+        // 1 MB budget, 200k tuples of 16 bytes: the buffer cycles through
+        // ~3 spills. Pooled chunks mean the arena allocation count stays at
+        // O(budget / chunk size), nowhere near the tuple count.
+        let mut s = ExternalSorter::new(f, "alloc", 1 << 20);
+        for vid in 0..200_000u64 {
+            s.add(&keyed_tuple(vid % 977, &vid.to_le_bytes())).unwrap();
+        }
+        let frames = counters.arena_frames_allocated();
+        assert!(
+            frames <= 2 * ((1 << 20) / DEFAULT_ARENA_CHUNK_BYTES.min(1 << 20)) as u64 + 4,
+            "arena allocations must be O(budget/chunk), got {frames}"
+        );
+        let out = s.finish().unwrap().collect_all().unwrap();
+        assert_eq!(out.len(), 200_000);
     }
 }
