@@ -10,9 +10,12 @@
 //!
 //! Writes are atomic (temp file + rename) so a checkpoint is either fully
 //! present or absent; a crash mid-checkpoint can never leave a torn file that
-//! recovery would trust.
+//! recovery would trust. The exception is an injected [`fault::Fault::TornWrite`],
+//! which deliberately bypasses the rename to model exactly that crash.
 
 use crate::error::{PregelixError, Result};
+use crate::fault::{self, Fault, Site};
+use crate::stats::ClusterCounters;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -24,16 +27,23 @@ use std::sync::Arc;
 pub struct SimDfs {
     root: Arc<PathBuf>,
     tmp_seq: Arc<AtomicU64>,
+    counters: ClusterCounters,
 }
 
 impl SimDfs {
     /// Open (creating if needed) a DFS rooted at `root`.
     pub fn open(root: impl Into<PathBuf>) -> Result<Self> {
+        Self::open_counted(root, ClusterCounters::new())
+    }
+
+    /// Open a DFS whose injected-fault events are accounted to `counters`.
+    pub fn open_counted(root: impl Into<PathBuf>, counters: ClusterCounters) -> Result<Self> {
         let root = root.into();
         fs::create_dir_all(&root)?;
         Ok(SimDfs {
             root: Arc::new(root),
             tmp_seq: Arc::new(AtomicU64::new(0)),
+            counters,
         })
     }
 
@@ -56,6 +66,15 @@ impl SimDfs {
         if let Some(parent) = target.parent() {
             fs::create_dir_all(parent)?;
         }
+        if let Some(f) = fault::hit(Site::DfsWrite, path) {
+            self.counters.add_faults_injected(1);
+            if let Fault::TornWrite { keep } = f {
+                // Model a crash mid-write: a prefix of the payload lands at
+                // the destination itself, skipping the temp-file + rename.
+                fs::write(&target, &bytes[..keep.min(bytes.len())])?;
+            }
+            return Err(fault::injected_error(Site::DfsWrite, path));
+        }
         let tmp = self.root.join(format!(
             ".tmp-{}-{}",
             std::process::id(),
@@ -68,6 +87,10 @@ impl SimDfs {
 
     /// Read a whole file.
     pub fn read(&self, path: &str) -> Result<Vec<u8>> {
+        if fault::hit(Site::DfsRead, path).is_some() {
+            self.counters.add_faults_injected(1);
+            return Err(fault::injected_error(Site::DfsRead, path));
+        }
         Ok(fs::read(self.resolve(path)?)?)
     }
 
@@ -195,6 +218,31 @@ mod tests {
         assert!(dfs.write("/abs", b"x").is_err());
         assert!(dfs.write("a/../../b", b"x").is_err());
         assert!(dfs.write("", b"x").is_err());
+    }
+
+    #[test]
+    fn injected_faults_fire_at_exact_event_counts() {
+        use crate::fault::{self, Fault, FaultPlan, Site};
+        let (dfs, _d) = tmp_dfs();
+        let guard = fault::exclusive();
+        // The "cf/" prefix keeps these scopes disjoint from every path the
+        // unguarded tests in this module touch: those may run concurrently
+        // while this plan is installed and must never consume a rule.
+        let plan = guard.install(
+            FaultPlan::new()
+                .on(Site::DfsWrite, "cf/ckpt", 2, Fault::TornWrite { keep: 3 })
+                .on(Site::DfsRead, "cf/gs", 1, Fault::IoError),
+        );
+        dfs.write("cf/ckpt/1/p0", b"payload-one").unwrap();
+        let err = dfs.write("cf/ckpt/2/p0", b"payload-two").unwrap_err();
+        assert!(err.is_recoverable());
+        // The torn prefix landed at the destination itself — exactly the file
+        // a recovery scan must reject rather than trust.
+        assert_eq!(dfs.read("cf/ckpt/2/p0").unwrap(), b"pay");
+        assert!(dfs.read("cf/gs").is_err());
+        dfs.write("cf/gs", b"fine").unwrap(); // read rule does not affect writes
+        assert_eq!(dfs.read("cf/gs").unwrap(), b"fine"); // rule spent
+        assert_eq!(plan.injected(), 2);
     }
 
     #[test]

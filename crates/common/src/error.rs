@@ -141,6 +141,54 @@ mod tests {
         assert!(!PregelixError::plan("dangling").is_recoverable());
     }
 
+    /// Every variant is classified by the §5.7 split. The `match` below is
+    /// deliberately exhaustive (no `_` arm): adding a variant without
+    /// deciding its recoverability fails to compile, and the expectation is
+    /// cross-checked against `is_recoverable` for one witness per variant.
+    #[test]
+    fn every_variant_is_classified_by_the_recoverability_split() {
+        fn expected(e: &PregelixError) -> bool {
+            match e {
+                // Infrastructure failures: recover from the latest
+                // checkpoint onto failure-free workers.
+                PregelixError::Io(_) => true,
+                PregelixError::WorkerFailure(_) => true,
+                // Application errors: forwarded to the end user, never
+                // retried.
+                PregelixError::User(_) => false,
+                // Deterministic system states replay would only reproduce.
+                PregelixError::OutOfMemory { .. } => false,
+                PregelixError::Corrupt(_) => false,
+                PregelixError::Storage(_) => false,
+                PregelixError::Plan(_) => false,
+                PregelixError::NoCheckpoint => false,
+                PregelixError::Internal(_) => false,
+            }
+        }
+        let witnesses = vec![
+            PregelixError::Io(std::io::Error::other("x")),
+            PregelixError::OutOfMemory {
+                budget: "w".into(),
+                requested: 2,
+                available: 1,
+            },
+            PregelixError::corrupt("c"),
+            PregelixError::storage("s"),
+            PregelixError::plan("p"),
+            PregelixError::WorkerFailure(0),
+            PregelixError::user("u"),
+            PregelixError::NoCheckpoint,
+            PregelixError::internal("i"),
+        ];
+        for e in &witnesses {
+            assert_eq!(
+                e.is_recoverable(),
+                expected(e),
+                "recoverability mismatch for {e}"
+            );
+        }
+    }
+
     #[test]
     fn display_is_informative() {
         let e = PregelixError::OutOfMemory {

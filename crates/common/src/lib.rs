@@ -23,6 +23,7 @@
 pub mod arena;
 pub mod dfs;
 pub mod error;
+pub mod fault;
 pub mod frame;
 pub mod memory;
 pub mod stats;

@@ -48,6 +48,12 @@ struct Counters {
     /// not counted, so this stays O(buffer budget / chunk size) on a
     /// healthy message path regardless of tuple count).
     arena_frames_allocated: AtomicU64,
+    /// Faults injected by an installed [`crate::fault::FaultPlan`] (always 0
+    /// in production).
+    faults_injected: AtomicU64,
+    /// Recoverable-operation retries performed by the runtime's
+    /// retry-with-backoff path (§5.7).
+    fault_retries: AtomicU64,
     /// Vertices alive at the end of the most recent superstep.
     live_vertices: AtomicU64,
 }
@@ -85,6 +91,8 @@ counter_api! {
     add_sort_runs / sort_runs_spilled => sort_runs_spilled,
     add_sort_bytes_spilled / sort_bytes_spilled => sort_bytes_spilled,
     add_arena_frames / arena_frames_allocated => arena_frames_allocated,
+    add_faults_injected / faults_injected => faults_injected,
+    add_fault_retries / fault_retries => fault_retries,
 }
 
 impl ClusterCounters {
@@ -120,6 +128,8 @@ impl ClusterCounters {
             sort_runs_spilled: c.sort_runs_spilled.load(Ordering::Relaxed),
             sort_bytes_spilled: c.sort_bytes_spilled.load(Ordering::Relaxed),
             arena_frames_allocated: c.arena_frames_allocated.load(Ordering::Relaxed),
+            faults_injected: c.faults_injected.load(Ordering::Relaxed),
+            fault_retries: c.fault_retries.load(Ordering::Relaxed),
             live_vertices: c.live_vertices.load(Ordering::Relaxed),
         }
     }
@@ -141,6 +151,8 @@ pub struct StatsSnapshot {
     pub sort_runs_spilled: u64,
     pub sort_bytes_spilled: u64,
     pub arena_frames_allocated: u64,
+    pub faults_injected: u64,
+    pub fault_retries: u64,
     pub live_vertices: u64,
 }
 
@@ -167,6 +179,8 @@ impl StatsSnapshot {
             sort_bytes_spilled: self.sort_bytes_spilled - earlier.sort_bytes_spilled,
             arena_frames_allocated: self.arena_frames_allocated
                 - earlier.arena_frames_allocated,
+            faults_injected: self.faults_injected - earlier.faults_injected,
+            fault_retries: self.fault_retries - earlier.fault_retries,
             live_vertices: self.live_vertices,
         }
     }

@@ -70,7 +70,61 @@ fn decode_manifest(mut bytes: &[u8]) -> Result<(u64, bool, GlobalState)> {
         live_vertices: u64::read(buf)?,
         messages: u64::read(buf)?,
     };
+    if !buf.is_empty() {
+        return Err(PregelixError::corrupt("trailing bytes in checkpoint manifest"));
+    }
     Ok((partitions, has_vid, gs))
+}
+
+/// Upper bound on believable partition counts. A torn or bit-flipped
+/// manifest can decode into garbage numbers; rejecting them here turns a
+/// would-be allocation storm or missing-file loop into a clean
+/// [`PregelixError::Corrupt`].
+const MAX_PARTITIONS: u64 = 1 << 20;
+
+/// Validate a decoded manifest against the cluster and job before trusting
+/// it for a reload (a manifest is written once and never updated, but torn
+/// writes and config drift between runs can still make it lie).
+fn validate_manifest(
+    cluster: &Cluster,
+    job: &PregelixJob,
+    superstep: Superstep,
+    p_count: u64,
+    has_vid: bool,
+    gs: &GlobalState,
+) -> Result<()> {
+    if p_count == 0 || p_count > MAX_PARTITIONS {
+        return Err(PregelixError::corrupt(format!(
+            "checkpoint manifest {superstep} claims {p_count} partitions"
+        )));
+    }
+    if gs.superstep != superstep {
+        return Err(PregelixError::corrupt(format!(
+            "checkpoint manifest {superstep} snapshots GS for superstep {}",
+            gs.superstep
+        )));
+    }
+    // LOJ/adaptive plans probe the Vid live-vertex index every superstep; a
+    // checkpoint without one cannot feed them (reloading it anyway would
+    // surface much later as a missing-index panic mid-join).
+    let needs_vid = !matches!(job.plan.join, crate::plan::JoinStrategy::FullOuter);
+    if needs_vid && !has_vid {
+        return Err(PregelixError::corrupt(format!(
+            "checkpoint manifest {superstep} lacks the Vid index state required by the {:?} join plan",
+            job.plan.join
+        )));
+    }
+    // Every partition the manifest promises must actually be present.
+    let dfs = cluster.dfs();
+    let dir = ckpt_dir(&job.name, superstep);
+    for p in 0..p_count {
+        if !dfs.exists(&format!("{dir}/vertex-p{p}")) {
+            return Err(PregelixError::corrupt(format!(
+                "checkpoint {superstep} is missing vertex-p{p}"
+            )));
+        }
+    }
+    Ok(())
 }
 
 fn encode_entries(entries: &[(Vec<u8>, Vec<u8>)]) -> Vec<u8> {
@@ -176,6 +230,7 @@ pub fn recover(
     let dfs = cluster.dfs().clone();
     let (p_count, has_vid, gs) =
         decode_manifest(&dfs.read(&manifest_path(&job.name, superstep))?)?;
+    validate_manifest(cluster, job, superstep, p_count, has_vid, &gs)?;
     let p_count = p_count as usize;
     let alive = cluster.alive_workers();
     if alive.is_empty() {
@@ -234,6 +289,37 @@ pub fn recover(
         })
         .collect();
     Ok((partitions, sticky, gs))
+}
+
+/// Recover from the newest checkpoint that decodes and validates, walking
+/// manifests newest → oldest. A torn or invalid checkpoint (e.g. a manifest
+/// written by [`pregelix_common::fault::Fault::TornWrite`], or one that lies
+/// about its partitions) is *skipped* in favour of an older consistent one
+/// rather than failing the job; a recoverable infrastructure error during
+/// the reload itself is returned so the failure manager can retry. Returns
+/// `Ok(None)` when no usable checkpoint exists at all.
+#[allow(clippy::type_complexity)]
+pub fn recover_latest_valid(
+    cluster: &Cluster,
+    job: &PregelixJob,
+) -> Result<Option<(Vec<Arc<Mutex<PartitionState>>>, Vec<usize>, GlobalState)>> {
+    let mut supersteps: Vec<Superstep> = cluster
+        .dfs()
+        .list(&format!("jobs/{}/ckpt-manifests", job.name))?
+        .into_iter()
+        .filter_map(|m| m.rsplit('/').next().and_then(|s| s.parse().ok()))
+        .collect();
+    supersteps.sort_unstable();
+    while let Some(ss) = supersteps.pop() {
+        match recover(cluster, job, ss) {
+            Ok(recovered) => return Ok(Some(recovered)),
+            Err(e) if e.is_recoverable() => return Err(e),
+            // Corrupt/torn/inconsistent checkpoint: fall back to the next
+            // older one.
+            Err(_) => continue,
+        }
+    }
+    Ok(None)
 }
 
 /// Wrap raw, already-valid run-file bytes on local disk as a `RunHandle`.
@@ -301,5 +387,78 @@ mod tests {
         ];
         assert_eq!(decode_entries(&encode_entries(&entries)).unwrap(), entries);
         assert!(decode_entries(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn manifest_rejects_trailing_bytes() {
+        let gs = GlobalState::initial(5, Vec::new());
+        let mut bytes = encode_manifest(2, false, &gs);
+        bytes.push(0);
+        assert!(decode_manifest(&bytes).is_err());
+    }
+
+    mod codec_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        prop_compose! {
+            fn arb_manifest()(
+                partitions in any::<u64>(),
+                has_vid in any::<bool>(),
+                superstep in any::<u64>(),
+                halt in any::<bool>(),
+                aggregate in proptest::collection::vec(any::<u8>(), 0..64),
+                vertex_count in any::<u64>(),
+                live_vertices in any::<u64>(),
+                messages in any::<u64>(),
+            ) -> (u64, bool, GlobalState) {
+                (partitions, has_vid, GlobalState {
+                    superstep,
+                    halt,
+                    aggregate,
+                    vertex_count,
+                    live_vertices,
+                    messages,
+                })
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn manifest_codec_roundtrips((partitions, has_vid, gs) in arb_manifest()) {
+                let bytes = encode_manifest(partitions, has_vid, &gs);
+                let (p, v, back) = decode_manifest(&bytes).unwrap();
+                prop_assert_eq!(p, partitions);
+                prop_assert_eq!(v, has_vid);
+                prop_assert_eq!(back, gs);
+            }
+
+            /// Any strict prefix of a manifest must decode to an error —
+            /// a torn write can never be mistaken for a valid checkpoint.
+            #[test]
+            fn truncated_manifest_always_errors(
+                (partitions, has_vid, gs) in arb_manifest(),
+                cut_frac in 0.0f64..1.0,
+            ) {
+                let bytes = encode_manifest(partitions, has_vid, &gs);
+                let cut = ((bytes.len() as f64) * cut_frac) as usize;
+                prop_assume!(cut < bytes.len());
+                prop_assert!(decode_manifest(&bytes[..cut]).is_err());
+            }
+
+            /// Bit flips may decode to garbage or to an error, but must
+            /// never panic or over-allocate.
+            #[test]
+            fn bitflipped_manifest_never_panics(
+                (partitions, has_vid, gs) in arb_manifest(),
+                idx in any::<usize>(),
+                bit in 0u8..8,
+            ) {
+                let mut bytes = encode_manifest(partitions, has_vid, &gs);
+                let i = idx % bytes.len();
+                bytes[i] ^= 1 << bit;
+                let _ = decode_manifest(&bytes);
+            }
+        }
     }
 }

@@ -145,6 +145,15 @@ pub struct PregelixJob {
     /// PageRank-style algorithms typically bound iterations instead of
     /// converging exactly.
     pub max_supersteps: Option<u64>,
+    /// In-place retries of recoverable checkpoint-write failures before the
+    /// failure manager falls back to checkpoint recovery (§5.7). Transient
+    /// I/O hiccups are absorbed here without consuming a recovery.
+    pub io_retries: u32,
+    /// Base delay of the runtime's capped exponential backoff between
+    /// retries and recovery attempts. Pacing only: no fault is ever
+    /// *triggered* by time, so `Duration::ZERO` (no pauses) is fully
+    /// deterministic too.
+    pub retry_backoff: std::time::Duration,
 }
 
 impl PregelixJob {
@@ -159,6 +168,8 @@ impl PregelixJob {
             partitions_per_worker: 1,
             checkpoint_interval: None,
             max_supersteps: None,
+            io_retries: 2,
+            retry_backoff: std::time::Duration::from_millis(1),
         }
     }
 
@@ -210,6 +221,19 @@ impl PregelixJob {
     /// Partitions per worker.
     pub fn with_partitions_per_worker(mut self, n: usize) -> Self {
         self.partitions_per_worker = n.max(1);
+        self
+    }
+
+    /// In-place retries of recoverable checkpoint-write failures (0
+    /// disables, forcing every such failure through checkpoint recovery).
+    pub fn with_io_retries(mut self, n: u32) -> Self {
+        self.io_retries = n;
+        self
+    }
+
+    /// Base retry/recovery backoff delay (see [`PregelixJob::retry_backoff`]).
+    pub fn with_retry_backoff(mut self, d: std::time::Duration) -> Self {
+        self.retry_backoff = d;
         self
     }
 }

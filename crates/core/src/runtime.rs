@@ -20,6 +20,7 @@ use crate::plan::{JoinStrategy, PregelixJob};
 use crate::superstep::{run_superstep, PartitionState};
 use parking_lot::Mutex;
 use pregelix_common::error::{PregelixError, Result};
+use pregelix_common::fault::{self, Fault, Site};
 use pregelix_common::frame::tuple_vid;
 use pregelix_common::stats::StatsSnapshot;
 use pregelix_common::{Superstep, Vid};
@@ -52,6 +53,9 @@ pub struct JobSummary {
     pub superstep_stats: Vec<StatsSnapshot>,
     /// Number of checkpoint recoveries performed.
     pub recoveries: u32,
+    /// In-place retries of recoverable failures absorbed *without* a
+    /// recovery (transient I/O hiccups during checkpoint writes, §5.7).
+    pub retries: u64,
 }
 
 impl JobSummary {
@@ -61,6 +65,35 @@ impl JobSummary {
             Duration::ZERO
         } else {
             self.elapsed / self.superstep_times.len() as u32
+        }
+    }
+}
+
+/// Retry a recoverable operation in place with capped exponential backoff
+/// (§5.7). Transient I/O failures — e.g. a flaky DFS write during a
+/// checkpoint — are absorbed here without consuming a checkpoint recovery;
+/// non-recoverable errors and exhausted retries propagate to the failure
+/// manager. The backoff is pacing only: with `base == Duration::ZERO`
+/// (or in fault-injection tests, where faults fire on event counts) it
+/// never influences *which* failures occur.
+fn retry_recoverable<T>(
+    cluster: &Cluster,
+    retries: u32,
+    base: Duration,
+    mut op: impl FnMut() -> Result<T>,
+) -> Result<T> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_recoverable() && attempt < retries => {
+                attempt += 1;
+                cluster.counters().add_fault_retries(1);
+                if base > Duration::ZERO {
+                    std::thread::sleep(base * (1u32 << (attempt - 1).min(4)));
+                }
+            }
+            Err(e) => return Err(e),
         }
     }
 }
@@ -170,13 +203,30 @@ impl LoadedGraph {
             let before = cluster.counters().snapshot();
             let attempt = (|| -> Result<(GlobalState, Duration)> {
                 if job.checkpoint_interval.is_some() && !initial_ckpt_done {
-                    checkpoint::write_checkpoint(
-                        cluster,
-                        job,
-                        &self.partitions,
-                        &self.sticky,
-                        &gs,
-                    )?;
+                    retry_recoverable(cluster, job.io_retries, job.retry_backoff, || {
+                        checkpoint::write_checkpoint(
+                            cluster,
+                            job,
+                            &self.partitions,
+                            &self.sticky,
+                            &gs,
+                        )
+                    })?;
+                }
+                // Superstep-barrier fault site: lets tests fail a worker (or
+                // inject an error) at an exact superstep boundary, after any
+                // initial checkpoint but before the superstep runs. The
+                // context string is the superstep number, so a rule scoped
+                // to `"3"` fires exactly when superstep 3 is about to start.
+                if fault::active() {
+                    let ctx = gs.superstep.to_string();
+                    if let Some(f) = fault::hit(Site::Barrier, &ctx) {
+                        cluster.counters().add_faults_injected(1);
+                        match f {
+                            Fault::FailWorker(id) => cluster.fail_worker(id),
+                            _ => return Err(fault::injected_error(Site::Barrier, &ctx)),
+                        }
+                    }
                 }
                 let (new_gs, duration) = run_superstep(
                     cluster,
@@ -193,13 +243,15 @@ impl LoadedGraph {
                     .map(|n| n > 0 && finished_ss % n == 0)
                     .unwrap_or(false);
                 if checkpoint_due && !new_gs.halt {
-                    checkpoint::write_checkpoint(
-                        cluster,
-                        job,
-                        &self.partitions,
-                        &self.sticky,
-                        &new_gs,
-                    )?;
+                    retry_recoverable(cluster, job.io_retries, job.retry_backoff, || {
+                        checkpoint::write_checkpoint(
+                            cluster,
+                            job,
+                            &self.partitions,
+                            &self.sticky,
+                            &new_gs,
+                        )
+                    })?;
                 }
                 Ok((new_gs, duration))
             })();
@@ -222,32 +274,41 @@ impl LoadedGraph {
                 }
                 Err(e) if e.is_recoverable() && recoveries < 32 => {
                     // Failure manager (§5.7): blacklist is implicit (failed
-                    // workers stay failed); recover from the latest
-                    // checkpoint onto the surviving machines. A failure
-                    // *during* recovery loops back here and retries against
-                    // the shrunken worker set.
-                    let Some(ckpt_ss) =
-                        checkpoint::latest_checkpoint(cluster.dfs(), &job.name)?
-                    else {
-                        return Err(e);
-                    };
-                    match checkpoint::recover(cluster, job, ckpt_ss) {
-                        Ok((partitions, sticky, ckpt_gs)) => {
+                    // workers stay failed); recover from the newest *valid*
+                    // checkpoint onto the surviving machines, walking back
+                    // past torn or stale manifests. A failure *during*
+                    // recovery loops back here and retries against the
+                    // shrunken worker set.
+                    recoveries += 1;
+                    if job.retry_backoff > Duration::ZERO {
+                        std::thread::sleep(
+                            job.retry_backoff
+                                * (1u32 << (recoveries.saturating_sub(1)).min(4)),
+                        );
+                    }
+                    match checkpoint::recover_latest_valid(cluster, job) {
+                        Ok(Some((partitions, sticky, ckpt_gs))) => {
                             self.partitions = partitions;
                             self.sticky = sticky;
                             self.vertex_count = ckpt_gs.vertex_count;
                             gs = ckpt_gs;
                         }
+                        // No usable checkpoint at all: surface the original
+                        // failure to the caller.
+                        Ok(None) => return Err(e),
+                        // The recovery itself hit a recoverable fault (e.g.
+                        // a flaky manifest read): loop back and re-attempt.
                         Err(re) if re.is_recoverable() => {}
                         Err(re) => return Err(re),
                     }
-                    recoveries += 1;
                 }
                 Err(e) => return Err(e),
             }
         }
 
         let _wall = started.elapsed();
+        let stats = cluster.counters().snapshot().delta_since(&stats_before);
+        let retries = stats.fault_retries;
         Ok(JobSummary {
             name: job.name.clone(),
             supersteps: gs.superstep.saturating_sub(1),
@@ -257,9 +318,10 @@ impl LoadedGraph {
             elapsed: superstep_times.iter().sum(),
             superstep_times,
             final_gs: gs,
-            stats: cluster.counters().snapshot().delta_since(&stats_before),
+            stats,
             superstep_stats,
             recoveries,
+            retries,
         })
     }
 

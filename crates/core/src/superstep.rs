@@ -510,7 +510,8 @@ fn compute_task<P: VertexProgram>(
             w.id(),
             sticky.clone(),
             w.counters().clone(),
-        ),
+        )
+        .with_label("mut"),
         stats: ComputeStats::default(),
         agg_partial: None,
         live_vids: Vec::new(),
@@ -658,13 +659,16 @@ fn compute_task<P: VertexProgram>(
     // Drain the sender-side group-by into the message connector.
     let mut stream = side.local_gb.take().expect("group-by open").finish()?;
     let mut msg_sender = match msg_ends {
-        MsgSenderEnds::Pipelined(outs) => MsgSender::Pipelined(PartitioningSender::new(
-            outs,
-            w.frame_bytes(),
-            w.id(),
-            sticky.clone(),
-            w.counters().clone(),
-        )),
+        MsgSenderEnds::Pipelined(outs) => MsgSender::Pipelined(
+            PartitioningSender::new(
+                outs,
+                w.frame_bytes(),
+                w.id(),
+                sticky.clone(),
+                w.counters().clone(),
+            )
+            .with_label("msg"),
+        ),
         MsgSenderEnds::Merged(outs) => MsgSender::Merged(MaterializedPartitioner::new(
             w.file_manager(),
             outs,
@@ -715,7 +719,8 @@ fn compute_task<P: VertexProgram>(
         w.id(),
         vec![gs_worker],
         w.counters().clone(),
-    );
+    )
+    .with_label("gs");
     gs_sender.send_to(0, &side.stats.encode())?;
     gs_sender.finish()
 }
@@ -809,7 +814,8 @@ fn msgwrite_task(
         w.id(),
         vec![gs_worker],
         w.counters().clone(),
-    );
+    )
+    .with_label("gs");
     gs_sender.send_to(0, &encode_msg_stats(combined))?;
     gs_sender.finish()
 }
@@ -883,7 +889,8 @@ fn mutate_task<P: VertexProgram>(
         w.id(),
         vec![gs_worker],
         w.counters().clone(),
-    );
+    )
+    .with_label("gs");
     gs_sender.send_to(0, &encode_mut_stats(inserted, deleted, live_inserted))?;
     gs_sender.finish()
 }

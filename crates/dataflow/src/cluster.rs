@@ -238,7 +238,7 @@ impl Cluster {
             }
         };
         let counters = ClusterCounters::new();
-        let dfs = SimDfs::open(root.join("dfs"))?;
+        let dfs = SimDfs::open_counted(root.join("dfs"), counters.clone())?;
         let mut workers = Vec::with_capacity(config.workers);
         for id in 0..config.workers {
             let fm = FileManager::new(

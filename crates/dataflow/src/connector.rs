@@ -27,6 +27,7 @@
 
 use crossbeam::channel::{bounded, Receiver, Select, Sender};
 use pregelix_common::error::{PregelixError, Result};
+use pregelix_common::fault::{self, Fault, Site};
 use pregelix_common::frame::{tuple_vid, Frame};
 use pregelix_common::hash_partition;
 use pregelix_common::stats::ClusterCounters;
@@ -90,6 +91,9 @@ pub struct PartitioningSender {
     my_worker: usize,
     receiver_workers: Vec<usize>,
     counters: ClusterCounters,
+    /// Stream label ([`Site::FrameSend`] fault-injection context): `"msg"`,
+    /// `"mut"`, `"gs"`, or `""` for unlabeled streams.
+    label: &'static str,
 }
 
 impl PartitioningSender {
@@ -113,7 +117,15 @@ impl PartitioningSender {
             my_worker,
             receiver_workers,
             counters,
+            label: "",
         }
+    }
+
+    /// Tag the stream for fault-injection targeting (`Site::FrameSend`
+    /// events carry this label as their context).
+    pub fn with_label(mut self, label: &'static str) -> PartitioningSender {
+        self.label = label;
+        self
     }
 
     /// Number of receiver partitions.
@@ -143,9 +155,25 @@ impl PartitioningSender {
         }
         let replacement = Frame::with_capacity(frame_capacity(&self.staging[part]));
         let frame = std::mem::replace(&mut self.staging[part], replacement);
+        let mut duplicate = false;
+        if let Some(f) = fault::hit(Site::FrameSend, self.label) {
+            self.counters.add_faults_injected(1);
+            match f {
+                // The frame vanishes in flight; any resulting report
+                // shortfall must be *detected* downstream, never silent.
+                Fault::DropFrame => return Ok(()),
+                Fault::DuplicateFrame => duplicate = true,
+                _ => return Err(fault::injected_error(Site::FrameSend, self.label)),
+            }
+        }
         if self.receiver_workers[part] != self.my_worker {
             self.counters.add_network_bytes(frame.footprint() as u64);
             self.counters.add_network_frames(1);
+        }
+        if duplicate {
+            self.outs[part]
+                .send(frame.clone())
+                .map_err(|_| PregelixError::internal("receiver hung up mid-stream"))?;
         }
         self.outs[part]
             .send(frame)
@@ -333,6 +361,16 @@ impl MaterializedPartitioner {
             .enumerate()
         {
             let handle = writer.finish()?;
+            if let Some(f) = fault::hit(Site::FrameSend, "merge") {
+                self.counters.add_faults_injected(1);
+                match f {
+                    // The handle is never delivered: the receiver's
+                    // wait-for-all merge surfaces this as a hard error, so a
+                    // lost transfer can never silently drop messages.
+                    Fault::DropFrame => continue,
+                    _ => return Err(fault::injected_error(Site::FrameSend, "merge")),
+                }
+            }
             if self.receiver_workers[r] != self.my_worker {
                 self.counters.add_network_bytes(handle.bytes());
                 self.counters.add_network_frames(handle.frames());

@@ -21,6 +21,7 @@ use crate::cache::BufferCache;
 use crate::file::{FileId, PageId};
 use crate::page::{PageMut, PageRef, PageType, HEADER_LEN, NO_PAGE};
 use pregelix_common::error::{PregelixError, Result};
+use pregelix_common::fault::{self, Site};
 
 /// Value-encoding tags used inside leaf entries.
 const TAG_INLINE: u8 = 0;
@@ -292,6 +293,10 @@ impl BTree {
 
     /// Point lookup: the value stored under `key`, if present.
     pub fn search(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        if fault::active() && fault::hit(Site::BtreeOp, "search").is_some() {
+            self.cache.counters().add_faults_injected(1);
+            return Err(fault::injected_error(Site::BtreeOp, "search"));
+        }
         let leaf = self.find_leaf(key)?;
         let guard = self.cache.pin(self.file, leaf)?;
         let buf = guard.read();
@@ -361,6 +366,10 @@ impl BTree {
     /// Insert a new key. Fails with a storage error if the key exists (use
     /// [`BTree::upsert`] for replace-or-insert semantics).
     pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        if fault::active() && fault::hit(Site::BtreeOp, "insert").is_some() {
+            self.cache.counters().add_faults_injected(1);
+            return Err(fault::injected_error(Site::BtreeOp, "insert"));
+        }
         if key.len() + 8 > self.max_inline_entry() {
             return Err(PregelixError::storage("key too large for page"));
         }
@@ -617,6 +626,10 @@ impl BTree {
     where
         I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
     {
+        if fault::active() && fault::hit(Site::BtreeOp, "bulk_load").is_some() {
+            self.cache.counters().add_faults_injected(1);
+            return Err(fault::injected_error(Site::BtreeOp, "bulk_load"));
+        }
         let fill = fill.clamp(0.1, 1.0);
         let budget = ((self.cache.page_size() - HEADER_LEN) as f64 * fill) as usize;
         // Current leaf being filled = the initial empty root leaf.

@@ -20,6 +20,7 @@
 use crate::file::{FileId, FileManager, PageId};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use pregelix_common::error::Result;
+use pregelix_common::fault::{self, Site};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -118,6 +119,11 @@ impl BufferCache {
     /// The page size in bytes.
     pub fn page_size(&self) -> usize {
         self.inner.fm.page_size()
+    }
+
+    /// The counter set receiving I/O accounting.
+    pub fn counters(&self) -> &pregelix_common::stats::ClusterCounters {
+        self.inner.fm.counters()
     }
 
     /// Maximum resident pages (summed over stripes).
@@ -233,6 +239,19 @@ impl BufferCache {
                 }
                 if slot.pins.load(Ordering::Relaxed) != 0 {
                     continue; // pinned; its next unpin re-queues it
+                }
+                // Eviction-under-pressure fault site: the eviction attempt
+                // fails before the victim leaves the map (its LRU entry is
+                // requeued), so the cache stays consistent and the caller
+                // sees a recoverable I/O error. The context is the worker's
+                // storage root, so a plan can target one cache instance.
+                if fault::active() {
+                    let ctx = self.inner.fm.root().to_string_lossy();
+                    if fault::hit(Site::CacheEvict, &ctx).is_some() {
+                        state.lru.push_front((key, tick));
+                        self.inner.fm.counters().add_faults_injected(1);
+                        return Err(fault::injected_error(Site::CacheEvict, &ctx));
+                    }
                 }
                 let slot = state.map.remove(&key).expect("checked above");
                 // Write back outside the LRU bookkeeping but under the stripe
@@ -401,6 +420,42 @@ mod tests {
         }
         assert_eq!(g.read()[0], 0x77);
         assert_eq!(g.page_id(), pid);
+    }
+
+    #[test]
+    fn eviction_under_pressure_fault_is_transient_and_keeps_cache_consistent() {
+        use pregelix_common::fault::{self, Fault, FaultPlan, Site};
+        let guard = fault::exclusive();
+        let (c, _d) = cache(8);
+        let f = c.file_manager().create().unwrap();
+        // Scope the rule to this cache's (process-unique) storage root so a
+        // concurrently running test's evictions cannot consume it.
+        let scope = c.file_manager().root().to_string_lossy().into_owned();
+        let plan = guard.install(FaultPlan::new().on(Site::CacheEvict, &scope, 1, Fault::IoError));
+        // Flood the cache: the first eviction attempt fails with the
+        // injected recoverable error instead of evicting.
+        let mut saw_fault = false;
+        for _ in 0..64 {
+            match c.new_page(f) {
+                Ok((_, g)) => drop(g),
+                Err(e) => {
+                    assert!(e.is_recoverable(), "injected eviction fault: {e}");
+                    saw_fault = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_fault, "pressure must reach the eviction site");
+        assert_eq!(plan.injected(), 1);
+        // The rule is spent (transient fault): the same pressure now evicts
+        // normally — the failed eviction left the victim resident and
+        // evictable, not leaked.
+        for _ in 0..64 {
+            let (_, g) = c.new_page(f).unwrap();
+            drop(g);
+        }
+        assert!(c.resident() <= 8);
+        assert!(c.file_manager().counters().cache_evictions() >= 1);
     }
 
     #[test]

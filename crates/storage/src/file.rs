@@ -7,6 +7,7 @@
 
 use parking_lot::Mutex;
 use pregelix_common::error::{PregelixError, Result};
+use pregelix_common::fault::{self, Site};
 use pregelix_common::stats::ClusterCounters;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -144,6 +145,13 @@ impl FileManager {
     /// that were allocated but never written read back as zeroes.
     pub fn read_page(&self, id: FileId, page: PageId, buf: &mut [u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), self.inner.page_size);
+        if fault::active() {
+            let ctx = format!("pf-{}", id.0);
+            if fault::hit(Site::PageRead, &ctx).is_some() {
+                self.inner.counters.add_faults_injected(1);
+                return Err(fault::injected_error(Site::PageRead, &ctx));
+            }
+        }
         let files = self.inner.files.lock();
         let f = files
             .get(&id)
@@ -174,6 +182,13 @@ impl FileManager {
     /// Write page `page` of file `id` from `buf` (must be page-sized).
     pub fn write_page(&self, id: FileId, page: PageId, buf: &[u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), self.inner.page_size);
+        if fault::active() {
+            let ctx = format!("pf-{}", id.0);
+            if fault::hit(Site::PageWrite, &ctx).is_some() {
+                self.inner.counters.add_faults_injected(1);
+                return Err(fault::injected_error(Site::PageWrite, &ctx));
+            }
+        }
         let files = self.inner.files.lock();
         let f = files
             .get(&id)

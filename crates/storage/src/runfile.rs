@@ -14,6 +14,7 @@
 //! Disk-traffic counters only see bytes that actually hit the file.
 
 use pregelix_common::error::{PregelixError, Result};
+use pregelix_common::fault::{self, Site};
 use pregelix_common::frame::Frame;
 use pregelix_common::stats::ClusterCounters;
 use std::fs::File;
@@ -82,6 +83,13 @@ impl RunWriter {
 
     /// Append a whole frame.
     pub fn write_frame(&mut self, frame: &Frame) -> Result<()> {
+        if fault::active() {
+            let ctx = self.path.to_string_lossy();
+            if fault::hit(Site::RunWrite, &ctx).is_some() {
+                self.counters.add_faults_injected(1);
+                return Err(fault::injected_error(Site::RunWrite, &ctx));
+            }
+        }
         self.scratch.clear();
         frame.serialize(&mut self.scratch);
         let rec_len = 4 + self.scratch.len() as u64;
@@ -195,9 +203,18 @@ impl RunHandle {
             },
             Backing::File(p) => Input::File(BufReader::new(File::open(p)?)),
         };
+        let ctx = if fault::active() {
+            match &self.backing {
+                Backing::Mem(_) => "mem".to_string(),
+                Backing::File(p) => p.to_string_lossy().into_owned(),
+            }
+        } else {
+            String::new()
+        };
         Ok(RunReader {
             input,
             counters,
+            ctx,
             pending: Frame::default(),
             pending_idx: 0,
             done: false,
@@ -250,6 +267,9 @@ impl Input {
 pub struct RunReader {
     input: Input,
     counters: ClusterCounters,
+    /// Fault-injection context (run path); only populated while a plan is
+    /// installed, so production readers never allocate for it.
+    ctx: String,
     pending: Frame,
     pending_idx: usize,
     done: bool,
@@ -258,6 +278,10 @@ pub struct RunReader {
 impl RunReader {
     /// Read the next frame, or `None` at end of run.
     pub fn next_frame(&mut self) -> Result<Option<Frame>> {
+        if fault::active() && fault::hit(Site::RunRead, &self.ctx).is_some() {
+            self.counters.add_faults_injected(1);
+            return Err(fault::injected_error(Site::RunRead, &self.ctx));
+        }
         let mut len_buf = [0u8; 4];
         match self.input.read_exact(&mut len_buf) {
             Ok(()) => {}

@@ -1,8 +1,59 @@
-//! Checkpointing and recovery (§5.5) under injected worker failures.
+//! Checkpointing and recovery (§5.5, §5.7) under *deterministic* injected
+//! faults.
+//!
+//! Every scenario here drives the failure manager through the
+//! [`pregelix::common::fault`] harness: faults fire at exact event counts
+//! (a superstep barrier, the nth write of a named file, the first frame of
+//! a labeled connector stream), never on a timer. Each test therefore
+//! asserts *exact* recovery/retry counts and bit-identical final vertex
+//! values against a no-fault reference run — not the "recovered at least
+//! once, values look right" a sleep-based saboteur could support.
+//!
+//! Every test holds [`fault::exclusive`], which serializes the whole binary
+//! within the process and uninstalls any plan on drop — even plan-free
+//! tests take it, since barrier scopes are bare superstep numbers that any
+//! concurrent job could otherwise consume. When the
+//! `CHAOS_DIGEST` env var names a file, each scenario appends its
+//! deterministic counters to it; CI runs the suite twice and diffs the two
+//! digests to prove end-to-end determinism.
 
+use pregelix::common::error::{PregelixError, Result};
+use pregelix::common::fault::{self, Fault, FaultPlan, Site};
 use pregelix::graphgen::btc;
 use pregelix::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// A chain component `start — start+1 — … — start+len-1` (symmetric edges).
+/// Min-label CC over a chain of length `L` takes exactly `L + 1` supersteps
+/// (the label walks one hop per superstep, plus one quiet superstep to
+/// halt), which makes superstep counts predictable for barrier targeting.
+fn chain(start: u64, len: u64) -> Vec<(u64, Vec<(u64, f64)>)> {
+    (0..len)
+        .map(|i| {
+            let vid = start + i;
+            let mut edges = Vec::new();
+            if i > 0 {
+                edges.push((vid - 1, 1.0));
+            }
+            if i + 1 < len {
+                edges.push((vid + 1, 1.0));
+            }
+            (vid, edges)
+        })
+        .collect()
+}
+
+/// Two chain components: min labels 0 and 100. 9 supersteps total.
+fn two_chains() -> Vec<(u64, Vec<(u64, f64)>)> {
+    let mut records = chain(0, 8);
+    records.extend(chain(100, 6));
+    records
+}
 
 fn reference_cc(records: &[(u64, Vec<(u64, f64)>)]) -> std::collections::HashMap<u64, u64> {
     let adjacency: Vec<(u64, Vec<u64>)> = records
@@ -12,115 +63,444 @@ fn reference_cc(records: &[(u64, Vec<(u64, f64)>)]) -> std::collections::HashMap
     pregelix::algorithms::connected_components::reference_components(&adjacency)
 }
 
-#[test]
-fn job_recovers_from_mid_run_worker_failure() {
-    let records = btc::btc(6_000, 5.0, 50);
-    let expected = reference_cc(&records);
-    let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 8 << 20)).unwrap());
-    let job = PregelixJob::new("ft-cc").with_checkpoint_interval(1);
+/// The final `(vid, value)` relation, sorted by vid — the bit-identical
+/// comparison unit between faulted and no-fault runs.
+fn cc_values(graph: &LoadedGraph) -> Vec<(u64, u64)> {
+    graph
+        .collect_vertices::<ConnectedComponents>()
+        .unwrap()
+        .into_iter()
+        .map(|v| (v.vid, v.value))
+        .collect()
+}
+
+/// Run `job` over `records` on a fresh cluster with no faults installed;
+/// returns the reference summary and values. Callers do this *before*
+/// installing their plan (the chaos guard is already held).
+fn no_fault_reference(
+    workers: usize,
+    job: &PregelixJob,
+    records: &[(u64, Vec<(u64, f64)>)],
+) -> (JobSummary, Vec<(u64, u64)>) {
+    let cluster = Cluster::new(ClusterConfig::new(workers, 8 << 20)).unwrap();
     let program = Arc::new(ConnectedComponents);
-    let mut graph =
-        LoadedGraph::load_from_records(&cluster, &program, &job, records.clone()).unwrap();
+    let (summary, graph) =
+        run_job_from_records(&cluster, &program, job, records.to_vec()).unwrap();
+    assert_eq!(summary.recoveries, 0);
+    assert_eq!(summary.retries, 0);
+    let values = cc_values(&graph);
+    (summary, values)
+}
 
-    // Power off worker 2 shortly after the job starts.
-    let saboteur = {
-        let cluster = Arc::clone(&cluster);
-        std::thread::spawn(move || {
-            std::thread::sleep(std::time::Duration::from_millis(60));
-            cluster.fail_worker(2);
-        })
+/// FNV-1a over the value relation: a compact stand-in for "bit-identical
+/// final state" in the chaos digest.
+fn values_hash(values: &[(u64, u64)]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for (vid, val) in values {
+        for b in vid.to_le_bytes().into_iter().chain(val.to_le_bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Append one deterministic line per scenario to `$CHAOS_DIGEST`, if set.
+/// Everything in the line must be reproducible across identical runs:
+/// counters and value hashes, never durations.
+fn chaos_digest(scenario: &str, summary: &JobSummary, injected: u64, values: &[(u64, u64)]) {
+    let Ok(path) = std::env::var("CHAOS_DIGEST") else {
+        return;
     };
-    let summary = graph.run(&cluster, &program, &job).unwrap();
-    saboteur.join().unwrap();
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .unwrap();
+    writeln!(
+        f,
+        "{scenario} recoveries={} retries={} supersteps={} injected={injected} values={:016x}",
+        summary.recoveries,
+        summary.retries,
+        summary.supersteps,
+        values_hash(values),
+    )
+    .unwrap();
+}
 
-    assert!(summary.recoveries >= 1, "failure must have triggered recovery");
-    assert_eq!(cluster.alive_workers(), vec![0, 1, 3]);
+// ---------------------------------------------------------------------------
+// Worker failure at exact superstep boundaries
+// ---------------------------------------------------------------------------
+
+/// The tentpole sweep: power off a worker at the barrier before *every*
+/// superstep of the job, one run per superstep, and require exactly one
+/// recovery and bit-identical final values every time.
+#[test]
+fn worker_failure_at_every_superstep_recovers_to_identical_values() {
+    let guard = fault::exclusive();
+    let records = two_chains();
+    let job = PregelixJob::new("ft-sweep").with_checkpoint_interval(1);
+    let (reference, expected) = no_fault_reference(4, &job, &records);
+    let total = reference.supersteps;
+    assert!(total >= 5, "chain graph should take several supersteps, got {total}");
+
+    let program = Arc::new(ConnectedComponents);
+    for ss in 1..=total {
+        let plan = guard.install(FaultPlan::new().on(
+            Site::Barrier,
+            &ss.to_string(),
+            1,
+            Fault::FailWorker(2),
+        ));
+        let cluster = Cluster::new(ClusterConfig::new(4, 8 << 20)).unwrap();
+        let (summary, graph) =
+            run_job_from_records(&cluster, &program, &job, records.clone()).unwrap();
+        assert_eq!(summary.recoveries, 1, "exactly one recovery at superstep {ss}");
+        assert_eq!(summary.retries, 0, "worker loss is not an in-place retry");
+        assert_eq!(plan.injected(), 1, "superstep {ss}");
+        assert_eq!(cluster.alive_workers(), vec![0, 1, 3]);
+        assert_eq!(cc_values(&graph), expected, "values after failure at superstep {ss}");
+        chaos_digest(&format!("sweep-ss{ss}"), &summary, plan.injected(), &expected);
+        guard.clear();
+    }
+}
+
+/// A second failure while the first recovery is still in progress: the
+/// first manifest read of the recovery fails (transiently), the failure
+/// manager loops, and the second recovery attempt succeeds. Exactly two
+/// recoveries, same final values.
+#[test]
+fn double_failure_during_recovery_recovers_twice() {
+    let guard = fault::exclusive();
+    let records = two_chains();
+    let job = PregelixJob::new("ft-double").with_checkpoint_interval(1);
+    let (_, expected) = no_fault_reference(4, &job, &records);
+
+    let plan = guard.install(
+        FaultPlan::new()
+            .on(Site::Barrier, "3", 1, Fault::FailWorker(1))
+            .on(Site::DfsRead, "jobs/ft-double/ckpt-manifests", 1, Fault::IoError),
+    );
+    let cluster = Cluster::new(ClusterConfig::new(4, 8 << 20)).unwrap();
+    let program = Arc::new(ConnectedComponents);
+    let (summary, graph) =
+        run_job_from_records(&cluster, &program, &job, records.clone()).unwrap();
+    assert_eq!(summary.recoveries, 2, "failed recovery + successful recovery");
+    assert_eq!(plan.injected(), 2);
+    assert_eq!(cc_values(&graph), expected);
+    chaos_digest("double-failure", &summary, plan.injected(), &expected);
+}
+
+/// Without checkpoints there is nothing to recover from: the worker
+/// failure must surface to the caller as the original recoverable error,
+/// not hang or panic.
+#[test]
+fn failure_without_checkpoints_surfaces_the_error() {
+    let guard = fault::exclusive();
+    let records = two_chains();
+    let job = PregelixJob::new("ft-nockpt"); // no checkpoint interval
+    guard.install(FaultPlan::new().on(Site::Barrier, "2", 1, Fault::FailWorker(1)));
+    let cluster = Cluster::new(ClusterConfig::new(4, 8 << 20)).unwrap();
+    let program = Arc::new(ConnectedComponents);
+    let err = run_job_from_records(&cluster, &program, &job, records).unwrap_err();
+    assert!(
+        matches!(err, PregelixError::WorkerFailure(1)),
+        "the original failure surfaces: {err}"
+    );
+    assert!(err.is_recoverable());
+}
+
+// ---------------------------------------------------------------------------
+// Failures during checkpoint writes
+// ---------------------------------------------------------------------------
+
+/// A checkpoint-write failure with in-place retries disabled consumes a
+/// full checkpoint recovery: the job replays from the newest *complete*
+/// checkpoint (the failed one never got its manifest) and still converges
+/// to identical values.
+#[test]
+fn checkpoint_write_failure_without_retries_forces_recovery() {
+    let guard = fault::exclusive();
+    let records = two_chains();
+    let job = PregelixJob::new("ft-cw")
+        .with_checkpoint_interval(1)
+        .with_io_retries(0);
+    let (_, expected) = no_fault_reference(4, &job, &records);
+
+    let plan = guard.install(FaultPlan::new().on(
+        Site::DfsWrite,
+        "jobs/ft-cw/ckpt/3",
+        1,
+        Fault::IoError,
+    ));
+    let cluster = Cluster::new(ClusterConfig::new(4, 8 << 20)).unwrap();
+    let program = Arc::new(ConnectedComponents);
+    let (summary, graph) =
+        run_job_from_records(&cluster, &program, &job, records.clone()).unwrap();
+    assert_eq!(summary.recoveries, 1);
+    assert_eq!(summary.retries, 0, "io_retries(0) must not retry in place");
+    assert_eq!(plan.injected(), 1);
+    assert_eq!(cluster.alive_workers(), vec![0, 1, 2, 3], "no worker died");
+    assert_eq!(cc_values(&graph), expected);
+    chaos_digest("ckpt-write-recovery", &summary, plan.injected(), &expected);
+}
+
+/// The same transient fault with default `io_retries` is absorbed by the
+/// in-place retry (§5.7): one retry, zero recoveries.
+#[test]
+fn transient_checkpoint_write_failure_is_absorbed_by_retry() {
+    let guard = fault::exclusive();
+    let records = two_chains();
+    let job = PregelixJob::new("ft-cwr").with_checkpoint_interval(1); // default retries
+    let (_, expected) = no_fault_reference(4, &job, &records);
+
+    let plan = guard.install(FaultPlan::new().on(
+        Site::DfsWrite,
+        "jobs/ft-cwr/ckpt/3",
+        1,
+        Fault::IoError,
+    ));
+    let cluster = Cluster::new(ClusterConfig::new(4, 8 << 20)).unwrap();
+    let program = Arc::new(ConnectedComponents);
+    let (summary, graph) =
+        run_job_from_records(&cluster, &program, &job, records.clone()).unwrap();
+    assert_eq!(summary.recoveries, 0, "the retry absorbs the transient fault");
+    assert_eq!(summary.retries, 1);
+    assert_eq!(plan.injected(), 1);
+    assert_eq!(cc_values(&graph), expected);
+    chaos_digest("ckpt-write-retry", &summary, plan.injected(), &expected);
+}
+
+/// A torn manifest write (a crash mid-write leaves a 5-byte prefix at the
+/// real path): recovery must reject the torn manifest and fall back to the
+/// previous complete checkpoint rather than failing the job or trusting
+/// garbage.
+#[test]
+fn torn_manifest_falls_back_to_previous_checkpoint() {
+    let guard = fault::exclusive();
+    let records = two_chains();
+    let job = PregelixJob::new("ft-torn")
+        .with_checkpoint_interval(1)
+        .with_io_retries(0);
+    let (reference, expected) = no_fault_reference(4, &job, &records);
+    assert!(reference.supersteps >= 4, "need superstep 4's checkpoint to exist");
+
+    let plan = guard.install(FaultPlan::new().on(
+        Site::DfsWrite,
+        "jobs/ft-torn/ckpt-manifests/4",
+        1,
+        Fault::TornWrite { keep: 5 },
+    ));
+    let cluster = Cluster::new(ClusterConfig::new(4, 8 << 20)).unwrap();
+    let program = Arc::new(ConnectedComponents);
+    let (summary, graph) =
+        run_job_from_records(&cluster, &program, &job, records.clone()).unwrap();
+    assert_eq!(summary.recoveries, 1, "recovered past the torn manifest");
+    assert_eq!(plan.injected(), 1);
+    assert_eq!(summary.supersteps, reference.supersteps);
+    assert_eq!(cc_values(&graph), expected);
+    chaos_digest("torn-manifest", &summary, plan.injected(), &expected);
+}
+
+// ---------------------------------------------------------------------------
+// Storage and connector fault sites
+// ---------------------------------------------------------------------------
+
+/// An I/O error while writing the partition-local Msg run mid-superstep is
+/// recoverable infrastructure failure: one recovery, no worker lost,
+/// identical values.
+#[test]
+fn msg_run_write_failure_recovers_without_losing_a_worker() {
+    let guard = fault::exclusive();
+    let records = two_chains();
+    let job = PregelixJob::new("ft-rw").with_checkpoint_interval(1);
+    let (_, expected) = no_fault_reference(1, &job, &records);
+
+    let plan = guard.install(FaultPlan::new().on(
+        Site::RunWrite,
+        "msg-ft-rw-p0",
+        1,
+        Fault::IoError,
+    ));
+    let cluster = Cluster::new(ClusterConfig::new(1, 8 << 20)).unwrap();
+    let program = Arc::new(ConnectedComponents);
+    let (summary, graph) =
+        run_job_from_records(&cluster, &program, &job, records.clone()).unwrap();
+    assert_eq!(summary.recoveries, 1);
+    assert_eq!(plan.injected(), 1);
+    assert_eq!(cluster.alive_workers(), vec![0]);
+    assert_eq!(cc_values(&graph), expected);
+    chaos_digest("msg-run-write", &summary, plan.injected(), &expected);
+}
+
+/// A dropped global-state frame must be *detected* — the superstep errors
+/// on the partition-report shortfall instead of silently computing a wrong
+/// global halt decision.
+#[test]
+fn dropped_gs_frame_is_detected_not_silent() {
+    let guard = fault::exclusive();
+    let records = two_chains();
+    let job = PregelixJob::new("ft-gs");
+    guard.install(FaultPlan::new().on(Site::FrameSend, "gs", 1, Fault::DropFrame));
+    let cluster = Cluster::new(ClusterConfig::new(4, 8 << 20)).unwrap();
+    let program = Arc::new(ConnectedComponents);
+    let err = run_job_from_records(&cluster, &program, &job, records).unwrap_err();
+    assert!(
+        matches!(&err, PregelixError::Internal(m) if m.contains("partition reports")),
+        "lost report frame must surface as a shortfall: {err}"
+    );
+}
+
+/// A dropped run-handle in the materialized (merging) connector must also
+/// be detected: the receiver's wait-for-all merge errors out.
+#[test]
+fn dropped_merge_handle_is_detected_not_silent() {
+    let guard = fault::exclusive();
+    let records = two_chains();
+    let job = PregelixJob::new("ft-merge").with_groupby(GroupByStrategy::SortMerged);
+    guard.install(FaultPlan::new().on(Site::FrameSend, "merge", 1, Fault::DropFrame));
+    let cluster = Cluster::new(ClusterConfig::new(2, 8 << 20)).unwrap();
+    let program = Arc::new(ConnectedComponents);
+    let err = run_job_from_records(&cluster, &program, &job, records).unwrap_err();
+    assert!(
+        err.to_string().contains("merge sender died"),
+        "lost merge handle must surface: {err}"
+    );
+}
+
+/// A duplicated message frame is harmless under an idempotent combiner
+/// (CC's min): the run completes with no recovery and identical values —
+/// the at-least-once delivery the m-to-n connector may degrade to under
+/// retry is semantically safe for combinable programs.
+#[test]
+fn duplicated_msg_frame_is_idempotent_under_min_combiner() {
+    let guard = fault::exclusive();
+    let records = two_chains();
+    let job = PregelixJob::new("ft-dup");
+    let (reference, expected) = no_fault_reference(1, &job, &records);
+
+    let plan =
+        guard.install(FaultPlan::new().on(Site::FrameSend, "msg", 1, Fault::DuplicateFrame));
+    let cluster = Cluster::new(ClusterConfig::new(1, 8 << 20)).unwrap();
+    let program = Arc::new(ConnectedComponents);
+    let (summary, graph) =
+        run_job_from_records(&cluster, &program, &job, records.clone()).unwrap();
+    assert_eq!(summary.recoveries, 0);
+    assert_eq!(plan.injected(), 1);
+    assert_eq!(summary.supersteps, reference.supersteps);
+    assert_eq!(cc_values(&graph), expected);
+    chaos_digest("dup-msg-frame", &summary, plan.injected(), &expected);
+}
+
+// ---------------------------------------------------------------------------
+// The §5.7 recoverability split, end to end
+// ---------------------------------------------------------------------------
+
+/// Min-label CC whose `compute` raises a *user* error the first time vertex
+/// 0 runs at superstep 3, counting how often that poisoned invocation
+/// executes.
+struct FailingCc {
+    raised: AtomicU64,
+}
+
+impl VertexProgram for FailingCc {
+    type VertexValue = u64;
+    type EdgeValue = ();
+    type Message = u64;
+    type Aggregate = ();
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, Self>) -> Result<()> {
+        if ctx.superstep() == 3 && ctx.vid() == 0 {
+            self.raised.fetch_add(1, Ordering::Relaxed);
+            return Err(PregelixError::user("deliberate UDF failure at superstep 3"));
+        }
+        let mut min_label = if ctx.superstep() == 1 {
+            ctx.vid()
+        } else {
+            *ctx.value()
+        };
+        for m in ctx.messages() {
+            min_label = min_label.min(*m);
+        }
+        if ctx.superstep() == 1 || min_label < *ctx.value() {
+            ctx.set_value(min_label);
+            ctx.send_message_to_all_edges(min_label);
+        }
+        ctx.vote_to_halt();
+        Ok(())
+    }
+
+    fn init_vertex(&self, vid: u64, edges: Vec<(u64, f64)>) -> VertexData<Self> {
+        VertexData::new(
+            vid,
+            vid,
+            edges.into_iter().map(|(d, _)| Edge::new(d, ())).collect(),
+        )
+    }
+}
+
+/// A user-code error mid-superstep must NOT trigger checkpoint replay,
+/// even with checkpointing on: §5.7 forwards application exceptions to the
+/// end user. The poisoned `compute` runs exactly once — replaying it would
+/// run it again (and, being deterministic, fail again forever).
+#[test]
+fn user_error_mid_superstep_is_forwarded_not_replayed() {
+    let guard = fault::exclusive();
+    // Plan installed but *empty*: proves the split holds with the injection
+    // machinery active, and keeps concurrent tests from installing plans.
+    guard.install(FaultPlan::new());
+    let records = two_chains();
+    let job = PregelixJob::new("ft-user").with_checkpoint_interval(1);
+    let cluster = Cluster::new(ClusterConfig::new(4, 8 << 20)).unwrap();
+    let program = Arc::new(FailingCc {
+        raised: AtomicU64::new(0),
+    });
+    let err = run_job_from_records(&cluster, &program, &job, records).unwrap_err();
+    assert!(
+        matches!(&err, PregelixError::User(m) if m.contains("superstep 3")),
+        "user error must surface untouched: {err}"
+    );
+    assert!(!err.is_recoverable());
+    assert_eq!(
+        program.raised.load(Ordering::Relaxed),
+        1,
+        "the failing compute must not be replayed from a checkpoint"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Plan coverage: LOJ recovery, clearing, determinism
+// ---------------------------------------------------------------------------
+
+/// LOJ recovery must restore the Vid live-vertex index from the checkpoint
+/// (a BTC-style graph rather than chains, to exercise realistic fan-out).
+#[test]
+fn recovery_works_with_left_outer_join_plans_too() {
+    let guard = fault::exclusive();
+    let records = btc::btc(3_000, 5.0, 52);
+    let expected = reference_cc(&records);
+    let job = PregelixJob::new("ft-loj")
+        .with_join(JoinStrategy::LeftOuter)
+        .with_checkpoint_interval(1);
+    guard.install(FaultPlan::new().on(Site::Barrier, "3", 1, Fault::FailWorker(3)));
+    let cluster = Cluster::new(ClusterConfig::new(4, 8 << 20)).unwrap();
+    let program = Arc::new(ConnectedComponents);
+    let (summary, graph) =
+        run_job_from_records(&cluster, &program, &job, records.clone()).unwrap();
+    assert_eq!(summary.recoveries, 1);
+    assert_eq!(cluster.alive_workers(), vec![0, 1, 2]);
     for v in graph.collect_vertices::<ConnectedComponents>().unwrap() {
         assert_eq!(v.value, expected[&v.vid], "vid {}", v.vid);
     }
 }
 
 #[test]
-fn failure_without_checkpoints_surfaces_the_error() {
-    let records = btc::btc(6_000, 5.0, 51);
-    let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 8 << 20)).unwrap());
-    let job = PregelixJob::new("ft-nockpt"); // no checkpoint interval
-    let program = Arc::new(ConnectedComponents);
-    let mut graph =
-        LoadedGraph::load_from_records(&cluster, &program, &job, records).unwrap();
-    let saboteur = {
-        let cluster = Arc::clone(&cluster);
-        std::thread::spawn(move || {
-            std::thread::sleep(std::time::Duration::from_millis(40));
-            cluster.fail_worker(1);
-        })
-    };
-    let result = graph.run(&cluster, &program, &job);
-    saboteur.join().unwrap();
-    match result {
-        Err(e) => assert!(e.is_recoverable(), "should surface the worker failure: {e}"),
-        // Timing race: the job may legitimately finish before the
-        // sabotage lands; detect and accept that.
-        Ok(summary) => assert_eq!(summary.recoveries, 0),
-    }
-}
-
-#[test]
-fn recovery_works_with_left_outer_join_plans_too() {
-    // LOJ recovery must restore the Vid index from the checkpoint.
-    let records = btc::btc(6_000, 5.0, 52);
-    let expected = reference_cc(&records);
-    let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 8 << 20)).unwrap());
-    let job = PregelixJob::new("ft-loj")
-        .with_join(JoinStrategy::LeftOuter)
-        .with_checkpoint_interval(1);
-    let program = Arc::new(ConnectedComponents);
-    let mut graph =
-        LoadedGraph::load_from_records(&cluster, &program, &job, records.clone()).unwrap();
-    let saboteur = {
-        let cluster = Arc::clone(&cluster);
-        std::thread::spawn(move || {
-            std::thread::sleep(std::time::Duration::from_millis(60));
-            cluster.fail_worker(3);
-        })
-    };
-    let summary = graph.run(&cluster, &program, &job).unwrap();
-    saboteur.join().unwrap();
-    assert!(summary.recoveries >= 1);
-    for v in graph.collect_vertices::<ConnectedComponents>().unwrap() {
-        assert_eq!(v.value, expected[&v.vid]);
-    }
-}
-
-#[test]
-fn repeated_failures_keep_recovering_until_one_worker_remains() {
-    let records = btc::btc(4_000, 5.0, 53);
-    let expected = reference_cc(&records);
-    let cluster = Arc::new(Cluster::new(ClusterConfig::new(3, 8 << 20)).unwrap());
-    let job = PregelixJob::new("ft-repeat").with_checkpoint_interval(1);
-    let program = Arc::new(ConnectedComponents);
-    let mut graph =
-        LoadedGraph::load_from_records(&cluster, &program, &job, records.clone()).unwrap();
-    let saboteur = {
-        let cluster = Arc::clone(&cluster);
-        std::thread::spawn(move || {
-            std::thread::sleep(std::time::Duration::from_millis(50));
-            cluster.fail_worker(0);
-            std::thread::sleep(std::time::Duration::from_millis(80));
-            cluster.fail_worker(1);
-        })
-    };
-    let summary = graph.run(&cluster, &program, &job).unwrap();
-    saboteur.join().unwrap();
-    assert_eq!(cluster.alive_workers(), vec![2]);
-    assert!(summary.recoveries >= 1);
-    for v in graph.collect_vertices::<ConnectedComponents>().unwrap() {
-        assert_eq!(v.value, expected[&v.vid]);
-    }
-}
-
-#[test]
 fn checkpoint_files_are_cleared_after_run_job() {
+    // Holds the chaos lock even though it installs no plan: barrier-site
+    // scopes are bare superstep numbers, so this job's supersteps would
+    // otherwise consume a concurrently installed rule.
+    let _guard = fault::exclusive();
     let records = btc::btc(1_000, 4.0, 54);
     let cluster = Cluster::new(ClusterConfig::new(2, 8 << 20)).unwrap();
     pregelix::graphgen::text::write_to_dfs(cluster.dfs(), "input/ckpt-clear", &records)
@@ -135,4 +515,38 @@ fn checkpoint_files_are_cleared_after_run_job() {
         .list("jobs/ckpt-clear/ckpt-manifests")
         .unwrap()
         .is_empty());
+}
+
+/// The determinism rule, verified in-process: the same plan over the same
+/// job produces identical recovery counters, superstep counts, injection
+/// counts, and final values on every run.
+#[test]
+fn identical_plans_produce_identical_recovery_counters() {
+    let guard = fault::exclusive();
+    let records = two_chains();
+    let job = PregelixJob::new("ft-det").with_checkpoint_interval(1);
+    let program = Arc::new(ConnectedComponents);
+
+    let mut outcomes = Vec::new();
+    for _ in 0..2 {
+        let plan = guard.install(
+            FaultPlan::new()
+                .on(Site::Barrier, "3", 1, Fault::FailWorker(1))
+                .on(Site::DfsRead, "jobs/ft-det/ckpt-manifests", 1, Fault::IoError),
+        );
+        let cluster = Cluster::new(ClusterConfig::new(4, 8 << 20)).unwrap();
+        let (summary, graph) =
+            run_job_from_records(&cluster, &program, &job, records.clone()).unwrap();
+        outcomes.push((
+            summary.recoveries,
+            summary.retries,
+            summary.supersteps,
+            plan.injected(),
+            cc_values(&graph),
+        ));
+        guard.clear();
+    }
+    assert_eq!(outcomes[0], outcomes[1], "two identical runs must not diverge");
+    let summary_like = &outcomes[0];
+    assert_eq!(summary_like.0, 2, "both runs recover exactly twice");
 }
