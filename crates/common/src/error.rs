@@ -37,9 +37,15 @@ pub enum PregelixError {
     /// A dataflow job was mis-constructed (dangling connector, partition
     /// count mismatch, unsatisfiable location constraint, ...).
     Plan(String),
-    /// A simulated worker machine failed (powered off / blacklisted). Carries
-    /// the worker id. Recoverable via checkpoint recovery.
-    WorkerFailure(usize),
+    /// A simulated worker machine was declared dead (powered off, or
+    /// blacklisted by the failure detector after exhausting its missed-beat
+    /// budget). Carries the worker id so the driver can blacklist it and
+    /// re-plan its sticky partitions onto survivors before falling back to
+    /// checkpoint recovery.
+    WorkerDead {
+        /// Id of the dead worker.
+        id: usize,
+    },
     /// An error raised by user code (a `compute`, `combine`, `aggregate` or
     /// `resolve` UDF). Never retried: forwarded to the end user, per §5.7.
     User(String),
@@ -56,7 +62,10 @@ impl PregelixError {
     /// interruption errors ... and I/O related failures; it just forwards
     /// application exceptions to end users."
     pub fn is_recoverable(&self) -> bool {
-        matches!(self, PregelixError::Io(_) | PregelixError::WorkerFailure(_))
+        matches!(
+            self,
+            PregelixError::Io(_) | PregelixError::WorkerDead { .. }
+        )
     }
 
     /// Shorthand constructor for corrupt-data errors.
@@ -100,7 +109,7 @@ impl fmt::Display for PregelixError {
             PregelixError::Corrupt(m) => write!(f, "corrupt data: {m}"),
             PregelixError::Storage(m) => write!(f, "storage error: {m}"),
             PregelixError::Plan(m) => write!(f, "plan error: {m}"),
-            PregelixError::WorkerFailure(w) => write!(f, "worker {w} failed"),
+            PregelixError::WorkerDead { id } => write!(f, "worker {id} declared dead"),
             PregelixError::User(m) => write!(f, "application error: {m}"),
             PregelixError::NoCheckpoint => write!(f, "no checkpoint available for recovery"),
             PregelixError::Internal(m) => write!(f, "internal error: {m}"),
@@ -129,7 +138,7 @@ mod tests {
 
     #[test]
     fn recoverability_split_matches_failure_manager_policy() {
-        assert!(PregelixError::WorkerFailure(3).is_recoverable());
+        assert!(PregelixError::WorkerDead { id: 3 }.is_recoverable());
         assert!(PregelixError::Io(std::io::Error::other("disk")).is_recoverable());
         assert!(!PregelixError::user("bad vertex value").is_recoverable());
         assert!(!PregelixError::OutOfMemory {
@@ -152,7 +161,7 @@ mod tests {
                 // Infrastructure failures: recover from the latest
                 // checkpoint onto failure-free workers.
                 PregelixError::Io(_) => true,
-                PregelixError::WorkerFailure(_) => true,
+                PregelixError::WorkerDead { .. } => true,
                 // Application errors: forwarded to the end user, never
                 // retried.
                 PregelixError::User(_) => false,
@@ -175,7 +184,7 @@ mod tests {
             PregelixError::corrupt("c"),
             PregelixError::storage("s"),
             PregelixError::plan("p"),
-            PregelixError::WorkerFailure(0),
+            PregelixError::WorkerDead { id: 0 },
             PregelixError::user("u"),
             PregelixError::NoCheckpoint,
             PregelixError::internal("i"),

@@ -53,6 +53,15 @@ pub enum Site {
     /// Connector frame delivery; ctx = sender label (`"msg"`, `"mut"`,
     /// `"gs"`, `"merge"`).
     FrameSend,
+    /// Connector frame *retransmission* (a nack-triggered resend on the
+    /// reliable transport); ctx = sender label. Dropping resends repeatedly
+    /// models a retransmit storm; the sender gives up after its bounded
+    /// resend budget and surfaces a recoverable error.
+    FrameResend,
+    /// Receiver-side cumulative-ack delivery on the reliable transport;
+    /// ctx = sender label. Dropped acks are repaired by later cumulative
+    /// acks (or by the stream-completion flag on the control plane).
+    AckSend,
     /// The driver-side superstep barrier; ctx = the superstep number about to
     /// run, formatted in decimal.
     Barrier,
@@ -71,6 +80,8 @@ impl Site {
             Site::CacheEvict => "cache-evict",
             Site::BtreeOp => "btree-op",
             Site::FrameSend => "frame-send",
+            Site::FrameResend => "frame-resend",
+            Site::AckSend => "ack-send",
             Site::Barrier => "barrier",
         }
     }
@@ -95,10 +106,16 @@ pub enum Fault {
     /// the driver (which owns the cluster handle); elsewhere behaves like
     /// [`Fault::IoError`].
     FailWorker(usize),
-    /// The connector silently loses this frame ([`Site::FrameSend`] only).
+    /// The connector silently loses this frame ([`Site::FrameSend`],
+    /// [`Site::FrameResend`] and [`Site::AckSend`]).
     DropFrame,
     /// The connector delivers this frame twice ([`Site::FrameSend`] only).
     DuplicateFrame,
+    /// The wire flips a bit in the frame payload mid-flight — the torn send a
+    /// partial network write would produce. The envelope CRC no longer
+    /// matches, so the receiver discards the frame and nacks it
+    /// ([`Site::FrameSend`] and [`Site::FrameResend`] only).
+    CorruptFrame,
 }
 
 /// One scheduled fault: fire `fault` at the `nth` event matching

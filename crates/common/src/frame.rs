@@ -199,6 +199,18 @@ impl Frame {
     }
 }
 
+/// Frames compare by content — tuple bytes and boundaries. `capacity` is an
+/// allocation hint that [`Frame::deserialize`] does not preserve, so it must
+/// not participate in equality or a decoded frame would never equal its
+/// source.
+impl PartialEq for Frame {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data && self.ends == other.ends
+    }
+}
+
+impl Eq for Frame {}
+
 #[inline]
 fn read_u32(buf: &mut &[u8]) -> Result<u32> {
     let head: [u8; 4] = buf

@@ -9,6 +9,8 @@
 //!   exposed to users.
 //! * [`frame`] — contiguous byte *frames* holding batches of tuples, the unit
 //!   of data exchange between dataflow operators (mirrors Hyracks frames).
+//! * [`envelope`] — sequenced, CRC-checked envelopes wrapping frames on
+//!   connector streams, the wire format of the reliable transport.
 //! * [`arena`] — pooled tuple arenas backing operator buffers (external
 //!   sort, group-by): contiguous chunk storage plus compact tuple refs, so
 //!   the message hot path performs no per-tuple heap allocation.
@@ -22,6 +24,7 @@
 
 pub mod arena;
 pub mod dfs;
+pub mod envelope;
 pub mod error;
 pub mod fault;
 pub mod frame;

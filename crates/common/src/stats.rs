@@ -54,6 +54,17 @@ struct Counters {
     /// Recoverable-operation retries performed by the runtime's
     /// retry-with-backoff path (§5.7).
     fault_retries: AtomicU64,
+    /// Frames retransmitted by the reliable connector transport after a
+    /// drop/corruption nack (always 0 on a clean wire).
+    frames_retransmitted: AtomicU64,
+    /// Duplicate frames discarded by receiver-side sequence-number dedup.
+    frames_deduped: AtomicU64,
+    /// Frames discarded by the receiver because the envelope CRC did not
+    /// match the payload (each one is subsequently retransmitted).
+    frames_corrupted: AtomicU64,
+    /// Workers declared dead by the missed-beat failure detector and
+    /// blacklisted from scheduling.
+    workers_declared_dead: AtomicU64,
     /// Vertices alive at the end of the most recent superstep.
     live_vertices: AtomicU64,
 }
@@ -93,6 +104,10 @@ counter_api! {
     add_arena_frames / arena_frames_allocated => arena_frames_allocated,
     add_faults_injected / faults_injected => faults_injected,
     add_fault_retries / fault_retries => fault_retries,
+    add_frames_retransmitted / frames_retransmitted => frames_retransmitted,
+    add_frames_deduped / frames_deduped => frames_deduped,
+    add_frames_corrupted / frames_corrupted => frames_corrupted,
+    add_workers_declared_dead / workers_declared_dead => workers_declared_dead,
 }
 
 impl ClusterCounters {
@@ -130,6 +145,10 @@ impl ClusterCounters {
             arena_frames_allocated: c.arena_frames_allocated.load(Ordering::Relaxed),
             faults_injected: c.faults_injected.load(Ordering::Relaxed),
             fault_retries: c.fault_retries.load(Ordering::Relaxed),
+            frames_retransmitted: c.frames_retransmitted.load(Ordering::Relaxed),
+            frames_deduped: c.frames_deduped.load(Ordering::Relaxed),
+            frames_corrupted: c.frames_corrupted.load(Ordering::Relaxed),
+            workers_declared_dead: c.workers_declared_dead.load(Ordering::Relaxed),
             live_vertices: c.live_vertices.load(Ordering::Relaxed),
         }
     }
@@ -153,6 +172,10 @@ pub struct StatsSnapshot {
     pub arena_frames_allocated: u64,
     pub faults_injected: u64,
     pub fault_retries: u64,
+    pub frames_retransmitted: u64,
+    pub frames_deduped: u64,
+    pub frames_corrupted: u64,
+    pub workers_declared_dead: u64,
     pub live_vertices: u64,
 }
 
@@ -181,6 +204,10 @@ impl StatsSnapshot {
                 - earlier.arena_frames_allocated,
             faults_injected: self.faults_injected - earlier.faults_injected,
             fault_retries: self.fault_retries - earlier.fault_retries,
+            frames_retransmitted: self.frames_retransmitted - earlier.frames_retransmitted,
+            frames_deduped: self.frames_deduped - earlier.frames_deduped,
+            frames_corrupted: self.frames_corrupted - earlier.frames_corrupted,
+            workers_declared_dead: self.workers_declared_dead - earlier.workers_declared_dead,
             live_vertices: self.live_vertices,
         }
     }

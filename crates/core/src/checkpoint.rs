@@ -222,10 +222,18 @@ pub fn latest_checkpoint(dfs: &SimDfs, job: &str) -> Result<Option<Superstep>> {
 /// Rebuild the full partition set from a checkpoint onto the currently
 /// alive workers. Returns the fresh partition states, their sticky
 /// assignment, and the checkpointed `GS`.
+///
+/// `prev_sticky` is the assignment in force when the failure hit: recovery
+/// keeps every surviving pin and moves only the dead workers' partitions
+/// (the §5.5 re-plan), so most partitions reload onto machines that
+/// already hold their files hot. An empty/mismatched `prev_sticky` (first
+/// load, or a checkpoint with a different partition count) falls back to
+/// the modular [`sticky_assignment`](pregelix_dataflow::scheduler::sticky_assignment).
 pub fn recover(
     cluster: &Cluster,
     job: &PregelixJob,
     superstep: Superstep,
+    prev_sticky: &[usize],
 ) -> Result<(Vec<Arc<Mutex<PartitionState>>>, Vec<usize>, GlobalState)> {
     let dfs = cluster.dfs().clone();
     let (p_count, has_vid, gs) =
@@ -236,7 +244,11 @@ pub fn recover(
     if alive.is_empty() {
         return Err(PregelixError::plan("no alive workers to recover onto"));
     }
-    let sticky = pregelix_dataflow::scheduler::sticky_assignment(p_count, &alive);
+    let sticky = if prev_sticky.len() == p_count {
+        pregelix_dataflow::scheduler::replan_sticky(prev_sticky, &alive)?
+    } else {
+        pregelix_dataflow::scheduler::sticky_assignment(p_count, &alive)
+    };
     let dir = ckpt_dir(&job.name, superstep);
     let storage = job.plan.storage;
     let slots: Vec<Arc<Mutex<Option<PartitionState>>>> =
@@ -302,6 +314,7 @@ pub fn recover(
 pub fn recover_latest_valid(
     cluster: &Cluster,
     job: &PregelixJob,
+    prev_sticky: &[usize],
 ) -> Result<Option<(Vec<Arc<Mutex<PartitionState>>>, Vec<usize>, GlobalState)>> {
     let mut supersteps: Vec<Superstep> = cluster
         .dfs()
@@ -311,7 +324,7 @@ pub fn recover_latest_valid(
         .collect();
     supersteps.sort_unstable();
     while let Some(ss) = supersteps.pop() {
-        match recover(cluster, job, ss) {
+        match recover(cluster, job, ss, prev_sticky) {
             Ok(recovered) => return Ok(Some(recovered)),
             Err(e) if e.is_recoverable() => return Err(e),
             // Corrupt/torn/inconsistent checkpoint: fall back to the next

@@ -11,6 +11,16 @@
 //! infrastructure failures (worker powered off, I/O errors) trigger
 //! recovery from the latest checkpoint onto the remaining alive workers;
 //! application exceptions are forwarded to the caller.
+//!
+//! Failure *detection* is heartbeat-based (§5.5): every successful
+//! `check_alive` bumps the worker's beat counter, and the driver runs a
+//! [`FailureDetector`] observation at each superstep barrier. Workers that
+//! stop beating are declared dead after `missed_beat_threshold` silent
+//! observations (immediately, if their failure flag is tripped) and
+//! blacklisted; the sticky assignment is then *re-planned* onto the
+//! survivors — surviving pins keep their partitions — before checkpoint
+//! recovery reloads the lost state. Beat counts are event-driven, never
+//! wall-clock, so fault-injection schedules replay deterministically.
 
 use crate::api::VertexProgram;
 use crate::checkpoint;
@@ -24,7 +34,7 @@ use pregelix_common::fault::{self, Fault, Site};
 use pregelix_common::frame::tuple_vid;
 use pregelix_common::stats::StatsSnapshot;
 use pregelix_common::{Superstep, Vid};
-use pregelix_dataflow::cluster::{Cluster, Task};
+use pregelix_dataflow::cluster::{Cluster, FailureDetector, Task};
 use pregelix_dataflow::scheduler::sticky_assignment;
 use pregelix_storage::btree::BTree;
 use std::sync::Arc;
@@ -194,6 +204,9 @@ impl LoadedGraph {
         let mut superstep_times = Vec::new();
         let mut superstep_stats = Vec::new();
         let mut recoveries = 0u32;
+        // Heartbeat failure detector (§5.5): one observation per superstep
+        // barrier, expecting a beat from every worker holding partitions.
+        let mut detector = FailureDetector::new(cluster);
 
         // With checkpointing enabled, snapshot the *initial* state too, so
         // a failure before the first periodic checkpoint can restart from
@@ -255,8 +268,15 @@ impl LoadedGraph {
                 }
                 Ok((new_gs, duration))
             })();
+            // Barrier observation: workers holding partitions were expected
+            // to beat during the attempt (deduped — observe counts misses
+            // per listed entry).
+            let mut expected = self.sticky.clone();
+            expected.sort_unstable();
+            expected.dedup();
             match attempt {
                 Ok((new_gs, duration)) => {
+                    detector.observe(cluster, &expected);
                     initial_ckpt_done = true;
                     superstep_times.push(duration);
                     superstep_stats.push(cluster.counters().snapshot().delta_since(&before));
@@ -273,12 +293,15 @@ impl LoadedGraph {
                     }
                 }
                 Err(e) if e.is_recoverable() && recoveries < 32 => {
-                    // Failure manager (§5.7): blacklist is implicit (failed
-                    // workers stay failed); recover from the newest *valid*
-                    // checkpoint onto the surviving machines, walking back
-                    // past torn or stale manifests. A failure *during*
-                    // recovery loops back here and retries against the
-                    // shrunken worker set.
+                    // Failure manager (§5.7): run a detector observation so
+                    // dead workers are formally declared and blacklisted,
+                    // then recover from the newest *valid* checkpoint onto
+                    // the survivors — keeping every surviving sticky pin
+                    // and re-planning only the dead workers' partitions
+                    // (§5.5), walking back past torn or stale manifests. A
+                    // failure *during* recovery loops back here and retries
+                    // against the shrunken worker set.
+                    detector.observe(cluster, &expected);
                     recoveries += 1;
                     if job.retry_backoff > Duration::ZERO {
                         std::thread::sleep(
@@ -286,7 +309,7 @@ impl LoadedGraph {
                                 * (1u32 << (recoveries.saturating_sub(1)).min(4)),
                         );
                     }
-                    match checkpoint::recover_latest_valid(cluster, job) {
+                    match checkpoint::recover_latest_valid(cluster, job, &self.sticky) {
                         Ok(Some((partitions, sticky, ckpt_gs))) => {
                             self.partitions = partitions;
                             self.sticky = sticky;

@@ -28,17 +28,18 @@ use crate::gs::GlobalState;
 use crate::plan::{JoinStrategy, PlanConfig};
 use crate::store::VertexStore;
 use crate::vertex::{decode_msg_list, encode_msg_list, VertexData};
-use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 use pregelix_common::error::{PregelixError, Result};
-use pregelix_common::frame::{keyed_tuple, tuple_payload, tuple_vid, vid_to_key, Frame};
+use pregelix_common::frame::{keyed_tuple, tuple_payload, tuple_vid, vid_to_key};
 use pregelix_common::writable::Writable;
 use pregelix_common::Vid;
 use pregelix_dataflow::cluster::{Cluster, Task, WorkerHandle};
 use pregelix_dataflow::connector::{
-    aggregator_channels, merging_channels, partition_channels_cap, AggregatorReceiver,
-    MaterializedPartitioner, MergingReceiver, PartitionReceiver, PartitioningSender,
+    aggregator_channels_cap, merging_channels, partition_channels_cap, AggregatorReceiver,
+    MaterializedPartitioner, MergeRx, MergeTx, MergingReceiver, PartitionReceiver,
+    PartitioningSender,
 };
+use pregelix_dataflow::transport::{StreamRx, StreamTx};
 use pregelix_dataflow::groupby::{combine_fn, LocalGroupBy, TupleCombiner};
 use pregelix_dataflow::scheduler::{self, LocationConstraint, OperatorSpec};
 use pregelix_storage::btree::BTree;
@@ -182,13 +183,13 @@ impl MsgSender {
 }
 
 enum MsgReceiverEnds {
-    Pipelined(Vec<Receiver<Frame>>),
-    Merged(Vec<Receiver<RunHandle>>),
+    Pipelined(Vec<StreamRx>),
+    Merged(Vec<MergeRx>),
 }
 
 enum MsgSenderEnds {
-    Pipelined(Vec<Sender<Frame>>),
-    Merged(Vec<Sender<RunHandle>>),
+    Pipelined(Vec<StreamTx>),
+    Merged(Vec<MergeTx>),
 }
 
 /// Execute superstep `gs.superstep`, returning the revised global state
@@ -215,10 +216,11 @@ pub fn run_superstep<P: VertexProgram>(
     // the message group-by and mutation operators are co-located with it
     // (location-choice constraints); the stage-two GS aggregation is a
     // count constraint. A sticky worker that has failed makes the absolute
-    // constraint unsatisfiable — surfaced as a recoverable WorkerFailure
-    // so the failure manager reschedules from a checkpoint (§5.5).
+    // constraint unsatisfiable — surfaced as a recoverable WorkerDead so
+    // the failure manager re-plans onto the survivors and, only if the
+    // graph state itself is lost, falls back to a checkpoint (§5.5).
     if let Some(dead) = sticky.iter().find(|w| !alive.contains(w)) {
-        return Err(PregelixError::WorkerFailure(*dead));
+        return Err(PregelixError::WorkerDead { id: *dead });
     }
     let specs = [
         OperatorSpec::new(
@@ -268,7 +270,12 @@ pub fn run_superstep<P: VertexProgram>(
             )
         };
     let (mut mut_tx, mut mut_rx) = partition_channels_cap(p_count, p_count, cap);
-    let (gs_tx, gs_rx) = aggregator_channels(3 * p_count);
+    // The gs aggregation stream rides the reliable transport too, and must
+    // honor the same open-loop rule under sequential-timed simulation.
+    let (gs_tx, gs_rx) = aggregator_channels_cap(3 * p_count, cap);
+    // Stream endpoints are single-owner (each carries live sequencing
+    // state); tasks take theirs out of the slot rather than cloning.
+    let mut gs_tx: Vec<Option<StreamTx>> = gs_tx.into_iter().map(Some).collect();
 
     let shared = SharedSlots {
         next_msgs: (0..p_count).map(|_| Arc::new(Mutex::new(None))).collect(),
@@ -288,7 +295,7 @@ pub fn run_superstep<P: VertexProgram>(
         let gs_c = gs.clone();
         let msg_ends = std::mem::replace(&mut msg_tx[p], MsgSenderEnds::Pipelined(Vec::new()));
         let mut_ends = std::mem::take(&mut mut_tx[p]);
-        let gs_end = gs_tx[p].clone();
+        let gs_end = gs_tx[p].take().expect("gs endpoint claimed once");
         let sticky_c = sticky.to_vec();
         let combiner_c = Arc::clone(&combiner);
         tasks.push(Task::new(format!("compute[{p}]"), schedule.worker(0, p), move |w| {
@@ -304,7 +311,7 @@ pub fn run_superstep<P: VertexProgram>(
             MsgReceiverEnds::Pipelined(Vec::new()),
         );
         let slot = Arc::clone(&shared.next_msgs[p]);
-        let gs_end = gs_tx[p_count + p].clone();
+        let gs_end = gs_tx[p_count + p].take().expect("gs endpoint claimed once");
         let combiner_c = Arc::clone(&combiner);
         let superstep = gs.superstep;
         let gb_kind = plan.groupby.kind();
@@ -320,7 +327,7 @@ pub fn run_superstep<P: VertexProgram>(
         let state = Arc::clone(&partitions[p]);
         let program_c = Arc::clone(program);
         let mut_ins = std::mem::take(&mut mut_rx[p]);
-        let gs_end = gs_tx[2 * p_count + p].clone();
+        let gs_end = gs_tx[2 * p_count + p].take().expect("gs endpoint claimed once");
         tasks.push(Task::new(format!("mutate[{p}]"), schedule.worker(2, p), move |w| {
             mutate_task(w, state, program_c, mut_ins, gs_end, gs_worker)
         }));
@@ -477,8 +484,8 @@ fn compute_task<P: VertexProgram>(
     plan: PlanConfig,
     track_live: bool,
     msg_ends: MsgSenderEnds,
-    mut_ends: Vec<Sender<Frame>>,
-    gs_end: Sender<Frame>,
+    mut_ends: Vec<StreamTx>,
+    gs_end: StreamTx,
     sticky: Vec<usize>,
     combiner: TupleCombiner,
     gs_worker: usize,
@@ -738,7 +745,7 @@ fn msgwrite_task(
     gb_kind: pregelix_dataflow::groupby::GroupByKind,
     recv_ends: MsgReceiverEnds,
     slot: Arc<Mutex<Option<RunHandle>>>,
-    gs_end: Sender<Frame>,
+    gs_end: StreamTx,
     combiner: TupleCombiner,
     gs_worker: usize,
 ) -> Result<()> {
@@ -766,7 +773,7 @@ fn msgwrite_task(
         MsgReceiverEnds::Pipelined(ins) => {
             // Re-group at the receiver (upper strategies of Figure 7): the
             // fully pipelined connector does not preserve order.
-            let mut rx = PartitionReceiver::new(ins);
+            let mut rx = PartitionReceiver::new(ins, w.counters().clone());
             let mut gb = LocalGroupBy::new(
                 // The receiver-side group-by uses the same kind as the
                 // sender side (Figure 7 pairs them).
@@ -828,13 +835,13 @@ fn mutate_task<P: VertexProgram>(
     w: WorkerHandle,
     state: Arc<Mutex<PartitionState>>,
     program: Arc<P>,
-    mut_ins: Vec<Receiver<Frame>>,
-    gs_end: Sender<Frame>,
+    mut_ins: Vec<StreamRx>,
+    gs_end: StreamTx,
     gs_worker: usize,
 ) -> Result<()> {
     // Receiver-side group-by of mutations by vid (§5.3.3: resolve is not
     // guaranteed distributive, so there is no sender-side pre-grouping).
-    let mut rx = PartitionReceiver::new(mut_ins);
+    let mut rx = PartitionReceiver::new(mut_ins, w.counters().clone());
     let mut groups: BTreeMap<Vid, Vec<Mutation<P>>> = BTreeMap::new();
     while let Some(t) = rx.next_tuple()? {
         let vid = tuple_vid(t)?;
@@ -904,13 +911,13 @@ fn gs_task<P: VertexProgram>(
     w: WorkerHandle,
     program: Arc<P>,
     gs: GlobalState,
-    gs_rx: Vec<Receiver<Frame>>,
+    gs_rx: Vec<StreamRx>,
     expected: u64,
     outcome: Arc<Mutex<Option<GlobalState>>>,
     dfs: pregelix_common::dfs::SimDfs,
     job_name: String,
 ) -> Result<()> {
-    let mut rx = AggregatorReceiver::new(gs_rx);
+    let mut rx = AggregatorReceiver::new(gs_rx, w.counters().clone());
     let (mut live, mut created, mut combined) = (0u64, 0u64, 0u64);
     let (mut inserted, mut deleted, mut live_inserted) = (0u64, 0u64, 0u64);
     let mut agg: Option<P::Aggregate> = None;

@@ -9,6 +9,15 @@
 //! propagating the most meaningful error (application errors over OOM over
 //! worker failures over plumbing errors).
 //!
+//! Workers *heartbeat*: every liveness check a task performs bumps its
+//! worker's beat counter, and the [`FailureDetector`] compares beat counts
+//! across observation points (superstep barriers — progress granularity,
+//! never wall-clock timers). A worker whose beats stall is *slow*; one that
+//! stays stalled for `missed_beat_threshold` consecutive observations — or
+//! whose failure flag is set — is *declared dead*, blacklisted from
+//! scheduling, and counted in `workers_declared_dead` (§5.5: the failure
+//! manager re-plans sticky partitions onto survivors).
+//!
 //! The substitution is documented in DESIGN.md: the phenomena the paper
 //! measures are driven by the *ratio* of data to aggregate RAM and by the
 //! memory/disk data paths, both of which this scaled-down cluster preserves.
@@ -20,7 +29,7 @@ use pregelix_common::stats::ClusterCounters;
 use pregelix_storage::cache::BufferCache;
 use pregelix_storage::file::{FileManager, TempDir};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Sizing knobs for a simulated cluster.
@@ -49,6 +58,10 @@ pub struct ClusterConfig {
     /// Connector channels are unbounded in this mode (no backpressure
     /// without concurrency).
     pub sequential_timed: bool,
+    /// Consecutive missed-beat observations before the [`FailureDetector`]
+    /// declares a worker dead. Measured in observation points (superstep
+    /// barriers), never in wall-clock time.
+    pub missed_beat_threshold: u32,
 }
 
 impl ClusterConfig {
@@ -64,12 +77,19 @@ impl ClusterConfig {
             groupby_fraction: 0.125,
             root: None,
             sequential_timed: false,
+            missed_beat_threshold: 3,
         }
     }
 
     /// Switch on sequential-timed simulation (see the field docs).
     pub fn sequential_timed(mut self) -> Self {
         self.sequential_timed = true;
+        self
+    }
+
+    /// Override the failure detector's missed-beat threshold.
+    pub fn missed_beat_threshold(mut self, beats: u32) -> Self {
+        self.missed_beat_threshold = beats.max(1);
         self
     }
 
@@ -86,6 +106,10 @@ pub struct WorkerNode {
     fm: FileManager,
     cache: BufferCache,
     failed: AtomicBool,
+    /// Heartbeat counter: bumped by every successful liveness check. The
+    /// failure detector reads it at observation points; a live worker
+    /// executing tasks always advances it, a powered-off one never does.
+    beats: AtomicU64,
     heap: MemoryAccountant,
     groupby_budget: usize,
     frame_bytes: usize,
@@ -177,15 +201,22 @@ impl WorkerHandle {
         &self.node.heap
     }
 
-    /// Fails with [`PregelixError::WorkerFailure`] if this machine has been
-    /// powered off by failure injection. Tasks call this at frame
-    /// boundaries so a failure surfaces promptly.
+    /// Fails with [`PregelixError::WorkerDead`] if this machine has been
+    /// powered off by failure injection or blacklisted by the failure
+    /// detector. Tasks call this at frame boundaries so a failure surfaces
+    /// promptly; every successful check doubles as a heartbeat.
     pub fn check_alive(&self) -> Result<()> {
         if self.node.failed.load(Ordering::Relaxed) {
-            Err(PregelixError::WorkerFailure(self.node.id))
+            Err(PregelixError::WorkerDead { id: self.node.id })
         } else {
+            self.node.beats.fetch_add(1, Ordering::Relaxed);
             Ok(())
         }
+    }
+
+    /// This worker's heartbeat count (monotone while alive).
+    pub fn beats(&self) -> u64 {
+        self.node.beats.load(Ordering::Relaxed)
     }
 }
 
@@ -253,6 +284,7 @@ impl Cluster {
                 fm,
                 cache,
                 failed: AtomicBool::new(false),
+                beats: AtomicU64::new(0),
                 heap: MemoryAccountant::new(format!("worker-{id} heap"), config.worker_ram),
                 groupby_budget: (config.worker_ram as f64 * config.groupby_fraction) as usize,
                 frame_bytes: config.frame_bytes,
@@ -305,9 +337,9 @@ impl Cluster {
         }
     }
 
-    /// Power off a worker (failure injection). Running and future tasks on
-    /// it fail with [`PregelixError::WorkerFailure`] at their next
-    /// liveness check.
+    /// Power off a worker (failure injection) or blacklist it (failure
+    /// detection). Running and future tasks on it fail with
+    /// [`PregelixError::WorkerDead`] at their next liveness check.
     pub fn fail_worker(&self, id: usize) {
         self.workers[id].failed.store(true, Ordering::Relaxed);
     }
@@ -390,7 +422,7 @@ impl Cluster {
         let rank = |e: &PregelixError| match e {
             PregelixError::User(_) => 0,
             PregelixError::OutOfMemory { .. } => 1,
-            PregelixError::WorkerFailure(_) => 2,
+            PregelixError::WorkerDead { .. } => 2,
             PregelixError::Io(_) => 3,
             _ => 4,
         };
@@ -427,6 +459,102 @@ impl Cluster {
             }
         }
         Ok(per_worker.into_iter().max().unwrap_or_default())
+    }
+}
+
+/// Health of one worker as judged by the [`FailureDetector`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerHealth {
+    /// Beats advanced since the last observation (or the worker was not
+    /// expected to do any work, so silence is not evidence).
+    Healthy,
+    /// Expected to beat but didn't, for this many consecutive observations
+    /// (still below the death threshold). Slow workers are *not* evicted:
+    /// transient stalls recover on their own, and evicting them would turn
+    /// every hiccup into a re-plan.
+    Slow(u32),
+    /// Declared dead: blacklisted from scheduling.
+    Dead,
+}
+
+/// Missed-beat failure detector (§5.5).
+///
+/// Observed at *progress* granularity — the driver calls
+/// [`FailureDetector::observe`] at superstep barriers and frame-batch
+/// drains, passing the set of workers that were expected to make progress.
+/// A worker whose beat counter did not advance across an observation missed
+/// a beat; `missed_beat_threshold` consecutive misses (or a tripped failure
+/// flag — powered-off machines never beat again) means *dead*: the worker
+/// is blacklisted via [`Cluster::fail_worker`] and counted in
+/// `workers_declared_dead`. No wall-clock timers anywhere, so chaos
+/// schedules replay deterministically.
+pub struct FailureDetector {
+    threshold: u32,
+    /// Beat count seen for each worker at the previous observation.
+    seen: Vec<u64>,
+    /// Consecutive observations without progress, per worker.
+    misses: Vec<u32>,
+    /// Workers already declared dead (never resurrected by the detector).
+    dead: Vec<bool>,
+}
+
+impl FailureDetector {
+    /// A detector for `cluster`, seeded with current beat counts.
+    pub fn new(cluster: &Cluster) -> FailureDetector {
+        FailureDetector {
+            threshold: cluster.config.missed_beat_threshold,
+            seen: cluster.workers.iter().map(|w| w.beats.load(Ordering::Relaxed)).collect(),
+            misses: vec![0; cluster.workers.len()],
+            dead: vec![false; cluster.workers.len()],
+        }
+    }
+
+    /// One observation point. `expected` lists workers that had tasks
+    /// assigned since the previous observation (silence from an idle worker
+    /// is not evidence of death). Newly dead workers are blacklisted on
+    /// `cluster` and returned; the caller re-plans sticky partitions onto
+    /// the survivors before falling back to checkpoint recovery.
+    pub fn observe(&mut self, cluster: &Cluster, expected: &[usize]) -> Vec<usize> {
+        let mut newly_dead = Vec::new();
+        for &id in expected {
+            if self.dead[id] {
+                continue;
+            }
+            let beats = cluster.workers[id].beats.load(Ordering::Relaxed);
+            let failed = cluster.workers[id].failed.load(Ordering::Relaxed);
+            if beats != self.seen[id] && !failed {
+                self.seen[id] = beats;
+                self.misses[id] = 0;
+                continue;
+            }
+            self.misses[id] += 1;
+            // A tripped failure flag plus one missed beat is conclusive —
+            // the machine is off, waiting out the threshold only delays
+            // recovery. Without the flag, silence must persist.
+            if failed || self.misses[id] >= self.threshold {
+                self.dead[id] = true;
+                cluster.fail_worker(id);
+                cluster.counters.add_workers_declared_dead(1);
+                newly_dead.push(id);
+            }
+        }
+        newly_dead
+    }
+
+    /// Current judgement for worker `id`.
+    pub fn health(&self, id: usize) -> WorkerHealth {
+        if self.dead[id] {
+            WorkerHealth::Dead
+        } else if self.misses[id] > 0 {
+            WorkerHealth::Slow(self.misses[id])
+        } else {
+            WorkerHealth::Healthy
+        }
+    }
+
+    /// Workers declared dead so far.
+    pub fn blacklist(&self) -> Vec<usize> {
+        (0..self.dead.len()).filter(|&i| self.dead[i]).collect()
     }
 }
 
@@ -480,7 +608,7 @@ mod tests {
         let err = c
             .execute(vec![Task::new("x", 2, |_| Ok(()))])
             .unwrap_err();
-        assert!(matches!(err, PregelixError::WorkerFailure(2)), "{err}");
+        assert!(matches!(err, PregelixError::WorkerDead { id: 2 }), "{err}");
         c.heal_worker(2);
         c.execute(vec![Task::new("x", 2, |_| Ok(()))]).unwrap();
     }
@@ -489,7 +617,7 @@ mod tests {
     fn error_priority_user_over_infrastructure() {
         let c = small();
         let tasks = vec![
-            Task::new("infra", 0, |_| Err(PregelixError::WorkerFailure(0))),
+            Task::new("infra", 0, |_| Err(PregelixError::WorkerDead { id: 0 })),
             Task::new("app", 1, |_| Err(PregelixError::user("bad UDF"))),
         ];
         let err = c.execute(tasks).unwrap_err();
@@ -575,6 +703,84 @@ mod tests {
             }),
         ];
         c.execute(tasks).unwrap();
+    }
+
+    #[test]
+    fn check_alive_heartbeats() {
+        let c = small();
+        let w = c.worker(0);
+        assert_eq!(w.beats(), 0);
+        w.check_alive().unwrap();
+        w.check_alive().unwrap();
+        assert_eq!(w.beats(), 2);
+        c.fail_worker(0);
+        assert!(w.check_alive().is_err());
+        assert_eq!(w.beats(), 2, "dead workers stop beating");
+    }
+
+    #[test]
+    fn detector_declares_dead_after_threshold_missed_beats() {
+        let c = Cluster::new(ClusterConfig::new(2, 1 << 20).missed_beat_threshold(3)).unwrap();
+        let mut det = FailureDetector::new(&c);
+        let w0 = c.worker(0);
+        // Worker 0 beats every round; worker 1 is expected but silent
+        // (wedged, not flagged). It takes 3 observations to die.
+        w0.check_alive().unwrap();
+        assert!(det.observe(&c, &[0, 1]).is_empty());
+        assert_eq!(det.health(1), WorkerHealth::Slow(1));
+        w0.check_alive().unwrap();
+        assert!(det.observe(&c, &[0, 1]).is_empty());
+        assert_eq!(det.health(1), WorkerHealth::Slow(2));
+        w0.check_alive().unwrap();
+        assert_eq!(det.observe(&c, &[0, 1]), vec![1]);
+        assert_eq!(det.health(0), WorkerHealth::Healthy);
+        assert_eq!(det.health(1), WorkerHealth::Dead);
+        assert_eq!(det.blacklist(), vec![1]);
+        assert_eq!(c.alive_workers(), vec![0], "dead worker blacklisted");
+        assert_eq!(c.counters().workers_declared_dead(), 1);
+        // Already-dead workers are not re-declared.
+        assert!(det.observe(&c, &[0, 1]).is_empty());
+        assert_eq!(c.counters().workers_declared_dead(), 1);
+    }
+
+    #[test]
+    fn detector_trusts_failure_flag_after_one_miss() {
+        let c = small();
+        let mut det = FailureDetector::new(&c);
+        c.fail_worker(3);
+        assert_eq!(det.observe(&c, &[3]), vec![3]);
+        assert_eq!(det.health(3), WorkerHealth::Dead);
+    }
+
+    #[test]
+    fn detector_ignores_idle_workers() {
+        let c = small();
+        let mut det = FailureDetector::new(&c);
+        // Workers 1..3 had no tasks: their silence is not evidence.
+        for _ in 0..5 {
+            c.worker(0).check_alive().unwrap();
+            assert!(det.observe(&c, &[0]).is_empty());
+        }
+        for id in 1..4 {
+            assert_eq!(det.health(id), WorkerHealth::Healthy);
+        }
+    }
+
+    #[test]
+    fn slow_worker_recovers_without_eviction() {
+        let c = Cluster::new(ClusterConfig::new(1, 1 << 20).missed_beat_threshold(3)).unwrap();
+        let mut det = FailureDetector::new(&c);
+        let w = c.worker(0);
+        w.check_alive().unwrap();
+        assert!(det.observe(&c, &[0]).is_empty());
+        // Two silent observations (below threshold) ...
+        assert!(det.observe(&c, &[0]).is_empty());
+        assert!(det.observe(&c, &[0]).is_empty());
+        assert_eq!(det.health(0), WorkerHealth::Slow(2));
+        // ... then progress resumes: the miss streak resets.
+        w.check_alive().unwrap();
+        assert!(det.observe(&c, &[0]).is_empty());
+        assert_eq!(det.health(0), WorkerHealth::Healthy);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //!
 //! * **m-to-n partitioning connector** ([`PartitioningSender`] /
 //!   [`PartitionReceiver`]): every sender hash-partitions its tuples by vid
-//!   and pushes frames over bounded channels — the *fully pipelined*
+//!   and pushes frames over reliable streams — the *fully pipelined*
 //!   materialization policy. Receivers consume frames in arrival order, so
 //!   downstream re-grouping is required (the upper two strategies of
 //!   Figure 7).
@@ -21,11 +21,22 @@
 //!   [`AggregatorReceiver`]): reduces all sender streams to one receiver,
 //!   used by the two-stage global aggregation of Figure 4.
 //!
+//! All frame traffic rides the reliable transport in [`crate::transport`]:
+//! sequenced, CRC-checked envelopes with cumulative acks, receiver-side
+//! dedup and bounded retransmission, so wire-level drop/duplicate/corrupt
+//! faults are absorbed *in place* (visible only as `frames_retransmitted` /
+//! `frames_deduped` / `frames_corrupted` counter movement) instead of
+//! forcing a job restart. Run-handle transfers of the merging connector use
+//! the same idea at handle granularity: a lost or duplicated transfer is
+//! recovered from the pair's control plane or discarded by the
+//! one-handle-per-stream invariant.
+//!
 //! Traffic between distinct workers is charged to the cluster's network
 //! counters; same-worker traffic is not, mirroring the paper's observation
 //! that some messages never leave a machine (Figure 1).
 
-use crossbeam::channel::{bounded, Receiver, Select, Sender};
+use crate::transport::{reliable_channels, ReliableReceiver, ReliableSender, StreamRx, StreamTx};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use pregelix_common::error::{PregelixError, Result};
 use pregelix_common::fault::{self, Fault, Site};
 use pregelix_common::frame::{tuple_vid, Frame};
@@ -34,108 +45,107 @@ use pregelix_common::stats::ClusterCounters;
 use pregelix_storage::file::FileManager;
 use pregelix_storage::runfile::{RunHandle, RunWriter};
 use pregelix_storage::sort::{CombineFn, SortedStream};
+use std::sync::{Arc, Mutex};
 
-/// Default bounded-channel capacity, in frames. Small enough to exert
-/// back-pressure, large enough to decouple sender/receiver scheduling.
+/// Default bounded-channel capacity in frames, which is also the reliable
+/// sender's in-flight window. Small enough to exert back-pressure, large
+/// enough to decouple sender/receiver scheduling.
 pub const CHANNEL_FRAMES: usize = 64;
 
-/// Build the m×n channel matrix for a partitioning connector.
+/// Build the m×n reliable-stream matrix for a partitioning connector.
 ///
 /// Returns `(senders, receivers)` where `senders[s]` holds sender `s`'s n
 /// per-receiver endpoints and `receivers[r]` holds receiver `r`'s m
 /// per-sender endpoints.
-pub fn partition_channels(
-    m: usize,
-    n: usize,
-) -> (Vec<Vec<Sender<Frame>>>, Vec<Vec<Receiver<Frame>>>) {
+pub fn partition_channels(m: usize, n: usize) -> (Vec<Vec<StreamTx>>, Vec<Vec<StreamRx>>) {
     partition_channels_cap(m, n, Some(CHANNEL_FRAMES))
 }
 
 /// [`partition_channels`] with an explicit capacity; `None` = unbounded
-/// (required by the cluster's sequential-timed mode, where a bounded
-/// channel's backpressure would block with no concurrent consumer).
+/// open-loop streams (required by the cluster's sequential-timed mode, where
+/// a bounded channel's backpressure — or an ack wait — would block with no
+/// concurrent consumer). The capacity is forwarded verbatim to
+/// [`reliable_channels`], which derives both the data-channel bound and the
+/// ack protocol mode from it, so the two can never disagree with
+/// `ClusterConfig::channel_capacity`.
 pub fn partition_channels_cap(
     m: usize,
     n: usize,
     cap: Option<usize>,
-) -> (Vec<Vec<Sender<Frame>>>, Vec<Vec<Receiver<Frame>>>) {
-    let mut senders: Vec<Vec<Sender<Frame>>> = (0..m).map(|_| Vec::with_capacity(n)).collect();
-    let mut receivers: Vec<Vec<Receiver<Frame>>> = (0..n).map(|_| Vec::with_capacity(m)).collect();
-    for r in 0..n {
-        for sender_list in senders.iter_mut().take(m) {
-            let (tx, rx) = match cap {
-                Some(c) => bounded(c),
-                None => crossbeam::channel::unbounded(),
-            };
-            sender_list.push(tx);
-            receivers[r].push(rx);
-        }
-    }
-    (senders, receivers)
+) -> (Vec<Vec<StreamTx>>, Vec<Vec<StreamRx>>) {
+    reliable_channels(m, n, cap)
 }
 
-/// Build the m-to-1 channel set for an aggregator connector. Returns the m
+/// Build the m-to-1 stream set for an aggregator connector. Returns the m
 /// sender endpoints and the single receiver's endpoints.
-pub fn aggregator_channels(m: usize) -> (Vec<Sender<Frame>>, Vec<Receiver<Frame>>) {
-    let (mut senders, mut receivers) = partition_channels(m, 1);
+pub fn aggregator_channels(m: usize) -> (Vec<StreamTx>, Vec<StreamRx>) {
+    aggregator_channels_cap(m, Some(CHANNEL_FRAMES))
+}
+
+/// [`aggregator_channels`] with an explicit capacity (see
+/// [`partition_channels_cap`]).
+pub fn aggregator_channels_cap(m: usize, cap: Option<usize>) -> (Vec<StreamTx>, Vec<StreamRx>) {
+    let (mut senders, mut receivers) = partition_channels_cap(m, 1, cap);
     (
         senders.drain(..).map(|mut v| v.remove(0)).collect(),
         receivers.remove(0),
     )
 }
 
-/// Sender side of the fully pipelined m-to-n partitioning connector.
+/// Sender side of the fully pipelined m-to-n partitioning connector:
+/// hash-routes tuples into per-receiver staging frames and ships full frames
+/// through a [`ReliableSender`].
 pub struct PartitioningSender {
-    outs: Vec<Sender<Frame>>,
+    tx: ReliableSender,
     staging: Vec<Frame>,
-    my_worker: usize,
-    receiver_workers: Vec<usize>,
-    counters: ClusterCounters,
-    /// Stream label ([`Site::FrameSend`] fault-injection context): `"msg"`,
-    /// `"mut"`, `"gs"`, or `""` for unlabeled streams.
-    label: &'static str,
+    frame_bytes: usize,
 }
 
 impl PartitioningSender {
-    /// Wrap one sender's channel endpoints. `receiver_workers[r]` is the
+    /// Wrap one sender's stream endpoints. `receiver_workers[r]` is the
     /// machine hosting receiver partition `r` (for network accounting).
     pub fn new(
-        outs: Vec<Sender<Frame>>,
+        outs: Vec<StreamTx>,
         frame_bytes: usize,
         my_worker: usize,
         receiver_workers: Vec<usize>,
         counters: ClusterCounters,
     ) -> PartitioningSender {
-        debug_assert_eq!(outs.len(), receiver_workers.len());
         let staging = outs
             .iter()
             .map(|_| Frame::with_capacity(frame_bytes))
             .collect();
-        PartitioningSender {
+        let tx = ReliableSender::new(
             outs,
-            staging,
+            "",
+            my_worker as u32,
             my_worker,
             receiver_workers,
             counters,
-            label: "",
+        );
+        PartitioningSender {
+            tx,
+            staging,
+            frame_bytes,
         }
     }
 
-    /// Tag the stream for fault-injection targeting (`Site::FrameSend`
-    /// events carry this label as their context).
+    /// Tag the stream for fault-injection targeting (`Site::FrameSend` /
+    /// `Site::FrameResend` / `Site::AckSend` events carry this label as
+    /// their context, and every envelope is stamped with it).
     pub fn with_label(mut self, label: &'static str) -> PartitioningSender {
-        self.label = label;
+        self.tx.set_label(label);
         self
     }
 
     /// Number of receiver partitions.
     pub fn fanout(&self) -> usize {
-        self.outs.len()
+        self.tx.fanout()
     }
 
     /// Route a vid-keyed tuple by hash partitioning.
     pub fn send(&mut self, tuple: &[u8]) -> Result<()> {
-        let part = hash_partition(tuple_vid(tuple)?, self.outs.len());
+        let part = hash_partition(tuple_vid(tuple)?, self.staging.len());
         self.send_to(part, tuple)
     }
 
@@ -153,98 +163,51 @@ impl PartitioningSender {
         if self.staging[part].is_empty() {
             return Ok(());
         }
-        let replacement = Frame::with_capacity(frame_capacity(&self.staging[part]));
+        let replacement = Frame::with_capacity(self.frame_bytes);
         let frame = std::mem::replace(&mut self.staging[part], replacement);
-        let mut duplicate = false;
-        if let Some(f) = fault::hit(Site::FrameSend, self.label) {
-            self.counters.add_faults_injected(1);
-            match f {
-                // The frame vanishes in flight; any resulting report
-                // shortfall must be *detected* downstream, never silent.
-                Fault::DropFrame => return Ok(()),
-                Fault::DuplicateFrame => duplicate = true,
-                _ => return Err(fault::injected_error(Site::FrameSend, self.label)),
-            }
-        }
-        if self.receiver_workers[part] != self.my_worker {
-            self.counters.add_network_bytes(frame.footprint() as u64);
-            self.counters.add_network_frames(1);
-        }
-        if duplicate {
-            self.outs[part]
-                .send(frame.clone())
-                .map_err(|_| PregelixError::internal("receiver hung up mid-stream"))?;
-        }
-        self.outs[part]
-            .send(frame)
-            .map_err(|_| PregelixError::internal("receiver hung up mid-stream"))?;
-        Ok(())
+        // Fault injection, network accounting and delivery guarantees all
+        // live in the transport now.
+        self.tx.send(part, frame)
     }
 
-    /// Flush residual frames and close all channels (receivers then see
-    /// end-of-stream).
+    /// Flush residual frames and close all streams (receivers then see
+    /// end-of-stream). In windowed mode this blocks until every receiver
+    /// confirms complete delivery.
     pub fn finish(mut self) -> Result<()> {
-        for part in 0..self.outs.len() {
+        for part in 0..self.staging.len() {
             self.flush(part)?;
         }
-        Ok(())
+        self.tx.finish()
     }
-}
-
-fn frame_capacity(f: &Frame) -> usize {
-    // Frames created via with_capacity keep it; a fresh staging frame should
-    // match. `Frame` doesn't expose capacity, so reuse the default when in
-    // doubt — staging frames are always built via with_capacity upstream.
-    let _ = f;
-    pregelix_common::frame::DEFAULT_FRAME_BYTES
 }
 
 /// Receiver side of the fully pipelined partitioning connector: drains m
-/// sender channels in arrival order.
+/// reliable sender streams in arrival order (each stream internally
+/// re-ordered to seq order and deduplicated by the transport).
 pub struct PartitionReceiver {
-    ins: Vec<Receiver<Frame>>,
-    open: Vec<bool>,
-    pending: Frame,
+    rx: ReliableReceiver,
+    pending: Arc<Frame>,
     pending_idx: usize,
 }
 
 impl PartitionReceiver {
-    /// Wrap one receiver's channel endpoints.
-    pub fn new(ins: Vec<Receiver<Frame>>) -> PartitionReceiver {
-        let open = vec![true; ins.len()];
+    /// Wrap one receiver's stream endpoints.
+    pub fn new(ins: Vec<StreamRx>, counters: ClusterCounters) -> PartitionReceiver {
         PartitionReceiver {
-            ins,
-            open,
-            pending: Frame::default(),
+            rx: ReliableReceiver::new(ins, counters),
+            pending: Arc::new(Frame::default()),
             pending_idx: 0,
         }
     }
 
     /// Next frame from any sender, or `None` once every sender finished.
-    pub fn next_frame(&mut self) -> Result<Option<Frame>> {
-        loop {
-            let live: Vec<usize> = (0..self.ins.len()).filter(|&i| self.open[i]).collect();
-            if live.is_empty() {
-                return Ok(None);
-            }
-            let mut sel = Select::new();
-            for &i in &live {
-                sel.recv(&self.ins[i]);
-            }
-            let op = sel.select();
-            let chosen = live[op.index()];
-            match op.recv(&self.ins[chosen]) {
-                Ok(frame) => return Ok(Some(frame)),
-                Err(_) => {
-                    self.open[chosen] = false; // sender finished
-                }
-            }
-        }
+    pub fn next_frame(&mut self) -> Result<Option<Arc<Frame>>> {
+        self.rx.next_frame()
     }
 
     /// Next tuple across all senders (frame boundaries hidden). The slice
     /// borrows the receiver's pending frame — valid until the next call —
-    /// so draining a channel costs zero per-tuple allocations.
+    /// so draining a stream costs zero per-tuple allocations.
     pub fn next_tuple(&mut self) -> Result<Option<&[u8]>> {
         loop {
             if self.pending_idx < self.pending.len() {
@@ -252,7 +215,7 @@ impl PartitionReceiver {
                 self.pending_idx += 1;
                 return Ok(Some(self.pending.tuple(i)));
             }
-            match self.next_frame()? {
+            match self.rx.next_frame()? {
                 Some(f) => {
                     self.pending = f;
                     self.pending_idx = 0;
@@ -270,24 +233,52 @@ pub type AggregatorReceiver = PartitionReceiver;
 // m-to-n partitioning merging connector
 // ---------------------------------------------------------------------
 
-/// Build the m×n run-handle channel matrix for a merging connector. Each
-/// `(sender, receiver)` pair carries exactly one sealed run handle.
-pub fn merging_channels(
-    m: usize,
-    n: usize,
-) -> (
-    Vec<Vec<Sender<RunHandle>>>,
-    Vec<Vec<Receiver<RunHandle>>>,
-) {
-    let mut senders: Vec<Vec<Sender<RunHandle>>> =
-        (0..m).map(|_| Vec::with_capacity(n)).collect();
-    let mut receivers: Vec<Vec<Receiver<RunHandle>>> =
-        (0..n).map(|_| Vec::with_capacity(m)).collect();
+/// A message on a merge-handle stream. Each `(sender, receiver)` pair
+/// carries exactly one [`MergeMsg::Handle`]; [`MergeMsg::Duplicate`] is the
+/// wire echo a duplication fault produces (run files are single-owner, so a
+/// "duplicated transfer" is an echo of the handle, not a second handle —
+/// the receiver discards it by the one-handle-per-stream invariant, the
+/// handle-granularity analogue of seq-number dedup).
+pub enum MergeMsg {
+    /// The sealed run for this pair.
+    Handle(RunHandle),
+    /// A wire-duplicated echo of the handle.
+    Duplicate,
+}
+
+/// Control plane of one merge-handle stream: a wire-lost handle is parked
+/// here by the sender and recovered by the receiver at disconnect, exactly
+/// like the frame transport's [`crate::transport::StreamCtrl`].
+type MergeCtrl = Arc<Mutex<Option<RunHandle>>>;
+
+/// Sender endpoint of one merge-handle stream.
+pub struct MergeTx {
+    tx: Sender<MergeMsg>,
+    ctrl: MergeCtrl,
+}
+
+/// Receiver endpoint of one merge-handle stream.
+pub struct MergeRx {
+    rx: Receiver<MergeMsg>,
+    ctrl: MergeCtrl,
+}
+
+/// Build the m×n run-handle stream matrix for a merging connector. Each
+/// `(sender, receiver)` pair carries exactly one sealed run handle; the
+/// channel holds two slots so a duplication fault can never block the
+/// sender against a receiver that consumes only once.
+pub fn merging_channels(m: usize, n: usize) -> (Vec<Vec<MergeTx>>, Vec<Vec<MergeRx>>) {
+    let mut senders: Vec<Vec<MergeTx>> = (0..m).map(|_| Vec::with_capacity(n)).collect();
+    let mut receivers: Vec<Vec<MergeRx>> = (0..n).map(|_| Vec::with_capacity(m)).collect();
     for r in 0..n {
         for sender_list in senders.iter_mut().take(m) {
-            let (tx, rx) = bounded(1);
-            sender_list.push(tx);
-            receivers[r].push(rx);
+            let (tx, rx) = bounded(2);
+            let ctrl: MergeCtrl = Arc::new(Mutex::new(None));
+            sender_list.push(MergeTx {
+                tx,
+                ctrl: ctrl.clone(),
+            });
+            receivers[r].push(MergeRx { rx, ctrl });
         }
     }
     (senders, receivers)
@@ -299,7 +290,7 @@ pub fn merging_channels(
 /// `finish` seals the runs and hands them to the receivers.
 pub struct MaterializedPartitioner {
     writers: Vec<RunWriter>,
-    handle_txs: Vec<Sender<RunHandle>>,
+    handle_txs: Vec<MergeTx>,
     my_worker: usize,
     receiver_workers: Vec<usize>,
     counters: ClusterCounters,
@@ -311,7 +302,7 @@ impl MaterializedPartitioner {
     /// Create the per-receiver run writers in this worker's local disk.
     pub fn new(
         fm: &FileManager,
-        handle_txs: Vec<Sender<RunHandle>>,
+        handle_txs: Vec<MergeTx>,
         my_worker: usize,
         receiver_workers: Vec<usize>,
     ) -> Result<MaterializedPartitioner> {
@@ -352,7 +343,11 @@ impl MaterializedPartitioner {
         self.writers[part].write_tuple(tuple)
     }
 
-    /// Seal every run and ship the handles ("the data transfer").
+    /// Seal every run and ship the handles ("the data transfer"). A handle
+    /// the wire loses (drop or corruption) is parked on the pair's control
+    /// plane; the receiver recovers it at disconnect and counts a
+    /// retransmission, so the transfer is never silently lost *and* never
+    /// forces a restart.
     pub fn finish(self) -> Result<()> {
         for (r, (writer, tx)) in self
             .writers
@@ -361,13 +356,18 @@ impl MaterializedPartitioner {
             .enumerate()
         {
             let handle = writer.finish()?;
+            let mut duplicate = false;
             if let Some(f) = fault::hit(Site::FrameSend, "merge") {
                 self.counters.add_faults_injected(1);
                 match f {
-                    // The handle is never delivered: the receiver's
-                    // wait-for-all merge surfaces this as a hard error, so a
-                    // lost transfer can never silently drop messages.
-                    Fault::DropFrame => continue,
+                    // A run handle has no payload bytes on this wire, so a
+                    // corrupted transfer loses it just like a dropped one:
+                    // park the pristine handle for control-plane recovery.
+                    Fault::DropFrame | Fault::CorruptFrame => {
+                        *lock_merge(&tx.ctrl) = Some(handle);
+                        continue;
+                    }
+                    Fault::DuplicateFrame => duplicate = true,
                     _ => return Err(fault::injected_error(Site::FrameSend, "merge")),
                 }
             }
@@ -375,37 +375,76 @@ impl MaterializedPartitioner {
                 self.counters.add_network_bytes(handle.bytes());
                 self.counters.add_network_frames(handle.frames());
             }
-            tx.send(handle)
+            tx.tx
+                .send(MergeMsg::Handle(handle))
                 .map_err(|_| PregelixError::internal("merge receiver hung up"))?;
+            if duplicate {
+                tx.tx
+                    .send(MergeMsg::Duplicate)
+                    .map_err(|_| PregelixError::internal("merge receiver hung up"))?;
+            }
+            // `tx` drops here: the receiver's duplicate drain sees a prompt
+            // disconnect for this pair.
         }
         Ok(())
     }
+}
+
+fn lock_merge(ctrl: &Mutex<Option<RunHandle>>) -> std::sync::MutexGuard<'_, Option<RunHandle>> {
+    ctrl.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 /// Receiver side of the merging connector: waits for all m sender runs,
 /// then k-way merges them into a vid-ordered stream. The wait-for-all
 /// coordination is inherent to receiver-side merging.
 pub struct MergingReceiver {
-    ins: Vec<Receiver<RunHandle>>,
+    ins: Vec<MergeRx>,
     counters: ClusterCounters,
 }
 
 impl MergingReceiver {
-    /// Wrap one receiver's handle channels.
-    pub fn new(ins: Vec<Receiver<RunHandle>>, counters: ClusterCounters) -> MergingReceiver {
+    /// Wrap one receiver's handle streams.
+    pub fn new(ins: Vec<MergeRx>, counters: ClusterCounters) -> MergingReceiver {
         MergingReceiver { ins, counters }
     }
 
     /// Block until every sender delivers its run, then merge. An optional
     /// combiner collapses equal-vid tuples during the merge (the
-    /// preclustered group-by of the lower Figure 7 strategies). Senders that
-    /// disconnect without delivering (task failure) surface as an error.
+    /// preclustered group-by of the lower Figure 7 strategies).
+    ///
+    /// A handle the wire lost is recovered from the pair's control plane
+    /// (counted as a retransmission); a wire-duplicated echo is discarded
+    /// (counted as a dedup). Only a sender that disconnects *without*
+    /// delivering by either path — a genuine task failure — surfaces as an
+    /// error.
     pub fn into_stream(self, combiner: Option<CombineFn>) -> Result<SortedStream> {
         let mut runs = Vec::with_capacity(self.ins.len());
-        for rx in &self.ins {
-            let handle = rx
-                .recv()
-                .map_err(|_| PregelixError::internal("merge sender died before delivering"))?;
+        for pair in &self.ins {
+            let handle = match pair.rx.recv() {
+                Ok(MergeMsg::Handle(h)) => h,
+                Ok(MergeMsg::Duplicate) => {
+                    return Err(PregelixError::internal(
+                        "merge stream delivered an echo before its handle",
+                    ))
+                }
+                Err(_) => match lock_merge(&pair.ctrl).take() {
+                    Some(h) => {
+                        self.counters.add_frames_retransmitted(1);
+                        h
+                    }
+                    None => {
+                        return Err(PregelixError::internal(
+                            "merge sender died before delivering",
+                        ))
+                    }
+                },
+            };
+            // Drain to disconnect: the sender drops this pair's endpoint
+            // right after shipping, so this never blocks on unrelated work
+            // and duplicate echoes are counted deterministically.
+            while pair.rx.recv().is_ok() {
+                self.counters.add_frames_deduped(1);
+            }
             runs.push(handle);
         }
         SortedStream::from_parts(Vec::new(), runs, combiner, self.counters)
@@ -416,12 +455,45 @@ impl MergingReceiver {
 mod tests {
     use super::*;
     use crate::cluster::{Cluster, ClusterConfig, Task};
+    use pregelix_common::fault::FaultPlan;
     use pregelix_common::frame::keyed_tuple;
     use std::collections::HashMap;
     use std::sync::Mutex;
 
     fn cluster(n: usize) -> Cluster {
         Cluster::new(ClusterConfig::new(n, 1 << 20)).unwrap()
+    }
+
+    /// Regression: the connector's channel capacity, the sender's in-flight
+    /// window, and the ack-protocol mode must all derive from the one value
+    /// `ClusterConfig::channel_capacity` reports — a mismatch (bounded data
+    /// channel with an open-loop receiver, or vice versa) deadlocks the
+    /// backpressure path in sequential-timed mode.
+    #[test]
+    fn channel_capacity_agrees_with_cluster_config() {
+        let c = cluster(2);
+        let cap = c.channel_capacity();
+        assert_eq!(cap, Some(CHANNEL_FRAMES));
+        let (txs, rxs) = partition_channels_cap(2, 2, cap);
+        for tx in txs.iter().flatten() {
+            assert_eq!(tx.window(), Some(CHANNEL_FRAMES));
+        }
+        for rx in rxs.iter().flatten() {
+            assert!(!rx.open_loop());
+        }
+        // Sequential-timed mode: unbounded open-loop streams end to end —
+        // an ack wait or a full data channel would block with no concurrent
+        // consumer to unblock it.
+        let c = Cluster::new(ClusterConfig::new(2, 1 << 20).sequential_timed()).unwrap();
+        let cap = c.channel_capacity();
+        assert_eq!(cap, None);
+        let (txs, rxs) = partition_channels_cap(2, 2, cap);
+        for tx in txs.iter().flatten() {
+            assert_eq!(tx.window(), None);
+        }
+        for rx in rxs.iter().flatten() {
+            assert!(rx.open_loop());
+        }
     }
 
     #[test]
@@ -454,8 +526,8 @@ mod tests {
         for r in 0..n {
             let ins = std::mem::take(&mut recvs[r]);
             let received = received.clone();
-            tasks.push(Task::new(format!("recv{r}"), r, move |_| {
-                let mut rx = PartitionReceiver::new(ins);
+            tasks.push(Task::new(format!("recv{r}"), r, move |w| {
+                let mut rx = PartitionReceiver::new(ins, w.counters().clone());
                 let mut got = Vec::new();
                 while let Some(t) = rx.next_tuple()? {
                     got.push(tuple_vid(t)?);
@@ -476,6 +548,10 @@ mod tests {
         all.sort_unstable();
         assert_eq!(all, (0..3000u64).collect::<Vec<_>>());
         assert!(c.counters().network_bytes() > 0, "cross-worker traffic counted");
+        // A clean wire moves no reliability counters.
+        assert_eq!(c.counters().frames_retransmitted(), 0);
+        assert_eq!(c.counters().frames_deduped(), 0);
+        assert_eq!(c.counters().frames_corrupted(), 0);
     }
 
     #[test]
@@ -498,8 +574,8 @@ mod tests {
                 }
                 tx.finish()
             }),
-            Task::new("recv", 0, move |_| {
-                let mut rx = PartitionReceiver::new(ins);
+            Task::new("recv", 0, move |w| {
+                let mut rx = PartitionReceiver::new(ins, w.counters().clone());
                 let mut n = 0;
                 while rx.next_tuple()?.is_some() {
                     n += 1;
@@ -602,6 +678,81 @@ mod tests {
     }
 
     #[test]
+    fn dropped_merge_handle_recovered_from_control_plane() {
+        let _guard = fault::exclusive();
+        let plan = _guard.install(FaultPlan::new().on(
+            Site::FrameSend,
+            "merge",
+            1,
+            Fault::DropFrame,
+        ));
+        let c = cluster(1);
+        let (mut sends, mut recvs) = merging_channels(1, 1);
+        let txs = std::mem::take(&mut sends[0]);
+        let ins = std::mem::take(&mut recvs[0]);
+        c.execute(vec![
+            Task::new("send", 0, move |w| {
+                let mut tx =
+                    MaterializedPartitioner::new(w.file_manager(), txs, w.id(), vec![0])?;
+                for vid in 0..50u64 {
+                    tx.send(&keyed_tuple(vid, b"x"))?;
+                }
+                tx.finish()
+            }),
+            Task::new("recv", 0, move |w| {
+                let rx = MergingReceiver::new(ins, w.counters().clone());
+                let mut stream = rx.into_stream(None)?;
+                let mut count = 0;
+                while stream.next_tuple()?.is_some() {
+                    count += 1;
+                }
+                assert_eq!(count, 50, "lost transfer recovered losslessly");
+                Ok(())
+            }),
+        ])
+        .unwrap();
+        assert_eq!(plan.injected(), 1);
+        assert_eq!(c.counters().frames_retransmitted(), 1);
+    }
+
+    #[test]
+    fn duplicated_merge_handle_discarded() {
+        let _guard = fault::exclusive();
+        _guard.install(FaultPlan::new().on(
+            Site::FrameSend,
+            "merge",
+            1,
+            Fault::DuplicateFrame,
+        ));
+        let c = cluster(1);
+        let (mut sends, mut recvs) = merging_channels(1, 1);
+        let txs = std::mem::take(&mut sends[0]);
+        let ins = std::mem::take(&mut recvs[0]);
+        c.execute(vec![
+            Task::new("send", 0, move |w| {
+                let mut tx =
+                    MaterializedPartitioner::new(w.file_manager(), txs, w.id(), vec![0])?;
+                for vid in 0..50u64 {
+                    tx.send(&keyed_tuple(vid, b"x"))?;
+                }
+                tx.finish()
+            }),
+            Task::new("recv", 0, move |w| {
+                let rx = MergingReceiver::new(ins, w.counters().clone());
+                let mut stream = rx.into_stream(None)?;
+                let mut count = 0;
+                while stream.next_tuple()?.is_some() {
+                    count += 1;
+                }
+                assert_eq!(count, 50, "echo must not double the stream");
+                Ok(())
+            }),
+        ])
+        .unwrap();
+        assert_eq!(c.counters().frames_deduped(), 1);
+    }
+
+    #[test]
     fn aggregator_reduces_to_single_partition() {
         let c = cluster(3);
         let (sends, recv) = aggregator_channels(3);
@@ -619,8 +770,8 @@ mod tests {
                 tx.finish()
             }));
         }
-        tasks.push(Task::new("agg", 0, move |_| {
-            let mut rx = AggregatorReceiver::new(recv);
+        tasks.push(Task::new("agg", 0, move |w| {
+            let mut rx = AggregatorReceiver::new(recv, w.counters().clone());
             let mut sum = 0u64;
             let mut n = 0;
             while let Some(t) = rx.next_tuple()? {
@@ -637,7 +788,8 @@ mod tests {
     #[test]
     fn backpressure_does_not_deadlock_pipelined_connector() {
         // One slow receiver, channel capacity CHANNEL_FRAMES: sender must
-        // block and resume rather than deadlock or drop.
+        // block and resume rather than deadlock or drop — now with the ack
+        // window layered on top of the data channel's backpressure.
         let c = cluster(2);
         let (mut sends, mut recvs) = partition_channels(1, 1);
         let outs = std::mem::take(&mut sends[0]);
@@ -656,8 +808,8 @@ mod tests {
                 }
                 tx.finish()
             }),
-            Task::new("recv", 1, move |_| {
-                let mut rx = PartitionReceiver::new(ins);
+            Task::new("recv", 1, move |w| {
+                let mut rx = PartitionReceiver::new(ins, w.counters().clone());
                 let mut n = 0u64;
                 while rx.next_tuple()?.is_some() {
                     n += 1;

@@ -13,8 +13,13 @@
 //!   workers (absolute/sticky constraints, count constraints), used to keep
 //!   `Vertex`, `Msg` and `Vid` partitions co-located across supersteps
 //!   (§5.3.4).
+//! * [`transport`] — the reliable stream transport every frame connector
+//!   rides on: sequenced CRC-checked envelopes, cumulative acks with
+//!   single-gap nacks, receiver-side dedup, and bounded retransmission, so
+//!   wire-level drop/duplicate/corrupt faults are absorbed in place instead
+//!   of restarting the job.
 //! * [`connector`] — the three data-exchange patterns: the m-to-n
-//!   partitioning connector (fully pipelined, channel-based), the m-to-n
+//!   partitioning connector (fully pipelined, stream-based), the m-to-n
 //!   partitioning **merging** connector (sender-side materializing pipelined
 //!   policy: senders write sorted per-receiver runs, receivers k-way merge
 //!   them), and the aggregator connector (all-to-one).
@@ -26,11 +31,13 @@ pub mod cluster;
 pub mod connector;
 pub mod groupby;
 pub mod scheduler;
+pub mod transport;
 
-pub use cluster::{Cluster, ClusterConfig, WorkerHandle};
+pub use cluster::{Cluster, ClusterConfig, FailureDetector, WorkerHandle, WorkerHealth};
 pub use connector::{
     partition_channels, AggregatorReceiver, MaterializedPartitioner, MergingReceiver,
     PartitionReceiver, PartitioningSender,
 };
 pub use groupby::{GroupByStrategy, HashSortGroupBy, PreclusteredGroupBy, SortGroupBy};
 pub use scheduler::{LocationConstraint, Schedule};
+pub use transport::{ReliableReceiver, ReliableSender, StreamRx, StreamTx, TransportConfig};

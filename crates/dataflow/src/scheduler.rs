@@ -131,6 +131,46 @@ pub fn sticky_assignment(partitions: usize, alive_workers: &[usize]) -> Vec<usiz
         .collect()
 }
 
+/// Re-plan a sticky assignment after workers died (§5.5): surviving pins
+/// are *kept* (their partitions' storage is already there — moving them
+/// would throw away locality for no reason), and only the dead workers'
+/// partitions are redistributed, each to the currently least-loaded
+/// survivor (lowest worker id on ties, so the re-plan is deterministic).
+///
+/// Degrades gracefully: healthy placements never move, so a single death
+/// perturbs exactly the partitions that must move and no others — unlike
+/// [`sticky_assignment`] over the shrunken alive set, which can reshuffle
+/// every partition.
+pub fn replan_sticky(prev: &[usize], alive_workers: &[usize]) -> Result<Vec<usize>> {
+    if alive_workers.is_empty() {
+        return Err(PregelixError::plan("no surviving workers to re-plan onto"));
+    }
+    let mut load: Vec<(usize, usize)> = alive_workers.iter().map(|&w| (w, 0)).collect();
+    for &w in prev {
+        if let Some(entry) = load.iter_mut().find(|(id, _)| *id == w) {
+            entry.1 += 1;
+        }
+    }
+    let mut out = Vec::with_capacity(prev.len());
+    for &w in prev {
+        if alive_workers.contains(&w) {
+            out.push(w);
+            continue;
+        }
+        // Orphaned partition: give it to the least-loaded survivor.
+        let (target, _) = *load
+            .iter()
+            .min_by_key(|&&(id, n)| (n, id))
+            .expect("alive_workers nonempty");
+        load.iter_mut()
+            .find(|(id, _)| *id == target)
+            .expect("target from load")
+            .1 += 1;
+        out.push(target);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +229,42 @@ mod tests {
         assert_eq!(sticky_assignment(5, &[0, 1, 2]), vec![0, 1, 2, 0, 1]);
         // After worker 1 fails, recovery remaps onto the survivors.
         assert_eq!(sticky_assignment(5, &[0, 2]), vec![0, 2, 0, 2, 0]);
+    }
+
+    #[test]
+    fn replan_keeps_survivor_pins_and_rebalances_orphans() {
+        // Partitions 0..5 on workers [0,1,2,0,1]; worker 1 dies.
+        let prev = sticky_assignment(5, &[0, 1, 2]);
+        let replanned = replan_sticky(&prev, &[0, 2]).unwrap();
+        // Surviving pins (p0->0, p2->2, p3->0) are untouched.
+        assert_eq!(replanned[0], 0);
+        assert_eq!(replanned[2], 2);
+        assert_eq!(replanned[3], 0);
+        // Orphans p1, p4 land on survivors, balancing load: after p0/p3 on
+        // worker 0 and p2 on worker 2, p1 goes to the lighter worker 2
+        // (load 1 vs 2), then p4 to worker 0 and 2 tied -> lowest id 0...
+        // which has load 2 vs worker 2's 2, tie broken by id.
+        assert_eq!(replanned[1], 2);
+        assert_eq!(replanned[4], 0);
+        for &w in &replanned {
+            assert!([0, 2].contains(&w));
+        }
+    }
+
+    #[test]
+    fn replan_without_deaths_is_identity() {
+        let prev = sticky_assignment(7, &[0, 1, 2, 3]);
+        assert_eq!(replan_sticky(&prev, &[0, 1, 2, 3]).unwrap(), prev);
+    }
+
+    #[test]
+    fn replan_onto_empty_survivor_set_is_an_error() {
+        assert!(replan_sticky(&[0, 1], &[]).is_err());
+    }
+
+    #[test]
+    fn replan_single_survivor_takes_everything() {
+        let prev = vec![0, 1, 2, 1, 0];
+        assert_eq!(replan_sticky(&prev, &[2]).unwrap(), vec![2, 2, 2, 2, 2]);
     }
 }

@@ -160,6 +160,10 @@ fn worker_failure_at_every_superstep_recovers_to_identical_values() {
         assert_eq!(summary.retries, 0, "worker loss is not an in-place retry");
         assert_eq!(plan.injected(), 1, "superstep {ss}");
         assert_eq!(cluster.alive_workers(), vec![0, 1, 3]);
+        assert_eq!(
+            summary.stats.workers_declared_dead, 1,
+            "the failure detector formally declared worker 2 dead"
+        );
         assert_eq!(cc_values(&graph), expected, "values after failure at superstep {ss}");
         chaos_digest(&format!("sweep-ss{ss}"), &summary, plan.injected(), &expected);
         guard.clear();
@@ -205,7 +209,7 @@ fn failure_without_checkpoints_surfaces_the_error() {
     let program = Arc::new(ConnectedComponents);
     let err = run_job_from_records(&cluster, &program, &job, records).unwrap_err();
     assert!(
-        matches!(err, PregelixError::WorkerFailure(1)),
+        matches!(err, PregelixError::WorkerDead { id: 1 }),
         "the original failure surfaces: {err}"
     );
     assert!(err.is_recoverable());
@@ -334,47 +338,60 @@ fn msg_run_write_failure_recovers_without_losing_a_worker() {
     chaos_digest("msg-run-write", &summary, plan.injected(), &expected);
 }
 
-/// A dropped global-state frame must be *detected* — the superstep errors
-/// on the partition-report shortfall instead of silently computing a wrong
-/// global halt decision.
+/// A dropped global-state frame is *absorbed by the transport*: the
+/// receiver's gap nack triggers exactly one retransmission, the job
+/// completes with zero recoveries, and the global halt decision is
+/// computed from complete reports — bit-identical to the no-fault run.
 #[test]
-fn dropped_gs_frame_is_detected_not_silent() {
+fn dropped_gs_frame_is_retransmitted_not_fatal() {
     let guard = fault::exclusive();
     let records = two_chains();
     let job = PregelixJob::new("ft-gs");
-    guard.install(FaultPlan::new().on(Site::FrameSend, "gs", 1, Fault::DropFrame));
+    let (reference, expected) = no_fault_reference(4, &job, &records);
+
+    let plan = guard.install(FaultPlan::new().on(Site::FrameSend, "gs", 1, Fault::DropFrame));
     let cluster = Cluster::new(ClusterConfig::new(4, 8 << 20)).unwrap();
     let program = Arc::new(ConnectedComponents);
-    let err = run_job_from_records(&cluster, &program, &job, records).unwrap_err();
+    let (summary, graph) =
+        run_job_from_records(&cluster, &program, &job, records.clone()).unwrap();
+    assert_eq!(summary.recoveries, 0, "wire loss never consumes a recovery");
+    assert_eq!(plan.injected(), 1);
     assert!(
-        matches!(&err, PregelixError::Internal(m) if m.contains("partition reports")),
-        "lost report frame must surface as a shortfall: {err}"
+        summary.stats.frames_retransmitted >= 1,
+        "the dropped report frame was retransmitted"
     );
+    assert_eq!(summary.supersteps, reference.supersteps);
+    assert_eq!(cc_values(&graph), expected);
+    chaos_digest("drop-gs-frame", &summary, plan.injected(), &expected);
 }
 
-/// A dropped run-handle in the materialized (merging) connector must also
-/// be detected: the receiver's wait-for-all merge errors out.
+/// A dropped run-handle in the materialized (merging) connector is
+/// recovered from the connector's control plane at sender disconnect:
+/// zero recoveries, one logical retransmission, identical values.
 #[test]
-fn dropped_merge_handle_is_detected_not_silent() {
+fn dropped_merge_handle_is_recovered_in_place() {
     let guard = fault::exclusive();
     let records = two_chains();
     let job = PregelixJob::new("ft-merge").with_groupby(GroupByStrategy::SortMerged);
-    guard.install(FaultPlan::new().on(Site::FrameSend, "merge", 1, Fault::DropFrame));
+    let (_, expected) = no_fault_reference(2, &job, &records);
+
+    let plan = guard.install(FaultPlan::new().on(Site::FrameSend, "merge", 1, Fault::DropFrame));
     let cluster = Cluster::new(ClusterConfig::new(2, 8 << 20)).unwrap();
     let program = Arc::new(ConnectedComponents);
-    let err = run_job_from_records(&cluster, &program, &job, records).unwrap_err();
-    assert!(
-        err.to_string().contains("merge sender died"),
-        "lost merge handle must surface: {err}"
-    );
+    let (summary, graph) =
+        run_job_from_records(&cluster, &program, &job, records.clone()).unwrap();
+    assert_eq!(summary.recoveries, 0);
+    assert_eq!(plan.injected(), 1);
+    assert!(summary.stats.frames_retransmitted >= 1, "handle redelivered");
+    assert_eq!(cc_values(&graph), expected);
+    chaos_digest("drop-merge-handle", &summary, plan.injected(), &expected);
 }
 
-/// A duplicated message frame is harmless under an idempotent combiner
-/// (CC's min): the run completes with no recovery and identical values —
-/// the at-least-once delivery the m-to-n connector may degrade to under
-/// retry is semantically safe for combinable programs.
+/// A duplicated message frame is discarded by the receiver's sequence-number
+/// dedup — combiner or not, delivery stays exactly-once: no recovery, the
+/// dedup counter moves, values and superstep count are bit-identical.
 #[test]
-fn duplicated_msg_frame_is_idempotent_under_min_combiner() {
+fn duplicated_msg_frame_is_deduplicated_by_seq() {
     let guard = fault::exclusive();
     let records = two_chains();
     let job = PregelixJob::new("ft-dup");
@@ -388,6 +405,7 @@ fn duplicated_msg_frame_is_idempotent_under_min_combiner() {
         run_job_from_records(&cluster, &program, &job, records.clone()).unwrap();
     assert_eq!(summary.recoveries, 0);
     assert_eq!(plan.injected(), 1);
+    assert_eq!(summary.stats.frames_deduped, 1, "the echo was discarded by seq");
     assert_eq!(summary.supersteps, reference.supersteps);
     assert_eq!(cc_values(&graph), expected);
     chaos_digest("dup-msg-frame", &summary, plan.injected(), &expected);
