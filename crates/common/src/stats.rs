@@ -65,6 +65,22 @@ struct Counters {
     /// Workers declared dead by the missed-beat failure detector and
     /// blacklisted from scheduling.
     workers_declared_dead: AtomicU64,
+    /// Sorted-probe cursor lookups answered from an already-pinned leaf (or
+    /// a single sibling hop) without a root-to-leaf descent.
+    probe_leaf_hits: AtomicU64,
+    /// Sorted-probe cursor lookups that had to re-descend from the root
+    /// because the key jumped past the pinned leaf's fence.
+    probe_redescents: AtomicU64,
+    /// Buffer-cache page pins performed on behalf of probe cursors
+    /// (descents and sibling hops; answering from the pinned leaf is free).
+    probe_page_pins: AtomicU64,
+    /// LSM point probes that skipped a disk component because its bloom
+    /// filter proved the key absent.
+    bloom_negatives: AtomicU64,
+    /// LSM point probes where a bloom filter said "maybe" but the component
+    /// B-tree did not contain the key (wasted descent; measures filter
+    /// quality).
+    bloom_false_positives: AtomicU64,
     /// Vertices alive at the end of the most recent superstep.
     live_vertices: AtomicU64,
 }
@@ -108,6 +124,11 @@ counter_api! {
     add_frames_deduped / frames_deduped => frames_deduped,
     add_frames_corrupted / frames_corrupted => frames_corrupted,
     add_workers_declared_dead / workers_declared_dead => workers_declared_dead,
+    add_probe_leaf_hits / probe_leaf_hits => probe_leaf_hits,
+    add_probe_redescents / probe_redescents => probe_redescents,
+    add_probe_page_pins / probe_page_pins => probe_page_pins,
+    add_bloom_negatives / bloom_negatives => bloom_negatives,
+    add_bloom_false_positives / bloom_false_positives => bloom_false_positives,
 }
 
 impl ClusterCounters {
@@ -149,6 +170,11 @@ impl ClusterCounters {
             frames_deduped: c.frames_deduped.load(Ordering::Relaxed),
             frames_corrupted: c.frames_corrupted.load(Ordering::Relaxed),
             workers_declared_dead: c.workers_declared_dead.load(Ordering::Relaxed),
+            probe_leaf_hits: c.probe_leaf_hits.load(Ordering::Relaxed),
+            probe_redescents: c.probe_redescents.load(Ordering::Relaxed),
+            probe_page_pins: c.probe_page_pins.load(Ordering::Relaxed),
+            bloom_negatives: c.bloom_negatives.load(Ordering::Relaxed),
+            bloom_false_positives: c.bloom_false_positives.load(Ordering::Relaxed),
             live_vertices: c.live_vertices.load(Ordering::Relaxed),
         }
     }
@@ -176,6 +202,11 @@ pub struct StatsSnapshot {
     pub frames_deduped: u64,
     pub frames_corrupted: u64,
     pub workers_declared_dead: u64,
+    pub probe_leaf_hits: u64,
+    pub probe_redescents: u64,
+    pub probe_page_pins: u64,
+    pub bloom_negatives: u64,
+    pub bloom_false_positives: u64,
     pub live_vertices: u64,
 }
 
@@ -208,6 +239,12 @@ impl StatsSnapshot {
             frames_deduped: self.frames_deduped - earlier.frames_deduped,
             frames_corrupted: self.frames_corrupted - earlier.frames_corrupted,
             workers_declared_dead: self.workers_declared_dead - earlier.workers_declared_dead,
+            probe_leaf_hits: self.probe_leaf_hits - earlier.probe_leaf_hits,
+            probe_redescents: self.probe_redescents - earlier.probe_redescents,
+            probe_page_pins: self.probe_page_pins - earlier.probe_page_pins,
+            bloom_negatives: self.bloom_negatives - earlier.bloom_negatives,
+            bloom_false_positives: self.bloom_false_positives
+                - earlier.bloom_false_positives,
             live_vertices: self.live_vertices,
         }
     }
@@ -253,6 +290,26 @@ mod tests {
         assert_eq!(d.cache_misses, 2);
         assert_eq!(d.live_vertices, 9);
         assert_eq!(d.disk_bytes(), 50);
+    }
+
+    #[test]
+    fn probe_and_bloom_counters_flow_through_snapshot_and_delta() {
+        let c = ClusterCounters::new();
+        c.add_probe_redescents(1);
+        let before = c.snapshot();
+        c.add_probe_leaf_hits(7);
+        c.add_probe_redescents(2);
+        c.add_probe_page_pins(4);
+        c.add_bloom_negatives(5);
+        c.add_bloom_false_positives(1);
+        let s = c.snapshot();
+        assert_eq!(s.probe_leaf_hits, 7);
+        assert_eq!(s.probe_redescents, 3);
+        let d = s.delta_since(&before);
+        assert_eq!(d.probe_redescents, 2);
+        assert_eq!(d.probe_page_pins, 4);
+        assert_eq!(d.bloom_negatives, 5);
+        assert_eq!(d.bloom_false_positives, 1);
     }
 
     #[test]

@@ -10,6 +10,63 @@
 
 pub use pregelix_dataflow::groupby::GroupByStrategy;
 
+use pregelix_common::stats::StatsSnapshot;
+
+/// Measured probe-path costs feeding the [`JoinStrategy::Adaptive`]
+/// decision.
+///
+/// The original hard-coded threshold assumed every probe pays a full
+/// root-to-leaf descent (≈5× the cost of one sequential scan touch →
+/// probe wins under 1/5 liveness). With the sorted-probe cursors most
+/// probes are answered from an already-pinned leaf, so the real cost per
+/// probe is `1 + pins_per_probe × PIN_COST` scan-touch units, where
+/// `pins_per_probe` is measured (`probe_page_pins / probes`) on the most
+/// recent probing superstep. The break-even live fraction is the inverse
+/// of that cost, clamped to keep one noisy superstep from swinging the
+/// plan to an extreme (the left-outer side also pays the `Vid` index
+/// rebuild, which the upper clamp accounts for).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProbeCostModel {
+    /// Buffer-cache page pins per probe (descents and sibling hops;
+    /// pinned-leaf answers are free).
+    pub pins_per_probe: f64,
+}
+
+impl ProbeCostModel {
+    /// Threshold used when no probe measurements exist yet (the historic
+    /// hard-coded value: a full descent ≈ 5 scan touches).
+    pub const DEFAULT_THRESHOLD: f64 = 0.2;
+    /// Cost of one buffer-cache pin in sequential-scan-touch units
+    /// (latch + hash lookup + possible I/O vs. decoding the next row of an
+    /// already-resident page).
+    pub const PIN_COST: f64 = 4.0;
+    /// Clamp bounds for the derived threshold.
+    pub const MIN_THRESHOLD: f64 = 0.05;
+    pub const MAX_THRESHOLD: f64 = 0.5;
+
+    /// Derive a model from a superstep's counter delta; `None` when the
+    /// superstep performed no probes (nothing to measure).
+    pub fn from_counters(delta: &StatsSnapshot) -> Option<ProbeCostModel> {
+        let probes = delta.probe_leaf_hits + delta.probe_redescents;
+        if probes == 0 {
+            return None;
+        }
+        Some(ProbeCostModel {
+            pins_per_probe: delta.probe_page_pins as f64 / probes as f64,
+        })
+    }
+
+    /// The live fraction below which probing (left-outer) beats scanning
+    /// (full-outer): `1 / (1 + pins_per_probe × PIN_COST)`, clamped.
+    pub fn threshold(&self) -> f64 {
+        if !self.pins_per_probe.is_finite() || self.pins_per_probe < 0.0 {
+            return Self::DEFAULT_THRESHOLD;
+        }
+        let cost_per_probe = 1.0 + self.pins_per_probe * Self::PIN_COST;
+        (1.0 / cost_per_probe).clamp(Self::MIN_THRESHOLD, Self::MAX_THRESHOLD)
+    }
+}
+
 /// How the `Msg ⋈ Vertex` join of Figure 8 is executed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum JoinStrategy {
@@ -32,14 +89,26 @@ pub enum JoinStrategy {
 impl JoinStrategy {
     /// Resolve the strategy for the next superstep. `live_fraction` is
     /// live vertices over total vertices at the last superstep boundary
-    /// (superstep 1 is always a full scan: everything is live).
+    /// (superstep 1 is always a full scan: everything is live). Uses the
+    /// historic fixed threshold; the driver passes measured costs via
+    /// [`JoinStrategy::resolve_with`] once probe statistics exist.
     pub fn resolve(self, live_fraction: f64) -> JoinStrategy {
+        self.resolve_with(live_fraction, None)
+    }
+
+    /// Resolve with a measured [`ProbeCostModel`] when one is available;
+    /// falls back to [`ProbeCostModel::DEFAULT_THRESHOLD`] otherwise.
+    pub fn resolve_with(
+        self,
+        live_fraction: f64,
+        model: Option<ProbeCostModel>,
+    ) -> JoinStrategy {
         match self {
             JoinStrategy::Adaptive => {
-                // Probe cost ≈ live · (tree descent); scan cost ≈ all ·
-                // (sequential decode). The descent is roughly 4–6× a
-                // sequential touch, so probing wins under ~1/5 liveness.
-                if live_fraction < 0.2 {
+                let threshold = model
+                    .map(|m| m.threshold())
+                    .unwrap_or(ProbeCostModel::DEFAULT_THRESHOLD);
+                if live_fraction < threshold {
                     JoinStrategy::LeftOuter
                 } else {
                     JoinStrategy::FullOuter
@@ -268,6 +337,58 @@ mod tests {
         // Fixed strategies never change.
         assert_eq!(JoinStrategy::FullOuter.resolve(0.0), JoinStrategy::FullOuter);
         assert_eq!(JoinStrategy::LeftOuter.resolve(1.0), JoinStrategy::LeftOuter);
+    }
+
+    #[test]
+    fn cost_model_threshold_tracks_measured_pins() {
+        // A perfect cursor (≈0 pins/probe) makes probing nearly free: the
+        // threshold rises to its upper clamp.
+        let fast = ProbeCostModel { pins_per_probe: 0.0 };
+        assert_eq!(fast.threshold(), ProbeCostModel::MAX_THRESHOLD);
+        // The pre-cursor regime (a full descent per probe, height ≈ 4)
+        // lands at the lower clamp: probe only when very sparse.
+        let slow = ProbeCostModel { pins_per_probe: 5.0 };
+        assert_eq!(slow.threshold(), ProbeCostModel::MIN_THRESHOLD);
+        // Monotone in between.
+        let mid = ProbeCostModel { pins_per_probe: 0.5 };
+        assert!(mid.threshold() < fast.threshold());
+        assert!(mid.threshold() > slow.threshold());
+        assert!((mid.threshold() - 1.0 / 3.0).abs() < 1e-9);
+        // Degenerate measurements fall back to the default.
+        let bad = ProbeCostModel { pins_per_probe: f64::NAN };
+        assert_eq!(bad.threshold(), ProbeCostModel::DEFAULT_THRESHOLD);
+    }
+
+    #[test]
+    fn cost_model_from_counters() {
+        use pregelix_common::stats::StatsSnapshot;
+        let mut d = StatsSnapshot::default();
+        assert_eq!(ProbeCostModel::from_counters(&d), None, "no probes");
+        d.probe_leaf_hits = 900;
+        d.probe_redescents = 100;
+        d.probe_page_pins = 500;
+        let m = ProbeCostModel::from_counters(&d).unwrap();
+        assert!((m.pins_per_probe - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_resolution_shifts_with_measured_costs() {
+        // live fraction 0.3: historic threshold (0.2) says scan...
+        assert_eq!(
+            JoinStrategy::Adaptive.resolve_with(0.3, None),
+            JoinStrategy::FullOuter
+        );
+        // ...but a measured cheap probe path (threshold 1/3) says probe.
+        let m = ProbeCostModel { pins_per_probe: 0.5 };
+        assert_eq!(
+            JoinStrategy::Adaptive.resolve_with(0.3, Some(m)),
+            JoinStrategy::LeftOuter
+        );
+        // Fixed strategies ignore the model.
+        assert_eq!(
+            JoinStrategy::FullOuter.resolve_with(0.0, Some(m)),
+            JoinStrategy::FullOuter
+        );
     }
 
     #[test]

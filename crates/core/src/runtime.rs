@@ -26,7 +26,7 @@ use crate::api::VertexProgram;
 use crate::checkpoint;
 use crate::gs::GlobalState;
 use crate::load;
-use crate::plan::{JoinStrategy, PregelixJob};
+use crate::plan::{JoinStrategy, PregelixJob, ProbeCostModel};
 use crate::superstep::{run_superstep, PartitionState};
 use parking_lot::Mutex;
 use pregelix_common::error::{PregelixError, Result};
@@ -212,6 +212,11 @@ impl LoadedGraph {
         // a failure before the first periodic checkpoint can restart from
         // superstep 1 rather than aborting the job.
         let mut initial_ckpt_done = false;
+        // Measured probe-cost model for Adaptive join resolution (§7.5):
+        // re-derived from each superstep's counter delta whenever that
+        // superstep actually probed, and carried forward otherwise (a
+        // full-outer superstep measures nothing new).
+        let mut cost_model: Option<ProbeCostModel> = None;
         loop {
             let before = cluster.counters().snapshot();
             let attempt = (|| -> Result<(GlobalState, Duration)> {
@@ -249,6 +254,7 @@ impl LoadedGraph {
                     &self.partitions,
                     &self.sticky,
                     &gs,
+                    cost_model,
                 )?;
                 let finished_ss = gs.superstep;
                 let checkpoint_due = job
@@ -279,7 +285,11 @@ impl LoadedGraph {
                     detector.observe(cluster, &expected);
                     initial_ckpt_done = true;
                     superstep_times.push(duration);
-                    superstep_stats.push(cluster.counters().snapshot().delta_since(&before));
+                    let delta = cluster.counters().snapshot().delta_since(&before);
+                    if let Some(m) = ProbeCostModel::from_counters(&delta) {
+                        cost_model = Some(m);
+                    }
+                    superstep_stats.push(delta);
                     let finished_ss = gs.superstep;
                     gs = new_gs;
                     self.vertex_count = gs.vertex_count;

@@ -203,6 +203,7 @@ pub fn run_superstep<P: VertexProgram>(
     partitions: &[Arc<Mutex<PartitionState>>],
     sticky: &[usize],
     gs: &GlobalState,
+    cost_model: Option<crate::plan::ProbeCostModel>,
 ) -> Result<(GlobalState, std::time::Duration)> {
     let p_count = partitions.len();
     debug_assert_eq!(sticky.len(), p_count);
@@ -244,7 +245,10 @@ pub fn run_superstep<P: VertexProgram>(
     } else {
         gs.live_vertices as f64 / gs.vertex_count as f64
     };
-    let resolved_join = plan.join.resolve(live_fraction);
+    // The probe-vs-scan threshold is re-derived from the costs measured on
+    // earlier supersteps of this job when available (`cost_model`), instead
+    // of the hard-coded default (§7.5).
+    let resolved_join = plan.join.resolve_with(live_fraction, cost_model);
     let track_live = plan.join == JoinStrategy::Adaptive
         || resolved_join == JoinStrategy::LeftOuter;
     let plan = PlanConfig {
@@ -602,7 +606,16 @@ fn compute_task<P: VertexProgram>(
         }
         JoinStrategy::LeftOuter => {
             // Merge Msg with the Vid live-vertex index (choose() prefers
-            // Msg on duplicates), then probe the Vertex index.
+            // Msg on duplicates), then probe the Vertex index through a
+            // sorted-probe cursor: the merge yields strictly ascending
+            // vids, so consecutive probes land on the same leaf and skip
+            // the per-key root-to-leaf descent. The cursor holds a shared
+            // borrow of the store while compute needs a mutable one, so
+            // the loop alternates: gather a chunk of the merge, probe it,
+            // drop the cursor, then compute/update the chunk. Batching
+            // probes ahead of the updates is safe because the merged vids
+            // are distinct and ascending — compute only upserts the row
+            // it is processing, never a later one.
             let PartitionState {
                 store, vid_index, ..
             } = st;
@@ -611,48 +624,61 @@ fn compute_task<P: VertexProgram>(
             })?;
             let mut vid_scan = vid_tree.scan()?;
             let mut v_next = vid_scan.next_entry()?;
-            let mut processed = 0u64;
-            loop {
-                if processed % 1024 == 0 {
-                    w.check_alive()?;
-                }
-                processed += 1;
-                let v_vid = match &v_next {
-                    Some((vk, _)) => Some(tuple_vid(vk)?),
-                    None => None,
-                };
-                let m_vid = m_next.as_ref().map(|(mvid, _)| *mvid);
-                let (vid, mlist) = match (v_vid, m_vid) {
-                    (None, None) => break,
-                    (Some(vv), None) => {
-                        v_next = vid_scan.next_entry()?;
-                        (vv, Vec::new())
-                    }
-                    (Some(vv), Some(mv)) if vv < mv => {
-                        v_next = vid_scan.next_entry()?;
-                        (vv, Vec::new())
-                    }
-                    (vv, Some(_)) => {
-                        // choose(): on a duplicate vid, take the Msg tuple
-                        // and drop the Vid one.
-                        if vv == m_vid {
+            'outer_loj: loop {
+                w.check_alive()?;
+                let mut chunk: Vec<(Vid, Vec<P::Message>)> =
+                    Vec::with_capacity(CHUNK_MAX_ROWS.min(64));
+                while chunk.len() < CHUNK_MAX_ROWS {
+                    let v_vid = match &v_next {
+                        Some((vk, _)) => Some(tuple_vid(vk)?),
+                        None => None,
+                    };
+                    let m_vid = m_next.as_ref().map(|(mvid, _)| *mvid);
+                    let (vid, mlist) = match (v_vid, m_vid) {
+                        (None, None) => break,
+                        (Some(vv), None) => {
                             v_next = vid_scan.next_entry()?;
+                            (vv, Vec::new())
                         }
-                        let (mv, ml) = m_next.take().expect("peeked");
-                        m_next = msgs.next()?;
-                        (mv, ml)
-                    }
-                };
-                match store.search(&vid_to_key(vid))? {
-                    Some(stored) => {
-                        let vertex = VertexData::<P>::decode(vid, &stored)?;
-                        side.process(store, vertex, &mlist, false)?;
-                    }
-                    None => {
-                        if !mlist.is_empty() {
-                            side.process(store, VertexData::missing(vid), &mlist, true)?;
+                        (Some(vv), Some(mv)) if vv < mv => {
+                            v_next = vid_scan.next_entry()?;
+                            (vv, Vec::new())
                         }
-                        // A stale Vid with no row (deleted vertex): skip.
+                        (vv, Some(_)) => {
+                            // choose(): on a duplicate vid, take the Msg
+                            // tuple and drop the Vid one.
+                            if vv == m_vid {
+                                v_next = vid_scan.next_entry()?;
+                            }
+                            let (mv, ml) = m_next.take().expect("peeked");
+                            m_next = msgs.next()?;
+                            (mv, ml)
+                        }
+                    };
+                    chunk.push((vid, mlist));
+                }
+                if chunk.is_empty() {
+                    break 'outer_loj;
+                }
+                let mut probed: Vec<Option<Vec<u8>>> = Vec::with_capacity(chunk.len());
+                {
+                    let mut cursor = store.probe_cursor();
+                    for (vid, _) in &chunk {
+                        probed.push(cursor.probe(&vid_to_key(*vid))?);
+                    }
+                }
+                for ((vid, mlist), stored) in chunk.into_iter().zip(probed) {
+                    match stored {
+                        Some(stored) => {
+                            let vertex = VertexData::<P>::decode(vid, &stored)?;
+                            side.process(store, vertex, &mlist, false)?;
+                        }
+                        None => {
+                            if !mlist.is_empty() {
+                                side.process(store, VertexData::missing(vid), &mlist, true)?;
+                            }
+                            // A stale Vid with no row (deleted vertex): skip.
+                        }
                     }
                 }
             }
@@ -858,12 +884,34 @@ fn mutate_task<P: VertexProgram>(
         // "take effect in superstep S+1" rule.
         let mut st = state.lock();
         let st = &mut *st;
-        for (vid, muts) in groups {
+        // Membership checks go through sorted-probe cursors: `groups` is a
+        // BTreeMap, so its keys come out ascending and the whole pass costs
+        // ~O(leaves touched) page pins instead of a root-to-leaf descent
+        // per vid. Probing everything up front is safe because each
+        // mutation only touches its own (distinct) key, so applying an
+        // earlier key's mutation cannot change a later key's membership.
+        let keys: Vec<Vec<u8>> = groups.keys().map(|&vid| vid_to_key(vid)).collect();
+        let mut in_store: Vec<bool> = Vec::with_capacity(keys.len());
+        {
+            let mut cursor = st.store.probe_cursor();
+            for key in &keys {
+                in_store.push(cursor.probe_contains(key)?);
+            }
+        }
+        let mut in_vid: Vec<bool> = Vec::new();
+        if let Some(vid_tree) = st.vid_index.as_ref() {
+            let mut cursor = vid_tree.probe_cursor();
+            in_vid.reserve(keys.len());
+            for key in &keys {
+                in_vid.push(cursor.probe_contains(key)?);
+            }
+        }
+        for (i, (vid, muts)) in groups.into_iter().enumerate() {
             w.check_alive()?;
             let key = vid_to_key(vid);
             match program.resolve(vid, muts) {
                 Resolution::Insert(v) => {
-                    let existed = st.store.contains(&key)?;
+                    let existed = in_store[i];
                     st.store.upsert(&key, &v.encode_value())?;
                     if !existed {
                         inserted += 1;
@@ -871,14 +919,14 @@ fn mutate_task<P: VertexProgram>(
                     if !v.halt {
                         live_inserted += 1;
                         if let Some(vid_tree) = st.vid_index.as_mut() {
-                            if !vid_tree.contains(&key)? {
+                            if !in_vid[i] {
                                 vid_tree.insert(&key, &[])?;
                             }
                         }
                     }
                 }
                 Resolution::Delete => {
-                    if st.store.contains(&key)? {
+                    if in_store[i] {
                         st.store.delete(&key)?;
                         deleted += 1;
                     }

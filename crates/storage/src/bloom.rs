@@ -1,0 +1,224 @@
+//! Bloom filters for LSM disk components (§5.2 point-lookup path).
+//!
+//! Every immutable disk component of an [`crate::lsm::LsmBTree`] carries a
+//! bloom filter over its keys so that point probes (the left-outer join's
+//! per-vid lookups) can skip components that provably do not contain the key
+//! instead of paying a root-to-leaf descent per component. The filter is a
+//! plain `Vec<u64>` bit set with `k` probe positions derived from two hashes
+//! (Kirsch–Mitzenmacher double hashing) — no external dependencies, fully
+//! deterministic, and serializable to a flat byte blob that is persisted in
+//! the component's own page file as a meta-page sidecar
+//! (see [`crate::btree::BTree::write_sidecar`]).
+
+use pregelix_common::error::{PregelixError, Result};
+
+/// Bits reserved per key when sizing a filter. 10 bits/key with the derived
+/// `k = 7` probes yields a ~1% false-positive rate, the classic LSM
+/// operating point (RocksDB and AsterixDB both default to 10).
+pub const BITS_PER_KEY: usize = 10;
+
+/// Magic tag leading a serialized filter blob.
+const BLOOM_MAGIC: u32 = 0x424C_4D31; // "BLM1"
+
+/// Serialized header: magic (4) + k (4) + nbits (8).
+const BLOOM_HEADER: usize = 16;
+
+/// A fixed-size bloom filter over byte-string keys.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BloomFilter {
+    /// Backing bit set, 64 bits per word.
+    bits: Vec<u64>,
+    /// Number of addressable bits (≤ `bits.len() * 64`).
+    nbits: u64,
+    /// Probe positions per key.
+    k: u32,
+}
+
+/// FNV-1a 64-bit hash — the same deterministic, dependency-free hash the
+/// chaos digests use for value fingerprints.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 finalizer: decorrelates the second hash from the first so the
+/// `h1 + i·h2` probe sequence behaves like `k` independent hashes.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl BloomFilter {
+    /// Create a filter sized for `n_keys` keys at [`BITS_PER_KEY`].
+    pub fn with_capacity(n_keys: usize) -> Self {
+        // ln 2 ≈ 0.693: optimal k for m/n bits per key.
+        let k = ((BITS_PER_KEY as f64) * 0.693).round().max(1.0) as u32;
+        let nbits = (n_keys.max(1) * BITS_PER_KEY).max(64) as u64;
+        let words = nbits.div_ceil(64) as usize;
+        BloomFilter {
+            bits: vec![0u64; words],
+            nbits: words as u64 * 64,
+            k,
+        }
+    }
+
+    /// Number of keys' worth of probe positions set per insert.
+    pub fn probes(&self) -> u32 {
+        self.k
+    }
+
+    /// Size of the backing bit set in bits.
+    pub fn nbits(&self) -> u64 {
+        self.nbits
+    }
+
+    #[inline]
+    fn positions(&self, key: &[u8]) -> impl Iterator<Item = u64> + '_ {
+        let h1 = fnv1a(key);
+        // `| 1` keeps the stride odd so it is coprime with power-of-two-ish
+        // bit counts and never degenerates to probing one position.
+        let h2 = splitmix64(h1) | 1;
+        let nbits = self.nbits;
+        (0..self.k as u64).map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) % nbits)
+    }
+
+    /// Set the key's probe bits.
+    pub fn insert(&mut self, key: &[u8]) {
+        let pos: Vec<u64> = self.positions(key).collect();
+        for p in pos {
+            self.bits[(p / 64) as usize] |= 1u64 << (p % 64);
+        }
+    }
+
+    /// `false` means the key is definitely absent; `true` means "maybe".
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.positions(key)
+            .all(|p| self.bits[(p / 64) as usize] & (1u64 << (p % 64)) != 0)
+    }
+
+    /// Serialize to a flat blob: magic, k, nbits, then the words LE.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(BLOOM_HEADER + self.bits.len() * 8);
+        out.extend_from_slice(&BLOOM_MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.k.to_le_bytes());
+        out.extend_from_slice(&self.nbits.to_le_bytes());
+        for w in &self.bits {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`BloomFilter::to_bytes`]; rejects truncated or mistagged
+    /// blobs so a torn sidecar write surfaces as corruption, not as a filter
+    /// that silently drops keys.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self> {
+        if buf.len() < BLOOM_HEADER {
+            return Err(PregelixError::corrupt("bloom blob shorter than header"));
+        }
+        let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        if magic != BLOOM_MAGIC {
+            return Err(PregelixError::corrupt("bad bloom magic"));
+        }
+        let k = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        let nbits = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+        if k == 0 || nbits == 0 || nbits % 64 != 0 {
+            return Err(PregelixError::corrupt("bad bloom geometry"));
+        }
+        let words = (nbits / 64) as usize;
+        if buf.len() != BLOOM_HEADER + words * 8 {
+            return Err(PregelixError::corrupt("bloom blob length mismatch"));
+        }
+        let bits = buf[BLOOM_HEADER..]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Ok(BloomFilter { bits, nbits, k })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> [u8; 8] {
+        i.to_be_bytes()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_capacity(10_000);
+        for i in 0..10_000u64 {
+            f.insert(&key(i * 3));
+        }
+        for i in 0..10_000u64 {
+            assert!(f.contains(&key(i * 3)), "false negative for {i}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_small() {
+        let mut f = BloomFilter::with_capacity(10_000);
+        for i in 0..10_000u64 {
+            f.insert(&key(i));
+        }
+        let fp = (10_000u64..110_000)
+            .filter(|i| f.contains(&key(*i)))
+            .count();
+        // 10 bits/key, k = 7 → theoretical ~0.8%; allow generous slack.
+        assert!(fp < 5_000, "false-positive rate too high: {fp}/100000");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let f = BloomFilter::with_capacity(100);
+        for i in 0..1000u64 {
+            assert!(!f.contains(&key(i)));
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut f = BloomFilter::with_capacity(500);
+        for i in 0..500u64 {
+            f.insert(&key(i * 7 + 1));
+        }
+        let blob = f.to_bytes();
+        let g = BloomFilter::from_bytes(&blob).unwrap();
+        assert_eq!(f, g);
+        for i in 0..500u64 {
+            assert!(g.contains(&key(i * 7 + 1)));
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_truncation_and_bad_magic() {
+        let mut f = BloomFilter::with_capacity(64);
+        f.insert(b"abc");
+        let blob = f.to_bytes();
+        assert!(BloomFilter::from_bytes(&blob[..blob.len() - 1]).is_err());
+        assert!(BloomFilter::from_bytes(&blob[..8]).is_err());
+        let mut bad = blob.clone();
+        bad[0] ^= 0xff;
+        assert!(BloomFilter::from_bytes(&bad).is_err());
+        let mut short = blob;
+        short.truncate(BLOOM_HEADER);
+        assert!(BloomFilter::from_bytes(&short).is_err());
+    }
+
+    #[test]
+    fn variable_length_keys_supported() {
+        let mut f = BloomFilter::with_capacity(10);
+        f.insert(b"");
+        f.insert(b"a");
+        f.insert(b"a longer key with some bytes");
+        assert!(f.contains(b""));
+        assert!(f.contains(b"a"));
+        assert!(f.contains(b"a longer key with some bytes"));
+    }
+}

@@ -38,6 +38,10 @@ pub struct BTree {
     height: u8,
     /// Recycled overflow pages (in-memory only; see module docs).
     free_overflow: Vec<PageId>,
+    /// First page of the sidecar blob chain ([`NO_PAGE`] when absent).
+    sidecar_head: PageId,
+    /// Byte length of the sidecar blob.
+    sidecar_len: u64,
 }
 
 impl BTree {
@@ -74,6 +78,8 @@ impl BTree {
             root: root_id,
             height: 1,
             free_overflow: Vec::new(),
+            sidecar_head: NO_PAGE,
+            sidecar_len: 0,
         };
         {
             let mut buf = meta.write();
@@ -88,11 +94,13 @@ impl BTree {
     pub fn open(cache: BufferCache, file: FileId) -> Result<BTree> {
         let meta = cache.pin(file, 0)?;
         let buf = meta.read();
-        if buf.len() < 32 || u64::from_le_bytes(buf[0..8].try_into().expect("8")) != META_MAGIC {
+        if buf.len() < 33 || u64::from_le_bytes(buf[0..8].try_into().expect("8")) != META_MAGIC {
             return Err(PregelixError::corrupt("bad B-tree meta page"));
         }
         let root = u64::from_le_bytes(buf[8..16].try_into().expect("8"));
         let height = buf[16];
+        let sidecar_head = u64::from_le_bytes(buf[17..25].try_into().expect("8"));
+        let sidecar_len = u64::from_le_bytes(buf[25..33].try_into().expect("8"));
         drop(buf);
         Ok(BTree {
             cache,
@@ -100,13 +108,19 @@ impl BTree {
             root,
             height,
             free_overflow: Vec::new(),
+            sidecar_head,
+            sidecar_len,
         })
     }
 
+    /// Meta-page layout: magic (0..8), root (8..16), height (16),
+    /// sidecar head page (17..25), sidecar byte length (25..33).
     fn write_meta(&self, buf: &mut [u8]) {
         buf[0..8].copy_from_slice(&META_MAGIC.to_le_bytes());
         buf[8..16].copy_from_slice(&self.root.to_le_bytes());
         buf[16] = self.height;
+        buf[17..25].copy_from_slice(&self.sidecar_head.to_le_bytes());
+        buf[25..33].copy_from_slice(&self.sidecar_len.to_le_bytes());
     }
 
     fn sync_meta(&self) -> Result<()> {
@@ -167,26 +181,17 @@ impl BTree {
         Ok(pid)
     }
 
-    /// Encode `value` for storage in a leaf: inline when small, otherwise
-    /// spilled to an overflow chain.
-    fn encode_value(&mut self, key_len: usize, value: &[u8]) -> Result<Vec<u8>> {
-        let inline_entry = PageMut::entry_size(key_len, 1 + value.len());
-        if inline_entry <= self.max_inline_entry() {
-            let mut out = Vec::with_capacity(1 + value.len());
-            out.push(TAG_INLINE);
-            out.extend_from_slice(value);
-            return Ok(out);
-        }
-        // Spill to an overflow chain, last chunk first so each page can
-        // point at the next.
+    /// Write `bytes` into a chain of overflow pages (last chunk first so
+    /// each page can point at the next) and return the head page.
+    fn write_overflow_chain(&mut self, bytes: &[u8]) -> Result<PageId> {
         let cap = self.overflow_chunk_capacity();
         let mut next = NO_PAGE;
-        let mut start = (value.len() / cap) * cap;
-        if start == value.len() && start > 0 {
+        let mut start = (bytes.len() / cap) * cap;
+        if start == bytes.len() && start > 0 {
             start -= cap;
         }
         loop {
-            let chunk = &value[start..(start + cap).min(value.len())];
+            let chunk = &bytes[start..(start + cap).min(bytes.len())];
             let pid = self.alloc_overflow_page()?;
             let guard = self.cache.pin(self.file, pid)?;
             {
@@ -203,10 +208,63 @@ impl BTree {
             }
             start -= cap;
         }
+        Ok(next)
+    }
+
+    /// Read back an overflow chain written by [`BTree::write_overflow_chain`].
+    fn read_overflow_chain(&self, head: PageId, total: usize) -> Result<Vec<u8>> {
+        let mut page = head;
+        let mut out = Vec::with_capacity(total);
+        while page != NO_PAGE {
+            let guard = self.cache.pin(self.file, page)?;
+            let buf = guard.read();
+            let r = PageRef::new(&buf);
+            if r.page_type()? != PageType::Overflow {
+                return Err(PregelixError::corrupt("overflow chain hit non-overflow page"));
+            }
+            let len = u32::from_le_bytes(buf[8..12].try_into().expect("4")) as usize;
+            out.extend_from_slice(&buf[HEADER_LEN..HEADER_LEN + len]);
+            page = r.next_page();
+        }
+        if out.len() != total {
+            return Err(PregelixError::corrupt(format!(
+                "overflow chain length {} != recorded {total}",
+                out.len()
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Recycle an overflow chain's pages into the free list.
+    fn free_overflow_chain(&mut self, head: PageId) -> Result<()> {
+        let mut page = head;
+        while page != NO_PAGE {
+            let guard = self.cache.pin(self.file, page)?;
+            let next = {
+                let buf = guard.read();
+                PageRef::new(&buf).next_page()
+            };
+            self.free_overflow.push(page);
+            page = next;
+        }
+        Ok(())
+    }
+
+    /// Encode `value` for storage in a leaf: inline when small, otherwise
+    /// spilled to an overflow chain.
+    fn encode_value(&mut self, key_len: usize, value: &[u8]) -> Result<Vec<u8>> {
+        let inline_entry = PageMut::entry_size(key_len, 1 + value.len());
+        if inline_entry <= self.max_inline_entry() {
+            let mut out = Vec::with_capacity(1 + value.len());
+            out.push(TAG_INLINE);
+            out.extend_from_slice(value);
+            return Ok(out);
+        }
+        let head = self.write_overflow_chain(value)?;
         let mut out = Vec::with_capacity(17);
         out.push(TAG_OVERFLOW);
         out.extend_from_slice(&(value.len() as u64).to_le_bytes());
-        out.extend_from_slice(&next.to_le_bytes());
+        out.extend_from_slice(&head.to_le_bytes());
         Ok(out)
     }
 
@@ -219,26 +277,8 @@ impl BTree {
                     return Err(PregelixError::corrupt("bad overflow pointer"));
                 }
                 let total = u64::from_le_bytes(stored[1..9].try_into().expect("8")) as usize;
-                let mut page = u64::from_le_bytes(stored[9..17].try_into().expect("8"));
-                let mut out = Vec::with_capacity(total);
-                while page != NO_PAGE {
-                    let guard = self.cache.pin(self.file, page)?;
-                    let buf = guard.read();
-                    let r = PageRef::new(&buf);
-                    if r.page_type()? != PageType::Overflow {
-                        return Err(PregelixError::corrupt("overflow chain hit non-overflow page"));
-                    }
-                    let len = u32::from_le_bytes(buf[8..12].try_into().expect("4")) as usize;
-                    out.extend_from_slice(&buf[HEADER_LEN..HEADER_LEN + len]);
-                    page = r.next_page();
-                }
-                if out.len() != total {
-                    return Err(PregelixError::corrupt(format!(
-                        "overflow chain length {} != recorded {total}",
-                        out.len()
-                    )));
-                }
-                Ok(out)
+                let page = u64::from_le_bytes(stored[9..17].try_into().expect("8"));
+                self.read_overflow_chain(page, total)
             }
             _ => Err(PregelixError::corrupt("empty leaf value")),
         }
@@ -247,18 +287,42 @@ impl BTree {
     /// Recycle the overflow chain behind a stored value (if any).
     fn free_value(&mut self, stored: &[u8]) -> Result<()> {
         if stored.first() == Some(&TAG_OVERFLOW) && stored.len() == 17 {
-            let mut page = u64::from_le_bytes(stored[9..17].try_into().expect("8"));
-            while page != NO_PAGE {
-                let guard = self.cache.pin(self.file, page)?;
-                let next = {
-                    let buf = guard.read();
-                    PageRef::new(&buf).next_page()
-                };
-                self.free_overflow.push(page);
-                page = next;
-            }
+            let page = u64::from_le_bytes(stored[9..17].try_into().expect("8"));
+            self.free_overflow_chain(page)?;
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Sidecar blob
+    // ------------------------------------------------------------------
+
+    /// Attach an opaque blob to the tree's file, recorded on the meta page
+    /// and stored in a chain of overflow pages. Used by LSM disk components
+    /// to persist their bloom filter next to the data it describes, so a
+    /// component is always a single self-contained file. Replaces any
+    /// previous sidecar (its pages are recycled); an empty blob clears it.
+    pub fn write_sidecar(&mut self, bytes: &[u8]) -> Result<()> {
+        let old = self.sidecar_head;
+        self.free_overflow_chain(old)?;
+        if bytes.is_empty() {
+            self.sidecar_head = NO_PAGE;
+            self.sidecar_len = 0;
+        } else {
+            self.sidecar_head = self.write_overflow_chain(bytes)?;
+            self.sidecar_len = bytes.len() as u64;
+        }
+        self.sync_meta()
+    }
+
+    /// Read back the sidecar blob, or `None` when the tree has none.
+    pub fn read_sidecar(&self) -> Result<Option<Vec<u8>>> {
+        if self.sidecar_head == NO_PAGE {
+            return Ok(None);
+        }
+        Ok(Some(
+            self.read_overflow_chain(self.sidecar_head, self.sidecar_len as usize)?,
+        ))
     }
 
     // ------------------------------------------------------------------
@@ -312,13 +376,21 @@ impl BTree {
         }
     }
 
-    /// Whether `key` is present (no value materialisation, so overflow
-    /// chains are not followed).
+    /// Whether `key` is present. Presence is decided entirely from the leaf
+    /// entry: the key and the value (or, for spilled values, the 17-byte
+    /// overflow pointer) both live inline in the leaf, so overflow chains
+    /// are never touched and a key whose value spilled is still reported
+    /// present. Shares the sorted-probe access path ([`ProbeCursor`]) as a
+    /// one-shot probe; callers checking many ascending keys should hold a
+    /// [`BTree::probe_cursor`] instead to amortise the descent.
     pub fn contains(&self, key: &[u8]) -> Result<bool> {
-        let leaf = self.find_leaf(key)?;
-        let guard = self.cache.pin(self.file, leaf)?;
-        let buf = guard.read();
-        Ok(PageRef::new(&buf).search(key).is_ok())
+        self.probe_cursor().probe_contains(key)
+    }
+
+    /// Sorted-probe cursor over this tree — the left-outer join's point
+    /// access path. Keys must be probed in non-decreasing order.
+    pub fn probe_cursor(&self) -> ProbeCursor<'_> {
+        ProbeCursor::new(self)
     }
 
     /// Ordered scan over the whole tree.
@@ -742,6 +814,164 @@ impl BTree {
     }
 }
 
+/// Sorted-probe cursor: point lookups for monotonically non-decreasing keys
+/// with amortised O(1) page pins per probe (§5.2 left-outer join).
+///
+/// The cursor keeps the most recently answered leaf pinned. A probe whose
+/// key still falls within that leaf (`key <= last entry`) is answered by a
+/// binary search of the pinned page — zero additional pins. A key just past
+/// the leaf follows the sibling pointer (skipping leaves emptied by
+/// deletes): if the key lands within the next populated leaf, or provably
+/// in the gap before its first entry, the hop answers it. Only when the key
+/// jumps past that fence does the cursor re-descend from the root. Dense
+/// sorted probe runs therefore pin ~one page per *leaf touched* instead of
+/// `height` pages per *probe*.
+///
+/// Invariants:
+/// * Probed keys must be non-decreasing (checked with a debug assertion);
+///   out-of-order keys would be answered from a stale leaf.
+/// * The tree must not be mutated while the cursor lives — the `&BTree`
+///   borrow enforces this at compile time, which is why no fence keys or
+///   split detection are needed.
+/// * At most one leaf is pinned at a time, respecting the buffer cache's
+///   pin discipline (pinned pages are exempt from eviction).
+///
+/// Counter accounting: every probe bumps exactly one of `probe_leaf_hits`
+/// (answered from the pinned leaf or a sibling hop) or `probe_redescents`
+/// (root-to-leaf descent); `probe_page_pins` counts the pages pinned on
+/// behalf of probes (hops and descents — pinned-leaf answers are free).
+pub struct ProbeCursor<'a> {
+    tree: &'a BTree,
+    /// The pinned current leaf; `None` until the first probe descends.
+    leaf: Option<crate::cache::PageGuard>,
+    /// Monotonicity guard for debug builds.
+    #[cfg(debug_assertions)]
+    last_key: Option<Vec<u8>>,
+}
+
+impl<'a> ProbeCursor<'a> {
+    fn new(tree: &'a BTree) -> ProbeCursor<'a> {
+        ProbeCursor {
+            tree,
+            leaf: None,
+            #[cfg(debug_assertions)]
+            last_key: None,
+        }
+    }
+
+    /// Point lookup with the value materialised (overflow chains resolved),
+    /// equivalent to [`BTree::search`] for non-decreasing keys.
+    pub fn probe(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        match self.probe_stored(key)? {
+            Some(stored) => Ok(Some(self.tree.decode_value(&stored)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Membership-only probe; like [`BTree::contains`], overflow chains are
+    /// never touched because presence is decided from the leaf entry alone.
+    pub fn probe_contains(&mut self, key: &[u8]) -> Result<bool> {
+        Ok(self.probe_stored(key)?.is_some())
+    }
+
+    /// Core positioning logic; returns the raw stored leaf value.
+    fn probe_stored(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        #[cfg(debug_assertions)]
+        {
+            if let Some(prev) = &self.last_key {
+                debug_assert!(
+                    prev.as_slice() <= key,
+                    "probe keys must be non-decreasing"
+                );
+            }
+            self.last_key = Some(key.to_vec());
+        }
+        let counters = self.tree.cache.counters().clone();
+
+        // Fast path: the key is still covered by the pinned leaf.
+        if let Some(guard) = &self.leaf {
+            let found = {
+                let buf = guard.read();
+                let r = PageRef::new(&buf);
+                if r.len() > 0 && key <= r.key(r.len() - 1) {
+                    Some(match r.search(key) {
+                        Ok(i) => Some(r.value(i).to_vec()),
+                        Err(_) => None,
+                    })
+                } else {
+                    None
+                }
+            };
+            if let Some(answer) = found {
+                counters.add_probe_leaf_hits(1);
+                return Ok(answer);
+            }
+            // The key is past the pinned leaf: hop the sibling chain over
+            // leaves emptied by deletes and inspect the first populated one.
+            let mut next = {
+                let buf = guard.read();
+                PageRef::new(&buf).next_page()
+            };
+            while next != NO_PAGE {
+                let hop = self.tree.cache.pin(self.tree.file, next)?;
+                counters.add_probe_page_pins(1);
+                enum Hop {
+                    /// Empty leaf: keep walking the chain.
+                    Skip(PageId),
+                    /// The hop leaf answers the probe (hit or proven gap).
+                    Answer(Option<Vec<u8>>),
+                    /// Key is past this leaf's fence: re-descend.
+                    Past,
+                }
+                let outcome = {
+                    let buf = hop.read();
+                    let r = PageRef::new(&buf);
+                    if r.len() == 0 {
+                        Hop::Skip(r.next_page())
+                    } else if key <= r.key(r.len() - 1) {
+                        // Within the leaf, or in the gap before its first
+                        // entry — either way this leaf decides the probe.
+                        Hop::Answer(match r.search(key) {
+                            Ok(i) => Some(r.value(i).to_vec()),
+                            Err(_) => None,
+                        })
+                    } else if r.next_page() == NO_PAGE {
+                        // Rightmost leaf: the key is beyond every entry.
+                        Hop::Answer(None)
+                    } else {
+                        Hop::Past
+                    }
+                };
+                match outcome {
+                    Hop::Skip(n) => next = n,
+                    Hop::Answer(answer) => {
+                        counters.add_probe_leaf_hits(1);
+                        self.leaf = Some(hop);
+                        return Ok(answer);
+                    }
+                    Hop::Past => break,
+                }
+            }
+        }
+
+        // Slow path: descend from the root.
+        counters.add_probe_redescents(1);
+        counters.add_probe_page_pins(self.tree.height as u64 + 1);
+        let leaf = self.tree.find_leaf(key)?;
+        let guard = self.tree.cache.pin(self.tree.file, leaf)?;
+        let answer = {
+            let buf = guard.read();
+            let r = PageRef::new(&buf);
+            match r.search(key) {
+                Ok(i) => Some(r.value(i).to_vec()),
+                Err(_) => None,
+            }
+        };
+        self.leaf = Some(guard);
+        Ok(answer)
+    }
+}
+
 /// Ordered scanner over a B-tree's live entries, batching one leaf at a
 /// time. Values are fully materialised (overflow chains resolved).
 pub struct BTreeScanner<'a> {
@@ -1052,6 +1282,146 @@ mod tests {
             cache.file_manager().counters().cache_evictions() > 0,
             "tiny cache must have evicted"
         );
+    }
+
+    #[test]
+    fn probe_cursor_matches_search_on_sorted_probes() {
+        let (cache, _d) = make_cache(256, 256);
+        let mut t = BTree::create(cache).unwrap();
+        // Keys 0, 3, 6, ... — probes hit entries, gaps and the far end.
+        let entries: Vec<_> = (0..2000u64).map(|v| (k(v * 3), (v * 3).to_le_bytes().to_vec())).collect();
+        t.bulk_load(entries, 0.9).unwrap();
+        let mut cursor = t.probe_cursor();
+        for probe in 0..6100u64 {
+            assert_eq!(
+                cursor.probe(&k(probe)).unwrap(),
+                t.search(&k(probe)).unwrap(),
+                "probe {probe} diverged from search"
+            );
+        }
+        // Duplicate (repeated) probe keys are allowed.
+        assert_eq!(cursor.probe(&k(6100)).unwrap(), None);
+        assert_eq!(cursor.probe(&k(6100)).unwrap(), None);
+    }
+
+    #[test]
+    fn probe_cursor_counters_show_amortised_descents() {
+        let (cache, _d) = make_cache(256, 256);
+        let c = cache.counters().clone();
+        let mut t = BTree::create(cache).unwrap();
+        let entries: Vec<_> = (0..4000u64).map(|v| (k(v), v.to_le_bytes().to_vec())).collect();
+        t.bulk_load(entries, 0.9).unwrap();
+        assert!(t.height() >= 3);
+        let before = c.snapshot();
+        let mut cursor = t.probe_cursor();
+        let probes = 1000u64;
+        for v in 0..probes {
+            // Every 4th vid "live": a dense sorted probe run with gaps.
+            assert!(cursor.probe(&k(v * 4)).unwrap().is_some());
+        }
+        let d = c.snapshot().delta_since(&before);
+        assert_eq!(d.probe_leaf_hits + d.probe_redescents, probes);
+        assert!(
+            d.probe_leaf_hits > probes * 9 / 10,
+            "dense sorted probes should mostly hit the pinned leaf: {d:?}"
+        );
+        // The whole point: far fewer page pins than height × probes.
+        assert!(
+            d.probe_page_pins < probes * t.height() as u64 / 2,
+            "expected ≥2x pin reduction: {} pins for {probes} probes at height {}",
+            d.probe_page_pins,
+            t.height()
+        );
+    }
+
+    #[test]
+    fn probe_cursor_sees_deletes_and_empty_leaves() {
+        let (cache, _d) = make_cache(256, 256);
+        let mut t = BTree::create(cache).unwrap();
+        for v in 0..600u64 {
+            t.insert(&k(v), &v.to_le_bytes()).unwrap();
+        }
+        // Carve an empty-leaf region in the middle of the sibling chain.
+        for v in 200..400u64 {
+            t.delete(&k(v)).unwrap();
+        }
+        let mut cursor = t.probe_cursor();
+        for v in 0..700u64 {
+            assert_eq!(cursor.probe(&k(v)).unwrap(), t.search(&k(v)).unwrap());
+        }
+    }
+
+    #[test]
+    fn probe_cursor_on_empty_tree() {
+        let (cache, _d) = make_cache(64, 512);
+        let t = BTree::create(cache).unwrap();
+        let mut cursor = t.probe_cursor();
+        for v in 0..10u64 {
+            assert_eq!(cursor.probe(&k(v)).unwrap(), None);
+        }
+    }
+
+    /// Regression: a key whose value spilled to an overflow chain must still
+    /// be reported present by `contains` — presence is decided from the leaf
+    /// entry (key + overflow pointer), never by walking the chain.
+    #[test]
+    fn contains_sees_overflow_keys_without_touching_chains() {
+        let (cache, _d) = make_cache(256, 256);
+        let c = cache.counters().clone();
+        let mut t = BTree::create(cache.clone()).unwrap();
+        let big = vec![0xAB; 20_000]; // ~90 overflow pages at 256B
+        t.insert(&k(7), &big).unwrap();
+        assert!(t.contains(&k(7)).unwrap());
+        assert!(!t.contains(&k(8)).unwrap());
+        // Cold-cache proof that the chain is not walked: after a purge, a
+        // `contains` must only fault in the descent path, not ~90 chain pages.
+        t.flush().unwrap();
+        let file = t.file();
+        cache.purge_file(file, true).unwrap();
+        let t = BTree::open(cache, file).unwrap();
+        let before = c.snapshot();
+        assert!(t.contains(&k(7)).unwrap());
+        let d = c.snapshot().delta_since(&before);
+        assert!(
+            d.cache_misses <= t.height() as u64 + 2,
+            "contains must not fault in the overflow chain: {} misses",
+            d.cache_misses
+        );
+        // The value itself is intact.
+        assert_eq!(t.search(&k(7)).unwrap().unwrap(), big);
+    }
+
+    #[test]
+    fn sidecar_roundtrip_and_persistence() {
+        let (cache, _d) = make_cache(256, 256);
+        let file;
+        {
+            let mut t = BTree::create(cache.clone()).unwrap();
+            file = t.file();
+            for v in 0..500u64 {
+                t.insert(&k(v), &v.to_le_bytes()).unwrap();
+            }
+            assert_eq!(t.read_sidecar().unwrap(), None);
+            // Multi-page blob (1000 bytes on 256B pages).
+            let blob: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
+            t.write_sidecar(&blob).unwrap();
+            assert_eq!(t.read_sidecar().unwrap().unwrap(), blob);
+            // Replacing recycles the old chain and survives tree growth.
+            let blob2 = vec![0x5A; 100];
+            t.write_sidecar(&blob2).unwrap();
+            for v in 500..1500u64 {
+                t.insert(&k(v), &v.to_le_bytes()).unwrap();
+            }
+            assert_eq!(t.read_sidecar().unwrap().unwrap(), blob2);
+            t.flush().unwrap();
+        }
+        cache.purge_file(file, true).unwrap();
+        let mut t = BTree::open(cache, file).unwrap();
+        assert_eq!(t.read_sidecar().unwrap().unwrap(), vec![0x5A; 100]);
+        assert_eq!(t.count().unwrap(), 1500);
+        // Clearing removes it durably.
+        t.write_sidecar(&[]).unwrap();
+        assert_eq!(t.read_sidecar().unwrap(), None);
     }
 
     #[test]

@@ -17,12 +17,15 @@
 //! * [`lsm`] — an LSM B-tree: an in-memory component plus immutable on-disk
 //!   B-tree components with tombstones and merges, for mutation-heavy
 //!   workloads such as the genome-assembly path merging (§5.2).
+//! * [`bloom`] — per-disk-component bloom filters so LSM point probes skip
+//!   components that provably do not contain the key.
 //! * [`runfile`] — sequential frame-structured temporary files, used for
 //!   sort runs, materialized connector channels, and the `Msg` relation.
 //! * [`sort`] — an external sort with bounded memory, optional
 //!   aggregation-during-sort (the heart of the sort-based group-by), and a
 //!   k-way merge over spilled runs.
 
+pub mod bloom;
 pub mod btree;
 pub mod cache;
 pub mod file;
@@ -31,6 +34,7 @@ pub mod page;
 pub mod runfile;
 pub mod sort;
 
+pub use bloom::BloomFilter;
 pub use btree::BTree;
 pub use cache::BufferCache;
 pub use file::{FileId, FileManager};

@@ -16,14 +16,50 @@
 //!
 //! Disk-component values are tagged: `0` = live value bytes follow, `1` =
 //! tombstone.
+//!
+//! Every disk component carries a [`BloomFilter`] over its keys, built while
+//! the component is bulk-loaded and persisted in the component's own file as
+//! a meta-page sidecar ([`BTree::write_sidecar`]), so point lookups — and the
+//! sorted-probe [`LsmProbeCursor`] — can skip components that provably do
+//! not contain the key. Point lookups always stop at the first component
+//! (newest first) that stores the key, whether the entry is a live value or
+//! a tombstone: older components can only hold shadowed versions.
 
-use crate::btree::{BTree, BTreeScanner};
+use crate::bloom::BloomFilter;
+use crate::btree::{BTree, BTreeScanner, ProbeCursor};
 use crate::cache::BufferCache;
 use pregelix_common::error::Result;
 use std::collections::BTreeMap;
 
 const LIVE: u8 = 0;
 const TOMBSTONE: u8 = 1;
+
+/// An immutable on-disk component: a bulk-loaded B-tree plus the bloom
+/// filter over its keys. The filter is `None` only if the component was
+/// written by a version without filters (the sidecar is absent).
+struct DiskComponent {
+    tree: BTree,
+    bloom: Option<BloomFilter>,
+}
+
+impl DiskComponent {
+    /// Bulk-load `entries` (already LSM-encoded, key-sorted) into a fresh
+    /// component, building and persisting the bloom filter alongside.
+    fn build(cache: &BufferCache, entries: Vec<(Vec<u8>, Vec<u8>)>) -> Result<DiskComponent> {
+        let mut bloom = BloomFilter::with_capacity(entries.len());
+        for (key, _) in &entries {
+            bloom.insert(key);
+        }
+        let mut tree = BTree::create(cache.clone())?;
+        tree.bulk_load(entries, 1.0)?;
+        tree.write_sidecar(&bloom.to_bytes())?;
+        tree.flush()?;
+        Ok(DiskComponent {
+            tree,
+            bloom: Some(bloom),
+        })
+    }
+}
 
 /// An LSM B-tree bound to a worker's buffer cache.
 pub struct LsmBTree {
@@ -32,7 +68,7 @@ pub struct LsmBTree {
     mem_bytes: usize,
     mem_budget: usize,
     /// Disk components, newest last.
-    components: Vec<BTree>,
+    components: Vec<DiskComponent>,
     merge_threshold: usize,
 }
 
@@ -59,13 +95,12 @@ impl LsmBTree {
         I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
     {
         debug_assert!(self.mem.is_empty() && self.components.is_empty());
-        let mut tree = BTree::create(self.cache.clone())?;
-        tree.bulk_load(
-            entries.into_iter().map(|(k, v)| (k, encode(Some(&v)))),
-            1.0,
-        )?;
-        tree.flush()?;
-        self.components.push(tree);
+        let entries: Vec<_> = entries
+            .into_iter()
+            .map(|(k, v)| (k, encode(Some(&v))))
+            .collect();
+        let comp = DiskComponent::build(&self.cache, entries)?;
+        self.components.push(comp);
         Ok(())
     }
 
@@ -99,13 +134,30 @@ impl LsmBTree {
     }
 
     /// Point lookup across all components, newest first.
+    ///
+    /// Early exit: the first component that stores the key — whether a live
+    /// value or a tombstone — decides the lookup, and older components are
+    /// never consulted (they can only hold shadowed versions). Components
+    /// whose bloom filter proves the key absent are skipped without a
+    /// descent (`bloom_negatives`); a filter that says "maybe" but whose
+    /// B-tree lacks the key costs a wasted descent (`bloom_false_positives`).
     pub fn search(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         if let Some(entry) = self.mem.get(key) {
             return Ok(entry.clone());
         }
+        let counters = self.cache.counters();
         for comp in self.components.iter().rev() {
-            if let Some(stored) = comp.search(key)? {
+            if let Some(bloom) = &comp.bloom {
+                if !bloom.contains(key) {
+                    counters.add_bloom_negatives(1);
+                    continue;
+                }
+            }
+            if let Some(stored) = comp.tree.search(key)? {
                 return Ok(decode(&stored)?);
+            }
+            if comp.bloom.is_some() {
+                counters.add_bloom_false_positives(1);
             }
         }
         Ok(None)
@@ -114,6 +166,15 @@ impl LsmBTree {
     /// Whether `key` currently has a live value.
     pub fn contains(&self, key: &[u8]) -> Result<bool> {
         Ok(self.search(key)?.is_some())
+    }
+
+    /// Sorted-probe cursor across all components — the left-outer join's
+    /// point access path. Keys must be probed in non-decreasing order.
+    pub fn probe_cursor(&self) -> LsmProbeCursor<'_> {
+        LsmProbeCursor {
+            lsm: self,
+            cursors: (0..self.components.len()).map(|_| None).collect(),
+        }
     }
 
     /// Count live entries (full scan).
@@ -142,14 +203,13 @@ impl LsmBTree {
         if self.mem.is_empty() {
             return Ok(());
         }
-        let mut tree = BTree::create(self.cache.clone())?;
-        let entries = std::mem::take(&mut self.mem)
+        let entries: Vec<_> = std::mem::take(&mut self.mem)
             .into_iter()
-            .map(|(k, v)| (k, encode(v.as_deref())));
-        tree.bulk_load(entries, 1.0)?;
-        tree.flush()?;
+            .map(|(k, v)| (k, encode(v.as_deref())))
+            .collect();
+        let comp = DiskComponent::build(&self.cache, entries)?;
         self.mem_bytes = 0;
-        self.components.push(tree);
+        self.components.push(comp);
         Ok(())
     }
 
@@ -163,8 +223,8 @@ impl LsmBTree {
         let old = std::mem::take(&mut self.components);
         let merged_entries = {
             let mut scanners: Vec<BTreeScanner<'_>> = Vec::with_capacity(old.len());
-            for t in &old {
-                scanners.push(t.scan()?);
+            for c in &old {
+                scanners.push(c.tree.scan()?);
             }
             // newest-wins k-way merge; scanner index = age (larger = newer).
             let mut heads: Vec<Option<(Vec<u8>, Vec<u8>)>> = Vec::new();
@@ -202,11 +262,9 @@ impl LsmBTree {
             }
             out
         };
-        let mut merged = BTree::create(self.cache.clone())?;
-        merged.bulk_load(merged_entries, 1.0)?;
-        merged.flush()?;
-        for t in old {
-            t.destroy()?;
+        let merged = DiskComponent::build(&self.cache, merged_entries)?;
+        for c in old {
+            c.tree.destroy()?;
         }
         self.components.push(merged);
         Ok(())
@@ -216,8 +274,8 @@ impl LsmBTree {
     pub fn scan(&self) -> Result<LsmScanner<'_>> {
         let mut scanners = Vec::with_capacity(self.components.len());
         let mut heads = Vec::with_capacity(self.components.len());
-        for t in &self.components {
-            let mut s = t.scan()?;
+        for c in &self.components {
+            let mut s = c.tree.scan()?;
             heads.push(s.next_entry()?);
             scanners.push(s);
         }
@@ -234,8 +292,8 @@ impl LsmBTree {
     pub fn scan_from(&self, from: &[u8]) -> Result<LsmScanner<'_>> {
         let mut scanners = Vec::with_capacity(self.components.len());
         let mut heads = Vec::with_capacity(self.components.len());
-        for t in &self.components {
-            let mut s = t.scan_from(from)?;
+        for c in &self.components {
+            let mut s = c.tree.scan_from(from)?;
             heads.push(s.next_entry()?);
             scanners.push(s);
         }
@@ -322,6 +380,59 @@ impl LsmScanner<'_> {
                 None => continue, // tombstoned: skip
             }
         }
+    }
+}
+
+/// Sorted-probe cursor over an [`LsmBTree`]: the multi-component analogue
+/// of [`ProbeCursor`], for monotonically non-decreasing probe keys.
+///
+/// Each probe consults the in-memory component first, then disk components
+/// newest-to-oldest with the same early-exit rule as [`LsmBTree::search`].
+/// Components whose bloom filter rejects the key are skipped without being
+/// descended (`bloom_negatives`). Each disk component that *is* consulted
+/// gets a lazily-created [`ProbeCursor`] that is remembered across probes,
+/// so consecutive probes into the same component reuse its pinned leaf
+/// instead of re-descending. The per-component cursors each see a
+/// subsequence of the (non-decreasing) probe keys, preserving the cursor's
+/// monotonicity invariant.
+pub struct LsmProbeCursor<'a> {
+    lsm: &'a LsmBTree,
+    /// Per-disk-component cursors, same order as `lsm.components`; `None`
+    /// until the first probe reaches that component.
+    cursors: Vec<Option<ProbeCursor<'a>>>,
+}
+
+impl LsmProbeCursor<'_> {
+    /// Point lookup: the live value under `key`, if any. Equivalent to
+    /// [`LsmBTree::search`] for non-decreasing keys.
+    pub fn probe(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let lsm = self.lsm;
+        if let Some(entry) = lsm.mem.get(key) {
+            return Ok(entry.clone());
+        }
+        let counters = lsm.cache.counters();
+        for i in (0..lsm.components.len()).rev() {
+            let comp = &lsm.components[i];
+            if let Some(bloom) = &comp.bloom {
+                if !bloom.contains(key) {
+                    counters.add_bloom_negatives(1);
+                    continue;
+                }
+            }
+            let cursor = self.cursors[i].get_or_insert_with(|| comp.tree.probe_cursor());
+            if let Some(stored) = cursor.probe(key)? {
+                return decode(&stored);
+            }
+            if comp.bloom.is_some() {
+                counters.add_bloom_false_positives(1);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Whether `key` currently has a live value.
+    pub fn probe_contains(&mut self, key: &[u8]) -> Result<bool> {
+        Ok(self.probe(key)?.is_some())
     }
 }
 
@@ -434,6 +545,160 @@ mod tests {
             n += 1;
         }
         assert!(n <= 500);
+    }
+
+    /// Satellite regression: a tombstone in a newer component must decide
+    /// the lookup without the older components being consulted at all.
+    #[test]
+    fn tombstone_early_exit_skips_older_components() {
+        let (mut t, _d) = make(1 << 20);
+        for v in 0..200u64 {
+            t.upsert(&k(v), b"old").unwrap();
+        }
+        t.flush_mem().unwrap();
+        t.delete(&k(50)).unwrap();
+        t.flush_mem().unwrap();
+        assert_eq!(t.disk_components(), 2);
+        assert_eq!(t.search(&k(50)).unwrap(), None, "tombstone must shadow");
+        // Page-pin accounting proves the early exit: the lookup must cost
+        // one descent into the newest (tiny) component, never a second into
+        // the older one. Both blooms contain key 50, so a missing early
+        // exit would pay both descents.
+        let c = t.cache.counters().clone();
+        let newest_height = t.components.last().unwrap().tree.height() as u64;
+        let older_height = t.components.first().unwrap().tree.height() as u64;
+        let before = c.snapshot();
+        assert_eq!(t.search(&k(50)).unwrap(), None);
+        let d = c.snapshot().delta_since(&before);
+        let pins = d.cache_hits + d.cache_misses;
+        assert!(
+            pins <= newest_height + 1,
+            "tombstone lookup must stop at the newest component: \
+             {pins} pins (newest height {newest_height}, older height {older_height})"
+        );
+        assert_eq!(d.bloom_false_positives, 0);
+    }
+
+    #[test]
+    fn bloom_filters_skip_absent_components() {
+        let (mut t, _d) = make(1 << 20);
+        // Three disjoint key ranges in three disk components.
+        for v in 0..100u64 {
+            t.upsert(&k(v), b"c0").unwrap();
+        }
+        t.flush_mem().unwrap();
+        for v in 1000..1100u64 {
+            t.upsert(&k(v), b"c1").unwrap();
+        }
+        t.flush_mem().unwrap();
+        for v in 2000..2100u64 {
+            t.upsert(&k(v), b"c2").unwrap();
+        }
+        t.flush_mem().unwrap();
+        assert_eq!(t.disk_components(), 3);
+        let c = t.cache.counters().clone();
+        let before = c.snapshot();
+        // Keys in the oldest component: the two newer blooms should reject.
+        for v in 0..100u64 {
+            assert_eq!(t.search(&k(v)).unwrap().unwrap(), b"c0");
+        }
+        let d = c.snapshot().delta_since(&before);
+        assert!(
+            d.bloom_negatives >= 150,
+            "newer components should be bloom-skipped: {d:?}"
+        );
+        // Wholly absent keys are (almost always) rejected by every bloom.
+        let before = c.snapshot();
+        for v in 5000..5100u64 {
+            assert_eq!(t.search(&k(v)).unwrap(), None);
+        }
+        let d = c.snapshot().delta_since(&before);
+        assert!(d.bloom_negatives >= 250, "absent keys should be cheap: {d:?}");
+    }
+
+    #[test]
+    fn probe_cursor_matches_search_across_components() {
+        let (mut t, _d) = make(1 << 20);
+        // Overlapping components + mem, with deletes: all resolution rules.
+        for v in 0..400u64 {
+            t.upsert(&k(v * 2), b"base").unwrap();
+        }
+        t.flush_mem().unwrap();
+        for v in 100..300u64 {
+            t.upsert(&k(v * 2), b"mid").unwrap();
+        }
+        for v in 0..50u64 {
+            t.delete(&k(v * 2)).unwrap();
+        }
+        t.flush_mem().unwrap();
+        for v in 200..250u64 {
+            t.upsert(&k(v * 2), b"newest").unwrap();
+        }
+        t.flush_mem().unwrap();
+        t.upsert(&k(999), b"in-mem").unwrap();
+        assert_eq!(t.disk_components(), 3);
+        let mut cursor = t.probe_cursor();
+        for probe in 0..1100u64 {
+            assert_eq!(
+                cursor.probe(&k(probe)).unwrap(),
+                t.search(&k(probe)).unwrap(),
+                "probe {probe} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn probe_cursor_amortises_descents_and_counts_bloom_skips() {
+        let (mut t, _d) = make(1 << 20);
+        for v in 0..1000u64 {
+            t.upsert(&k(v), &v.to_le_bytes()).unwrap();
+        }
+        t.flush_mem().unwrap();
+        for v in 5000..5100u64 {
+            t.upsert(&k(v), b"x").unwrap();
+        }
+        t.flush_mem().unwrap();
+        for v in 6000..6100u64 {
+            t.upsert(&k(v), b"y").unwrap();
+        }
+        t.flush_mem().unwrap();
+        assert_eq!(t.disk_components(), 3);
+        let c = t.cache.counters().clone();
+        let before = c.snapshot();
+        let mut cursor = t.probe_cursor();
+        for v in 0..1000u64 {
+            assert!(cursor.probe(&k(v)).unwrap().is_some());
+        }
+        let d = c.snapshot().delta_since(&before);
+        assert!(d.bloom_negatives > 0, "newer components must be skipped");
+        assert!(
+            d.probe_redescents <= 10,
+            "sorted probes into one component should re-descend rarely: {d:?}"
+        );
+        assert!(d.probe_leaf_hits > 900, "{d:?}");
+    }
+
+    /// The bloom filter is persisted as the component's sidecar and survives
+    /// a reopen of the component file.
+    #[test]
+    fn bloom_persists_with_component() {
+        let (mut t, _d) = make(1 << 20);
+        for v in 0..500u64 {
+            t.upsert(&k(v), b"v").unwrap();
+        }
+        t.flush_mem().unwrap();
+        let comp = t.components.last().unwrap();
+        let original = comp.bloom.clone().unwrap();
+        let cache = comp.tree.cache().clone();
+        let file = comp.tree.file();
+        cache.purge_file(file, true).unwrap();
+        let reopened = BTree::open(cache, file).unwrap();
+        let blob = reopened.read_sidecar().unwrap().expect("sidecar present");
+        let restored = BloomFilter::from_bytes(&blob).unwrap();
+        assert_eq!(restored, original);
+        for v in 0..500u64 {
+            assert!(restored.contains(&k(v)));
+        }
     }
 
     #[test]

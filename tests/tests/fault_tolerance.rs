@@ -120,10 +120,15 @@ fn chaos_digest(scenario: &str, summary: &JobSummary, injected: u64, values: &[(
         .unwrap();
     writeln!(
         f,
-        "{scenario} recoveries={} retries={} supersteps={} injected={injected} values={:016x}",
+        "{scenario} recoveries={} retries={} supersteps={} injected={injected} \
+         probes={} redesc={} bloomneg={} bloomfp={} values={:016x}",
         summary.recoveries,
         summary.retries,
         summary.supersteps,
+        summary.stats.probe_leaf_hits,
+        summary.stats.probe_redescents,
+        summary.stats.bloom_negatives,
+        summary.stats.bloom_false_positives,
         values_hash(values),
     )
     .unwrap();

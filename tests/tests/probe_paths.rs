@@ -1,0 +1,218 @@
+//! Property tests for the sorted-probe access path (§5.2/§7.5): a
+//! [`ProbeCursor`] answering a monotonically non-decreasing key sequence
+//! must be indistinguishable from repeated point `search`es — and from a
+//! `BTreeMap` reference model — across hits, misses in gaps, duplicate
+//! probe keys, deleted keys, and probes past the last leaf. The LSM sweep
+//! additionally forces multi-component layouts (explicit flush points in
+//! the op stream) so the bloom-gated multi-component cursor is exercised
+//! with tombstones shadowing older components.
+//!
+//! The case count honours `PROPTEST_CASES` so CI's storage-proptest job
+//! can raise it without a code change.
+
+use pregelix::common::stats::ClusterCounters;
+use pregelix::storage::btree::BTree;
+use pregelix::storage::cache::BufferCache;
+use pregelix::storage::file::{FileManager, TempDir};
+use pregelix::storage::lsm::LsmBTree;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn cache(label: &str) -> (BufferCache, TempDir) {
+    let dir = TempDir::new(label).unwrap();
+    // Small pages force multi-level trees (and multi-leaf sibling hops)
+    // even at proptest-sized key counts.
+    let fm = FileManager::new(dir.path(), 256, ClusterCounters::new()).unwrap();
+    (BufferCache::new(fm, 128), dir)
+}
+
+fn k(v: u64) -> Vec<u8> {
+    v.to_be_bytes().to_vec()
+}
+
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+}
+
+/// One mutation in the randomised workload. `Flush` is meaningful only
+/// for the LSM store, where it seals the in-memory component into a new
+/// bloom-guarded disk component.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Upsert(u64),
+    Delete(u64),
+    Flush,
+}
+
+fn ops(max_key: u64, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            6 => (0..max_key).prop_map(Op::Upsert),
+            3 => (0..max_key).prop_map(Op::Delete),
+            1 => Just(Op::Flush),
+        ],
+        1..len,
+    )
+}
+
+/// Sorted probe sequence over a domain 1.5× wider than the data domain:
+/// hits, gap misses, duplicates (from collection collisions), and probes
+/// past the last leaf all arise naturally.
+fn probes(max_key: u64, len: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0..max_key + max_key / 2, 1..len).prop_map(|mut v| {
+        v.sort_unstable();
+        v
+    })
+}
+
+fn value_for(key: u64, version: u64) -> Vec<u8> {
+    let mut v = key.to_le_bytes().to_vec();
+    v.extend_from_slice(&version.to_le_bytes());
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: cases(), ..ProptestConfig::default() })]
+
+    #[test]
+    fn prop_btree_probe_cursor_matches_search_and_model(
+        workload in ops(400, 120),
+        probe_keys in probes(400, 150),
+    ) {
+        let (cache, _dir) = cache("probe-btree");
+        let mut tree = BTree::create(cache).unwrap();
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        for (i, op) in workload.iter().enumerate() {
+            match *op {
+                Op::Upsert(key) => {
+                    let v = value_for(key, i as u64);
+                    tree.upsert(&k(key), &v).unwrap();
+                    model.insert(key, v);
+                }
+                Op::Delete(key) => {
+                    tree.delete(&k(key)).unwrap();
+                    model.remove(&key);
+                }
+                Op::Flush => {} // no-op for the plain B-tree
+            }
+        }
+        let mut cursor = tree.probe_cursor();
+        for &key in &probe_keys {
+            let got = cursor.probe(&k(key)).unwrap();
+            prop_assert_eq!(&got, &tree.search(&k(key)).unwrap(), "key {}", key);
+            prop_assert_eq!(got, model.get(&key).cloned(), "key {}", key);
+        }
+        // Membership path on a fresh cursor (its pinned leaf starts cold).
+        let mut cursor = tree.probe_cursor();
+        for &key in &probe_keys {
+            prop_assert_eq!(
+                cursor.probe_contains(&k(key)).unwrap(),
+                model.contains_key(&key),
+                "contains key {}", key
+            );
+        }
+    }
+
+    #[test]
+    fn prop_btree_bulk_loaded_probe_cursor_matches_model(
+        stride in 1u64..7,
+        n in 10u64..400,
+        probe_keys in probes(2800, 150),
+    ) {
+        // Bulk-loaded trees have a distinct leaf layout (fill-factor slack,
+        // no split history); the cursor must not care.
+        let (cache, _dir) = cache("probe-bulk");
+        let mut tree = BTree::create(cache).unwrap();
+        let model: BTreeMap<u64, Vec<u8>> =
+            (0..n).map(|i| (i * stride, value_for(i * stride, 0))).collect();
+        tree.bulk_load(model.iter().map(|(key, v)| (k(*key), v.clone())), 0.9)
+            .unwrap();
+        let mut cursor = tree.probe_cursor();
+        for &key in &probe_keys {
+            prop_assert_eq!(
+                cursor.probe(&k(key)).unwrap(),
+                model.get(&key).cloned(),
+                "stride {} key {}", stride, key
+            );
+        }
+    }
+
+    #[test]
+    fn prop_lsm_probe_cursor_matches_search_and_model(
+        workload in ops(400, 160),
+        probe_keys in probes(400, 150),
+    ) {
+        let (cache, _dir) = cache("probe-lsm");
+        // Tiny mem budget: upserts spill into disk components on their own
+        // even without explicit Flush ops, so multi-component layouts (and
+        // tombstones shadowing older components) are the common case.
+        let mut lsm = LsmBTree::create(cache, 512, 16);
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        for (i, op) in workload.iter().enumerate() {
+            match *op {
+                Op::Upsert(key) => {
+                    let v = value_for(key, i as u64);
+                    lsm.upsert(&k(key), &v).unwrap();
+                    model.insert(key, v);
+                }
+                Op::Delete(key) => {
+                    lsm.delete(&k(key)).unwrap();
+                    model.remove(&key);
+                }
+                Op::Flush => lsm.flush_mem().unwrap(),
+            }
+        }
+        let mut cursor = lsm.probe_cursor();
+        for &key in &probe_keys {
+            let got = cursor.probe(&k(key)).unwrap();
+            prop_assert_eq!(&got, &lsm.search(&k(key)).unwrap(), "key {}", key);
+            prop_assert_eq!(got, model.get(&key).cloned(), "key {}", key);
+        }
+        let mut cursor = lsm.probe_cursor();
+        for &key in &probe_keys {
+            prop_assert_eq!(
+                cursor.probe_contains(&k(key)).unwrap(),
+                model.contains_key(&key),
+                "contains key {}", key
+            );
+        }
+    }
+
+    #[test]
+    fn prop_lsm_merge_preserves_probe_answers(
+        workload in ops(300, 120),
+        probe_keys in probes(300, 100),
+    ) {
+        // merge_all rebuilds every bloom filter and collapses tombstones;
+        // probe answers before and after must agree with the model.
+        let (cache, _dir) = cache("probe-merge");
+        let mut lsm = LsmBTree::create(cache, 512, 16);
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        for (i, op) in workload.iter().enumerate() {
+            match *op {
+                Op::Upsert(key) => {
+                    let v = value_for(key, i as u64);
+                    lsm.upsert(&k(key), &v).unwrap();
+                    model.insert(key, v);
+                }
+                Op::Delete(key) => {
+                    lsm.delete(&k(key)).unwrap();
+                    model.remove(&key);
+                }
+                Op::Flush => lsm.flush_mem().unwrap(),
+            }
+        }
+        lsm.merge_all().unwrap();
+        let mut cursor = lsm.probe_cursor();
+        for &key in &probe_keys {
+            prop_assert_eq!(
+                cursor.probe(&k(key)).unwrap(),
+                model.get(&key).cloned(),
+                "key {}", key
+            );
+        }
+    }
+}

@@ -101,7 +101,8 @@ fn chaos_digest(scenario: &str, summary: &JobSummary, injected: u64, values: &[(
     writeln!(
         f,
         "{scenario} recoveries={} retries={} supersteps={} injected={injected} \
-         retx={} dedup={} corrupt={} dead={} values={:016x}",
+         retx={} dedup={} corrupt={} dead={} probes={} redesc={} bloomneg={} \
+         bloomfp={} values={:016x}",
         summary.recoveries,
         summary.retries,
         summary.supersteps,
@@ -109,6 +110,10 @@ fn chaos_digest(scenario: &str, summary: &JobSummary, injected: u64, values: &[(
         summary.stats.frames_deduped,
         summary.stats.frames_corrupted,
         summary.stats.workers_declared_dead,
+        summary.stats.probe_leaf_hits,
+        summary.stats.probe_redescents,
+        summary.stats.bloom_negatives,
+        summary.stats.bloom_false_positives,
         values_hash(values),
     )
     .unwrap();
