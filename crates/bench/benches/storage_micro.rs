@@ -11,6 +11,7 @@ use pregelix::dataflow::groupby::{GroupByKind, LocalGroupBy, TupleCombiner};
 use pregelix::storage::btree::BTree;
 use pregelix::storage::cache::BufferCache;
 use pregelix::storage::file::{FileManager, TempDir};
+use pregelix::storage::radix::SortMode;
 use pregelix::storage::runfile::{RunHandle, RunReader, RunWriter};
 use pregelix::storage::sort::{CombineFn, ExternalSorter};
 use rand::prelude::*;
@@ -338,8 +339,12 @@ fn sum_combiner() -> CombineFn {
 }
 
 /// The tentpole benchmark: sort + combine 1M 16-byte messages, comparing
-/// the arena-backed sorter against the old per-tuple-`Vec` baseline, both
-/// fully in memory and with forced spills.
+/// three sorters — `radix_*` (the SWC radix path, the production default),
+/// `comparison_*` (the same arena sorter forced onto the PR 1 comparison
+/// path via [`SortMode::ComparisonOnly`]) and `vec_baseline_*` (the old
+/// per-tuple-`Vec` implementation) — both fully in memory and with forced
+/// spills, plus a presorted-input pair pinning "no regression when the
+/// input is already ordered".
 fn bench_sort_1m_msgs(c: &mut Criterion) {
     let mut group = c.benchmark_group("sort_1m_msgs");
     group.sample_size(10);
@@ -351,23 +356,29 @@ fn bench_sort_1m_msgs(c: &mut Criterion) {
         .map(|_| keyed_tuple(rng.gen_range(0..1u64 << 20), &1.0f64.to_le_bytes()))
         .collect();
 
+    let run_external = |mode: SortMode, budget: usize, input: &[Vec<u8>]| {
+        let mut s = ExternalSorter::new(fm.clone(), "bench-1m-a", budget)
+            .with_sort_mode(mode)
+            .with_combiner(sum_combiner());
+        for t in input {
+            s.add(t).unwrap();
+        }
+        let mut stream = s.finish().unwrap();
+        let mut n = 0u64;
+        while stream.next_tuple().unwrap().is_some() {
+            n += 1;
+        }
+        black_box(n);
+    };
+
     // (variant, budget): 1 GiB keeps everything in memory; 8 MiB forces
     // several spilled runs for ~15 MiB of input.
     for (variant, budget) in [("in_memory", 1usize << 30), ("spilling", 8 << 20)] {
-        group.bench_function(format!("arena_{variant}"), |b| {
-            b.iter(|| {
-                let mut s = ExternalSorter::new(fm.clone(), "bench-1m-a", budget)
-                    .with_combiner(sum_combiner());
-                for t in &tuples {
-                    s.add(t).unwrap();
-                }
-                let mut stream = s.finish().unwrap();
-                let mut n = 0u64;
-                while stream.next_tuple().unwrap().is_some() {
-                    n += 1;
-                }
-                black_box(n);
-            });
+        group.bench_function(format!("radix_{variant}"), |b| {
+            b.iter(|| run_external(SortMode::Auto, budget, &tuples));
+        });
+        group.bench_function(format!("comparison_{variant}"), |b| {
+            b.iter(|| run_external(SortMode::ComparisonOnly, budget, &tuples));
         });
         group.bench_function(format!("vec_baseline_{variant}"), |b| {
             b.iter(|| {
@@ -385,6 +396,17 @@ fn bench_sort_1m_msgs(c: &mut Criterion) {
             });
         });
     }
+
+    // Presorted input: the comparison sorter's best case (branch-predictable
+    // merges); the radix path must not regress here.
+    let mut presorted = tuples;
+    presorted.sort_unstable();
+    group.bench_function("radix_presorted", |b| {
+        b.iter(|| run_external(SortMode::Auto, 1 << 30, &presorted));
+    });
+    group.bench_function("comparison_presorted", |b| {
+        b.iter(|| run_external(SortMode::ComparisonOnly, 1 << 30, &presorted));
+    });
     group.finish();
 }
 

@@ -1,0 +1,389 @@
+//! LSB radix sort with software write-combining for fixed-width keys.
+//!
+//! Every keyed relation in Pregelix (`Vertex`, `Msg`, `Vid`, mutations)
+//! carries its vid in the first 8 tuple bytes, big-endian, so the sort hot
+//! path never orders arbitrary byte strings: it orders `(u64 key-prefix,
+//! payload)` entries whose key is a fixed-width integer. That is exactly the
+//! shape where an LSB radix sort beats comparison sort by integer factors —
+//! each pass is a single linear scan plus a counting scatter, O(n) per byte
+//! of key instead of O(n log n) comparisons.
+//!
+//! Two refinements keep the passes memory-friendly on real hardware:
+//!
+//! * **Software write-combining.** A naive scatter writes each entry
+//!   directly to its digit's output cursor — 256 scattered write streams
+//!   that fight for store buffers and TLB entries. Instead, entries are
+//!   staged per digit in a small block sized to one cache line
+//!   ([`STAGE_BYTES`]); a full block is flushed with one bulk
+//!   `copy_from_slice` into the digit's region of the backing stash. The
+//!   whole staging area is 256 × 64 B = 16 KB and stays resident in L1
+//!   while the scatter streams through the input.
+//! * **Pass skipping.** One OR/AND fold over the keys finds every bit
+//!   position that actually varies (`AND ≤ key ≤ OR` bitwise, so a bit is
+//!   constant iff the two folds agree on it). Digit windows then tile only
+//!   the varying bit-span — a vid range of `[base, base + 2^20)` needs
+//!   3 windows no matter which bytes the span straddles — and any window
+//!   whose bits are all constant is a no-op permutation and is skipped
+//!   without ever being histogrammed. Keys that arrive already sorted exit
+//!   before any pass, which keeps resorting near-sorted runs free.
+//!
+//! The backing stash and staging blocks live in a [`RadixScratch`] that is
+//! recycled across sorts, the same pooling discipline as
+//! [`crate::arena::TupleArena`] chunks: a spilling external sorter performs
+//! a bounded number of allocations for its whole lifetime no matter how
+//! many batches it radix-sorts. Each executed pass ends in an O(1) buffer
+//! swap, so the sorted result lands back in the caller's vector without a
+//! copy-back pass.
+//!
+//! The engine is stable on the key and sorts **keys only**; callers resolve
+//! equal-key ties (tuples longer than 8 bytes sharing a prefix, or short
+//! tuples whose zero-padded prefixes collide) by comparison-sorting each
+//! tie group — see [`for_each_tie_group`]. Inputs below
+//! [`RADIX_MIN_ENTRIES`] should stay on a comparison sort, where the fixed
+//! per-pass cost (256 cursor setups per byte) outweighs the scan savings.
+
+/// Bytes staged per digit before a bulk flush: one cache line.
+pub const STAGE_BYTES: usize = 64;
+
+/// Below this many entries the fixed per-pass costs (histogram scan plus
+/// 256-cursor setup per executed pass) beat the comparison sort's
+/// n·log n, so callers should take their comparison fallback instead.
+/// Chosen from the extraction study's crossover sweep (see EXPERIMENTS.md).
+pub const RADIX_MIN_ENTRIES: usize = 256;
+
+/// Accounting for one radix sort invocation, used to feed the
+/// `radix_sort_entries` / `radix_passes_skipped` cluster counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RadixOutcome {
+    /// Entries ordered by the radix path.
+    pub entries: u64,
+    /// Scatter passes actually executed (≤ 8).
+    pub passes_run: u32,
+    /// Passes a naive 8-pass byte radix would have run that the fold
+    /// analysis avoided (constant digit windows, presorted input).
+    pub passes_skipped: u32,
+}
+
+/// Pooled working memory for [`sort_by_key`](RadixScratch::sort_by_key):
+/// the ping-pong backing stash, the per-digit staging blocks, and the
+/// per-window histograms. All buffers are lazily allocated on first use and
+/// recycled across calls — an empty scratch costs four empty `Vec`s.
+pub struct RadixScratch<T> {
+    /// Ping-pong destination buffer; swapped with the caller's vector
+    /// after each executed pass, so allocations are recycled both ways.
+    stash: Vec<(u64, T)>,
+    /// Flat per-digit staging area: digit `d` stages into
+    /// `stage[d*block .. d*block + stage_len[d]]`.
+    stage: Vec<(u64, T)>,
+    /// Fill level of each digit's staging block (256 entries).
+    stage_len: Vec<u16>,
+    /// Histograms of every executed digit window, one scan: executed
+    /// window `w` occupies `hist[w*256 .. (w+1)*256]`.
+    hist: Vec<u32>,
+}
+
+impl<T> Default for RadixScratch<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for RadixScratch<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RadixScratch")
+            .field("stash_capacity", &self.stash.capacity())
+            .finish()
+    }
+}
+
+impl<T> RadixScratch<T> {
+    /// Create an empty scratch; buffers are allocated on first sort.
+    pub fn new() -> Self {
+        RadixScratch {
+            stash: Vec::new(),
+            stage: Vec::new(),
+            stage_len: Vec::new(),
+            hist: Vec::new(),
+        }
+    }
+
+    /// Entries staged per digit: one cache line's worth, minimum 1.
+    #[inline]
+    fn block() -> usize {
+        (STAGE_BYTES / std::mem::size_of::<(u64, T)>()).max(1)
+    }
+}
+
+impl<T: Copy> RadixScratch<T> {
+    /// Sort `entries` ascending by the `u64` key with LSB radix passes.
+    ///
+    /// Stable on the key: entries with equal keys keep their input order,
+    /// so a caller-side tie-break over [`for_each_tie_group`] produces a
+    /// deterministic total order. Degenerate passes are skipped; executed
+    /// passes scatter through the write-combining stage into the pooled
+    /// stash and finish with an O(1) buffer swap.
+    pub fn sort_by_key(&mut self, entries: &mut Vec<(u64, T)>) -> RadixOutcome {
+        let n = entries.len();
+        let mut outcome = RadixOutcome {
+            entries: n as u64,
+            ..RadixOutcome::default()
+        };
+        if n <= 1 {
+            return outcome;
+        }
+        debug_assert!(n <= u32::MAX as usize, "radix cursors are u32");
+
+        // One fold finds every varying bit (`AND ≤ key ≤ OR` bitwise, so a
+        // bit is constant iff the folds agree) and detects presorted keys.
+        let (mut orv, mut andv) = (0u64, !0u64);
+        let mut sorted = true;
+        let mut prev = entries[0].0;
+        for &(k, _) in entries.iter() {
+            orv |= k;
+            andv &= k;
+            sorted &= prev <= k;
+            prev = k;
+        }
+        let varies = orv ^ andv;
+        if sorted || varies == 0 {
+            // Already key-ordered (stability makes this an identity for the
+            // all-equal case too): every pass would be a no-op permutation.
+            outcome.passes_skipped = 8;
+            return outcome;
+        }
+        let tz = varies.trailing_zeros();
+        let span = 64 - varies.leading_zeros() - tz;
+
+        // 8-bit digit windows tile the varying bit-span from the least
+        // significant end. A window whose bits are all constant would be an
+        // identity permutation and is dropped here; constant bits *inside*
+        // a kept window are harmless — they OR the same value into every
+        // entry's digit, which preserves digit order.
+        let mut shifts = [0u32; 8];
+        let mut n_windows = 0usize;
+        let mut s = tz;
+        while s < tz + span {
+            if (varies >> s) & 0xff != 0 {
+                shifts[n_windows] = s;
+                n_windows += 1;
+            }
+            s += 8;
+        }
+
+        // One scan histograms every executed window; the counts are
+        // permutation-invariant, so they stay valid across all passes.
+        self.hist.clear();
+        self.hist.resize(n_windows * 256, 0);
+        for &(k, _) in entries.iter() {
+            for (w, &shift) in shifts[..n_windows].iter().enumerate() {
+                self.hist[w * 256 + ((k >> shift) & 0xff) as usize] += 1;
+            }
+        }
+
+        let block = Self::block();
+        let mut buffers_ready = false;
+        for (w, &shift) in shifts[..n_windows].iter().enumerate() {
+            let plane = &self.hist[w * 256..w * 256 + 256];
+            // Exclusive prefix sums become the per-digit write cursors.
+            let mut cursors = [0u32; 256];
+            let mut sum = 0u32;
+            for (c, &count) in cursors.iter_mut().zip(plane) {
+                *c = sum;
+                sum += count;
+            }
+            if !buffers_ready {
+                // The fill value is arbitrary (every slot is overwritten
+                // before the swap); using a real entry avoids a `Default`
+                // bound on `T`.
+                let fill = entries[0];
+                if self.stash.len() != n {
+                    self.stash.clear();
+                    self.stash.resize(n, fill);
+                }
+                self.stage.resize(256 * block, fill);
+                self.stage_len.resize(256, 0);
+                buffers_ready = true;
+            }
+
+            let RadixScratch {
+                stash,
+                stage,
+                stage_len,
+                ..
+            } = self;
+            for &e in entries.iter() {
+                let d = ((e.0 >> shift) & 0xff) as usize;
+                let base = d * block;
+                let len = stage_len[d] as usize;
+                stage[base + len] = e;
+                if len + 1 == block {
+                    // Bulk flush: one full cache line lands in the digit's
+                    // region of the stash as a single contiguous copy.
+                    let c = cursors[d] as usize;
+                    stash[c..c + block].copy_from_slice(&stage[base..base + block]);
+                    cursors[d] += block as u32;
+                    stage_len[d] = 0;
+                } else {
+                    stage_len[d] = (len + 1) as u16;
+                }
+            }
+            // Flush partial blocks in digit order.
+            for d in 0..256 {
+                let len = stage_len[d] as usize;
+                if len != 0 {
+                    let c = cursors[d] as usize;
+                    let base = d * block;
+                    stash[c..c + len].copy_from_slice(&stage[base..base + len]);
+                    stage_len[d] = 0;
+                }
+            }
+            std::mem::swap(entries, stash);
+            outcome.passes_run += 1;
+        }
+        // Accounting is relative to a naive 8-pass byte radix: every pass
+        // the fold analysis let us avoid counts as skipped.
+        outcome.passes_skipped = 8 - outcome.passes_run;
+        outcome
+    }
+}
+
+/// Visit every maximal run of equal keys of length ≥ 2 in a key-sorted
+/// entry slice. This is the tie-group walk the radix callers use to
+/// resolve equal-prefix entries with a comparison sort over the full
+/// tuple bytes.
+pub fn for_each_tie_group<T>(entries: &mut [(u64, T)], mut f: impl FnMut(&mut [(u64, T)])) {
+    let n = entries.len();
+    let mut start = 0;
+    while start < n {
+        let key = entries[start].0;
+        let mut end = start + 1;
+        while end < n && entries[end].0 == key {
+            end += 1;
+        }
+        if end - start >= 2 {
+            f(&mut entries[start..end]);
+        }
+        start = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sort_keys(keys: &[u64]) -> (Vec<u64>, RadixOutcome) {
+        let mut scratch = RadixScratch::new();
+        let mut entries: Vec<(u64, u32)> =
+            keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        let outcome = scratch.sort_by_key(&mut entries);
+        (entries.iter().map(|e| e.0).collect(), outcome)
+    }
+
+    #[test]
+    fn sorts_like_std() {
+        let keys: Vec<u64> = (0..5000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let (got, outcome) = sort_keys(&keys);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+        assert_eq!(outcome.entries, 5000);
+        assert_eq!(outcome.passes_run + outcome.passes_skipped, 8);
+    }
+
+    #[test]
+    fn stable_on_equal_keys() {
+        // Keys collide heavily; payload records arrival order.
+        let keys: Vec<u64> = (0..4096u64).map(|i| i % 7).collect();
+        let mut scratch = RadixScratch::new();
+        let mut entries: Vec<(u64, u32)> =
+            keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        scratch.sort_by_key(&mut entries);
+        for w in entries.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "equal keys must keep input order");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_passes_are_skipped() {
+        // All keys equal: every pass is degenerate.
+        let (got, outcome) = sort_keys(&vec![42u64; 1000]);
+        assert_eq!(got, vec![42u64; 1000]);
+        assert_eq!(outcome.passes_skipped, 8);
+        assert_eq!(outcome.passes_run, 0);
+
+        // Keys differ only in the lowest byte: exactly one real pass.
+        let keys: Vec<u64> = (0..2000u64).map(|i| (i * 37) % 256).collect();
+        let (got, outcome) = sort_keys(&keys);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+        assert_eq!(outcome.passes_run, 1);
+        assert_eq!(outcome.passes_skipped, 7);
+    }
+
+    #[test]
+    fn full_width_keys_run_all_passes() {
+        let keys: Vec<u64> = (0..3000u64)
+            .map(|i| i.wrapping_mul(0x6C62_272E_07BB_0142).rotate_left(17))
+            .collect();
+        let (got, outcome) = sort_keys(&keys);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+        assert_eq!(outcome.passes_run, 8);
+    }
+
+    #[test]
+    fn tiny_inputs_are_noops() {
+        let (got, outcome) = sort_keys(&[]);
+        assert!(got.is_empty());
+        assert_eq!(outcome.passes_run, 0);
+        let (got, outcome) = sort_keys(&[9]);
+        assert_eq!(got, vec![9]);
+        assert_eq!(outcome.entries, 1);
+        assert_eq!(outcome.passes_run + outcome.passes_skipped, 0);
+    }
+
+    #[test]
+    fn scratch_is_recycled_across_sorts() {
+        let mut scratch: RadixScratch<u32> = RadixScratch::new();
+        let mut first_cap = 0;
+        for round in 0..5 {
+            let mut entries: Vec<(u64, u32)> = (0..10_000u64)
+                .map(|i| (i.wrapping_mul(0x9E37_79B9) % 100_000, i as u32))
+                .collect();
+            scratch.sort_by_key(&mut entries);
+            assert!(entries.windows(2).all(|w| w[0].0 <= w[1].0));
+            if round == 0 {
+                first_cap = scratch.stash.capacity();
+                assert!(first_cap >= 10_000);
+            } else {
+                assert_eq!(
+                    scratch.stash.capacity(),
+                    first_cap,
+                    "same-size resorts must reuse the stash"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tie_group_walk_finds_runs() {
+        let mut entries: Vec<(u64, u32)> =
+            vec![(1, 0), (1, 1), (2, 2), (3, 3), (3, 4), (3, 5), (4, 6)];
+        let mut groups = Vec::new();
+        for_each_tie_group(&mut entries, |g| groups.push((g[0].0, g.len())));
+        assert_eq!(groups, vec![(1, 2), (3, 3)]);
+        let mut none = vec![(1u64, 0u32), (2, 1)];
+        let mut called = 0;
+        for_each_tie_group(&mut none, |_| called += 1);
+        assert_eq!(called, 0);
+        let mut empty: Vec<(u64, u32)> = Vec::new();
+        for_each_tie_group(&mut empty, |_| panic!("no groups in empty input"));
+    }
+}

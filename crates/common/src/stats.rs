@@ -48,6 +48,21 @@ struct Counters {
     /// not counted, so this stays O(buffer budget / chunk size) on a
     /// healthy message path regardless of tuple count).
     arena_frames_allocated: AtomicU64,
+    /// Sort entries ordered by the LSB radix path (software
+    /// write-combining message sort); entries taken by a comparison
+    /// fallback are not counted.
+    radix_sort_entries: AtomicU64,
+    /// Radix passes a naive 8-pass byte radix would have run that the
+    /// sorter's plan avoided: constant key bits outside the varying
+    /// bit-span (the common case for the high key bytes of small vid
+    /// ranges), presorted batches, and multi-bit digit windows that
+    /// cover the span in fewer passes.
+    radix_passes_skipped: AtomicU64,
+    /// Comparison-sort invocations on the sort path: whole-batch
+    /// fallbacks (batches below the radix threshold or forced comparison
+    /// mode) plus equal-prefix tie groups resolved by full-tuple byte
+    /// comparison after the radix passes.
+    sort_comparison_fallbacks: AtomicU64,
     /// Faults injected by an installed [`crate::fault::FaultPlan`] (always 0
     /// in production).
     faults_injected: AtomicU64,
@@ -118,6 +133,9 @@ counter_api! {
     add_sort_runs / sort_runs_spilled => sort_runs_spilled,
     add_sort_bytes_spilled / sort_bytes_spilled => sort_bytes_spilled,
     add_arena_frames / arena_frames_allocated => arena_frames_allocated,
+    add_radix_sort_entries / radix_sort_entries => radix_sort_entries,
+    add_radix_passes_skipped / radix_passes_skipped => radix_passes_skipped,
+    add_sort_comparison_fallbacks / sort_comparison_fallbacks => sort_comparison_fallbacks,
     add_faults_injected / faults_injected => faults_injected,
     add_fault_retries / fault_retries => fault_retries,
     add_frames_retransmitted / frames_retransmitted => frames_retransmitted,
@@ -164,6 +182,9 @@ impl ClusterCounters {
             sort_runs_spilled: c.sort_runs_spilled.load(Ordering::Relaxed),
             sort_bytes_spilled: c.sort_bytes_spilled.load(Ordering::Relaxed),
             arena_frames_allocated: c.arena_frames_allocated.load(Ordering::Relaxed),
+            radix_sort_entries: c.radix_sort_entries.load(Ordering::Relaxed),
+            radix_passes_skipped: c.radix_passes_skipped.load(Ordering::Relaxed),
+            sort_comparison_fallbacks: c.sort_comparison_fallbacks.load(Ordering::Relaxed),
             faults_injected: c.faults_injected.load(Ordering::Relaxed),
             fault_retries: c.fault_retries.load(Ordering::Relaxed),
             frames_retransmitted: c.frames_retransmitted.load(Ordering::Relaxed),
@@ -196,6 +217,9 @@ pub struct StatsSnapshot {
     pub sort_runs_spilled: u64,
     pub sort_bytes_spilled: u64,
     pub arena_frames_allocated: u64,
+    pub radix_sort_entries: u64,
+    pub radix_passes_skipped: u64,
+    pub sort_comparison_fallbacks: u64,
     pub faults_injected: u64,
     pub fault_retries: u64,
     pub frames_retransmitted: u64,
@@ -233,6 +257,10 @@ impl StatsSnapshot {
             sort_bytes_spilled: self.sort_bytes_spilled - earlier.sort_bytes_spilled,
             arena_frames_allocated: self.arena_frames_allocated
                 - earlier.arena_frames_allocated,
+            radix_sort_entries: self.radix_sort_entries - earlier.radix_sort_entries,
+            radix_passes_skipped: self.radix_passes_skipped - earlier.radix_passes_skipped,
+            sort_comparison_fallbacks: self.sort_comparison_fallbacks
+                - earlier.sort_comparison_fallbacks,
             faults_injected: self.faults_injected - earlier.faults_injected,
             fault_retries: self.fault_retries - earlier.fault_retries,
             frames_retransmitted: self.frames_retransmitted - earlier.frames_retransmitted,
@@ -310,6 +338,24 @@ mod tests {
         assert_eq!(d.probe_page_pins, 4);
         assert_eq!(d.bloom_negatives, 5);
         assert_eq!(d.bloom_false_positives, 1);
+    }
+
+    #[test]
+    fn radix_counters_flow_through_snapshot_and_delta() {
+        let c = ClusterCounters::new();
+        c.add_radix_sort_entries(100);
+        let before = c.snapshot();
+        c.add_radix_sort_entries(1_000_000);
+        c.add_radix_passes_skipped(5);
+        c.add_sort_comparison_fallbacks(3);
+        let s = c.snapshot();
+        assert_eq!(s.radix_sort_entries, 1_000_100);
+        assert_eq!(s.radix_passes_skipped, 5);
+        assert_eq!(s.sort_comparison_fallbacks, 3);
+        let d = s.delta_since(&before);
+        assert_eq!(d.radix_sort_entries, 1_000_000);
+        assert_eq!(d.radix_passes_skipped, 5);
+        assert_eq!(d.sort_comparison_fallbacks, 3);
     }
 
     #[test]

@@ -20,9 +20,11 @@
 //! grouping key Pregelix ever needs (message combination, mutation
 //! resolution).
 
+use pregelix_common::arena::{TupleArena, TupleRef, DEFAULT_ARENA_CHUNK_BYTES};
 use pregelix_common::error::Result;
 use pregelix_common::stats::ClusterCounters;
 use pregelix_storage::file::FileManager;
+use pregelix_storage::radix::{SortMode, TupleRadixSorter};
 use pregelix_storage::runfile::{RunHandle, RunWriter};
 use pregelix_storage::sort::{CombineFn, ExternalSorter, SortedStream};
 use std::collections::HashMap;
@@ -130,6 +132,12 @@ impl SortGroupBy {
 /// HashSort group-by: combine eagerly in a hash table keyed by vid; when
 /// the table exceeds its budget, drain it in key order into a sorted run.
 /// `finish` merges runs plus the residual table contents.
+///
+/// Draining is allocation-free after warm-up: the table's tuples are
+/// appended into a pooled [`TupleArena`] (chunks recycled across spills),
+/// the `(vid, ref)` entry vector is radix-sorted in place, and spilling
+/// walks the sorted refs — matching the discipline of the sort-based path
+/// instead of collecting per-tuple `Vec<u8>`s.
 pub struct HashSortGroupBy {
     fm: FileManager,
     label: String,
@@ -139,6 +147,15 @@ pub struct HashSortGroupBy {
     bytes: usize,
     runs: Vec<RunHandle>,
     counters: ClusterCounters,
+    /// Pooled storage for drained table contents; reset (chunks recycled)
+    /// before every drain.
+    drain_arena: TupleArena,
+    /// `(vid, ref)` sort entries over `drain_arena`, reused across drains.
+    /// The vid doubles as the radix key: for keyed tuples the 8-byte
+    /// big-endian prefix read as a `u64` *is* the vid.
+    drain_refs: Vec<(u64, TupleRef)>,
+    /// Pooled radix sorter (recycled stash + staging blocks).
+    sorter: TupleRadixSorter,
 }
 
 impl HashSortGroupBy {
@@ -152,6 +169,7 @@ impl HashSortGroupBy {
         budget: usize,
         combiner: Option<&TupleCombiner>,
     ) -> HashSortGroupBy {
+        let counters = fm.counters().clone();
         HashSortGroupBy {
             fm: fm.clone(),
             label: label.to_string(),
@@ -160,7 +178,10 @@ impl HashSortGroupBy {
             map: HashMap::new(),
             bytes: 0,
             runs: Vec::new(),
-            counters: fm.counters().clone(),
+            drain_arena: TupleArena::with_counters(DEFAULT_ARENA_CHUNK_BYTES, counters.clone()),
+            drain_refs: Vec::new(),
+            sorter: TupleRadixSorter::with_counters(SortMode::Auto, counters.clone()),
+            counters,
         }
     }
 
@@ -195,24 +216,32 @@ impl HashSortGroupBy {
         Ok(())
     }
 
-    fn drain_sorted(&mut self) -> Vec<Vec<u8>> {
-        let mut entries: Vec<(u64, Vec<u8>)> = self.map.drain().collect();
+    /// Drain the hash table into `drain_arena`/`drain_refs` in ascending
+    /// vid order. The tuple bytes land in recycled arena chunks and the
+    /// entry vector is radix-sorted in place — no per-tuple allocation.
+    fn drain_sorted(&mut self) {
+        self.drain_arena.reset();
+        self.drain_refs.clear();
+        for (vid, t) in self.map.drain() {
+            let r = self.drain_arena.append(&t);
+            self.drain_refs.push((vid, r));
+        }
         self.bytes = 0;
-        entries.sort_unstable_by_key(|(vid, _)| *vid);
-        entries.into_iter().map(|(_, t)| t).collect()
+        self.sorter.sort(&self.drain_arena, &mut self.drain_refs);
     }
 
     fn spill(&mut self) -> Result<()> {
         if self.map.is_empty() {
             return Ok(());
         }
-        let tuples = self.drain_sorted();
+        self.drain_sorted();
         let mut w = RunWriter::create(
             self.fm.temp_file_path(&self.label),
             self.counters.clone(),
         )?;
         let mut spilled_bytes = 0u64;
-        for t in &tuples {
+        for &(_, r) in &self.drain_refs {
+            let t = self.drain_arena.get(r);
             spilled_bytes += t.len() as u64;
             w.write_tuple(t)?;
         }
@@ -233,11 +262,16 @@ impl HashSortGroupBy {
         Ok(())
     }
 
-    /// Finish and return the sorted, combined stream.
+    /// Finish and return the sorted, combined stream. The residual table
+    /// contents are handed to the merge as the drained arena plus sorted
+    /// refs — no per-tuple copies on the way out.
     pub fn finish(mut self) -> Result<SortedStream> {
-        let memory = self.drain_sorted();
-        SortedStream::from_parts(
-            memory,
+        self.drain_sorted();
+        let arena = std::mem::replace(&mut self.drain_arena, TupleArena::new(1024));
+        let refs: Vec<TupleRef> = self.drain_refs.iter().map(|&(_, r)| r).collect();
+        SortedStream::from_arena_parts(
+            arena,
+            refs,
             std::mem::take(&mut self.runs),
             self.combiner.as_ref().map(combine_fn),
             self.counters.clone(),
@@ -459,6 +493,31 @@ mod tests {
         );
         assert!(GroupByStrategy::HashSortMerged.merged());
         assert_eq!(GroupByStrategy::all().len(), 4);
+    }
+
+    #[test]
+    fn hashsort_drain_recycles_arena_chunks_across_spills() {
+        let (f, _d) = fm();
+        let c = sum_combiner();
+        let mut g = HashSortGroupBy::new(&f, "rc", 2048, Some(&c));
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20_000 {
+            let vid = rng.gen_range(0..500u64);
+            g.add(&keyed_tuple(vid, &1u64.to_le_bytes())).unwrap();
+        }
+        let spills = f.counters().sort_runs_spilled();
+        assert!(spills > 5, "2 KB budget must force many spills, got {spills}");
+        // Every drain resets the pooled arena, recycling its chunks: the
+        // allocation count is bounded by one drain's footprint (well under
+        // a chunk here), not by the number of drains.
+        let chunks = f.counters().arena_frames_allocated();
+        assert!(chunks <= 2, "drain arena must recycle chunks, allocated {chunks}");
+        let mut stream = g.finish().unwrap();
+        let mut total = 0u64;
+        while let Some(t) = stream.next_tuple().unwrap() {
+            total += u64::from_le_bytes(tuple_payload(t).unwrap().try_into().unwrap());
+        }
+        assert_eq!(total, 20_000, "no message may be lost across drains");
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   workloads such as the genome-assembly path merging (§5.2).
 //! * [`bloom`] — per-disk-component bloom filters so LSM point probes skip
 //!   components that provably do not contain the key.
+//! * [`radix`] — the tuple-level LSB radix sorter with software
+//!   write-combining that orders `(key-prefix, TupleRef)` entry vectors on
+//!   the message hot path, with a comparison fallback for small or unkeyed
+//!   batches.
 //! * [`runfile`] — sequential frame-structured temporary files, used for
 //!   sort runs, materialized connector channels, and the `Msg` relation.
 //! * [`sort`] — an external sort with bounded memory, optional
@@ -31,6 +35,7 @@ pub mod cache;
 pub mod file;
 pub mod lsm;
 pub mod page;
+pub mod radix;
 pub mod runfile;
 pub mod sort;
 
@@ -39,6 +44,7 @@ pub use btree::BTree;
 pub use cache::BufferCache;
 pub use file::{FileId, FileManager};
 pub use lsm::LsmBTree;
+pub use radix::{SortMode, TupleRadixSorter};
 pub use runfile::{RunReader, RunWriter};
 pub use sort::ExternalSorter;
 

@@ -10,8 +10,12 @@
 //! The in-memory phase is **frame-native**: tuples append into a pooled
 //! [`TupleArena`] (contiguous chunk storage, recycled across spills) and
 //! sorting permutes a vector of small sort entries — an 8-byte normalized
-//! key prefix plus a 12-byte [`TupleRef`]. Comparisons resolve on the
-//! prefix `u64` for all but equal-key tuples, so the sort rarely touches
+//! key prefix plus a 12-byte [`TupleRef`]. Large batches are ordered by
+//! the LSB radix path of [`crate::radix::TupleRadixSorter`] (software
+//! write-combining scatter over the prefix bytes, degenerate passes
+//! skipped, equal-prefix ties comparison-sorted); small batches take a
+//! comparison sort that still resolves on the prefix `u64` for all but
+//! equal-key tuples. Either way the sort rarely touches
 //! tuple bytes at all. No per-tuple heap allocation happens anywhere on
 //! this path — the asymmetry against object-per-message runtimes that the
 //! paper's byte-oriented frame design buys (§5.4). Spilling a sorted run is
@@ -30,10 +34,11 @@
 //! PageRank from writing the full message volume to disk.
 
 use crate::file::FileManager;
+use crate::radix::{SortMode, TupleRadixSorter};
 use crate::runfile::{RunHandle, RunReader, RunWriter};
 use pregelix_common::arena::{TupleArena, TupleRef, DEFAULT_ARENA_CHUNK_BYTES};
 use pregelix_common::error::Result;
-use pregelix_common::frame::tuple_vid;
+use pregelix_common::frame::{key_prefix, tuple_vid};
 use std::cmp::Ordering;
 
 /// Combines two tuples that share the same 8-byte key prefix into one.
@@ -45,20 +50,6 @@ pub type CombineFn = Box<dyn FnMut(&[u8], &[u8]) -> Vec<u8> + Send>;
 /// (the size of one sort entry: key prefix + [`TupleRef`]).
 const REF_COST: usize = std::mem::size_of::<(u64, TupleRef)>();
 
-/// Normalized sort key: the first 8 tuple bytes as a big-endian `u64`,
-/// zero-padded for shorter tuples. Ordering by `(key_prefix(t), t)` equals
-/// plain lexicographic ordering of `t`: if two zero-padded prefixes differ,
-/// the tuples first differ at a byte the prefixes cover (padding only ever
-/// compares as `0`, the smallest byte, against a real byte or nothing), and
-/// on equal prefixes the tie-break compares the full tuples anyway.
-#[inline]
-fn key_prefix(t: &[u8]) -> u64 {
-    let mut p = [0u8; 8];
-    let n = t.len().min(8);
-    p[..n].copy_from_slice(&t[..n]);
-    u64::from_be_bytes(p)
-}
-
 /// An external sorter over keyed tuples.
 pub struct ExternalSorter {
     fm: FileManager,
@@ -66,6 +57,7 @@ pub struct ExternalSorter {
     budget_bytes: usize,
     arena: TupleArena,
     refs: Vec<(u64, TupleRef)>,
+    sorter: TupleRadixSorter,
     runs: Vec<RunHandle>,
     combiner: Option<CombineFn>,
 }
@@ -80,12 +72,14 @@ impl ExternalSorter {
         // allocation count at O(budget / chunk size) either way.
         let chunk = budget_bytes.min(DEFAULT_ARENA_CHUNK_BYTES);
         let arena = TupleArena::with_counters(chunk, fm.counters().clone());
+        let sorter = TupleRadixSorter::with_counters(SortMode::Auto, fm.counters().clone());
         ExternalSorter {
             fm,
             label: label.into(),
             budget_bytes,
             arena,
             refs: Vec::new(),
+            sorter,
             runs: Vec::new(),
             combiner: None,
         }
@@ -95,6 +89,22 @@ impl ExternalSorter {
     /// sort and merge phases.
     pub fn with_combiner(mut self, combiner: CombineFn) -> Self {
         self.combiner = Some(combiner);
+        self
+    }
+
+    /// Override the in-memory sort implementation (default
+    /// [`SortMode::Auto`]). [`SortMode::ComparisonOnly`] keeps the PR 1
+    /// comparison sorter selectable for benchmarks and equivalence tests.
+    pub fn with_sort_mode(mut self, mode: SortMode) -> Self {
+        self.sorter = TupleRadixSorter::with_counters(mode, self.fm.counters().clone());
+        self
+    }
+
+    /// Lower the radix threshold of the in-memory sort (default
+    /// [`crate::radix::TUPLE_RADIX_MIN_ENTRIES`]). Test/benchmark hook:
+    /// lets small spill batches exercise the full radix plan end-to-end.
+    pub fn with_sort_min_entries(mut self, min_entries: usize) -> Self {
+        self.sorter.set_min_entries(min_entries);
         self
     }
 
@@ -114,14 +124,11 @@ impl ExternalSorter {
         Ok(())
     }
 
-    /// Sort the buffered refs by whole-tuple byte order. The normalized key
-    /// prefix decides most comparisons without dereferencing into the arena.
+    /// Sort the buffered refs by whole-tuple byte order: radix over the
+    /// normalized key prefix for large batches (ties and small batches
+    /// comparison-sorted), so the sort rarely dereferences into the arena.
     fn sort_refs(&mut self) {
-        let arena = &self.arena;
-        self.refs.sort_unstable_by(|a, b| {
-            a.0.cmp(&b.0)
-                .then_with(|| arena.get(a.1).cmp(arena.get(b.1)))
-        });
+        self.sorter.sort(&self.arena, &mut self.refs);
     }
 
     fn spill(&mut self) -> Result<()> {
@@ -261,26 +268,45 @@ pub struct SortedStream {
 
 impl SortedStream {
     /// Assemble a merged stream from already-sorted parts: an in-memory
-    /// sorted (and pre-combined) tuple vector plus sealed sorted runs. Used
-    /// by the HashSort group-by, which produces its runs by draining a hash
-    /// table in key order. Takes ownership of the runs and deletes them when
-    /// the stream is dropped.
+    /// sorted (and pre-combined) tuple vector plus sealed sorted runs.
+    /// Takes ownership of the runs and deletes them when the stream is
+    /// dropped. Convenience wrapper over [`SortedStream::from_arena_parts`]
+    /// for callers that hold owned tuples.
     pub fn from_parts(
         memory: Vec<Vec<u8>>,
         runs: Vec<RunHandle>,
         combiner: Option<CombineFn>,
         counters: pregelix_common::stats::ClusterCounters,
     ) -> Result<SortedStream> {
-        debug_assert!(memory.windows(2).all(|w| w[0] <= w[1]), "memory not sorted");
         let mut arena = TupleArena::with_counters(DEFAULT_ARENA_CHUNK_BYTES, counters.clone());
         let memory_refs: Vec<TupleRef> = memory.iter().map(|t| arena.append(t)).collect();
+        Self::from_arena_parts(arena, memory_refs, runs, combiner, counters)
+    }
+
+    /// Assemble a merged stream from an arena-backed in-memory part (tuple
+    /// refs must already be in ascending whole-tuple byte order) plus
+    /// sealed sorted runs. Used by the HashSort group-by, which drains its
+    /// hash table into a pooled arena and radix-sorts the refs — no
+    /// per-tuple allocation crosses this boundary. Takes ownership of the
+    /// runs and deletes them when the stream is dropped.
+    pub fn from_arena_parts(
+        arena: TupleArena,
+        refs: Vec<TupleRef>,
+        runs: Vec<RunHandle>,
+        combiner: Option<CombineFn>,
+        counters: pregelix_common::stats::ClusterCounters,
+    ) -> Result<SortedStream> {
+        debug_assert!(
+            refs.windows(2).all(|w| arena.get(w[0]) <= arena.get(w[1])),
+            "memory refs not sorted"
+        );
         let mut readers = Vec::with_capacity(runs.len());
         for run in &runs {
             readers.push(run.open(counters.clone())?);
         }
         let mut stream = SortedStream {
             memory_arena: arena,
-            memory_refs,
+            memory_refs: refs,
             memory_pos: 0,
             readers,
             heap: Vec::new(),
@@ -555,6 +581,44 @@ mod tests {
             let sum = u64::from_le_bytes(tuple_payload(t).unwrap().try_into().unwrap());
             assert_eq!(sum, 200);
         }
+    }
+
+    #[test]
+    fn radix_and_comparison_modes_agree_with_spills() {
+        use crate::radix::SortMode;
+        let mut outputs = Vec::new();
+        let mut spilled = Vec::new();
+        for mode in [SortMode::Auto, SortMode::ComparisonOnly] {
+            let (f, _d) = fm();
+            let mut s = ExternalSorter::new(f.clone(), "m", 4096).with_sort_mode(mode);
+            let mut rng = StdRng::seed_from_u64(77);
+            for _ in 0..10_000 {
+                let vid = rng.gen_range(0..1_000u64);
+                s.add(&keyed_tuple(vid, &vid.to_le_bytes())).unwrap();
+            }
+            assert!(s.spilled_runs() > 0);
+            outputs.push(s.finish().unwrap().collect_all().unwrap());
+            spilled.push(f.counters().sort_bytes_spilled());
+        }
+        assert_eq!(outputs[0], outputs[1], "modes must be byte-identical");
+        assert_eq!(spilled[0], spilled[1], "zero drift in spill volume");
+    }
+
+    #[test]
+    fn default_path_charges_radix_counters() {
+        let (f, _d) = fm();
+        let counters = f.counters().clone();
+        let mut s = ExternalSorter::new(f, "rc", 1 << 20);
+        // Large single batch over a byte-and-a-half of vid range: the
+        // finish-time sort takes the radix path and skips the high passes.
+        for vid in (0..5_000u64).rev() {
+            s.add(&keyed_tuple(vid, b"")).unwrap();
+        }
+        let out = s.finish().unwrap().collect_all().unwrap();
+        assert_eq!(out.len(), 5_000);
+        assert_eq!(counters.radix_sort_entries(), 5_000);
+        assert_eq!(counters.radix_passes_skipped(), 6);
+        assert_eq!(counters.sort_comparison_fallbacks(), 0);
     }
 
     #[test]

@@ -121,7 +121,8 @@ fn chaos_digest(scenario: &str, summary: &JobSummary, injected: u64, values: &[(
     writeln!(
         f,
         "{scenario} recoveries={} retries={} supersteps={} injected={injected} \
-         probes={} redesc={} bloomneg={} bloomfp={} values={:016x}",
+         probes={} redesc={} bloomneg={} bloomfp={} radixn={} rskip={} cmpfb={} \
+         values={:016x}",
         summary.recoveries,
         summary.retries,
         summary.supersteps,
@@ -129,6 +130,9 @@ fn chaos_digest(scenario: &str, summary: &JobSummary, injected: u64, values: &[(
         summary.stats.probe_redescents,
         summary.stats.bloom_negatives,
         summary.stats.bloom_false_positives,
+        summary.stats.radix_sort_entries,
+        summary.stats.radix_passes_skipped,
+        summary.stats.sort_comparison_fallbacks,
         values_hash(values),
     )
     .unwrap();

@@ -102,7 +102,7 @@ fn chaos_digest(scenario: &str, summary: &JobSummary, injected: u64, values: &[(
         f,
         "{scenario} recoveries={} retries={} supersteps={} injected={injected} \
          retx={} dedup={} corrupt={} dead={} probes={} redesc={} bloomneg={} \
-         bloomfp={} values={:016x}",
+         bloomfp={} radixn={} rskip={} cmpfb={} values={:016x}",
         summary.recoveries,
         summary.retries,
         summary.supersteps,
@@ -114,6 +114,9 @@ fn chaos_digest(scenario: &str, summary: &JobSummary, injected: u64, values: &[(
         summary.stats.probe_redescents,
         summary.stats.bloom_negatives,
         summary.stats.bloom_false_positives,
+        summary.stats.radix_sort_entries,
+        summary.stats.radix_passes_skipped,
+        summary.stats.sort_comparison_fallbacks,
         values_hash(values),
     )
     .unwrap();
