@@ -65,6 +65,12 @@ pub enum Site {
     /// The driver-side superstep barrier; ctx = the superstep number about to
     /// run, formatted in decimal.
     Barrier,
+    /// Straggler injection point at the start of a partition's message
+    /// group-by task; ctx = `"{job}:s{superstep}:p{partition}"`. A
+    /// [`Fault::Stall`] rule firing here makes that one partition
+    /// deterministically slow for that one superstep — the controlled
+    /// stand-in for a straggler that barrier-vs-frontier tests need.
+    Stall,
 }
 
 impl Site {
@@ -83,6 +89,7 @@ impl Site {
             Site::FrameResend => "frame-resend",
             Site::AckSend => "ack-send",
             Site::Barrier => "barrier",
+            Site::Stall => "stall",
         }
     }
 }
@@ -116,6 +123,15 @@ pub enum Fault {
     /// matches, so the receiver discards the frame and nacks it
     /// ([`Site::FrameSend`] and [`Site::FrameResend`] only).
     CorruptFrame,
+    /// The task spins through `work` iterations of deterministic busy work
+    /// before proceeding — a straggler, not a failure. Only honored at
+    /// [`Site::Stall`]; elsewhere behaves like [`Fault::IoError`]. Per the
+    /// determinism rule this is bounded CPU work at an exact event count,
+    /// never a timer.
+    Stall {
+        /// Busy-loop iterations to burn.
+        work: u64,
+    },
 }
 
 /// One scheduled fault: fire `fault` at the `nth` event matching
@@ -342,6 +358,25 @@ mod tests {
         guard.install(FaultPlan::new().on(Site::RunRead, "", 1, Fault::IoError));
         drop(guard);
         assert!(!active());
+    }
+
+    #[test]
+    fn stall_rules_target_one_partition_superstep() {
+        let guard = exclusive();
+        let plan = guard.install(FaultPlan::new().on(
+            Site::Stall,
+            "job-x:s3:p1",
+            1,
+            Fault::Stall { work: 1_000 },
+        ));
+        assert_eq!(hit(Site::Stall, "job-x:s1:p1"), None);
+        assert_eq!(hit(Site::Stall, "job-x:s3:p0"), None);
+        assert_eq!(
+            hit(Site::Stall, "job-x:s3:p1"),
+            Some(Fault::Stall { work: 1_000 })
+        );
+        assert_eq!(hit(Site::Stall, "job-x:s3:p1"), None, "fires exactly once");
+        assert_eq!(plan.injected(), 1);
     }
 
     #[test]

@@ -96,6 +96,25 @@ struct Counters {
     /// B-tree did not contain the key (wasted descent; measures filter
     /// quality).
     bloom_false_positives: AtomicU64,
+    /// Gated (frontier-mode) partition superstep starts: every time a
+    /// partition's compute task began superstep *i+1* inside an execution
+    /// window by consuming its per-partition gate signals rather than a
+    /// cluster-wide barrier. Data-derived (counts gate consumptions), never
+    /// timing-derived, so it is stable across identical runs.
+    frontier_advances: AtomicU64,
+    /// The subset of `frontier_advances` where the partition advanced
+    /// *early* — before the global-state task for the previous superstep
+    /// finished — because a positive partition-local count (combined
+    /// messages, live vertices, or live insertions) already proved the job
+    /// could not halt. Each one is a cluster-wide barrier wait that barrier
+    /// mode would have paid.
+    barrier_waits_avoided: AtomicU64,
+    /// Maximum observed partition superstep skew (overwrite-by-max): 1 when
+    /// some in-window superstep boundary saw a strict subset of partitions
+    /// advance early (so partitions were momentarily one superstep apart),
+    /// 0 otherwise. The window executor's stream-close rule bounds skew to
+    /// one superstep, so this is an indicator, not an unbounded gauge.
+    max_partition_skew: AtomicU64,
     /// Vertices alive at the end of the most recent superstep.
     live_vertices: AtomicU64,
 }
@@ -147,6 +166,8 @@ counter_api! {
     add_probe_page_pins / probe_page_pins => probe_page_pins,
     add_bloom_negatives / bloom_negatives => bloom_negatives,
     add_bloom_false_positives / bloom_false_positives => bloom_false_positives,
+    add_frontier_advances / frontier_advances => frontier_advances,
+    add_barrier_waits_avoided / barrier_waits_avoided => barrier_waits_avoided,
 }
 
 impl ClusterCounters {
@@ -163,6 +184,22 @@ impl ClusterCounters {
     /// Live vertices at the last superstep boundary.
     pub fn live_vertices(&self) -> u64 {
         self.inner.live_vertices.load(Ordering::Relaxed)
+    }
+
+    /// Record an observed partition superstep skew (keeps the maximum).
+    pub fn record_partition_skew(&self, n: u64) {
+        self.inner.max_partition_skew.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Maximum partition superstep skew observed so far.
+    pub fn max_partition_skew(&self) -> u64 {
+        self.inner.max_partition_skew.load(Ordering::Relaxed)
+    }
+
+    /// Counter movement since `earlier`: shorthand for snapshotting now and
+    /// subtracting (see [`StatsSnapshot::delta_since`]).
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        self.snapshot().delta_since(earlier)
     }
 
     /// Take a serializable point-in-time snapshot.
@@ -196,6 +233,9 @@ impl ClusterCounters {
             probe_page_pins: c.probe_page_pins.load(Ordering::Relaxed),
             bloom_negatives: c.bloom_negatives.load(Ordering::Relaxed),
             bloom_false_positives: c.bloom_false_positives.load(Ordering::Relaxed),
+            frontier_advances: c.frontier_advances.load(Ordering::Relaxed),
+            barrier_waits_avoided: c.barrier_waits_avoided.load(Ordering::Relaxed),
+            max_partition_skew: c.max_partition_skew.load(Ordering::Relaxed),
             live_vertices: c.live_vertices.load(Ordering::Relaxed),
         }
     }
@@ -231,6 +271,9 @@ pub struct StatsSnapshot {
     pub probe_page_pins: u64,
     pub bloom_negatives: u64,
     pub bloom_false_positives: u64,
+    pub frontier_advances: u64,
+    pub barrier_waits_avoided: u64,
+    pub max_partition_skew: u64,
     pub live_vertices: u64,
 }
 
@@ -273,6 +316,12 @@ impl StatsSnapshot {
             bloom_negatives: self.bloom_negatives - earlier.bloom_negatives,
             bloom_false_positives: self.bloom_false_positives
                 - earlier.bloom_false_positives,
+            frontier_advances: self.frontier_advances - earlier.frontier_advances,
+            barrier_waits_avoided: self.barrier_waits_avoided
+                - earlier.barrier_waits_avoided,
+            // Like `live_vertices`, the skew indicator is a gauge rather
+            // than a monotone counter: a delta carries the current value.
+            max_partition_skew: self.max_partition_skew,
             live_vertices: self.live_vertices,
         }
     }
@@ -356,6 +405,27 @@ mod tests {
         assert_eq!(d.radix_sort_entries, 1_000_000);
         assert_eq!(d.radix_passes_skipped, 5);
         assert_eq!(d.sort_comparison_fallbacks, 3);
+    }
+
+    #[test]
+    fn frontier_counters_flow_through_snapshot_and_delta() {
+        let c = ClusterCounters::new();
+        c.add_frontier_advances(2);
+        let before = c.snapshot();
+        c.add_frontier_advances(6);
+        c.add_barrier_waits_avoided(3);
+        c.record_partition_skew(0);
+        c.record_partition_skew(1);
+        c.record_partition_skew(0); // fetch_max keeps the high-water mark
+        let s = c.snapshot();
+        assert_eq!(s.frontier_advances, 8);
+        assert_eq!(s.barrier_waits_avoided, 3);
+        assert_eq!(s.max_partition_skew, 1);
+        assert_eq!(c.max_partition_skew(), 1);
+        let d = s.delta_since(&before);
+        assert_eq!(d.frontier_advances, 6);
+        assert_eq!(d.barrier_waits_avoided, 3);
+        assert_eq!(d.max_partition_skew, 1, "skew passes through deltas as a gauge");
     }
 
     #[test]

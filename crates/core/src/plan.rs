@@ -119,6 +119,26 @@ impl JoinStrategy {
     }
 }
 
+/// When a partition may start superstep *i+1* relative to the rest of the
+/// cluster.
+///
+/// Both modes compute the same answer; the differential suite
+/// (`tests/tests/frontier_equivalence.rs`) pins them bit-identical. The
+/// mode lives on [`PregelixJob`] rather than [`PlanConfig`] because it
+/// changes *when* the sixteen physical plans run, not *which* one runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Classic BSP (§5.1): every superstep is one dataflow job ending at a
+    /// cluster-wide barrier; the slowest partition gates everyone.
+    #[default]
+    Barrier,
+    /// Frontier progress tracking: supersteps are executed in windows, and
+    /// a partition starts superstep *i+1* as soon as all its inbound
+    /// `Msg_i` streams are closed (plus the previous global state when the
+    /// program needs it) instead of waiting for the global barrier.
+    Frontier,
+}
+
 /// Which index structure stores `Vertex` partitions (§5.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum VertexStorageKind {
@@ -205,6 +225,9 @@ pub struct PregelixJob {
     pub output_path: String,
     /// Physical plan hints.
     pub plan: PlanConfig,
+    /// Superstep execution mode: barrier-synchronous (the paper's §5.1
+    /// default) or frontier-based asynchronous windows.
+    pub execution: ExecutionMode,
     /// Vertex partitions per worker machine (the scheduler assigns as many
     /// partitions to a machine as cores, §5.7; default 1 at our scale).
     pub partitions_per_worker: usize,
@@ -234,6 +257,7 @@ impl PregelixJob {
             output_path: format!("output/{name}"),
             name,
             plan: PlanConfig::default(),
+            execution: ExecutionMode::default(),
             partitions_per_worker: 1,
             checkpoint_interval: None,
             max_supersteps: None,
@@ -265,6 +289,12 @@ impl PregelixJob {
     /// Set the full plan at once.
     pub fn with_plan(mut self, plan: PlanConfig) -> Self {
         self.plan = plan;
+        self
+    }
+
+    /// Set the superstep execution mode (barrier vs frontier).
+    pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.execution = mode;
         self
     }
 
@@ -408,5 +438,17 @@ mod tests {
         assert_eq!(job.max_supersteps, Some(30));
         assert_eq!(job.partitions_per_worker, 2);
         assert_eq!(job.input_path, "in/graph");
+    }
+
+    #[test]
+    fn execution_mode_defaults_to_barrier() {
+        assert_eq!(ExecutionMode::default(), ExecutionMode::Barrier);
+        let job = PregelixJob::new("em");
+        assert_eq!(job.execution, ExecutionMode::Barrier);
+        let job = job.with_execution_mode(ExecutionMode::Frontier);
+        assert_eq!(job.execution, ExecutionMode::Frontier);
+        // The mode is a job setting, not a plan point: the sixteen-plan
+        // space is unchanged.
+        assert_eq!(PlanConfig::all().len(), 16);
     }
 }

@@ -21,13 +21,22 @@
 //! survivors — surviving pins keep their partitions — before checkpoint
 //! recovery reloads the lost state. Beat counts are event-driven, never
 //! wall-clock, so fault-injection schedules replay deterministically.
+//!
+//! Under [`ExecutionMode::Frontier`] the driver batches up to
+//! [`FRONTIER_WINDOW`] consecutive supersteps into one dataflow job
+//! (`run_superstep_window`), letting each partition advance through the
+//! window at its own pace. Driver-side events stay window-granular:
+//! checkpoints land only on window boundaries (so a recovered run always
+//! restarts every partition from the same superstep), the failure detector
+//! observes once per window, and the window is clamped so it never crosses
+//! a periodic checkpoint boundary or the job's superstep cap.
 
 use crate::api::VertexProgram;
 use crate::checkpoint;
 use crate::gs::GlobalState;
 use crate::load;
-use crate::plan::{JoinStrategy, PregelixJob, ProbeCostModel};
-use crate::superstep::{run_superstep, PartitionState};
+use crate::plan::{ExecutionMode, JoinStrategy, PregelixJob, ProbeCostModel};
+use crate::superstep::{run_superstep_window, PartitionState};
 use parking_lot::Mutex;
 use pregelix_common::error::{PregelixError, Result};
 use pregelix_common::fault::{self, Fault, Site};
@@ -40,6 +49,14 @@ use pregelix_storage::btree::BTree;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Frontier-mode superstep window: how many consecutive supersteps share
+/// one dataflow job. Larger windows buy more straggler absorption (a slow
+/// partition can lag its peers by up to `window - 1` supersteps before
+/// anyone waits for it) at the cost of coarser checkpoints — the driver
+/// clamps every window to the checkpoint interval, so enabling periodic
+/// checkpoints bounds the skew a failure can lose.
+pub const FRONTIER_WINDOW: usize = 4;
+
 /// What a finished job reports (feeds the experiment harnesses).
 #[derive(Clone, Debug)]
 pub struct JobSummary {
@@ -47,7 +64,8 @@ pub struct JobSummary {
     pub name: String,
     /// Supersteps actually executed.
     pub supersteps: u64,
-    /// Wall-clock time per superstep.
+    /// Wall-clock time per superstep *job*: one entry per superstep in
+    /// barrier mode, one per superstep window in frontier mode.
     pub superstep_times: Vec<Duration>,
     /// Total time of the superstep loop (excludes load/dump and
     /// checkpoint writes): wall-clock in parallel mode, the simulated
@@ -57,9 +75,10 @@ pub struct JobSummary {
     pub final_gs: GlobalState,
     /// Cluster counter delta over the run.
     pub stats: StatsSnapshot,
-    /// Per-superstep counter deltas (the statistics collector's
-    /// per-superstep view, §5.7): one entry per executed superstep, same
-    /// order as `superstep_times`.
+    /// Per-job counter deltas (the statistics collector's per-superstep
+    /// view, §5.7): one entry per superstep job, same granularity and
+    /// order as `superstep_times` — per superstep in barrier mode, per
+    /// window in frontier mode.
     pub superstep_stats: Vec<StatsSnapshot>,
     /// Number of checkpoint recoveries performed.
     pub recoveries: u32,
@@ -115,6 +134,18 @@ pub struct LoadedGraph {
     partitions: Vec<Arc<Mutex<PartitionState>>>,
     sticky: Vec<usize>,
     vertex_count: u64,
+}
+
+// Partition state is not meaningfully printable; `Debug` (needed by test
+// code calling `unwrap_err` on job results) shows the shape only.
+impl std::fmt::Debug for LoadedGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoadedGraph")
+            .field("partitions", &self.partitions.len())
+            .field("sticky", &self.sticky)
+            .field("vertex_count", &self.vertex_count)
+            .finish()
+    }
 }
 
 impl LoadedGraph {
@@ -231,22 +262,57 @@ impl LoadedGraph {
                         )
                     })?;
                 }
+                // How many supersteps the next job covers. Barrier mode is
+                // always one; frontier mode batches up to FRONTIER_WINDOW,
+                // clamped so the window ends exactly on any periodic
+                // checkpoint boundary and never overruns max_supersteps.
+                // Adaptive join plans re-resolve from each superstep's
+                // exact live fraction, which only a window of one provides.
+                let window = match job.execution {
+                    ExecutionMode::Barrier => 1,
+                    ExecutionMode::Frontier => {
+                        let mut w = if job.plan.join == JoinStrategy::Adaptive {
+                            1
+                        } else {
+                            FRONTIER_WINDOW
+                        };
+                        if let Some(n) = job.checkpoint_interval {
+                            if n > 0 {
+                                let to_boundary = n - ((gs.superstep - 1) % n);
+                                w = w.min(to_boundary as usize);
+                            }
+                        }
+                        if let Some(max) = job.max_supersteps {
+                            let remaining = max.saturating_sub(gs.superstep - 1);
+                            w = w.min(remaining as usize);
+                        }
+                        w.max(1)
+                    }
+                };
                 // Superstep-barrier fault site: lets tests fail a worker (or
                 // inject an error) at an exact superstep boundary, after any
                 // initial checkpoint but before the superstep runs. The
                 // context string is the superstep number, so a rule scoped
                 // to `"3"` fires exactly when superstep 3 is about to start.
+                // In frontier mode the mid-window boundaries are not driver
+                // events, so every superstep the window covers is checked
+                // up front — a rule scoped to any of them still fires
+                // exactly once, before the window runs.
                 if fault::active() {
-                    let ctx = gs.superstep.to_string();
-                    if let Some(f) = fault::hit(Site::Barrier, &ctx) {
-                        cluster.counters().add_faults_injected(1);
-                        match f {
-                            Fault::FailWorker(id) => cluster.fail_worker(id),
-                            _ => return Err(fault::injected_error(Site::Barrier, &ctx)),
+                    for off in 0..window as u64 {
+                        let ctx = (gs.superstep + off).to_string();
+                        if let Some(f) = fault::hit(Site::Barrier, &ctx) {
+                            cluster.counters().add_faults_injected(1);
+                            match f {
+                                Fault::FailWorker(id) => cluster.fail_worker(id),
+                                _ => {
+                                    return Err(fault::injected_error(Site::Barrier, &ctx))
+                                }
+                            }
                         }
                     }
                 }
-                let (new_gs, duration) = run_superstep(
+                let (chain, duration) = run_superstep_window(
                     cluster,
                     program,
                     &job.name,
@@ -255,8 +321,13 @@ impl LoadedGraph {
                     &self.sticky,
                     &gs,
                     cost_model,
+                    window,
                 )?;
-                let finished_ss = gs.superstep;
+                let new_gs = chain
+                    .last()
+                    .cloned()
+                    .ok_or_else(|| PregelixError::internal("empty superstep window"))?;
+                let finished_ss = new_gs.superstep - 1;
                 let checkpoint_due = job
                     .checkpoint_interval
                     .map(|n| n > 0 && finished_ss % n == 0)
@@ -290,14 +361,14 @@ impl LoadedGraph {
                         cost_model = Some(m);
                     }
                     superstep_stats.push(delta);
-                    let finished_ss = gs.superstep;
                     gs = new_gs;
                     self.vertex_count = gs.vertex_count;
                     if gs.halt {
                         break;
                     }
                     if let Some(max) = job.max_supersteps {
-                        if finished_ss >= max {
+                        // gs.superstep - 1 = last finished superstep.
+                        if gs.superstep - 1 >= max {
                             break;
                         }
                     }

@@ -22,6 +22,18 @@
 //! One extra **`gs`** task is stage two of the global aggregation
 //! (Figure 4): it folds the per-partition contributions into the new `GS`
 //! tuple, decides the global halt, and writes `GS` to the DFS.
+//!
+//! # Superstep windows (frontier mode)
+//!
+//! `run_superstep_window` generalizes the single-superstep job: `window`
+//! consecutive supersteps share ONE dataflow job, and a partition advances
+//! from superstep *s* to *s+1* as soon as its own per-partition gate opens —
+//! all inbound `Msg_s` streams for the partition are closed (its `msgwrite`
+//! hands over the combined run), its mutations are applied, and the
+//! continuation decision is known (locally proven by a positive count, or
+//! confirmed by the exact `GS` from `gs@s`). `window == 1` is exactly the
+//! barrier mode of §5.1; the driver (`runtime.rs`) picks the window from
+//! the job's `ExecutionMode`.
 
 use crate::api::{ComputeContext, Mutation, Resolution, VertexProgram};
 use crate::gs::GlobalState;
@@ -30,6 +42,7 @@ use crate::store::VertexStore;
 use crate::vertex::{decode_msg_list, encode_msg_list, VertexData};
 use parking_lot::Mutex;
 use pregelix_common::error::{PregelixError, Result};
+use pregelix_common::fault::{self, Fault, Site};
 use pregelix_common::frame::{keyed_tuple, tuple_payload, tuple_vid, vid_to_key};
 use pregelix_common::writable::Writable;
 use pregelix_common::Vid;
@@ -45,6 +58,8 @@ use pregelix_dataflow::scheduler::{self, LocationConstraint, OperatorSpec};
 use pregelix_storage::btree::BTree;
 use pregelix_storage::runfile::{RunHandle, RunWriter};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
 use std::sync::Arc;
 
 /// Chunk limits for the scan-compute-update pipeline: the operator holds at
@@ -152,12 +167,73 @@ fn encode_mut_stats(inserted: u64, deleted: u64, live_inserted: u64) -> Vec<u8> 
     out
 }
 
-/// Outcome channels shared between the job's tasks and the driver.
-struct SharedSlots {
-    /// `Msg_{i+1}` run per partition, filled by `msgwrite` tasks.
-    next_msgs: Vec<Arc<Mutex<Option<RunHandle>>>>,
-    /// The revised `GS`, filled by the `gs` task.
-    outcome: Arc<Mutex<Option<GlobalState>>>,
+// ---------------------------------------------------------------------
+// Frontier gates (superstep windows)
+// ---------------------------------------------------------------------
+
+/// Everything a mid-window `compute[p]@s+1` must wait for before it may
+/// start superstep *s+1* on its partition. The gate's recv order (compute →
+/// msgwrite → mutate) mirrors the order in which the previous superstep's
+/// same-partition tasks release the partition, so a gated compute never
+/// contends for the partition lock with its predecessors.
+struct ComputeGate {
+    /// Live-vertex count from `compute[p]@s` (the partition's join loop is
+    /// done and its mutation/message flows are closed).
+    live_rx: mpsc::Receiver<u64>,
+    /// `Msg_{s+1}` run + combined count from `msgwrite[p]@s`: every inbound
+    /// `Msg_s` stream for the partition is closed — the frontier rule.
+    msg_rx: mpsc::Receiver<(Option<RunHandle>, u64)>,
+    /// `live_inserted` from `mutate[p]@s` (mutations are applied and the
+    /// partition lock is free).
+    mut_rx: mpsc::Receiver<u64>,
+    /// The exact revised `GS` from `gs@s` — the barrier-equivalent path,
+    /// taken when no local count proves the job continues.
+    gs_rx: mpsc::Receiver<GlobalState>,
+    /// The `GS` a frontier-safe program may run with *before* `gs@s`
+    /// finishes: exact superstep number, `halt: false` (proven by a
+    /// positive local count), and stale aggregate/vertex-count fields that
+    /// `VertexProgram::frontier_safe` certifies the program never reads.
+    predicted: GlobalState,
+    /// Early advancement is allowed (window > 1, frontier-safe program,
+    /// statically resolved join).
+    allow_early: bool,
+    /// Shared per-boundary tally of partitions that advanced early; the
+    /// driver derives `max_partition_skew` from it after the job.
+    early: Arc<AtomicU64>,
+}
+
+/// How `compute[p]` learns its input `GS` and `Msg` run.
+enum ComputeInput {
+    /// Window-first superstep: the driver's exact `GS`; the `Msg` run comes
+    /// out of the `PartitionState`.
+    Lead(GlobalState),
+    /// Mid-window superstep: wait on the per-partition gate.
+    Gated(Box<ComputeGate>),
+}
+
+/// Where `msgwrite[p]` delivers the finished `Msg_{s+1}` run.
+enum MsgRunSink {
+    /// Window-last superstep: into the driver-visible slot (installed into
+    /// `PartitionState` after the job, as in barrier mode).
+    Slot(Arc<Mutex<Option<RunHandle>>>),
+    /// Mid-window: straight to the next superstep's compute gate.
+    Gate(mpsc::Sender<(Option<RunHandle>, u64)>),
+}
+
+/// Where `gs` gets the previous superstep's `GS`.
+enum GsPrev {
+    /// Window-first superstep: the driver's exact `GS`.
+    Static(GlobalState),
+    /// Mid-window: chained from the previous superstep's `gs` task.
+    Chained(mpsc::Receiver<GlobalState>),
+}
+
+/// A gate endpoint dropped without a value means the producing task failed.
+/// The producer's own (root-cause) error outranks this internal one in the
+/// job's error selection, so this surfaces only if a producer vanished
+/// without reporting.
+fn gate_err(what: &str) -> PregelixError {
+    PregelixError::internal(format!("frontier gate closed: {what}"))
 }
 
 /// The message connector's sender half (strategy-dependent).
@@ -194,7 +270,8 @@ enum MsgSenderEnds {
 
 /// Execute superstep `gs.superstep`, returning the revised global state
 /// and the superstep's duration (wall-clock, or the simulated makespan in
-/// sequential-timed mode).
+/// sequential-timed mode). This is the barrier mode of §5.1 — a window of
+/// exactly one superstep.
 pub fn run_superstep<P: VertexProgram>(
     cluster: &Cluster,
     program: &Arc<P>,
@@ -205,6 +282,40 @@ pub fn run_superstep<P: VertexProgram>(
     gs: &GlobalState,
     cost_model: Option<crate::plan::ProbeCostModel>,
 ) -> Result<(GlobalState, std::time::Duration)> {
+    let (mut chain, duration) = run_superstep_window(
+        cluster, program, job_name, plan, partitions, sticky, gs, cost_model, 1,
+    )?;
+    let new_gs = chain
+        .pop()
+        .ok_or_else(|| PregelixError::internal("empty superstep window"))?;
+    Ok((new_gs, duration))
+}
+
+/// Execute supersteps `gs.superstep .. gs.superstep + window` as ONE
+/// dataflow job, returning the chain of revised global states (one per
+/// executed superstep, truncated at the first halting state) and the job's
+/// duration.
+///
+/// With `window > 1` (frontier mode) a partition starts superstep *s+1* as
+/// soon as its own [`ComputeGate`] opens, so a straggler partition stalls
+/// only the tasks that consume its output instead of the whole cluster.
+/// Superstep slots past a halt run as ghosts: they close every stream they
+/// own and pass the halted `GS` through unchanged, contributing zero to
+/// every counter, so the chain is bit-identical to running barrier mode
+/// superstep by superstep.
+#[allow(clippy::too_many_arguments)]
+pub fn run_superstep_window<P: VertexProgram>(
+    cluster: &Cluster,
+    program: &Arc<P>,
+    job_name: &str,
+    plan: PlanConfig,
+    partitions: &[Arc<Mutex<PartitionState>>],
+    sticky: &[usize],
+    gs: &GlobalState,
+    cost_model: Option<crate::plan::ProbeCostModel>,
+    window: usize,
+) -> Result<(Vec<GlobalState>, std::time::Duration)> {
+    let window = window.max(1);
     let p_count = partitions.len();
     debug_assert_eq!(sticky.len(), p_count);
     let alive = cluster.alive_workers();
@@ -236,6 +347,21 @@ pub fn run_superstep<P: VertexProgram>(
     let schedule = scheduler::solve(&specs, &alive)?;
     let gs_worker = schedule.worker(3, 0);
 
+    // Adaptive joins re-resolve from each superstep's exact live fraction,
+    // which a multi-superstep window cannot provide — the driver must fall
+    // back to window == 1 for adaptive plans.
+    if window > 1 && plan.join == JoinStrategy::Adaptive {
+        return Err(PregelixError::plan(
+            "adaptive join plans require a superstep window of 1",
+        ));
+    }
+    // Early advancement additionally requires a frontier-safe program: one
+    // whose compute never reads the global aggregate or the vertex count,
+    // the only GS fields a gated partition cannot know exactly ahead of the
+    // gs task. Non-frontier-safe programs still window (overlapping the
+    // phases of consecutive supersteps) but always wait for the exact GS.
+    let allow_early = window > 1 && program.frontier_safe();
+
     // Adaptive plans pick the join per superstep from the previous
     // superstep's live-vertex fraction (the paper's future-work optimizer,
     // §9). The Vid index is maintained every superstep in that case so a
@@ -256,115 +382,249 @@ pub fn run_superstep<P: VertexProgram>(
         ..plan
     };
 
-    // Connector channel matrices (unbounded under sequential-timed
-    // simulation, bounded with backpressure otherwise).
     let cap = cluster.channel_capacity();
-    let (mut msg_tx, mut msg_rx): (Vec<MsgSenderEnds>, Vec<MsgReceiverEnds>) =
-        if plan.groupby.merged() {
-            let (tx, rx) = merging_channels(p_count, p_count);
+    let combiner = msg_tuple_combiner(program);
+
+    // Driver-visible slots: Msg runs from the window-LAST msgwrite tasks
+    // (mid-window runs hand off through gates and never touch the partition
+    // state) and one GS outcome per superstep slot of the window.
+    let next_msgs: Vec<Arc<Mutex<Option<RunHandle>>>> =
+        (0..p_count).map(|_| Arc::new(Mutex::new(None))).collect();
+    let outcomes: Vec<Arc<Mutex<Option<GlobalState>>>> =
+        (0..window).map(|_| Arc::new(Mutex::new(None))).collect();
+    // Per-boundary tallies of early-advanced partitions (boundary b sits
+    // between window supersteps b and b+1).
+    let early_tallies: Vec<Arc<AtomicU64>> = (0..window.saturating_sub(1))
+        .map(|_| Arc::new(AtomicU64::new(0)))
+        .collect();
+
+    // Tasks are emitted superstep-major, phase-major within a superstep.
+    // That order is topological: a task only ever waits on gates filled by
+    // tasks emitted before it, so sequential-timed mode (which runs tasks
+    // to completion one at a time, in order) finds every gate already full,
+    // and parallel mode (grow-on-demand pools, no concurrency cap) lets
+    // gated tasks park on their channels without starving producers.
+    let mut tasks: Vec<Task> = Vec::with_capacity(window * (3 * p_count + 1));
+    // Gates built while emitting superstep s, consumed by superstep s+1.
+    let mut carried_gates: Option<Vec<ComputeGate>> = None;
+    let mut carried_gs_rx: Option<mpsc::Receiver<GlobalState>> = None;
+
+    for s_idx in 0..window {
+        let superstep = gs.superstep + s_idx as u64;
+        let last = s_idx + 1 == window;
+
+        // Connector channel matrices (unbounded under sequential-timed
+        // simulation, bounded with backpressure otherwise).
+        let (mut msg_tx, mut msg_rx): (Vec<MsgSenderEnds>, Vec<MsgReceiverEnds>) =
+            if plan.groupby.merged() {
+                let (tx, rx) = merging_channels(p_count, p_count);
+                (
+                    tx.into_iter().map(MsgSenderEnds::Merged).collect(),
+                    rx.into_iter().map(MsgReceiverEnds::Merged).collect(),
+                )
+            } else {
+                let (tx, rx) = partition_channels_cap(p_count, p_count, cap);
+                (
+                    tx.into_iter().map(MsgSenderEnds::Pipelined).collect(),
+                    rx.into_iter().map(MsgReceiverEnds::Pipelined).collect(),
+                )
+            };
+        let (mut mut_tx, mut mut_rx) = partition_channels_cap(p_count, p_count, cap);
+        // The gs aggregation stream rides the reliable transport too, and
+        // must honor the same open-loop rule under sequential-timed
+        // simulation.
+        let (gs_tx, gs_rx) = aggregator_channels_cap(3 * p_count, cap);
+        // Stream endpoints are single-owner (each carries live sequencing
+        // state); tasks take theirs out of the slot rather than cloning.
+        let mut gs_tx: Vec<Option<StreamTx>> = gs_tx.into_iter().map(Some).collect();
+
+        // Boundary gates between this superstep and the next one. The
+        // predicted GS carries the exact next superstep number and a
+        // halt:false that early advancement proves locally; its aggregate
+        // and vertex counts are the window-start values, which only
+        // frontier-safe programs (the only ones allowed to advance early)
+        // are certified never to read.
+        let (msg_sinks, live_txs, mut_done_txs, gs_release, next_gates, next_gs_rx) = if last {
             (
-                tx.into_iter().map(MsgSenderEnds::Merged).collect(),
-                rx.into_iter().map(MsgReceiverEnds::Merged).collect(),
+                next_msgs.iter().map(|s| MsgRunSink::Slot(Arc::clone(s))).collect::<Vec<_>>(),
+                vec![None; p_count],
+                vec![None; p_count],
+                Vec::new(),
+                None,
+                None,
             )
         } else {
-            let (tx, rx) = partition_channels_cap(p_count, p_count, cap);
-            (
-                tx.into_iter().map(MsgSenderEnds::Pipelined).collect(),
-                rx.into_iter().map(MsgReceiverEnds::Pipelined).collect(),
-            )
+            let tally = Arc::clone(&early_tallies[s_idx]);
+            let mut sinks = Vec::with_capacity(p_count);
+            let mut ltxs = Vec::with_capacity(p_count);
+            let mut utxs = Vec::with_capacity(p_count);
+            let mut release = Vec::with_capacity(p_count + 1);
+            let mut gates = Vec::with_capacity(p_count);
+            for _ in 0..p_count {
+                let (ltx, lrx) = mpsc::channel();
+                let (mtx, mrx) = mpsc::channel();
+                let (utx, urx) = mpsc::channel();
+                let (gtx, grx) = mpsc::channel();
+                sinks.push(MsgRunSink::Gate(mtx));
+                ltxs.push(Some(ltx));
+                utxs.push(Some(utx));
+                release.push(gtx);
+                gates.push(ComputeGate {
+                    live_rx: lrx,
+                    msg_rx: mrx,
+                    mut_rx: urx,
+                    gs_rx: grx,
+                    predicted: GlobalState {
+                        superstep: superstep + 1,
+                        halt: false,
+                        aggregate: gs.aggregate.clone(),
+                        vertex_count: gs.vertex_count,
+                        live_vertices: gs.live_vertices,
+                        messages: 0,
+                    },
+                    allow_early,
+                    early: Arc::clone(&tally),
+                });
+            }
+            // One extra release slot chains the exact GS to the next
+            // superstep's gs task.
+            let (ctx_tx, ctx_rx) = mpsc::channel();
+            release.push(ctx_tx);
+            (sinks, ltxs, utxs, release, Some(gates), Some(ctx_rx))
         };
-    let (mut mut_tx, mut mut_rx) = partition_channels_cap(p_count, p_count, cap);
-    // The gs aggregation stream rides the reliable transport too, and must
-    // honor the same open-loop rule under sequential-timed simulation.
-    let (gs_tx, gs_rx) = aggregator_channels_cap(3 * p_count, cap);
-    // Stream endpoints are single-owner (each carries live sequencing
-    // state); tasks take theirs out of the slot rather than cloning.
-    let mut gs_tx: Vec<Option<StreamTx>> = gs_tx.into_iter().map(Some).collect();
 
-    let shared = SharedSlots {
-        next_msgs: (0..p_count).map(|_| Arc::new(Mutex::new(None))).collect(),
-        outcome: Arc::new(Mutex::new(None)),
-    };
+        let mut input_iter: Box<dyn Iterator<Item = ComputeInput>> =
+            match carried_gates.take() {
+                Some(gates) => Box::new(
+                    gates.into_iter().map(|g| ComputeInput::Gated(Box::new(g))),
+                ),
+                None => {
+                    let lead = gs.clone();
+                    Box::new((0..p_count).map(move |_| ComputeInput::Lead(lead.clone())))
+                }
+            };
+        let mut live_tx_iter = live_txs.into_iter();
+        let mut msg_sink_iter = msg_sinks.into_iter();
+        let mut mut_done_iter = mut_done_txs.into_iter();
 
-    let combiner = msg_tuple_combiner(program);
-    // Tasks are emitted phase-major — every compute before any msgwrite
-    // before any mutate before gs. In parallel mode the order is
-    // irrelevant; in sequential-timed mode it is the topological order
-    // that lets tasks run to completion one at a time.
-    let mut tasks: Vec<Task> = Vec::with_capacity(3 * p_count + 1);
+        for p in 0..p_count {
+            let state = Arc::clone(&partitions[p]);
+            let program_c = Arc::clone(program);
+            let input = input_iter.next().expect("one input per partition");
+            let msg_ends =
+                std::mem::replace(&mut msg_tx[p], MsgSenderEnds::Pipelined(Vec::new()));
+            let mut_ends = std::mem::take(&mut mut_tx[p]);
+            let gs_end = gs_tx[p].take().expect("gs endpoint claimed once");
+            let live_tx = live_tx_iter.next().expect("one live sender per partition");
+            let sticky_c = sticky.to_vec();
+            let combiner_c = Arc::clone(&combiner);
+            tasks.push(Task::new(
+                format!("compute[{p}]@{superstep}"),
+                schedule.worker(0, p),
+                move |w| {
+                    compute_task(
+                        w, state, program_c, input, plan, track_live, msg_ends, mut_ends,
+                        gs_end, live_tx, sticky_c, combiner_c, gs_worker,
+                    )
+                },
+            ));
+        }
+        for p in 0..p_count {
+            let recv_ends =
+                std::mem::replace(&mut msg_rx[p], MsgReceiverEnds::Pipelined(Vec::new()));
+            let sink = msg_sink_iter.next().expect("one sink per partition");
+            let gs_end = gs_tx[p_count + p].take().expect("gs endpoint claimed once");
+            let combiner_c = Arc::clone(&combiner);
+            let gb_kind = plan.groupby.kind();
+            let job_tag = job_name.to_string();
+            tasks.push(Task::new(
+                format!("msgwrite[{p}]@{superstep}"),
+                schedule.worker(1, p),
+                move |w| {
+                    msgwrite_task(
+                        w, p, superstep, &job_tag, gb_kind, recv_ends, sink, gs_end,
+                        combiner_c, gs_worker,
+                    )
+                },
+            ));
+        }
+        for p in 0..p_count {
+            let state = Arc::clone(&partitions[p]);
+            let program_c = Arc::clone(program);
+            let mut_ins = std::mem::take(&mut mut_rx[p]);
+            let gs_end = gs_tx[2 * p_count + p].take().expect("gs endpoint claimed once");
+            let done_tx = mut_done_iter.next().expect("one done sender per partition");
+            tasks.push(Task::new(
+                format!("mutate[{p}]@{superstep}"),
+                schedule.worker(2, p),
+                move |w| mutate_task(w, state, program_c, mut_ins, gs_end, done_tx, gs_worker),
+            ));
+        }
+        drop(gs_tx);
 
-    for p in 0..p_count {
-        let state = Arc::clone(&partitions[p]);
+        // ---- gs (stage-two aggregation + GS revision) ----
         let program_c = Arc::clone(program);
-        let gs_c = gs.clone();
-        let msg_ends = std::mem::replace(&mut msg_tx[p], MsgSenderEnds::Pipelined(Vec::new()));
-        let mut_ends = std::mem::take(&mut mut_tx[p]);
-        let gs_end = gs_tx[p].take().expect("gs endpoint claimed once");
-        let sticky_c = sticky.to_vec();
-        let combiner_c = Arc::clone(&combiner);
-        tasks.push(Task::new(format!("compute[{p}]"), schedule.worker(0, p), move |w| {
-            compute_task(
-                w, state, program_c, gs_c, plan, track_live, msg_ends, mut_ends, gs_end,
-                sticky_c, combiner_c, gs_worker,
+        let prev = match carried_gs_rx.take() {
+            Some(rx) => GsPrev::Chained(rx),
+            None => GsPrev::Static(gs.clone()),
+        };
+        let outcome = Arc::clone(&outcomes[s_idx]);
+        let dfs = cluster.dfs().clone();
+        let job_name_c = job_name.to_string();
+        let expected = 3 * p_count as u64;
+        tasks.push(Task::new(format!("gs@{superstep}"), gs_worker, move |w| {
+            gs_task(
+                w, program_c, prev, gs_rx, expected, gs_release, outcome, dfs, job_name_c,
             )
         }));
-    }
-    for p in 0..p_count {
-        let recv_ends = std::mem::replace(
-            &mut msg_rx[p],
-            MsgReceiverEnds::Pipelined(Vec::new()),
-        );
-        let slot = Arc::clone(&shared.next_msgs[p]);
-        let gs_end = gs_tx[p_count + p].take().expect("gs endpoint claimed once");
-        let combiner_c = Arc::clone(&combiner);
-        let superstep = gs.superstep;
-        let gb_kind = plan.groupby.kind();
-        let job_tag = job_name.to_string();
-        tasks.push(Task::new(format!("msgwrite[{p}]"), schedule.worker(1, p), move |w| {
-            msgwrite_task(
-                w, p, superstep, &job_tag, gb_kind, recv_ends, slot, gs_end, combiner_c,
-                gs_worker,
-            )
-        }));
-    }
-    for p in 0..p_count {
-        let state = Arc::clone(&partitions[p]);
-        let program_c = Arc::clone(program);
-        let mut_ins = std::mem::take(&mut mut_rx[p]);
-        let gs_end = gs_tx[2 * p_count + p].take().expect("gs endpoint claimed once");
-        tasks.push(Task::new(format!("mutate[{p}]"), schedule.worker(2, p), move |w| {
-            mutate_task(w, state, program_c, mut_ins, gs_end, gs_worker)
-        }));
-    }
-    drop(gs_tx);
 
-    // ---- gs (stage-two aggregation + GS revision) ----
-    let program_c = Arc::clone(program);
-    let gs_c = gs.clone();
-    let outcome = Arc::clone(&shared.outcome);
-    let dfs = cluster.dfs().clone();
-    let job_name_c = job_name.to_string();
-    let expected = 3 * p_count as u64;
-    tasks.push(Task::new("gs", gs_worker, move |w| {
-        gs_task(
-            w, program_c, gs_c, gs_rx, expected, outcome, dfs, job_name_c,
-        )
-    }));
+        carried_gates = next_gates;
+        carried_gs_rx = next_gs_rx;
+    }
 
     let duration = cluster.execute(tasks)?;
 
-    // Install Msg_{i+1} runs into the partition states.
+    // Install Msg runs from the window-last msgwrite tasks into the
+    // partition states. (If the job halted mid-window those tasks ran as
+    // ghosts and the slots hold None — correct, because a halt requires
+    // zero combined messages everywhere.)
     for p in 0..p_count {
-        let run = shared.next_msgs[p].lock().take();
+        let run = next_msgs[p].lock().take();
         partitions[p].lock().msg_run = run;
     }
-    let new_gs = shared
-        .outcome
-        .lock()
-        .take()
-        .ok_or_else(|| PregelixError::internal("gs task produced no outcome"))?;
-    cluster.counters().set_live_vertices(new_gs.live_vertices);
-    Ok((new_gs, duration))
+    let mut chain: Vec<GlobalState> = Vec::with_capacity(window);
+    for outcome in &outcomes {
+        chain.push(
+            outcome
+                .lock()
+                .take()
+                .ok_or_else(|| PregelixError::internal("gs task produced no outcome"))?,
+        );
+    }
+    // Drop ghost slots: everything after the first halting GS is a
+    // pass-through copy of it.
+    let executed = chain
+        .iter()
+        .position(|g| g.halt)
+        .map(|i| i + 1)
+        .unwrap_or(window);
+    chain.truncate(executed);
+
+    // A boundary where a strict subset of the partitions advanced early
+    // means some partition lagged a full superstep behind its peers — the
+    // skew the frontier exists to absorb. The indicator is derived from
+    // counts, never from timing, so chaos-digest double runs stay
+    // deterministic.
+    let counters = cluster.counters();
+    for tally in &early_tallies {
+        let c = tally.load(Ordering::Relaxed);
+        if c > 0 && (c as usize) < p_count {
+            counters.record_partition_skew(1);
+        }
+    }
+    let final_gs = chain.last().expect("window >= 1 yields >= 1 outcome");
+    counters.set_live_vertices(final_gs.live_vertices);
+    Ok((chain, duration))
 }
 
 // ---------------------------------------------------------------------
@@ -484,16 +744,52 @@ fn compute_task<P: VertexProgram>(
     w: WorkerHandle,
     state: Arc<Mutex<PartitionState>>,
     program: Arc<P>,
-    gs: GlobalState,
+    input: ComputeInput,
     plan: PlanConfig,
     track_live: bool,
     msg_ends: MsgSenderEnds,
     mut_ends: Vec<StreamTx>,
     gs_end: StreamTx,
+    live_tx: Option<mpsc::Sender<u64>>,
     sticky: Vec<usize>,
     combiner: TupleCombiner,
     gs_worker: usize,
 ) -> Result<()> {
+    // Resolve the gate BEFORE touching the partition: a gated compute may
+    // not lock the state until the previous superstep's compute and mutate
+    // tasks have released it, and the gate's recv order encodes exactly
+    // that completion order.
+    let counters = w.counters().clone();
+    let (gs, gated_run) = match input {
+        ComputeInput::Lead(g) => (g, None),
+        ComputeInput::Gated(gate) => {
+            let gate = *gate;
+            let live = gate.live_rx.recv().map_err(|_| gate_err("prev compute"))?;
+            let (run, combined) = gate.msg_rx.recv().map_err(|_| gate_err("prev msgwrite"))?;
+            let live_ins = gate.mut_rx.recv().map_err(|_| gate_err("prev mutate"))?;
+            if gate.allow_early && (live > 0 || combined > 0 || live_ins > 0) {
+                // Any positive local count already decides the global halt
+                // vote (halt requires every partition's live, combined and
+                // live_inserted counts to be zero), so a frontier-safe
+                // program starts the superstep without waiting for gs@s —
+                // the barrier wait this mode exists to avoid.
+                gate.early.fetch_add(1, Ordering::Relaxed);
+                counters.add_frontier_advances(1);
+                counters.add_barrier_waits_avoided(1);
+                (gate.predicted, Some(run))
+            } else {
+                let exact = gate.gs_rx.recv().map_err(|_| gate_err("prev gs"))?;
+                if exact.halt {
+                    drop(run);
+                    return ghost_compute(
+                        &w, msg_ends, mut_ends, gs_end, &sticky, gs_worker, live_tx,
+                    );
+                }
+                counters.add_frontier_advances(1);
+                (exact, Some(run))
+            }
+        }
+    };
     let mut st = state.lock();
     let st = &mut *st;
     let agg_prev = if gs.aggregate.is_empty() {
@@ -501,7 +797,13 @@ fn compute_task<P: VertexProgram>(
     } else {
         P::Aggregate::from_bytes(&gs.aggregate)?
     };
-    let msg_run = st.msg_run.take();
+    // Mid-window supersteps get their Msg run straight from the previous
+    // msgwrite's gate; the window-first superstep reads the one the driver
+    // installed into the partition state.
+    let msg_run = match gated_run {
+        Some(run) => run,
+        None => st.msg_run.take(),
+    };
     let mut msgs = MsgStream::<P>::open(msg_run.as_ref(), &w)?;
 
     let mut side = ComputeSide {
@@ -741,6 +1043,12 @@ fn compute_task<P: VertexProgram>(
     // create/delete are surprisingly expensive syscalls on some systems.
     drop(msg_run);
 
+    // Open this partition's slice of the next superstep's gate (mid-window
+    // only): a positive live count is a local proof the job continues.
+    if let Some(tx) = live_tx {
+        let _ = tx.send(side.stats.live);
+    }
+
     // Stage-one aggregation result + counters to the gs task.
     side.stats.agg = match side.agg_partial.take() {
         Some(a) => a.to_bytes(),
@@ -758,6 +1066,63 @@ fn compute_task<P: VertexProgram>(
     gs_sender.finish()
 }
 
+/// A post-halt superstep slot: the job halted at an earlier boundary of
+/// the window, so this compute does nothing except close every stream it
+/// owns (downstream receivers terminate on closed inputs) and open the
+/// next gate with a zero count. It never touches the partition state and
+/// contributes zero to every counter, keeping frontier totals bit-identical
+/// to a barrier run that stopped at the halt.
+fn ghost_compute(
+    w: &WorkerHandle,
+    msg_ends: MsgSenderEnds,
+    mut_ends: Vec<StreamTx>,
+    gs_end: StreamTx,
+    sticky: &[usize],
+    gs_worker: usize,
+    live_tx: Option<mpsc::Sender<u64>>,
+) -> Result<()> {
+    PartitioningSender::new(
+        mut_ends,
+        w.frame_bytes(),
+        w.id(),
+        sticky.to_vec(),
+        w.counters().clone(),
+    )
+    .with_label("mut")
+    .finish()?;
+    let msg_sender = match msg_ends {
+        MsgSenderEnds::Pipelined(outs) => MsgSender::Pipelined(
+            PartitioningSender::new(
+                outs,
+                w.frame_bytes(),
+                w.id(),
+                sticky.to_vec(),
+                w.counters().clone(),
+            )
+            .with_label("msg"),
+        ),
+        MsgSenderEnds::Merged(outs) => MsgSender::Merged(MaterializedPartitioner::new(
+            w.file_manager(),
+            outs,
+            w.id(),
+            sticky.to_vec(),
+        )?),
+    };
+    msg_sender.finish()?;
+    if let Some(tx) = live_tx {
+        let _ = tx.send(0);
+    }
+    PartitioningSender::new(
+        vec![gs_end],
+        w.frame_bytes(),
+        w.id(),
+        vec![gs_worker],
+        w.counters().clone(),
+    )
+    .with_label("gs")
+    .finish()
+}
+
 // ---------------------------------------------------------------------
 // msgwrite[p]
 // ---------------------------------------------------------------------
@@ -770,11 +1135,33 @@ fn msgwrite_task(
     job_tag: &str,
     gb_kind: pregelix_dataflow::groupby::GroupByKind,
     recv_ends: MsgReceiverEnds,
-    slot: Arc<Mutex<Option<RunHandle>>>,
+    sink: MsgRunSink,
     gs_end: StreamTx,
     combiner: TupleCombiner,
     gs_worker: usize,
 ) -> Result<()> {
+    // Straggler stand-in (Site::Stall): a deterministic CPU spin pinned to
+    // one partition's message task by the fault subsystem's event-count
+    // firing — never a timer. Chaos and equivalence tests use it to
+    // manufacture partition skew in both execution modes; the fault fires
+    // identically under barrier and frontier, so differential runs stay
+    // comparable.
+    if fault::active() {
+        let ctx = format!("{job_tag}:s{superstep}:p{p}");
+        if let Some(f) = fault::hit(Site::Stall, &ctx) {
+            w.counters().add_faults_injected(1);
+            match f {
+                Fault::Stall { work } => {
+                    let mut acc = 0u64;
+                    for i in 0..work {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                        std::hint::black_box(acc);
+                    }
+                }
+                _ => return Err(fault::injected_error(Site::Stall, &ctx)),
+            }
+        }
+    }
     // The run file is created lazily on the first combined message, so
     // message-free supersteps (common near convergence) cost no file I/O.
     // Paths ping-pong on superstep parity: Msg_{i+1} safely overwrites the
@@ -838,8 +1225,18 @@ fn msgwrite_task(
         }
     }
     w.counters().add_messages_combined(combined);
-    if let Some(writer) = writer {
-        *slot.lock() = Some(writer.finish()?);
+    let run = match writer {
+        Some(writer) => Some(writer.finish()?),
+        None => None,
+    };
+    match sink {
+        // Window-last: driver installs the run into the partition state.
+        MsgRunSink::Slot(slot) => *slot.lock() = run,
+        // Mid-window: hand the run (and the combined count — part of the
+        // halt vote) straight to the next superstep's compute gate.
+        MsgRunSink::Gate(tx) => {
+            let _ = tx.send((run, combined));
+        }
     }
     let mut gs_sender = PartitioningSender::new(
         vec![gs_end],
@@ -863,6 +1260,7 @@ fn mutate_task<P: VertexProgram>(
     program: Arc<P>,
     mut_ins: Vec<StreamRx>,
     gs_end: StreamTx,
+    done_tx: Option<mpsc::Sender<u64>>,
     gs_worker: usize,
 ) -> Result<()> {
     // Receiver-side group-by of mutations by vid (§5.3.3: resolve is not
@@ -890,7 +1288,7 @@ fn mutate_task<P: VertexProgram>(
         // per vid. Probing everything up front is safe because each
         // mutation only touches its own (distinct) key, so applying an
         // earlier key's mutation cannot change a later key's membership.
-        let keys: Vec<Vec<u8>> = groups.keys().map(|&vid| vid_to_key(vid)).collect();
+        let keys: Vec<Vec<u8>> = groups.keys().map(|&vid| vid_to_key(vid).to_vec()).collect();
         let mut in_store: Vec<bool> = Vec::with_capacity(keys.len());
         {
             let mut cursor = st.store.probe_cursor();
@@ -938,6 +1336,13 @@ fn mutate_task<P: VertexProgram>(
             }
         }
     }
+    // Mutations are applied and the partition lock is released: open this
+    // partition's slice of the next superstep's gate. A positive
+    // live_inserted count is, like compute's live count, a local proof
+    // that the job does not halt.
+    if let Some(tx) = done_tx {
+        let _ = tx.send(live_inserted);
+    }
     let mut gs_sender = PartitioningSender::new(
         vec![gs_end],
         w.frame_bytes(),
@@ -958,17 +1363,44 @@ fn mutate_task<P: VertexProgram>(
 fn gs_task<P: VertexProgram>(
     w: WorkerHandle,
     program: Arc<P>,
-    gs: GlobalState,
+    prev: GsPrev,
     gs_rx: Vec<StreamRx>,
     expected: u64,
+    release: Vec<mpsc::Sender<GlobalState>>,
     outcome: Arc<Mutex<Option<GlobalState>>>,
     dfs: pregelix_common::dfs::SimDfs,
     job_name: String,
 ) -> Result<()> {
+    // Mid-window gs tasks chain off the previous superstep's EXACT revised
+    // GS (aggregates and vertex-count arithmetic never run on predictions),
+    // so the outcome chain is bit-identical to barrier mode.
+    let gs = match prev {
+        GsPrev::Static(g) => g,
+        GsPrev::Chained(rx) => rx.recv().map_err(|_| gate_err("gs chain"))?,
+    };
     let mut rx = AggregatorReceiver::new(gs_rx, w.counters().clone());
+    if gs.halt {
+        // Ghost slot: the job already halted at an earlier boundary of the
+        // window. Drain the (all-zero) reports so every sender completes,
+        // then pass the halted GS through unchanged — no DFS store, no
+        // superstep advance.
+        while rx.next_tuple()?.is_some() {
+            w.check_alive()?;
+        }
+        for tx in &release {
+            let _ = tx.send(gs.clone());
+        }
+        *outcome.lock() = Some(gs);
+        return Ok(());
+    }
     let (mut live, mut created, mut combined) = (0u64, 0u64, 0u64);
     let (mut inserted, mut deleted, mut live_inserted) = (0u64, 0u64, 0u64);
-    let mut agg: Option<P::Aggregate> = None;
+    // Partition partials arrive in transport order, which the scheduler
+    // does not fix — but f64 aggregate combination is not associative
+    // across orders, so the partials are canonicalized (sorted by encoding)
+    // before the combine chain runs. This keeps the revised GS bit-identical
+    // across runs and across execution modes.
+    let mut partials: Vec<Vec<u8>> = Vec::new();
     let mut received = 0u64;
     while let Some(t) = rx.next_tuple()? {
         w.check_alive()?;
@@ -982,11 +1414,7 @@ fn gs_task<P: VertexProgram>(
                 let _calls = u64::read(&mut buf)?;
                 let partial_bytes = Vec::<u8>::read(&mut buf)?;
                 if !partial_bytes.is_empty() {
-                    let partial = P::Aggregate::from_bytes(&partial_bytes)?;
-                    agg = Some(match agg.take() {
-                        None => partial,
-                        Some(acc) => program.combine_aggregates(acc, partial),
-                    });
+                    partials.push(partial_bytes);
                 }
             }
             Some(&STATS_MSG) => {
@@ -1007,6 +1435,15 @@ fn gs_task<P: VertexProgram>(
             "gs received {received}/{expected} partition reports"
         )));
     }
+    partials.sort_unstable();
+    let mut agg: Option<P::Aggregate> = None;
+    for pb in &partials {
+        let partial = P::Aggregate::from_bytes(pb)?;
+        agg = Some(match agg.take() {
+            None => partial,
+            Some(acc) => program.combine_aggregates(acc, partial),
+        });
+    }
     let new_gs = GlobalState {
         superstep: gs.superstep + 1,
         halt: combined == 0 && live == 0 && live_inserted == 0,
@@ -1019,6 +1456,12 @@ fn gs_task<P: VertexProgram>(
         messages: combined,
     };
     new_gs.store(&dfs, &job_name)?;
+    // Release every partition gate (and the next gs task in the chain)
+    // still blocked on the exact GS. Early-advanced partitions dropped
+    // their receiving ends — those sends are no-ops.
+    for tx in &release {
+        let _ = tx.send(new_gs.clone());
+    }
     *outcome.lock() = Some(new_gs);
     Ok(())
 }

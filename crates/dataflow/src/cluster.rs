@@ -141,17 +141,39 @@ impl WorkerPool {
     }
 
     fn submit(&self, job: PoolJob) {
-        if self.idle.load(Ordering::Relaxed) == 0 {
+        // Reserve an idle thread with a compare-exchange, or spawn one born
+        // already reserved. `idle` counts threads that have *finished* a job
+        // and returned to the queue (they increment it only at that point),
+        // so a successful reservation is a guarantee that some thread will
+        // pick this job up. The previous load-then-send scheme read a stale
+        // nonzero count while every live thread was parked inside a gated
+        // task, leaving the job queued with no thread ever coming back for
+        // it — submitting a whole superstep window at once made that
+        // deadlock near-certain.
+        let mut cur = self.idle.load(Ordering::Acquire);
+        let reserved = loop {
+            if cur == 0 {
+                break false;
+            }
+            match self.idle.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break true,
+                Err(c) => cur = c,
+            }
+        };
+        if !reserved {
             let rx = self.rx.clone();
             let idle = Arc::clone(&self.idle);
             std::thread::spawn(move || loop {
-                idle.fetch_add(1, Ordering::Relaxed);
-                let job = rx.recv();
-                idle.fetch_sub(1, Ordering::Relaxed);
-                match job {
+                match rx.recv() {
                     Ok(job) => job(),
                     Err(_) => return, // pool dropped
                 }
+                idle.fetch_add(1, Ordering::Release);
             });
         }
         self.tx.send(job).expect("own receiver alive");

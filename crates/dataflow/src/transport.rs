@@ -200,6 +200,8 @@ struct OutStream {
     inflight: VecDeque<(u64, Arc<Frame>, u32)>,
     /// Resends spent on the Fin envelope.
     fin_resends: u32,
+    /// Whether the Fin envelope has been pushed at least once.
+    fin_sent: bool,
 }
 
 impl OutStream {
@@ -242,6 +244,7 @@ impl ReliableSender {
                     cum_acked: 0,
                     inflight: VecDeque::new(),
                     fin_resends: 0,
+                    fin_sent: false,
                 })
                 .collect(),
             label: label.into(),
@@ -331,6 +334,7 @@ impl ReliableSender {
 
     /// Push the Fin envelope through the wire.
     fn transmit_fin(&mut self, part: usize, site: Site) -> Result<()> {
+        self.outs[part].fin_sent = true;
         let last = self.outs[part].last_seq();
         let fin = FrameEnvelope::fin(self.label.clone(), self.sender_id, last);
         let mut duplicate = false;
@@ -406,9 +410,78 @@ impl ReliableSender {
             }
         }
         if a.nack != 0 && a.nack > self.outs[part].cum_acked {
-            self.resend(part, a.nack)?;
+            return self.resend_unless_completed(part, a.nack);
+        }
+        // A contentless ack is the wire-fault stand-in for a lost ack: its
+        // content was dropped, only the edge travelled (see `send_ack`). If
+        // it was carrying a nack, that retransmission request is gone and
+        // the receiver's nack latch means it will not be re-sent on its
+        // own — without intervention both ends block forever.
+        if a.cum == 0 && a.nack == 0 {
+            return self.poke(part);
         }
         Ok(())
+    }
+
+    /// Recover from a contentless ack by probing the first seq we have no
+    /// ack for. The receiver's `loss_report` answers a stale probe with a
+    /// plain cumulative ack (repairing any lost cum information) and a
+    /// genuine first-gap probe with an *unconditional* re-nack — which
+    /// drives the normal counted resend, exactly as the intact nack would
+    /// have. The poke itself touches no counters, so the chaos digest is
+    /// invariant to *which* ack the fault's racing global event counter
+    /// landed on: a lost nack yields the same retransmission count as an
+    /// intact one, and a lost plain ack yields none, on every schedule.
+    fn poke(&mut self, part: usize) -> Result<()> {
+        if lock_ctrl(&self.outs[part].tx.ctrl).completed {
+            // The emptied ack was the final one; the completion flag (set
+            // before any final ack is sent) already says everything it did.
+            return Ok(());
+        }
+        let probe_seq = self.outs[part].cum_acked + 1;
+        if probe_seq > self.outs[part].last_seq() && !self.outs[part].fin_sent {
+            // Everything sent so far is acked and the stream is still being
+            // produced: the emptied ack carried no nack (a nack implies an
+            // unacked gap), so nothing was lost that later cumulative acks
+            // will not repair — and probing a seq that never travelled
+            // would make the receiver nack it and turn the resend into a
+            // premature Fin. Nothing to recover; keep producing.
+            return Ok(());
+        }
+        let env = FrameEnvelope::probe(self.label.clone(), self.sender_id, probe_seq);
+        match self.push(part, env) {
+            Ok(()) => Ok(()),
+            // Lost the race against stream completion: the receiver
+            // finished and dropped its endpoints, so the poke was moot.
+            Err(e) => {
+                if lock_ctrl(&self.outs[part].tx.ctrl).completed {
+                    Ok(())
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// A resend that tolerates losing the race against stream completion:
+    /// the receiver may flag `completed` and drop its endpoints between the
+    /// ack that triggered this resend and the retransmission's push. Once
+    /// the control plane shows completion the retransmission was moot, so
+    /// any error from it (closed wire, exhausted budget) is moot too.
+    fn resend_unless_completed(&mut self, part: usize, seq: u64) -> Result<()> {
+        match self.resend(part, seq) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                if lock_ctrl(&self.outs[part].tx.ctrl).completed {
+                    let s = &mut self.outs[part];
+                    s.cum_acked = s.last_seq();
+                    s.inflight.clear();
+                    Ok(())
+                } else {
+                    Err(e)
+                }
+            }
+        }
     }
 
     /// Retransmit `seq` (a data frame, or the Fin when `seq == last + 1`)

@@ -1,0 +1,453 @@
+//! Barrier-vs-frontier differential harness.
+//!
+//! Frontier mode (`ExecutionMode::Frontier`) lets a partition start
+//! superstep `i + 1` as soon as every inbound `Msg_i` stream for that
+//! partition has closed, instead of waiting for the global barrier. The
+//! correctness contract is *observational equivalence*: for every program
+//! and every schedule — including adversarially skewed ones — the frontier
+//! run must produce bit-identical vertex values, the same halting
+//! superstep, the same final global state, and the same data-derived
+//! counter totals (`messages_sent`, `messages_combined`, `compute_calls`)
+//! as the barrier run.
+//!
+//! Skew is manufactured two ways, both deterministic:
+//!
+//! * **Data skew** — a graph whose vids all hash to one partition, leaving
+//!   the other partition permanently message-free (it can never advance
+//!   early, so `max_partition_skew` must read 1).
+//! * **Schedule skew** — a `Site::Stall` fault pinning a deterministic CPU
+//!   spin to one partition's message task (never a timer), fired through
+//!   the event-count fault harness in *both* modes so the runs stay
+//!   comparable.
+
+use pregelix::common::fault::{self, Fault, FaultPlan, Site};
+use pregelix::common::hash_partition;
+use pregelix::graphgen::btc;
+use pregelix::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+/// Run `program` over `records` in the given execution mode on a fresh
+/// cluster; returns the summary and the final value relation with every
+/// value reduced to raw bits (f64 values compare via `to_bits`, so "equal"
+/// means *bit*-equal, not approximately equal).
+fn run_mode<P, F>(
+    program: &Arc<P>,
+    name: &str,
+    mode: ExecutionMode,
+    workers: usize,
+    ppw: usize,
+    records: &[(u64, Vec<(u64, f64)>)],
+    to_bits: F,
+) -> (JobSummary, Vec<(u64, u64)>)
+where
+    P: VertexProgram,
+    F: Fn(&P::VertexValue) -> u64,
+{
+    let cluster = Cluster::new(ClusterConfig::new(workers, 8 << 20)).unwrap();
+    let job = PregelixJob::new(name)
+        .with_partitions_per_worker(ppw)
+        .with_execution_mode(mode);
+    let (summary, graph) =
+        run_job_from_records(&cluster, program, &job, records.to_vec()).unwrap();
+    assert_eq!(summary.recoveries, 0, "{name}: no faults, no recoveries");
+    let mut values: Vec<(u64, u64)> = graph
+        .collect_vertices::<P>()
+        .unwrap()
+        .into_iter()
+        .map(|v| (v.vid, to_bits(&v.value)))
+        .collect();
+    values.sort_unstable_by_key(|(vid, _)| *vid);
+    (summary, values)
+}
+
+/// The full differential contract between a barrier run and a frontier run
+/// of the same job: values, halting superstep, final global state, and the
+/// data-derived counter totals must all be identical. Barrier mode must
+/// never touch the frontier counters.
+fn assert_equivalent(
+    tag: &str,
+    barrier: &(JobSummary, Vec<(u64, u64)>),
+    frontier: &(JobSummary, Vec<(u64, u64)>),
+) {
+    assert_eq!(frontier.1, barrier.1, "{tag}: vertex values must be bit-identical");
+    assert_eq!(
+        frontier.0.supersteps, barrier.0.supersteps,
+        "{tag}: both modes must halt at the same superstep"
+    );
+    assert_eq!(
+        frontier.0.final_gs, barrier.0.final_gs,
+        "{tag}: the final global state (halt vote, aggregate, live counts) must match"
+    );
+    assert_eq!(
+        frontier.0.stats.messages_sent, barrier.0.stats.messages_sent,
+        "{tag}: messages_sent totals must match"
+    );
+    assert_eq!(
+        frontier.0.stats.messages_combined, barrier.0.stats.messages_combined,
+        "{tag}: messages_combined totals must match"
+    );
+    assert_eq!(
+        frontier.0.stats.compute_calls, barrier.0.stats.compute_calls,
+        "{tag}: compute_calls totals must match (ghost computes contribute zero)"
+    );
+    assert_eq!(
+        barrier.0.stats.frontier_advances, 0,
+        "{tag}: barrier mode has no gated computes"
+    );
+    assert_eq!(
+        barrier.0.stats.barrier_waits_avoided, 0,
+        "{tag}: barrier mode never advances early"
+    );
+    assert_eq!(
+        barrier.0.stats.max_partition_skew, 0,
+        "{tag}: barrier mode records no window skew"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The three workloads, differentially
+// ---------------------------------------------------------------------------
+
+/// CC is `frontier_safe`: on a message-dense BTC graph every partition
+/// combines messages at every early boundary, so frontier mode must both
+/// advance early (`barrier_waits_avoided > 0`) and stay bit-identical.
+#[test]
+fn cc_converges_identically_across_modes() {
+    let records = btc::btc(2_000, 5.0, 42);
+    let program = Arc::new(ConnectedComponents);
+    let barrier = run_mode(&program, "feq-cc", ExecutionMode::Barrier, 3, 2, &records, |v| *v);
+    let frontier =
+        run_mode(&program, "feq-cc", ExecutionMode::Frontier, 3, 2, &records, |v| *v);
+    assert_equivalent("cc", &barrier, &frontier);
+    assert!(
+        frontier.0.stats.frontier_advances > 0,
+        "frontier mode must gate at least one compute start"
+    );
+    assert!(
+        frontier.0.stats.barrier_waits_avoided > 0,
+        "a frontier-safe program with dense messages must skip barrier waits"
+    );
+}
+
+/// SSSP is `frontier_safe` and message-*sparse*: only the wavefront is
+/// active, so early supersteps leave whole partitions message-free. Those
+/// partitions must block on the exact global state while the wavefront
+/// partitions advance early — the asymmetric case the window gates exist
+/// for.
+#[test]
+fn sssp_converges_identically_across_modes() {
+    let records = btc::btc(2_000, 6.0, 43);
+    let program = Arc::new(ShortestPaths::new(0));
+    let barrier = run_mode(
+        &program,
+        "feq-sssp",
+        ExecutionMode::Barrier,
+        3,
+        2,
+        &records,
+        |v| v.to_bits(),
+    );
+    let frontier = run_mode(
+        &program,
+        "feq-sssp",
+        ExecutionMode::Frontier,
+        3,
+        2,
+        &records,
+        |v| v.to_bits(),
+    );
+    assert_equivalent("sssp", &barrier, &frontier);
+    assert!(frontier.0.stats.frontier_advances > 0);
+    assert!(
+        frontier.0.stats.barrier_waits_avoided > 0,
+        "wavefront partitions must advance early"
+    );
+}
+
+/// PageRank reads `ctx.num_vertices()` and folds a global aggregate, so it
+/// is *not* frontier-safe: frontier mode still windows its supersteps
+/// (`frontier_advances > 0`) but must never advance a partition past an
+/// unresolved halt vote (`barrier_waits_avoided == 0`). Equivalence is
+/// then structural: every compute sees the exact global state in both
+/// modes, and the f64 ranks must agree bit for bit.
+#[test]
+fn pagerank_windows_but_never_advances_early() {
+    let records = btc::btc(1_200, 6.0, 44);
+    let program = Arc::new(PageRank::new(8));
+    let barrier = run_mode(
+        &program,
+        "feq-pr",
+        ExecutionMode::Barrier,
+        2,
+        2,
+        &records,
+        |v| v.to_bits(),
+    );
+    let frontier = run_mode(
+        &program,
+        "feq-pr",
+        ExecutionMode::Frontier,
+        2,
+        2,
+        &records,
+        |v| v.to_bits(),
+    );
+    assert_equivalent("pagerank", &barrier, &frontier);
+    assert!(
+        frontier.0.stats.frontier_advances > 0,
+        "non-frontier-safe programs still run windowed"
+    );
+    assert_eq!(
+        frontier.0.stats.barrier_waits_avoided, 0,
+        "a program that reads global state must never advance early"
+    );
+}
+
+/// Min-label CC over a chain of length `L` halts at exactly superstep
+/// `L + 1`, which lands the halt vote in the *middle* of a frontier window:
+/// the remaining window slots run as ghosts and must not extend the job,
+/// shift the halting superstep, or touch any counter.
+#[test]
+fn halt_mid_window_truncates_ghost_supersteps() {
+    // A chain 0–1–…–8: 10 supersteps; FRONTIER_WINDOW = 4 puts the halt at
+    // the second slot of the third window, leaving two ghost slots.
+    let records: Vec<(u64, Vec<(u64, f64)>)> = (0..9u64)
+        .map(|v| {
+            let mut edges = Vec::new();
+            if v > 0 {
+                edges.push((v - 1, 1.0));
+            }
+            if v + 1 < 9 {
+                edges.push((v + 1, 1.0));
+            }
+            (v, edges)
+        })
+        .collect();
+    let program = Arc::new(ConnectedComponents);
+    let barrier =
+        run_mode(&program, "feq-ghost", ExecutionMode::Barrier, 2, 1, &records, |v| *v);
+    let frontier =
+        run_mode(&program, "feq-ghost", ExecutionMode::Frontier, 2, 1, &records, |v| *v);
+    assert_eq!(barrier.0.supersteps, 10, "chain of 9: label walk + quiet superstep");
+    assert_equivalent("ghost-window", &barrier, &frontier);
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial skew
+// ---------------------------------------------------------------------------
+
+/// Data skew: every vid hashes to partition 0 of 2, so partition 1 is
+/// permanently empty and message-free — it can never advance early, while
+/// partition 0 advances at every boundary. `max_partition_skew` must
+/// observe the partial frontier (exactly 1: the gauge is 0/1), and the
+/// answer must still match barrier mode.
+#[test]
+fn empty_partition_forces_observable_skew() {
+    // Chain together the first 12 vids that hash_partition to 0 of 2.
+    let vids: Vec<u64> = (0..400u64).filter(|v| hash_partition(*v, 2) == 0).take(12).collect();
+    assert_eq!(vids.len(), 12);
+    let records: Vec<(u64, Vec<(u64, f64)>)> = vids
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let mut edges = Vec::new();
+            if i > 0 {
+                edges.push((vids[i - 1], 1.0));
+            }
+            if i + 1 < vids.len() {
+                edges.push((vids[i + 1], 1.0));
+            }
+            (*v, edges)
+        })
+        .collect();
+    let program = Arc::new(ConnectedComponents);
+    let barrier =
+        run_mode(&program, "feq-skew", ExecutionMode::Barrier, 1, 2, &records, |v| *v);
+    let frontier =
+        run_mode(&program, "feq-skew", ExecutionMode::Frontier, 1, 2, &records, |v| *v);
+    assert_equivalent("empty-partition", &barrier, &frontier);
+    assert!(frontier.0.stats.barrier_waits_avoided > 0, "partition 0 advances early");
+    assert_eq!(
+        frontier.0.stats.max_partition_skew, 1,
+        "a boundary where some-but-not-all partitions advanced early must be recorded"
+    );
+}
+
+/// Schedule skew: a deterministic CPU spin (`Fault::Stall`) pinned to one
+/// partition's message task at two consecutive supersteps — the
+/// straggler stand-in, fired at exact event counts in *both* modes. The
+/// stall changes wall-clock interleaving only, never data, so the
+/// differential contract must hold unchanged and frontier mode must still
+/// avoid barrier waits on the non-stalled partitions.
+#[test]
+fn straggler_partition_converges_identically_in_both_modes() {
+    let guard = fault::exclusive();
+    let records = btc::btc(1_500, 5.0, 45);
+    let program = Arc::new(ConnectedComponents);
+    let mut runs = Vec::new();
+    for mode in [ExecutionMode::Barrier, ExecutionMode::Frontier] {
+        // A fresh plan per run: rules fire once, and both runs must see the
+        // identical schedule.
+        let plan = guard.install(
+            FaultPlan::new()
+                .on(Site::Stall, "feq-stall:s2:p1", 1, Fault::Stall { work: 2_000_000 })
+                .on(Site::Stall, "feq-stall:s3:p1", 1, Fault::Stall { work: 2_000_000 }),
+        );
+        let run = run_mode(&program, "feq-stall", mode, 2, 2, &records, |v| *v);
+        assert_eq!(
+            plan.injected(),
+            2,
+            "the straggler stall fired at both supersteps in {mode:?} mode"
+        );
+        runs.push(run);
+        guard.clear();
+    }
+    let frontier = runs.pop().unwrap();
+    let barrier = runs.pop().unwrap();
+    assert_equivalent("straggler", &barrier, &frontier);
+    assert!(
+        frontier.0.stats.barrier_waits_avoided > 0,
+        "non-stalled partitions must not wait for the straggler's barrier"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Property-based sweep
+// ---------------------------------------------------------------------------
+
+/// `PROPTEST_CASES`-responsive case count with a CI-friendly local default
+/// (each case runs two full end-to-end jobs).
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
+}
+
+/// Random symmetric weighted graph (mirrors property_based.rs).
+fn graph(n: u64, edges: u64, seed: u64) -> Vec<(u64, Vec<(u64, f64)>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut adj: Vec<Vec<(u64, f64)>> = vec![Vec::new(); n as usize];
+    for _ in 0..edges {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b {
+            continue;
+        }
+        let w = rng.gen_range(1..8) as f64;
+        adj[a as usize].push((b, w));
+        adj[b as usize].push((a, w));
+    }
+    adj.into_iter()
+        .enumerate()
+        .map(|(v, mut e)| {
+            e.sort_unstable_by_key(|(d, _)| *d);
+            e.dedup_by_key(|(d, _)| *d);
+            (v as u64, e)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: cases(), ..ProptestConfig::default() })]
+
+    /// Every random graph, worker count, and partition fan-out: frontier CC
+    /// must be observationally equivalent to barrier CC.
+    #[test]
+    fn prop_frontier_cc_matches_barrier(
+        seed in 0u64..500,
+        n in 40u64..160,
+        workers in 1usize..4,
+        ppw in 1usize..3,
+    ) {
+        let records = graph(n, n * 2, seed);
+        let program = Arc::new(ConnectedComponents);
+        let name = format!("feq-prop-cc-{seed}");
+        let barrier =
+            run_mode(&program, &name, ExecutionMode::Barrier, workers, ppw, &records, |v| *v);
+        let frontier =
+            run_mode(&program, &name, ExecutionMode::Frontier, workers, ppw, &records, |v| *v);
+        prop_assert_eq!(&frontier.1, &barrier.1, "vertex values");
+        prop_assert_eq!(frontier.0.supersteps, barrier.0.supersteps);
+        prop_assert_eq!(&frontier.0.final_gs, &barrier.0.final_gs);
+        prop_assert_eq!(frontier.0.stats.messages_sent, barrier.0.stats.messages_sent);
+        prop_assert_eq!(
+            frontier.0.stats.messages_combined,
+            barrier.0.stats.messages_combined
+        );
+        prop_assert_eq!(frontier.0.stats.compute_calls, barrier.0.stats.compute_calls);
+    }
+
+    /// The same sweep for SSSP, whose sparse wavefront exercises the
+    /// blocked-partition path (f64 values compared bit for bit).
+    #[test]
+    fn prop_frontier_sssp_matches_barrier(
+        seed in 0u64..500,
+        n in 40u64..160,
+        workers in 1usize..4,
+    ) {
+        let records = graph(n, n * 3, seed);
+        let program = Arc::new(ShortestPaths::new(0));
+        let name = format!("feq-prop-sssp-{seed}");
+        let barrier = run_mode(
+            &program, &name, ExecutionMode::Barrier, workers, 2, &records, |v| v.to_bits(),
+        );
+        let frontier = run_mode(
+            &program, &name, ExecutionMode::Frontier, workers, 2, &records, |v| v.to_bits(),
+        );
+        prop_assert_eq!(&frontier.1, &barrier.1, "distances must be bit-identical");
+        prop_assert_eq!(frontier.0.supersteps, barrier.0.supersteps);
+        prop_assert_eq!(&frontier.0.final_gs, &barrier.0.final_gs);
+        prop_assert_eq!(frontier.0.stats.messages_sent, barrier.0.stats.messages_sent);
+        prop_assert_eq!(frontier.0.stats.compute_calls, barrier.0.stats.compute_calls);
+    }
+
+    /// Adversarial schedule skew: a random straggler (superstep, partition)
+    /// stalled in both modes — the stall schedule is part of the case, so
+    /// shrinking converges on the smallest skew that breaks equivalence.
+    #[test]
+    fn prop_straggler_schedules_stay_equivalent(
+        seed in 0u64..200,
+        n in 40u64..120,
+        stall_ss in 2u64..5,
+        stall_p in 0usize..4,
+    ) {
+        let guard = fault::exclusive();
+        let records = graph(n, n * 2, seed);
+        let program = Arc::new(ConnectedComponents);
+        let name = format!("feq-prop-stall-{seed}");
+        let scope = format!("{name}:s{stall_ss}:p{stall_p}");
+        let mut runs = Vec::new();
+        let mut injected = Vec::new();
+        for mode in [ExecutionMode::Barrier, ExecutionMode::Frontier] {
+            let plan = guard.install(FaultPlan::new().on(
+                Site::Stall,
+                &scope,
+                1,
+                Fault::Stall { work: 1_000_000 },
+            ));
+            // 2 workers x 2 partitions: stall_p always names a real partition.
+            runs.push(run_mode(&program, &name, mode, 2, 2, &records, |v| *v));
+            injected.push(plan.injected());
+            guard.clear();
+        }
+        let frontier = runs.pop().unwrap();
+        let barrier = runs.pop().unwrap();
+        prop_assert_eq!(
+            injected[0], injected[1],
+            "equal superstep counts mean the stall fires identically in both modes"
+        );
+        prop_assert_eq!(&frontier.1, &barrier.1, "vertex values");
+        prop_assert_eq!(frontier.0.supersteps, barrier.0.supersteps);
+        prop_assert_eq!(&frontier.0.final_gs, &barrier.0.final_gs);
+        prop_assert_eq!(frontier.0.stats.messages_sent, barrier.0.stats.messages_sent);
+        prop_assert_eq!(frontier.0.stats.compute_calls, barrier.0.stats.compute_calls);
+    }
+}
