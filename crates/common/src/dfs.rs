@@ -123,6 +123,66 @@ impl SimDfs {
         Ok(out)
     }
 
+    /// List the subdirectories directly under a directory path, returning
+    /// their namespace-relative paths in sorted order. A missing directory
+    /// lists as empty. Complements [`SimDfs::list`], which returns only
+    /// files — checkpoint and message-log garbage collection walk
+    /// per-superstep sub*directories*.
+    pub fn list_dirs(&self, dir: &str) -> Result<Vec<String>> {
+        let p = self.resolve(dir)?;
+        let mut out = Vec::new();
+        let entries = match fs::read_dir(&p) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                out.push(format!(
+                    "{dir}/{}",
+                    entry.file_name().to_string_lossy()
+                ));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Delete a single file (no-op if absent).
+    pub fn delete(&self, path: &str) -> Result<()> {
+        match fs::remove_file(self.resolve(path)?) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Total bytes of the file at `path`, or of every file under it if it
+    /// names a directory (recursive). Missing paths size as 0 — garbage
+    /// collection uses this to account retired bytes without racing
+    /// existence checks.
+    pub fn size(&self, path: &str) -> Result<u64> {
+        fn walk(p: &Path) -> std::io::Result<u64> {
+            let meta = match fs::symlink_metadata(p) {
+                Ok(m) => m,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+                Err(e) => return Err(e),
+            };
+            if meta.is_file() {
+                return Ok(meta.len());
+            }
+            let mut total = 0;
+            if meta.is_dir() {
+                for entry in fs::read_dir(p)? {
+                    total += walk(&entry?.path())?;
+                }
+            }
+            Ok(total)
+        }
+        Ok(walk(&self.resolve(path)?)?)
+    }
+
     /// Recursively delete a directory subtree (no-op if absent).
     pub fn delete_dir(&self, dir: &str) -> Result<()> {
         let p = self.resolve(dir)?;

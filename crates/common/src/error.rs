@@ -51,6 +51,22 @@ pub enum PregelixError {
     User(String),
     /// Checkpoint requested for recovery does not exist.
     NoCheckpoint,
+    /// A confined recovery could not proceed (missing/torn message log, a
+    /// garbage-collection race, stale global-state history, no reusable
+    /// checkpoint). Not recoverable *by retrying*: the failure manager
+    /// catches it internally and falls back to the global rollback path, so
+    /// it never escapes a correctly-laddered recovery.
+    ConfinedRecoveryUnavailable(String),
+    /// The failure manager hit the job's recovery cap (the
+    /// `PregelixJob::max_recoveries` knob) and gave up.
+    /// Carries the cap and the display form of the last recoverable fault so
+    /// the user sees *why* the job kept dying, not just the final symptom.
+    RecoveriesExhausted {
+        /// The configured `PregelixJob::max_recoveries` cap that was reached.
+        cap: u32,
+        /// Display form of the last recoverable error before giving up.
+        last_error: String,
+    },
     /// Any other invariant violation.
     Internal(String),
 }
@@ -92,6 +108,12 @@ impl PregelixError {
     pub fn internal(msg: impl Into<String>) -> Self {
         PregelixError::Internal(msg.into())
     }
+
+    /// Shorthand constructor for confined-recovery unavailability: the typed
+    /// signal that makes the failure manager fall back to a global rollback.
+    pub fn confined_unavailable(msg: impl Into<String>) -> Self {
+        PregelixError::ConfinedRecoveryUnavailable(msg.into())
+    }
 }
 
 impl fmt::Display for PregelixError {
@@ -112,6 +134,14 @@ impl fmt::Display for PregelixError {
             PregelixError::WorkerDead { id } => write!(f, "worker {id} declared dead"),
             PregelixError::User(m) => write!(f, "application error: {m}"),
             PregelixError::NoCheckpoint => write!(f, "no checkpoint available for recovery"),
+            PregelixError::ConfinedRecoveryUnavailable(m) => {
+                write!(f, "confined recovery unavailable: {m}")
+            }
+            PregelixError::RecoveriesExhausted { cap, last_error } => write!(
+                f,
+                "recovery cap exhausted: {cap} recoveries attempted (max_recoveries = {cap}); \
+                 last recoverable error: {last_error}"
+            ),
             PregelixError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -171,6 +201,12 @@ mod tests {
                 PregelixError::Storage(_) => false,
                 PregelixError::Plan(_) => false,
                 PregelixError::NoCheckpoint => false,
+                // Confined-recovery unavailability is an internal routing
+                // signal (fall back to global rollback), not a transient
+                // fault to retry; recovery exhaustion is terminal by
+                // definition.
+                PregelixError::ConfinedRecoveryUnavailable(_) => false,
+                PregelixError::RecoveriesExhausted { .. } => false,
                 PregelixError::Internal(_) => false,
             }
         }
@@ -187,6 +223,11 @@ mod tests {
             PregelixError::WorkerDead { id: 0 },
             PregelixError::user("u"),
             PregelixError::NoCheckpoint,
+            PregelixError::confined_unavailable("hole in msg log"),
+            PregelixError::RecoveriesExhausted {
+                cap: 32,
+                last_error: "worker 2 declared dead".into(),
+            },
             PregelixError::internal("i"),
         ];
         for e in &witnesses {
@@ -208,6 +249,21 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("worker-1 heap"));
         assert!(s.contains("4096"));
+    }
+
+    #[test]
+    fn recovery_exhaustion_names_the_cap_and_last_fault() {
+        let e = PregelixError::RecoveriesExhausted {
+            cap: 7,
+            last_error: "worker 2 declared dead".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("max_recoveries = 7"), "{s}");
+        assert!(s.contains("worker 2 declared dead"), "{s}");
+        assert!(!e.is_recoverable());
+        let c = PregelixError::confined_unavailable("torn log superstep 4");
+        assert!(c.to_string().contains("torn log superstep 4"));
+        assert!(!c.is_recoverable());
     }
 
     #[test]

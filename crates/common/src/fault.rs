@@ -71,6 +71,13 @@ pub enum Site {
     /// deterministically slow for that one superstep — the controlled
     /// stand-in for a straggler that barrier-vs-frontier tests need.
     Stall,
+    /// The confined-recovery message log: probed by the log writer before a
+    /// per-(superstep, src-partition) log file reaches the DFS, and by the
+    /// log reader during replay; ctx = the log's DFS path
+    /// (`jobs/<job>/msglog/<superstep>/src<p>`). An [`Fault::IoError`] here
+    /// silently degrades logging (the hole surfaces later as a confined
+    /// fallback); a [`Fault::TornWrite`] leaves a CRC-detectable prefix.
+    MsgLog,
 }
 
 impl Site {
@@ -90,6 +97,7 @@ impl Site {
             Site::AckSend => "ack-send",
             Site::Barrier => "barrier",
             Site::Stall => "stall",
+            Site::MsgLog => "msg-log",
         }
     }
 }

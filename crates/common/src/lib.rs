@@ -19,6 +19,9 @@
 //! * [`memory`] — a byte-granular memory accountant used to enforce simulated
 //!   per-worker RAM budgets (this is how the out-of-core experiments scale the
 //!   paper's 8 GB nodes down to laptop-size).
+//! * [`msglog`] — sender-side per-(superstep, partition) message/mutation
+//!   logs on the DFS, the substrate of confined recovery: on a worker death
+//!   only the lost partitions replay, fed from survivors' logs.
 //! * [`radix`] — the LSB radix-sort engine with software write-combining
 //!   that orders `(u64 key-prefix, payload)` entries on the message hot
 //!   path; frames and the storage-layer sorters both build on it.
@@ -32,6 +35,7 @@ pub mod error;
 pub mod fault;
 pub mod frame;
 pub mod memory;
+pub mod msglog;
 pub mod radix;
 pub mod stats;
 pub mod writable;

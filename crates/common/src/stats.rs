@@ -109,6 +109,22 @@ struct Counters {
     /// could not halt. Each one is a cluster-wide barrier wait that barrier
     /// mode would have paid.
     barrier_waits_avoided: AtomicU64,
+    /// Confined recoveries completed: worker deaths healed by reloading and
+    /// replaying *only* the dead worker's partitions from survivors' message
+    /// logs, leaving survivors' state hot (§5.5 degradation ladder).
+    confined_recoveries: AtomicU64,
+    /// Confined-recovery attempts that found a hole (missing/torn log, GC
+    /// race, stale GS history) and fell back to the global rollback path.
+    confined_fallbacks: AtomicU64,
+    /// Bytes of post-combine message/mutation log written to the DFS by the
+    /// sender-side tee (per-(superstep, src-partition) log files).
+    log_bytes_written: AtomicU64,
+    /// Logged per-(src → dead-partition) runs fed back through the replay
+    /// group-by during a confined recovery.
+    log_runs_replayed: AtomicU64,
+    /// Bytes of checkpoint, message-log, and GS-history files retired by
+    /// garbage collection after a newer checkpoint committed.
+    ckpt_bytes_retired: AtomicU64,
     /// Maximum observed partition superstep skew (overwrite-by-max): 1 when
     /// some in-window superstep boundary saw a strict subset of partitions
     /// advance early (so partitions were momentarily one superstep apart),
@@ -168,6 +184,11 @@ counter_api! {
     add_bloom_false_positives / bloom_false_positives => bloom_false_positives,
     add_frontier_advances / frontier_advances => frontier_advances,
     add_barrier_waits_avoided / barrier_waits_avoided => barrier_waits_avoided,
+    add_confined_recoveries / confined_recoveries => confined_recoveries,
+    add_confined_fallbacks / confined_fallbacks => confined_fallbacks,
+    add_log_bytes_written / log_bytes_written => log_bytes_written,
+    add_log_runs_replayed / log_runs_replayed => log_runs_replayed,
+    add_ckpt_bytes_retired / ckpt_bytes_retired => ckpt_bytes_retired,
 }
 
 impl ClusterCounters {
@@ -235,6 +256,11 @@ impl ClusterCounters {
             bloom_false_positives: c.bloom_false_positives.load(Ordering::Relaxed),
             frontier_advances: c.frontier_advances.load(Ordering::Relaxed),
             barrier_waits_avoided: c.barrier_waits_avoided.load(Ordering::Relaxed),
+            confined_recoveries: c.confined_recoveries.load(Ordering::Relaxed),
+            confined_fallbacks: c.confined_fallbacks.load(Ordering::Relaxed),
+            log_bytes_written: c.log_bytes_written.load(Ordering::Relaxed),
+            log_runs_replayed: c.log_runs_replayed.load(Ordering::Relaxed),
+            ckpt_bytes_retired: c.ckpt_bytes_retired.load(Ordering::Relaxed),
             max_partition_skew: c.max_partition_skew.load(Ordering::Relaxed),
             live_vertices: c.live_vertices.load(Ordering::Relaxed),
         }
@@ -273,6 +299,11 @@ pub struct StatsSnapshot {
     pub bloom_false_positives: u64,
     pub frontier_advances: u64,
     pub barrier_waits_avoided: u64,
+    pub confined_recoveries: u64,
+    pub confined_fallbacks: u64,
+    pub log_bytes_written: u64,
+    pub log_runs_replayed: u64,
+    pub ckpt_bytes_retired: u64,
     pub max_partition_skew: u64,
     pub live_vertices: u64,
 }
@@ -319,6 +350,11 @@ impl StatsSnapshot {
             frontier_advances: self.frontier_advances - earlier.frontier_advances,
             barrier_waits_avoided: self.barrier_waits_avoided
                 - earlier.barrier_waits_avoided,
+            confined_recoveries: self.confined_recoveries - earlier.confined_recoveries,
+            confined_fallbacks: self.confined_fallbacks - earlier.confined_fallbacks,
+            log_bytes_written: self.log_bytes_written - earlier.log_bytes_written,
+            log_runs_replayed: self.log_runs_replayed - earlier.log_runs_replayed,
+            ckpt_bytes_retired: self.ckpt_bytes_retired - earlier.ckpt_bytes_retired,
             // Like `live_vertices`, the skew indicator is a gauge rather
             // than a monotone counter: a delta carries the current value.
             max_partition_skew: self.max_partition_skew,
@@ -426,6 +462,28 @@ mod tests {
         assert_eq!(d.frontier_advances, 6);
         assert_eq!(d.barrier_waits_avoided, 3);
         assert_eq!(d.max_partition_skew, 1, "skew passes through deltas as a gauge");
+    }
+
+    #[test]
+    fn recovery_counters_flow_through_snapshot_and_delta() {
+        let c = ClusterCounters::new();
+        c.add_log_bytes_written(64);
+        let before = c.snapshot();
+        c.add_confined_recoveries(1);
+        c.add_confined_fallbacks(2);
+        c.add_log_bytes_written(512);
+        c.add_log_runs_replayed(6);
+        c.add_ckpt_bytes_retired(4096);
+        let s = c.snapshot();
+        assert_eq!(s.confined_recoveries, 1);
+        assert_eq!(s.confined_fallbacks, 2);
+        assert_eq!(s.log_bytes_written, 576);
+        let d = s.delta_since(&before);
+        assert_eq!(d.confined_recoveries, 1);
+        assert_eq!(d.confined_fallbacks, 2);
+        assert_eq!(d.log_bytes_written, 512);
+        assert_eq!(d.log_runs_replayed, 6);
+        assert_eq!(d.ckpt_bytes_retired, 4096);
     }
 
     #[test]

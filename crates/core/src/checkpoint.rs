@@ -44,8 +44,9 @@ fn manifest_path(job: &str, superstep: Superstep) -> String {
     format!("jobs/{job}/ckpt-manifests/{superstep}")
 }
 
-/// Serialized manifest: partition count, whether Vid indexes exist, GS,
-/// and the per-partition superstep vector.
+/// Decoded checkpoint manifest (codec v2): partition count, whether Vid
+/// indexes exist, the GS snapshot, the per-partition superstep vector, and
+/// the confined-recovery log fields.
 ///
 /// The vector records which superstep each partition's checkpointed state
 /// feeds. Checkpoints are taken only at window boundaries — where frontier
@@ -53,27 +54,46 @@ fn manifest_path(job: &str, superstep: Superstep) -> String {
 /// checkpoint always carries an all-equal vector matching `gs.superstep`,
 /// and recovery refuses anything else: replaying partitions from different
 /// supersteps would double-apply (or lose) messages.
-fn encode_manifest(
-    partitions: u64,
-    has_vid: bool,
-    gs: &GlobalState,
-    superstep_vector: &[Superstep],
-) -> Vec<u8> {
+///
+/// `logs_enabled` records whether the job was writing sender-side message
+/// logs when the checkpoint committed; `log_watermark` pins the oldest
+/// superstep whose logs were still retained (garbage collection never
+/// retires logs at or above the newest checkpoint, so for the newest
+/// checkpoint the watermark equals its own superstep). Confined recovery
+/// refuses to replay any superstep below the watermark.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Manifest {
+    /// Number of checkpointed partitions.
+    pub partitions: u64,
+    /// Whether per-partition Vid index state was checkpointed (LOJ plans).
+    pub has_vid: bool,
+    /// The GS snapshot feeding superstep `gs.superstep`.
+    pub gs: GlobalState,
+    /// Per-partition superstep vector (all-equal for a consistent state).
+    pub superstep_vector: Vec<Superstep>,
+    /// Whether sender-side message logging was active for this job.
+    pub logs_enabled: bool,
+    /// Oldest superstep whose message logs were retained at commit time.
+    pub log_watermark: Superstep,
+}
+
+fn encode_manifest(m: &Manifest) -> Vec<u8> {
     let mut out = Vec::new();
-    partitions.write(&mut out);
-    has_vid.write(&mut out);
-    gs.superstep.write(&mut out);
-    gs.halt.write(&mut out);
-    gs.aggregate.write(&mut out);
-    gs.vertex_count.write(&mut out);
-    gs.live_vertices.write(&mut out);
-    gs.messages.write(&mut out);
-    superstep_vector.to_vec().write(&mut out);
+    m.partitions.write(&mut out);
+    m.has_vid.write(&mut out);
+    m.gs.superstep.write(&mut out);
+    m.gs.halt.write(&mut out);
+    m.gs.aggregate.write(&mut out);
+    m.gs.vertex_count.write(&mut out);
+    m.gs.live_vertices.write(&mut out);
+    m.gs.messages.write(&mut out);
+    m.superstep_vector.clone().write(&mut out);
+    m.logs_enabled.write(&mut out);
+    m.log_watermark.write(&mut out);
     out
 }
 
-#[allow(clippy::type_complexity)]
-fn decode_manifest(mut bytes: &[u8]) -> Result<(u64, bool, GlobalState, Vec<Superstep>)> {
+fn decode_manifest(mut bytes: &[u8]) -> Result<Manifest> {
     let buf = &mut bytes;
     let partitions = u64::read(buf)?;
     let has_vid = bool::read(buf)?;
@@ -86,10 +106,19 @@ fn decode_manifest(mut bytes: &[u8]) -> Result<(u64, bool, GlobalState, Vec<Supe
         messages: u64::read(buf)?,
     };
     let superstep_vector = Vec::<Superstep>::read(buf)?;
+    let logs_enabled = bool::read(buf)?;
+    let log_watermark = Superstep::read(buf)?;
     if !buf.is_empty() {
         return Err(PregelixError::corrupt("trailing bytes in checkpoint manifest"));
     }
-    Ok((partitions, has_vid, gs, superstep_vector))
+    Ok(Manifest {
+        partitions,
+        has_vid,
+        gs,
+        superstep_vector,
+        logs_enabled,
+        log_watermark,
+    })
 }
 
 /// Upper bound on believable partition counts. A torn or bit-flipped
@@ -105,41 +134,47 @@ fn validate_manifest(
     cluster: &Cluster,
     job: &PregelixJob,
     superstep: Superstep,
-    p_count: u64,
-    has_vid: bool,
-    gs: &GlobalState,
-    superstep_vector: &[Superstep],
+    m: &Manifest,
 ) -> Result<()> {
+    let p_count = m.partitions;
     if p_count == 0 || p_count > MAX_PARTITIONS {
         return Err(PregelixError::corrupt(format!(
             "checkpoint manifest {superstep} claims {p_count} partitions"
         )));
     }
-    if gs.superstep != superstep {
+    if m.gs.superstep != superstep {
         return Err(PregelixError::corrupt(format!(
             "checkpoint manifest {superstep} snapshots GS for superstep {}",
-            gs.superstep
+            m.gs.superstep
         )));
     }
     // Consistency of the frontier state: every partition must have been
     // checkpointed at the same superstep, and that superstep must be the
     // one the GS snapshot feeds.
-    if superstep_vector.len() as u64 != p_count {
+    if m.superstep_vector.len() as u64 != p_count {
         return Err(PregelixError::corrupt(format!(
             "checkpoint manifest {superstep} carries {} superstep entries for {p_count} partitions",
-            superstep_vector.len()
+            m.superstep_vector.len()
         )));
     }
-    if let Some(bad) = superstep_vector.iter().find(|&&s| s != superstep) {
+    if let Some(bad) = m.superstep_vector.iter().find(|&&s| s != superstep) {
         return Err(PregelixError::corrupt(format!(
             "checkpoint manifest {superstep} is frontier-inconsistent: a partition is at superstep {bad}"
+        )));
+    }
+    // A watermark above the checkpoint's own superstep would let confined
+    // recovery replay from logs the writer itself considered retired.
+    if m.log_watermark > superstep {
+        return Err(PregelixError::corrupt(format!(
+            "checkpoint manifest {superstep} claims log watermark {}",
+            m.log_watermark
         )));
     }
     // LOJ/adaptive plans probe the Vid live-vertex index every superstep; a
     // checkpoint without one cannot feed them (reloading it anyway would
     // surface much later as a missing-index panic mid-join).
     let needs_vid = !matches!(job.plan.join, crate::plan::JoinStrategy::FullOuter);
-    if needs_vid && !has_vid {
+    if needs_vid && !m.has_vid {
         return Err(PregelixError::corrupt(format!(
             "checkpoint manifest {superstep} lacks the Vid index state required by the {:?} join plan",
             job.plan.join
@@ -230,11 +265,21 @@ pub fn write_checkpoint(
     cluster.execute(tasks)?;
     // Checkpoints happen only at window boundaries, where every partition
     // has reached the same superstep — the vector the manifest persists
-    // (and recovery re-validates).
-    let superstep_vector = vec![gs.superstep; partitions.len()];
+    // (and recovery re-validates). The log watermark pins the oldest
+    // superstep whose message logs this checkpoint can count on: GC only
+    // retires logs *below* the newest checkpoint, so a checkpoint's own
+    // superstep is always safe.
+    let manifest = Manifest {
+        partitions: partitions.len() as u64,
+        has_vid,
+        gs: gs.clone(),
+        superstep_vector: vec![gs.superstep; partitions.len()],
+        logs_enabled: job.confined_recovery,
+        log_watermark: gs.superstep,
+    };
     dfs.write(
         &manifest_path(&job.name, gs.superstep),
-        &encode_manifest(partitions.len() as u64, has_vid, gs, &superstep_vector),
+        &encode_manifest(&manifest),
     )
 }
 
@@ -271,18 +316,9 @@ pub fn recover(
     prev_sticky: &[usize],
 ) -> Result<(Vec<Arc<Mutex<PartitionState>>>, Vec<usize>, GlobalState)> {
     let dfs = cluster.dfs().clone();
-    let (p_count, has_vid, gs, superstep_vector) =
-        decode_manifest(&dfs.read(&manifest_path(&job.name, superstep))?)?;
-    validate_manifest(
-        cluster,
-        job,
-        superstep,
-        p_count,
-        has_vid,
-        &gs,
-        &superstep_vector,
-    )?;
-    let p_count = p_count as usize;
+    let manifest = decode_manifest(&dfs.read(&manifest_path(&job.name, superstep))?)?;
+    validate_manifest(cluster, job, superstep, &manifest)?;
+    let p_count = manifest.partitions as usize;
     let alive = cluster.alive_workers();
     if alive.is_empty() {
         return Err(PregelixError::plan("no alive workers to recover onto"));
@@ -292,13 +328,48 @@ pub fn recover(
     } else {
         pregelix_dataflow::scheduler::sticky_assignment(p_count, &alive)
     };
+    let targets: Vec<usize> = (0..p_count).collect();
+    let reloaded = reload_partitions(cluster, job, superstep, &manifest, &sticky, &targets)?;
+    let partitions = reloaded
+        .into_iter()
+        .map(|(_, st)| Arc::new(Mutex::new(st)))
+        .collect();
+    Ok((partitions, sticky, manifest.gs))
+}
+
+/// Reload only `targets` (partition indices) from the checkpoint at
+/// `superstep`, each as a task pinned to `sticky[p]`. This is the confined
+/// half of §5.5 recovery: survivors keep their live state while the dead
+/// worker's partitions are rebuilt — the caller splices the returned states
+/// into the existing partition set.
+///
+/// The caller has already decoded and validated `manifest` (via
+/// [`newest_valid_checkpoint`]); this function re-checks only the shape it
+/// depends on.
+pub fn reload_partitions(
+    cluster: &Cluster,
+    job: &PregelixJob,
+    superstep: Superstep,
+    manifest: &Manifest,
+    sticky: &[usize],
+    targets: &[usize],
+) -> Result<Vec<(usize, PartitionState)>> {
+    if sticky.len() != manifest.partitions as usize {
+        return Err(PregelixError::plan(format!(
+            "reload of checkpoint {superstep}: {} sticky pins for {} partitions",
+            sticky.len(),
+            manifest.partitions
+        )));
+    }
+    let dfs = cluster.dfs().clone();
     let dir = ckpt_dir(&job.name, superstep);
     let storage = job.plan.storage;
+    let has_vid = manifest.has_vid;
     let slots: Vec<Arc<Mutex<Option<PartitionState>>>> =
-        (0..p_count).map(|_| Arc::new(Mutex::new(None))).collect();
-    let mut tasks = Vec::with_capacity(p_count);
-    for (p, slot) in slots.iter().enumerate() {
-        let slot = Arc::clone(slot);
+        targets.iter().map(|_| Arc::new(Mutex::new(None))).collect();
+    let mut tasks = Vec::with_capacity(targets.len());
+    for (i, &p) in targets.iter().enumerate() {
+        let slot = Arc::clone(&slots[i]);
         let dfs = dfs.clone();
         let dir = dir.clone();
         tasks.push(Task::new(format!("recover[{p}]"), sticky[p], move |w| {
@@ -336,14 +407,52 @@ pub fn recover(
         }));
     }
     cluster.execute(tasks)?;
-    let partitions = slots
-        .into_iter()
-        .map(|s| {
+    Ok(targets
+        .iter()
+        .zip(slots)
+        .map(|(&p, s)| {
             let st = s.lock().take().expect("recover task filled the slot");
-            Arc::new(Mutex::new(st))
+            (p, st)
         })
+        .collect())
+}
+
+/// Find the newest checkpoint that decodes and validates, without reloading
+/// anything: the walk [`recover_latest_valid`] performs, minus the reload.
+/// Corrupt/torn/inconsistent manifests are skipped in favour of older ones;
+/// a recoverable infrastructure error (e.g. an injected manifest-read
+/// fault) is returned so the failure manager can retry; `Ok(None)` means no
+/// usable checkpoint exists. Confined recovery uses this to pick its replay
+/// base and learn the log watermark before touching any partition state.
+pub fn newest_valid_checkpoint(
+    cluster: &Cluster,
+    job: &PregelixJob,
+) -> Result<Option<(Superstep, Manifest)>> {
+    let mut supersteps: Vec<Superstep> = cluster
+        .dfs()
+        .list(&format!("jobs/{}/ckpt-manifests", job.name))?
+        .into_iter()
+        .filter_map(|m| m.rsplit('/').next().and_then(|s| s.parse().ok()))
         .collect();
-    Ok((partitions, sticky, gs))
+    supersteps.sort_unstable();
+    while let Some(ss) = supersteps.pop() {
+        let bytes = match cluster.dfs().read(&manifest_path(&job.name, ss)) {
+            Ok(b) => b,
+            Err(e) if e.is_recoverable() => return Err(e),
+            Err(_) => continue,
+        };
+        let manifest = match decode_manifest(&bytes) {
+            Ok(m) => m,
+            Err(_) => continue,
+        };
+        match validate_manifest(cluster, job, ss, &manifest) {
+            Ok(()) => return Ok(Some((ss, manifest))),
+            Err(e) if e.is_recoverable() => return Err(e),
+            // Invalid checkpoints are skipped, never silently *used*.
+            Err(_) => continue,
+        }
+    }
+    Ok(None)
 }
 
 /// Recover from the newest checkpoint that decodes and validates, walking
@@ -408,15 +517,76 @@ fn rewrap_run(
     Ok(handle)
 }
 
-/// Remove a job's checkpoints (post-completion cleanup).
+/// Remove a job's checkpoints, message logs, and GS history
+/// (post-completion cleanup).
 pub fn clear_checkpoints(dfs: &SimDfs, job: &str) -> Result<()> {
     dfs.delete_dir(&format!("jobs/{job}/ckpt"))?;
-    dfs.delete_dir(&format!("jobs/{job}/ckpt-manifests"))
+    dfs.delete_dir(&format!("jobs/{job}/ckpt-manifests"))?;
+    dfs.delete_dir(&pregelix_common::msglog::log_root(job))?;
+    dfs.delete_dir(&GlobalState::hist_dir(job))
+}
+
+/// Garbage-collect recovery state made obsolete by a newer checkpoint:
+/// checkpoint directories, manifests, per-superstep message logs, and GS
+/// history entries for supersteps strictly below `newest`. Runs only after
+/// a checkpoint at `newest` has fully committed, so everything retired here
+/// is provably unreachable by a correct recovery (both paths pick the
+/// newest valid checkpoint first). Best-effort by design: a failed deletion
+/// must never masquerade as a job fault, so errors are swallowed and the
+/// affected state is simply retired on the next pass. Returns the bytes
+/// retired, which are also accounted to `ckpt_bytes_retired`.
+pub fn retire_old_state(
+    dfs: &SimDfs,
+    counters: &pregelix_common::stats::ClusterCounters,
+    job: &str,
+    newest: Superstep,
+) -> u64 {
+    let mut retired: u64 = 0;
+    // Helper: parse the superstep a path's final segment names.
+    let superstep_of = |path: &str| -> Option<Superstep> {
+        path.rsplit('/').next().and_then(|s| s.parse().ok())
+    };
+    // Checkpoint data directories + message-log directories, one per
+    // superstep.
+    for root in [format!("jobs/{job}/ckpt"), pregelix_common::msglog::log_root(job)] {
+        for sub in dfs.list_dirs(&root).unwrap_or_default() {
+            if superstep_of(&sub).is_some_and(|s| s < newest) {
+                retired += dfs.size(&sub).unwrap_or(0);
+                let _ = dfs.delete_dir(&sub);
+            }
+        }
+    }
+    // Manifests + GS history entries, one file per superstep.
+    for root in [format!("jobs/{job}/ckpt-manifests"), GlobalState::hist_dir(job)] {
+        for file in dfs.list(&root).unwrap_or_default() {
+            if superstep_of(&file).is_some_and(|s| s < newest) {
+                retired += dfs.size(&file).unwrap_or(0);
+                let _ = dfs.delete(&file);
+            }
+        }
+    }
+    if retired > 0 {
+        counters.add_ckpt_bytes_retired(retired);
+    }
+    retired
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn manifest_for(gs: GlobalState, partitions: u64, has_vid: bool) -> Manifest {
+        let vector = vec![gs.superstep; partitions as usize];
+        let log_watermark = gs.superstep;
+        Manifest {
+            partitions,
+            has_vid,
+            gs,
+            superstep_vector: vector,
+            logs_enabled: true,
+            log_watermark,
+        }
+    }
 
     #[test]
     fn manifest_roundtrip() {
@@ -428,13 +598,11 @@ mod tests {
             live_vertices: 3,
             messages: 12,
         };
-        let vector = vec![9u64; 8];
-        let bytes = encode_manifest(8, true, &gs, &vector);
-        let (p, v, back, vec_back) = decode_manifest(&bytes).unwrap();
-        assert_eq!(p, 8);
-        assert!(v);
-        assert_eq!(back, gs);
-        assert_eq!(vec_back, vector);
+        let m = manifest_for(gs, 8, true);
+        let back = decode_manifest(&encode_manifest(&m)).unwrap();
+        assert_eq!(back, m);
+        assert!(back.logs_enabled);
+        assert_eq!(back.log_watermark, 9);
     }
 
     #[test]
@@ -448,9 +616,40 @@ mod tests {
     }
 
     #[test]
+    fn retire_old_state_keeps_newest_and_counts_bytes() {
+        let dir = std::env::temp_dir().join(format!("pregelix-gc-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dfs = SimDfs::open(&dir).unwrap();
+        let counters = pregelix_common::stats::ClusterCounters::new();
+        for ss in 1..=3u64 {
+            dfs.write(&format!("jobs/j/ckpt/{ss}/vertex-p0"), b"vvvv").unwrap();
+            dfs.write(&format!("jobs/j/ckpt-manifests/{ss}"), b"mm").unwrap();
+            dfs.write(&format!("jobs/j/msglog/{ss}/src0"), b"lll").unwrap();
+            dfs.write(&format!("jobs/j/gs-hist/{ss}"), b"g").unwrap();
+        }
+        let retired = retire_old_state(&dfs, &counters, "j", 3);
+        // Supersteps 1 and 2: (4 + 2 + 3 + 1) bytes each.
+        assert_eq!(retired, 2 * 10);
+        assert_eq!(counters.ckpt_bytes_retired(), 20);
+        for ss in 1..=2u64 {
+            assert!(!dfs.exists(&format!("jobs/j/ckpt/{ss}/vertex-p0")));
+            assert!(!dfs.exists(&format!("jobs/j/ckpt-manifests/{ss}")));
+            assert!(!dfs.exists(&format!("jobs/j/msglog/{ss}/src0")));
+            assert!(!dfs.exists(&format!("jobs/j/gs-hist/{ss}")));
+        }
+        assert!(dfs.exists("jobs/j/ckpt/3/vertex-p0"));
+        assert!(dfs.exists("jobs/j/ckpt-manifests/3"));
+        assert!(dfs.exists("jobs/j/msglog/3/src0"));
+        assert!(dfs.exists("jobs/j/gs-hist/3"));
+        // Idempotent: a second pass retires nothing.
+        assert_eq!(retire_old_state(&dfs, &counters, "j", 3), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn manifest_rejects_trailing_bytes() {
         let gs = GlobalState::initial(5, Vec::new());
-        let mut bytes = encode_manifest(2, false, &gs, &[gs.superstep; 2]);
+        let mut bytes = encode_manifest(&manifest_for(gs, 2, false));
         bytes.push(0);
         assert!(decode_manifest(&bytes).is_err());
     }
@@ -470,39 +669,43 @@ mod tests {
                 live_vertices in any::<u64>(),
                 messages in any::<u64>(),
                 vector in proptest::collection::vec(any::<u64>(), 0..32),
-            ) -> (u64, bool, GlobalState, Vec<u64>) {
-                (partitions, has_vid, GlobalState {
-                    superstep,
-                    halt,
-                    aggregate,
-                    vertex_count,
-                    live_vertices,
-                    messages,
-                }, vector)
+                logs_enabled in any::<bool>(),
+                log_watermark in any::<u64>(),
+            ) -> Manifest {
+                Manifest {
+                    partitions,
+                    has_vid,
+                    gs: GlobalState {
+                        superstep,
+                        halt,
+                        aggregate,
+                        vertex_count,
+                        live_vertices,
+                        messages,
+                    },
+                    superstep_vector: vector,
+                    logs_enabled,
+                    log_watermark,
+                }
             }
         }
 
         proptest! {
             #[test]
-            fn manifest_codec_roundtrips(
-                (partitions, has_vid, gs, vector) in arb_manifest(),
-            ) {
-                let bytes = encode_manifest(partitions, has_vid, &gs, &vector);
-                let (p, v, back, vec_back) = decode_manifest(&bytes).unwrap();
-                prop_assert_eq!(p, partitions);
-                prop_assert_eq!(v, has_vid);
-                prop_assert_eq!(back, gs);
-                prop_assert_eq!(vec_back, vector);
+            fn manifest_codec_roundtrips(m in arb_manifest()) {
+                let bytes = encode_manifest(&m);
+                let back = decode_manifest(&bytes).unwrap();
+                prop_assert_eq!(back, m);
             }
 
             /// Any strict prefix of a manifest must decode to an error —
             /// a torn write can never be mistaken for a valid checkpoint.
             #[test]
             fn truncated_manifest_always_errors(
-                (partitions, has_vid, gs, vector) in arb_manifest(),
+                m in arb_manifest(),
                 cut_frac in 0.0f64..1.0,
             ) {
-                let bytes = encode_manifest(partitions, has_vid, &gs, &vector);
+                let bytes = encode_manifest(&m);
                 let cut = ((bytes.len() as f64) * cut_frac) as usize;
                 prop_assume!(cut < bytes.len());
                 prop_assert!(decode_manifest(&bytes[..cut]).is_err());
@@ -512,11 +715,11 @@ mod tests {
             /// never panic or over-allocate.
             #[test]
             fn bitflipped_manifest_never_panics(
-                (partitions, has_vid, gs, vector) in arb_manifest(),
+                m in arb_manifest(),
                 idx in any::<usize>(),
                 bit in 0u8..8,
             ) {
-                let mut bytes = encode_manifest(partitions, has_vid, &gs, &vector);
+                let mut bytes = encode_manifest(&m);
                 let i = idx % bytes.len();
                 bytes[i] ^= 1 << bit;
                 let _ = decode_manifest(&bytes);
@@ -525,8 +728,8 @@ mod tests {
             /// A manifest whose superstep vector disagrees with the GS (or
             /// with the partition count) must fail recovery validation
             /// before any state is reloaded. Exercised here through the
-            /// vector checks alone — the cluster-dependent checks need a
-            /// live cluster and are covered by the integration suites.
+            /// vector checks alone — the cluster-dependent checks are
+            /// covered by `walk_props` below and the integration suites.
             #[test]
             fn skewed_superstep_vector_is_rejected_by_length(
                 n in 1u64..16,
@@ -534,12 +737,131 @@ mod tests {
             ) {
                 let gs = GlobalState { superstep: 3, ..GlobalState::initial(5, Vec::new()) };
                 // Wrong length: n partitions but n+extra entries.
-                let vector = vec![gs.superstep; (n + extra) as usize];
-                let bytes = encode_manifest(n, false, &gs, &vector);
-                let (p, _, back, vec_back) = decode_manifest(&bytes).unwrap();
-                prop_assert_eq!(p, n);
-                prop_assert_eq!(back.superstep, 3);
-                prop_assert!(vec_back.len() as u64 != p);
+                let m = Manifest {
+                    partitions: n,
+                    has_vid: false,
+                    superstep_vector: vec![gs.superstep; (n + extra) as usize],
+                    logs_enabled: false,
+                    log_watermark: gs.superstep,
+                    gs,
+                };
+                let back = decode_manifest(&encode_manifest(&m)).unwrap();
+                prop_assert_eq!(back.partitions, n);
+                prop_assert_eq!(back.gs.superstep, 3);
+                prop_assert!(back.superstep_vector.len() as u64 != back.partitions);
+            }
+        }
+    }
+
+    /// Walk-ordering properties of the newest-valid-checkpoint search over
+    /// interleaved valid, torn, missing-partition-file, and skewed-vector
+    /// manifests: the newest *valid* one always wins, and no invalid
+    /// manifest is ever silently accepted.
+    mod walk_props {
+        use super::*;
+        use pregelix_dataflow::cluster::{Cluster, ClusterConfig};
+        use proptest::prelude::*;
+
+        /// How one checkpoint in the generated history is damaged.
+        #[derive(Clone, Copy, Debug)]
+        enum Damage {
+            /// Fully intact: manifest decodes, validates, files present.
+            Valid,
+            /// The manifest write tore: only a prefix reached the DFS.
+            Torn,
+            /// The manifest is intact but a vertex file is gone.
+            MissingFile,
+            /// The per-partition superstep vector disagrees with the GS.
+            SkewedVector,
+        }
+
+        fn arb_damage() -> impl Strategy<Value = Damage> {
+            prop_oneof![
+                2 => Just(Damage::Valid),
+                1 => Just(Damage::Torn),
+                1 => Just(Damage::MissingFile),
+                1 => Just(Damage::SkewedVector),
+            ]
+        }
+
+        /// Plant a checkpoint at `ss` with the given damage. `p_count`
+        /// vertex files are written (or all but one, for `MissingFile`).
+        fn plant(dfs: &SimDfs, job: &str, ss: Superstep, p_count: u64, damage: Damage) {
+            let gs = GlobalState {
+                superstep: ss,
+                ..GlobalState::initial(10, Vec::new())
+            };
+            let mut vector = vec![ss; p_count as usize];
+            if matches!(damage, Damage::SkewedVector) {
+                vector[0] = ss + 1;
+            }
+            let m = Manifest {
+                partitions: p_count,
+                has_vid: false,
+                gs,
+                superstep_vector: vector,
+                logs_enabled: false,
+                log_watermark: ss,
+            };
+            let bytes = encode_manifest(&m);
+            let manifest_bytes = if matches!(damage, Damage::Torn) {
+                bytes[..bytes.len() / 2].to_vec()
+            } else {
+                bytes
+            };
+            dfs.write(&manifest_path(job, ss), &manifest_bytes).unwrap();
+            let dir = ckpt_dir(job, ss);
+            let keep = if matches!(damage, Damage::MissingFile) {
+                p_count - 1
+            } else {
+                p_count
+            };
+            for p in 0..keep {
+                dfs.write(&format!("{dir}/vertex-p{p}"), &encode_entries(&[]))
+                    .unwrap();
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig {
+                cases: std::env::var("PROPTEST_CASES")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(16),
+                ..ProptestConfig::default()
+            })]
+
+            #[test]
+            fn newest_valid_wins_and_invalid_never_slips_past(
+                damages in proptest::collection::vec(arb_damage(), 1..8),
+                p_count in 1u64..4,
+            ) {
+                let cluster = Cluster::new(ClusterConfig::new(1, 8 << 20)).unwrap();
+                let job = PregelixJob::new("walk-props");
+                let dfs = cluster.dfs();
+                for (i, &d) in damages.iter().enumerate() {
+                    plant(dfs, &job.name, (i + 1) as Superstep, p_count, d);
+                }
+                // The model: the winner is the greatest superstep whose
+                // checkpoint is fully intact.
+                let expect = damages
+                    .iter()
+                    .enumerate()
+                    .rev()
+                    .find(|(_, d)| matches!(d, Damage::Valid))
+                    .map(|(i, _)| (i + 1) as Superstep);
+                let got = newest_valid_checkpoint(&cluster, &job).unwrap();
+                prop_assert_eq!(got.as_ref().map(|(ss, _)| *ss), expect);
+                if let Some((ss, m)) = got {
+                    // The winner really validates — the walk can never
+                    // hand back one of the damaged manifests.
+                    prop_assert!(validate_manifest(&cluster, &job, ss, &m).is_ok());
+                    prop_assert_eq!(m.gs.superstep, ss);
+                }
+                // `latest_checkpoint` (the validity-blind maximum) must
+                // never be *older* than the validated winner.
+                let latest = latest_checkpoint(dfs, &job.name).unwrap();
+                prop_assert_eq!(latest, Some(damages.len() as Superstep));
             }
         }
     }

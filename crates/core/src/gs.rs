@@ -82,6 +82,41 @@ impl GlobalState {
     pub fn fetch(dfs: &SimDfs, job: &str) -> Result<GlobalState> {
         GlobalState::decode(&dfs.read(&Self::dfs_path(job))?)
     }
+
+    /// DFS directory of a job's per-superstep GS history (confined
+    /// recovery), one immutable file per superstep boundary.
+    pub fn hist_dir(job: &str) -> String {
+        format!("jobs/{job}/gs-hist")
+    }
+
+    /// DFS path of the historical GS tuple *feeding* `superstep`.
+    pub fn hist_path(job: &str, superstep: Superstep) -> String {
+        format!("jobs/{job}/gs-hist/{superstep}")
+    }
+
+    /// Persist this state into the job's GS history. Unlike the primary
+    /// copy (a single overwritten file), history entries are never
+    /// overwritten with different contents: the chain of global states is
+    /// deterministic, so re-running a superstep after a recovery rewrites
+    /// the identical tuple. Confined recovery re-derives halting/aggregate
+    /// semantics for replayed supersteps from these pinned entries instead
+    /// of recomputing them.
+    pub fn store_hist(&self, dfs: &SimDfs, job: &str) -> Result<()> {
+        dfs.write(&Self::hist_path(job, self.superstep), &self.encode())
+    }
+
+    /// Read the historical GS feeding `superstep`, verifying the entry
+    /// names the superstep it is filed under.
+    pub fn fetch_hist(dfs: &SimDfs, job: &str, superstep: Superstep) -> Result<GlobalState> {
+        let gs = GlobalState::decode(&dfs.read(&Self::hist_path(job, superstep))?)?;
+        if gs.superstep != superstep {
+            return Err(pregelix_common::error::PregelixError::corrupt(format!(
+                "gs history entry {superstep} carries superstep {}",
+                gs.superstep
+            )));
+        }
+        Ok(gs)
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +153,27 @@ mod tests {
         let gs = GlobalState::initial(3, b"agg".to_vec());
         gs.store(&dfs, "job1").unwrap();
         assert_eq!(GlobalState::fetch(&dfs, "job1").unwrap(), gs);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn history_entries_are_per_superstep_and_self_checking() {
+        let dir = std::env::temp_dir().join(format!("gs-hist-test-{}", std::process::id()));
+        let dfs = SimDfs::open(&dir).unwrap();
+        let mut g2 = GlobalState::initial(3, Vec::new());
+        g2.superstep = 2;
+        let mut g3 = g2.clone();
+        g3.superstep = 3;
+        g3.messages = 9;
+        g2.store_hist(&dfs, "j").unwrap();
+        g3.store_hist(&dfs, "j").unwrap();
+        assert_eq!(GlobalState::fetch_hist(&dfs, "j", 2).unwrap(), g2);
+        assert_eq!(GlobalState::fetch_hist(&dfs, "j", 3).unwrap(), g3);
+        // A mis-filed entry (wrong superstep inside) is rejected.
+        dfs.write(&GlobalState::hist_path("j", 5), &g2.encode()).unwrap();
+        assert!(GlobalState::fetch_hist(&dfs, "j", 5).is_err());
+        // Absent entries are an error, not a default.
+        assert!(GlobalState::fetch_hist(&dfs, "j", 4).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -32,6 +32,8 @@
 //!   (Figures 3–5, 7, 8).
 //! * [`load`] — graph load from / dump to the DFS (§5.2).
 //! * [`checkpoint`] — checkpointing and recovery (§5.5).
+//! * [`recovery`] — confined recovery: partition-scoped checkpoint replay
+//!   from sender-side message logs (§5.5).
 //! * [`runtime`] — the driver: superstep loop, failure manager, job
 //!   pipelining (§5.6), statistics collection.
 
@@ -40,6 +42,7 @@ pub mod checkpoint;
 pub mod gs;
 pub mod load;
 pub mod plan;
+pub mod recovery;
 pub mod runtime;
 pub mod store;
 pub mod superstep;

@@ -246,6 +246,18 @@ pub struct PregelixJob {
     /// *triggered* by time, so `Duration::ZERO` (no pauses) is fully
     /// deterministic too.
     pub retry_backoff: std::time::Duration,
+    /// Recoveries the failure manager attempts before giving up with a
+    /// typed `RecoveriesExhausted` error naming this cap. Previously a
+    /// hard-coded 32 inside the runtime.
+    pub max_recoveries: u32,
+    /// Enable confined recovery: tee every partition's outbound
+    /// post-combine messages (and mutation requests) into per-superstep
+    /// logs on the DFS, and on a worker death reload + replay *only* the
+    /// dead worker's partitions from those logs while survivors stay hot.
+    /// Any hole in the logs falls back to the global rollback, so turning
+    /// this off only changes recovery cost, never recovery semantics.
+    /// Meaningful only when `checkpoint_interval` is set.
+    pub confined_recovery: bool,
 }
 
 impl PregelixJob {
@@ -263,6 +275,8 @@ impl PregelixJob {
             max_supersteps: None,
             io_retries: 2,
             retry_backoff: std::time::Duration::from_millis(1),
+            max_recoveries: 32,
+            confined_recovery: true,
         }
     }
 
@@ -333,6 +347,21 @@ impl PregelixJob {
     /// Base retry/recovery backoff delay (see [`PregelixJob::retry_backoff`]).
     pub fn with_retry_backoff(mut self, d: std::time::Duration) -> Self {
         self.retry_backoff = d;
+        self
+    }
+
+    /// Cap on failure-manager recoveries before the job surfaces a typed
+    /// `RecoveriesExhausted` error.
+    pub fn with_max_recoveries(mut self, n: u32) -> Self {
+        self.max_recoveries = n;
+        self
+    }
+
+    /// Enable or disable confined recovery (sender-side message logging +
+    /// partition-scoped checkpoint replay; see
+    /// [`PregelixJob::confined_recovery`]).
+    pub fn with_confined_recovery(mut self, on: bool) -> Self {
+        self.confined_recovery = on;
         self
     }
 }
@@ -430,6 +459,8 @@ mod tests {
             .with_checkpoint_interval(5)
             .with_max_supersteps(30)
             .with_partitions_per_worker(2)
+            .with_max_recoveries(7)
+            .with_confined_recovery(false)
             .with_io("in/graph", "out/sssp");
         assert_eq!(job.plan.join, JoinStrategy::LeftOuter);
         assert_eq!(job.plan.groupby, GroupByStrategy::HashSortUnmerged);
@@ -437,7 +468,13 @@ mod tests {
         assert_eq!(job.checkpoint_interval, Some(5));
         assert_eq!(job.max_supersteps, Some(30));
         assert_eq!(job.partitions_per_worker, 2);
+        assert_eq!(job.max_recoveries, 7);
+        assert!(!job.confined_recovery);
         assert_eq!(job.input_path, "in/graph");
+        // Fresh jobs carry the documented recovery defaults.
+        let fresh = PregelixJob::new("defaults");
+        assert_eq!(fresh.max_recoveries, 32);
+        assert!(fresh.confined_recovery);
     }
 
     #[test]

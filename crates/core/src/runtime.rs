@@ -36,6 +36,7 @@ use crate::checkpoint;
 use crate::gs::GlobalState;
 use crate::load;
 use crate::plan::{ExecutionMode, JoinStrategy, PregelixJob, ProbeCostModel};
+use crate::recovery;
 use crate::superstep::{run_superstep_window, PartitionState};
 use parking_lot::Mutex;
 use pregelix_common::error::{PregelixError, Result};
@@ -248,7 +249,19 @@ impl LoadedGraph {
         // superstep actually probed, and carried forward otherwise (a
         // full-outer superstep measures nothing new).
         let mut cost_model: Option<ProbeCostModel> = None;
+        // Confined recovery (§5.5) needs both its knob and a checkpoint
+        // ladder to replay from; when on, every superstep's post-combine
+        // message flow is also tee'd into the per-partition logs.
+        let confined_on = job.confined_recovery && job.checkpoint_interval.is_some();
+        // Set when the attempt failed on the *pre-flight* aliveness check —
+        // i.e. the death was detected at a window boundary, before any task
+        // of the attempt ran. Only then are the survivors guaranteed to sit
+        // exactly at the current superstep with their Msg runs intact, which
+        // is what makes a confined (partition-scoped) recovery sound. A
+        // death detected mid-window always takes the global rollback.
+        let mut clean_death;
         loop {
+            clean_death = false;
             let before = cluster.counters().snapshot();
             let attempt = (|| -> Result<(GlobalState, Duration)> {
                 if job.checkpoint_interval.is_some() && !initial_ckpt_done {
@@ -312,6 +325,21 @@ impl LoadedGraph {
                         }
                     }
                 }
+                // Pre-flight aliveness check: catch a worker death at the
+                // window boundary, *before* any task of this attempt runs.
+                // A death caught here is "clean" — every surviving partition
+                // is still exactly at `gs.superstep` with its Msg run
+                // intact — and therefore eligible for confined recovery.
+                // (Without this check the window itself would fail on the
+                // unsatisfiable absolute constraint anyway; the check just
+                // classifies the failure earlier.)
+                let alive_now = cluster.alive_workers();
+                if let Some(&dead) =
+                    self.sticky.iter().find(|wk| !alive_now.contains(wk))
+                {
+                    clean_death = true;
+                    return Err(PregelixError::WorkerDead { id: dead });
+                }
                 let (chain, duration) = run_superstep_window(
                     cluster,
                     program,
@@ -322,7 +350,16 @@ impl LoadedGraph {
                     &gs,
                     cost_model,
                     window,
+                    confined_on,
                 )?;
+                // Pin this window's GS history entries (best-effort: a
+                // missing entry makes confined recovery fall back to the
+                // global path rather than corrupting anything).
+                if confined_on {
+                    for g in &chain {
+                        let _ = g.store_hist(cluster.dfs(), &job.name);
+                    }
+                }
                 let new_gs = chain
                     .last()
                     .cloned()
@@ -342,6 +379,16 @@ impl LoadedGraph {
                             &new_gs,
                         )
                     })?;
+                    // The new checkpoint makes every older checkpoint,
+                    // message log, and GS history entry dead weight for
+                    // recovery: any replay now starts at `new_gs.superstep`
+                    // or later. Retire them (counted in ckpt_bytes_retired).
+                    checkpoint::retire_old_state(
+                        cluster.dfs(),
+                        cluster.counters(),
+                        &job.name,
+                        new_gs.superstep,
+                    );
                 }
                 Ok((new_gs, duration))
             })();
@@ -373,16 +420,18 @@ impl LoadedGraph {
                         }
                     }
                 }
-                Err(e) if e.is_recoverable() && recoveries < 32 => {
+                Err(e) if e.is_recoverable() => {
                     // Failure manager (§5.7): run a detector observation so
                     // dead workers are formally declared and blacklisted,
-                    // then recover from the newest *valid* checkpoint onto
-                    // the survivors — keeping every surviving sticky pin
-                    // and re-planning only the dead workers' partitions
-                    // (§5.5), walking back past torn or stale manifests. A
-                    // failure *during* recovery loops back here and retries
-                    // against the shrunken worker set.
+                    // then recover. A failure *during* recovery loops back
+                    // here and retries against the shrunken worker set.
                     detector.observe(cluster, &expected);
+                    if recoveries >= job.max_recoveries {
+                        return Err(PregelixError::RecoveriesExhausted {
+                            cap: job.max_recoveries,
+                            last_error: e.to_string(),
+                        });
+                    }
                     recoveries += 1;
                     if job.retry_backoff > Duration::ZERO {
                         std::thread::sleep(
@@ -390,6 +439,43 @@ impl LoadedGraph {
                                 * (1u32 << (recoveries.saturating_sub(1)).min(4)),
                         );
                     }
+                    // Confined path first (§5.5): a clean boundary death
+                    // with message logging on replays ONLY the dead
+                    // partitions from the newest valid checkpoint, feeding
+                    // their inbound flows from the survivors' sender-side
+                    // logs — survivors stay hot at the current superstep.
+                    if confined_on && clean_death {
+                        match recovery::confined_recover(
+                            cluster,
+                            program,
+                            job,
+                            &self.partitions,
+                            &self.sticky,
+                            &gs,
+                        ) {
+                            Ok(new_sticky) => {
+                                self.sticky = new_sticky;
+                                continue;
+                            }
+                            // Typed unavailability (log hole, diverged GS
+                            // history, no checkpoint): fall back to the
+                            // global rollback below, and count the fallback.
+                            Err(PregelixError::ConfinedRecoveryUnavailable(_)) => {
+                                cluster.counters().add_confined_fallbacks(1);
+                            }
+                            // Another worker died mid-replay: loop back and
+                            // re-attempt (the pre-flight check will classify
+                            // the new death; half-replayed dead partitions
+                            // are re-reloaded from the checkpoint).
+                            Err(re) if re.is_recoverable() => continue,
+                            Err(re) => return Err(re),
+                        }
+                    }
+                    // Global rollback: recover from the newest *valid*
+                    // checkpoint onto the survivors — keeping every
+                    // surviving sticky pin and re-planning only the dead
+                    // workers' partitions (§5.5), walking back past torn
+                    // or stale manifests.
                     match checkpoint::recover_latest_valid(cluster, job, &self.sticky) {
                         Ok(Some((partitions, sticky, ckpt_gs))) => {
                             self.partitions = partitions;

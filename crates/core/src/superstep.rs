@@ -41,11 +41,13 @@ use crate::plan::{JoinStrategy, PlanConfig};
 use crate::store::VertexStore;
 use crate::vertex::{decode_msg_list, encode_msg_list, VertexData};
 use parking_lot::Mutex;
+use pregelix_common::dfs::SimDfs;
 use pregelix_common::error::{PregelixError, Result};
 use pregelix_common::fault::{self, Fault, Site};
 use pregelix_common::frame::{keyed_tuple, tuple_payload, tuple_vid, vid_to_key};
+use pregelix_common::msglog::{self, MsgLogWriter};
 use pregelix_common::writable::Writable;
-use pregelix_common::Vid;
+use pregelix_common::{hash_partition, Vid};
 use pregelix_dataflow::cluster::{Cluster, Task, WorkerHandle};
 use pregelix_dataflow::connector::{
     aggregator_channels_cap, merging_channels, partition_channels_cap, AggregatorReceiver,
@@ -120,7 +122,7 @@ fn encode_mutation<P: VertexProgram>(m: &Mutation<P>) -> Vec<u8> {
     }
 }
 
-fn decode_mutation<P: VertexProgram>(vid: Vid, payload: &[u8]) -> Result<Mutation<P>> {
+pub(crate) fn decode_mutation<P: VertexProgram>(vid: Vid, payload: &[u8]) -> Result<Mutation<P>> {
     match payload.first() {
         Some(0) => Ok(Mutation::Insert(VertexData::decode(vid, &payload[1..])?)),
         Some(1) => Ok(Mutation::Delete),
@@ -283,7 +285,7 @@ pub fn run_superstep<P: VertexProgram>(
     cost_model: Option<crate::plan::ProbeCostModel>,
 ) -> Result<(GlobalState, std::time::Duration)> {
     let (mut chain, duration) = run_superstep_window(
-        cluster, program, job_name, plan, partitions, sticky, gs, cost_model, 1,
+        cluster, program, job_name, plan, partitions, sticky, gs, cost_model, 1, false,
     )?;
     let new_gs = chain
         .pop()
@@ -314,6 +316,7 @@ pub fn run_superstep_window<P: VertexProgram>(
     gs: &GlobalState,
     cost_model: Option<crate::plan::ProbeCostModel>,
     window: usize,
+    log_messages: bool,
 ) -> Result<(Vec<GlobalState>, std::time::Duration)> {
     let window = window.max(1);
     let p_count = partitions.len();
@@ -384,6 +387,22 @@ pub fn run_superstep_window<P: VertexProgram>(
 
     let cap = cluster.channel_capacity();
     let combiner = msg_tuple_combiner(program);
+    // Sender-side message-log tee (confined recovery): every compute task
+    // buckets its post-combine output by destination and persists it to the
+    // DFS at its superstep boundary. Written byte counts accumulate in the
+    // shared tally and fold into `log_bytes_written` only if the whole
+    // window commits — which partitions reach their tee before an aborting
+    // fault is thread-scheduling dependent, and counting them would break
+    // the chaos-digest double runs.
+    let log_dfs: Option<(SimDfs, String, Arc<AtomicU64>)> = if log_messages {
+        Some((
+            cluster.dfs().clone(),
+            job_name.to_string(),
+            Arc::new(AtomicU64::new(0)),
+        ))
+    } else {
+        None
+    };
 
     // Driver-visible slots: Msg runs from the window-LAST msgwrite tasks
     // (mid-window runs hand off through gates and never touch the partition
@@ -518,13 +537,14 @@ pub fn run_superstep_window<P: VertexProgram>(
             let live_tx = live_tx_iter.next().expect("one live sender per partition");
             let sticky_c = sticky.to_vec();
             let combiner_c = Arc::clone(&combiner);
+            let log_to = log_dfs.clone();
             tasks.push(Task::new(
                 format!("compute[{p}]@{superstep}"),
                 schedule.worker(0, p),
                 move |w| {
                     compute_task(
                         w, state, program_c, input, plan, track_live, msg_ends, mut_ends,
-                        gs_end, live_tx, sticky_c, combiner_c, gs_worker,
+                        gs_end, live_tx, p, log_to, sticky_c, combiner_c, gs_worker,
                     )
                 },
             ));
@@ -622,6 +642,13 @@ pub fn run_superstep_window<P: VertexProgram>(
             counters.record_partition_skew(1);
         }
     }
+    // Commit the message-log byte tally only now that every task of the
+    // window has succeeded: an aborted window re-executes (and re-logs)
+    // after recovery, so deferring the count keeps `log_bytes_written`
+    // independent of how many tees raced ahead of the aborting fault.
+    if let Some((_, _, tally)) = &log_dfs {
+        counters.add_log_bytes_written(tally.load(Ordering::Relaxed));
+    }
     let final_gs = chain.last().expect("window >= 1 yields >= 1 outcome");
     counters.set_live_vertices(final_gs.live_vertices);
     Ok((chain, duration))
@@ -663,18 +690,52 @@ impl<P: VertexProgram> MsgStream<P> {
     }
 }
 
+/// Where `compute[p]`'s mutation tuples go: onto the m-to-n connector in a
+/// live superstep, or nowhere during a confined-recovery replay (the
+/// surviving partitions already applied them; the replayed partition's own
+/// inbound mutations come back out of the message log instead).
+enum MutationSink {
+    Wire(PartitioningSender),
+    Discard,
+}
+
+impl MutationSink {
+    fn send(&mut self, tuple: &[u8]) -> Result<()> {
+        match self {
+            MutationSink::Wire(s) => s.send(tuple),
+            MutationSink::Discard => Ok(()),
+        }
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        match std::mem::replace(self, MutationSink::Discard) {
+            MutationSink::Wire(s) => s.finish(),
+            MutationSink::Discard => Ok(()),
+        }
+    }
+}
+
 /// Everything `compute[p]` accumulates while streaming vertices.
 struct ComputeSide<P: VertexProgram> {
     program: Arc<P>,
     gs: GlobalState,
     agg_prev: P::Aggregate,
+    /// `None` during confined-recovery replay: outgoing messages are
+    /// discarded (they were logged durably by the original execution), so
+    /// the group-by never runs.
     local_gb: Option<LocalGroupBy>,
-    mutation_tx: PartitioningSender,
+    mutation_tx: MutationSink,
     stats: ComputeStats,
     agg_partial: Option<P::Aggregate>,
     live_vids: Vec<Vid>,
     track_live_vids: bool,
     counters: pregelix_common::stats::ClusterCounters,
+    /// Sender-side message log for confined recovery: every post-combine
+    /// tuple and every mutation request this partition emits, bucketed by
+    /// destination. `None` when logging is off (and during replay).
+    log: Option<MsgLogWriter>,
+    /// Partition count, for bucketing the log by `hash_partition`.
+    p_count: usize,
     /// Reused encoding buffer for outgoing message tuples, so the per-message
     /// fast path performs no heap allocation (the group-by copies the tuple
     /// into its own arena/table storage).
@@ -702,23 +763,29 @@ impl<P: VertexProgram> ComputeSide<P> {
         let out = ctx.into_outputs();
         // D3: messages through the sender-side group-by. The tuple
         // (vid key + singleton message list) is staged in the reusable
-        // scratch buffer, not a fresh allocation per message.
-        for (dest, m) in &out.messages {
-            self.msg_scratch.clear();
-            self.msg_scratch.extend_from_slice(&vid_to_key(*dest));
-            1u32.write(&mut self.msg_scratch);
-            m.write(&mut self.msg_scratch);
-            self.local_gb
-                .as_mut()
-                .expect("group-by open")
-                .add(&self.msg_scratch)?;
+        // scratch buffer, not a fresh allocation per message. Replay runs
+        // with no group-by: outbound messages were already logged and
+        // delivered by the original execution.
+        if let Some(gb) = self.local_gb.as_mut() {
+            for (dest, m) in &out.messages {
+                self.msg_scratch.clear();
+                self.msg_scratch.extend_from_slice(&vid_to_key(*dest));
+                1u32.write(&mut self.msg_scratch);
+                m.write(&mut self.msg_scratch);
+                gb.add(&self.msg_scratch)?;
+            }
         }
         self.stats.msgs_sent += out.messages.len() as u64;
         self.counters.add_messages_sent(out.messages.len() as u64);
-        // D6: mutations to their owning partitions.
+        // D6: mutations to their owning partitions, tee'd into the message
+        // log (same destination bucketing as the connector) when confined
+        // recovery is on.
         for (mvid, m) in &out.mutations {
-            self.mutation_tx
-                .send(&keyed_tuple(*mvid, &encode_mutation(m)))?;
+            let t = keyed_tuple(*mvid, &encode_mutation(m));
+            if let Some(log) = self.log.as_mut() {
+                log.add_mut(hash_partition(*mvid, self.p_count), &t);
+            }
+            self.mutation_tx.send(&t)?;
         }
         // D5: aggregate contributions (stage one).
         for a in out.agg {
@@ -751,6 +818,8 @@ fn compute_task<P: VertexProgram>(
     mut_ends: Vec<StreamTx>,
     gs_end: StreamTx,
     live_tx: Option<mpsc::Sender<u64>>,
+    p: usize,
+    log_to: Option<(SimDfs, String, Arc<AtomicU64>)>,
     sticky: Vec<usize>,
     combiner: TupleCombiner,
     gs_worker: usize,
@@ -806,6 +875,9 @@ fn compute_task<P: VertexProgram>(
     };
     let mut msgs = MsgStream::<P>::open(msg_run.as_ref(), &w)?;
 
+    let log = log_to
+        .as_ref()
+        .map(|_| MsgLogWriter::new(gs.superstep, p, sticky.len()));
     let mut side = ComputeSide {
         program,
         gs,
@@ -817,25 +889,153 @@ fn compute_task<P: VertexProgram>(
             w.groupby_budget(),
             Some(&combiner),
         )),
-        mutation_tx: PartitioningSender::new(
-            mut_ends,
-            w.frame_bytes(),
-            w.id(),
-            sticky.clone(),
-            w.counters().clone(),
-        )
-        .with_label("mut"),
+        mutation_tx: MutationSink::Wire(
+            PartitioningSender::new(
+                mut_ends,
+                w.frame_bytes(),
+                w.id(),
+                sticky.clone(),
+                w.counters().clone(),
+            )
+            .with_label("mut"),
+        ),
         stats: ComputeStats::default(),
         agg_partial: None,
         live_vids: Vec::new(),
         track_live_vids: track_live,
         counters: w.counters().clone(),
+        log,
+        p_count: sticky.len(),
         msg_scratch: Vec::new(),
     };
 
+    join_and_compute(&w, st, &mut side, &mut msgs, plan.join)?;
+
+    // Close the mutation flow so mutate[p] tasks can proceed once every
+    // compute finishes.
+    side.mutation_tx.finish()?;
+
+    // Drain the sender-side group-by into the message connector, tee-ing
+    // every post-combine tuple into the message log (bucketed by the same
+    // hash the connector routes with) when confined recovery is on.
+    let mut stream = side.local_gb.take().expect("group-by open").finish()?;
+    let mut msg_sender = match msg_ends {
+        MsgSenderEnds::Pipelined(outs) => MsgSender::Pipelined(
+            PartitioningSender::new(
+                outs,
+                w.frame_bytes(),
+                w.id(),
+                sticky.clone(),
+                w.counters().clone(),
+            )
+            .with_label("msg"),
+        ),
+        MsgSenderEnds::Merged(outs) => MsgSender::Merged(MaterializedPartitioner::new(
+            w.file_manager(),
+            outs,
+            w.id(),
+            sticky.clone(),
+        )?),
+    };
+    let p_count = sticky.len();
+    let mut sent = 0u64;
+    while let Some(t) = stream.next_tuple()? {
+        if sent % 4096 == 0 {
+            w.check_alive()?;
+        }
+        sent += 1;
+        if let Some(log) = side.log.as_mut() {
+            log.add_msg(hash_partition(tuple_vid(t)?, p_count), t);
+        }
+        msg_sender.send(t)?;
+    }
+    drop(stream);
+    msg_sender.finish()?;
+
+    // Rebuild the Vid index (LOJ plans): flow D11/D12 bulk loads the
+    // next superstep's live-vertex index. The old index's file is reused
+    // (truncate + re-init) to avoid per-superstep file churn.
+    rebuild_vid_index(&w, st, &mut side)?;
+
+    // The consumed Msg_i file's path is reused by the next-next
+    // superstep's msgwrite (ping-pong naming), so no delete here: file
+    // create/delete are surprisingly expensive syscalls on some systems.
+    drop(msg_run);
+
+    // Persist the message log before opening the next superstep's gate, so
+    // a log either exists complete at the superstep boundary or not at all.
+    // Best-effort: a lost log degrades a future confined recovery to the
+    // global path, it never fails the superstep.
+    if let Some((dfs, job, tally)) = &log_to {
+        if let Some(log) = side.log.take() {
+            if let Ok(bytes) = msglog::write_log(dfs, w.counters(), job, &log) {
+                tally.fetch_add(bytes, Ordering::Relaxed);
+            }
+        }
+    }
+
+    // Open this partition's slice of the next superstep's gate (mid-window
+    // only): a positive live count is a local proof the job continues.
+    if let Some(tx) = live_tx {
+        let _ = tx.send(side.stats.live);
+    }
+
+    // Stage-one aggregation result + counters to the gs task.
+    side.stats.agg = match side.agg_partial.take() {
+        Some(a) => a.to_bytes(),
+        None => Vec::new(),
+    };
+    let mut gs_sender = PartitioningSender::new(
+        vec![gs_end],
+        w.frame_bytes(),
+        w.id(),
+        vec![gs_worker],
+        w.counters().clone(),
+    )
+    .with_label("gs");
+    gs_sender.send_to(0, &side.stats.encode())?;
+    gs_sender.finish()
+}
+
+/// Re-bulk-load the partition's `Vid` live-vertex index from the vids
+/// `compute` saw stay live (LOJ/adaptive plans only). Shared between the
+/// live compute task and confined-recovery replay.
+fn rebuild_vid_index<P: VertexProgram>(
+    w: &WorkerHandle,
+    st: &mut PartitionState,
+    side: &mut ComputeSide<P>,
+) -> Result<()> {
+    if side.track_live_vids {
+        let mut new_tree = match st.vid_index.take() {
+            Some(old) => old.recreate()?,
+            None => BTree::create(w.cache().clone())?,
+        };
+        let live = std::mem::take(&mut side.live_vids);
+        new_tree.bulk_load(
+            live.into_iter().map(|v| (vid_to_key(v).to_vec(), Vec::new())),
+            1.0,
+        )?;
+        st.vid_index = Some(new_tree);
+    }
+    Ok(())
+}
+
+/// The fused join/compute/update loop of §5.3.2, extracted so the live
+/// `compute[p]` task and confined-recovery replay share one implementation:
+/// merge `Msg` with the `Vertex` (or `Vid`) index, call `compute` on every
+/// active row, and route each output flow through `side` — which decides
+/// whether messages/mutations hit the wire or are discarded (replay).
+/// `side.gs` must carry the exact GS feeding the superstep; `plan.join`
+/// must already be resolved (Adaptive never reaches task bodies).
+fn join_and_compute<P: VertexProgram>(
+    w: &WorkerHandle,
+    st: &mut PartitionState,
+    side: &mut ComputeSide<P>,
+    msgs: &mut MsgStream<P>,
+    join: JoinStrategy,
+) -> Result<()> {
     let mut m_next = msgs.next()?;
-    // `plan.join` was resolved by the driver: Adaptive never reaches here.
-    match plan.join {
+    match join {
         JoinStrategy::Adaptive => {
             return Err(PregelixError::plan(
                 "adaptive join must be resolved before task construction",
@@ -987,83 +1187,7 @@ fn compute_task<P: VertexProgram>(
         }
     }
 
-    // Close the mutation flow so mutate[p] tasks can proceed once every
-    // compute finishes.
-    side.mutation_tx.finish()?;
-
-    // Drain the sender-side group-by into the message connector.
-    let mut stream = side.local_gb.take().expect("group-by open").finish()?;
-    let mut msg_sender = match msg_ends {
-        MsgSenderEnds::Pipelined(outs) => MsgSender::Pipelined(
-            PartitioningSender::new(
-                outs,
-                w.frame_bytes(),
-                w.id(),
-                sticky.clone(),
-                w.counters().clone(),
-            )
-            .with_label("msg"),
-        ),
-        MsgSenderEnds::Merged(outs) => MsgSender::Merged(MaterializedPartitioner::new(
-            w.file_manager(),
-            outs,
-            w.id(),
-            sticky.clone(),
-        )?),
-    };
-    let mut sent = 0u64;
-    while let Some(t) = stream.next_tuple()? {
-        if sent % 4096 == 0 {
-            w.check_alive()?;
-        }
-        sent += 1;
-        msg_sender.send(t)?;
-    }
-    drop(stream);
-    msg_sender.finish()?;
-
-    // Rebuild the Vid index (LOJ plans): flow D11/D12 bulk loads the
-    // next superstep's live-vertex index. The old index's file is reused
-    // (truncate + re-init) to avoid per-superstep file churn.
-    if side.track_live_vids {
-        let mut new_tree = match st.vid_index.take() {
-            Some(old) => old.recreate()?,
-            None => BTree::create(w.cache().clone())?,
-        };
-        let live = std::mem::take(&mut side.live_vids);
-        new_tree.bulk_load(
-            live.into_iter().map(|v| (vid_to_key(v).to_vec(), Vec::new())),
-            1.0,
-        )?;
-        st.vid_index = Some(new_tree);
-    }
-
-    // The consumed Msg_i file's path is reused by the next-next
-    // superstep's msgwrite (ping-pong naming), so no delete here: file
-    // create/delete are surprisingly expensive syscalls on some systems.
-    drop(msg_run);
-
-    // Open this partition's slice of the next superstep's gate (mid-window
-    // only): a positive live count is a local proof the job continues.
-    if let Some(tx) = live_tx {
-        let _ = tx.send(side.stats.live);
-    }
-
-    // Stage-one aggregation result + counters to the gs task.
-    side.stats.agg = match side.agg_partial.take() {
-        Some(a) => a.to_bytes(),
-        None => Vec::new(),
-    };
-    let mut gs_sender = PartitioningSender::new(
-        vec![gs_end],
-        w.frame_bytes(),
-        w.id(),
-        vec![gs_worker],
-        w.counters().clone(),
-    )
-    .with_label("gs");
-    gs_sender.send_to(0, &side.stats.encode())?;
-    gs_sender.finish()
+    Ok(())
 }
 
 /// A post-halt superstep slot: the job halted at an earlier boundary of
@@ -1274,12 +1398,42 @@ fn mutate_task<P: VertexProgram>(
             .or_default()
             .push(decode_mutation::<P>(vid, tuple_payload(t)?)?);
     }
+    // All mutation channels are closed, so every compute task has passed
+    // its mutation flush; the partition lock is (or will soon be) free, and
+    // mutations apply strictly after compute — the "take effect in
+    // superstep S+1" rule.
+    let (inserted, deleted, live_inserted) = apply_mutation_groups(&w, &state, &program, groups)?;
+    // Mutations are applied and the partition lock is released: open this
+    // partition's slice of the next superstep's gate. A positive
+    // live_inserted count is, like compute's live count, a local proof
+    // that the job does not halt.
+    if let Some(tx) = done_tx {
+        let _ = tx.send(live_inserted);
+    }
+    let mut gs_sender = PartitioningSender::new(
+        vec![gs_end],
+        w.frame_bytes(),
+        w.id(),
+        vec![gs_worker],
+        w.counters().clone(),
+    )
+    .with_label("gs");
+    gs_sender.send_to(0, &encode_mut_stats(inserted, deleted, live_inserted))?;
+    gs_sender.finish()
+}
+
+/// Apply a vid-grouped batch of mutations through `resolve` (§5.3.3),
+/// returning `(inserted, deleted, live_inserted)`. Shared between the live
+/// `mutate[p]` task (groups arrive off the connector) and confined-recovery
+/// replay (groups come back out of the message logs).
+fn apply_mutation_groups<P: VertexProgram>(
+    w: &WorkerHandle,
+    state: &Arc<Mutex<PartitionState>>,
+    program: &Arc<P>,
+    groups: BTreeMap<Vid, Vec<Mutation<P>>>,
+) -> Result<(u64, u64, u64)> {
     let (mut inserted, mut deleted, mut live_inserted) = (0u64, 0u64, 0u64);
     if !groups.is_empty() {
-        // All mutation channels are closed, so every compute task has
-        // passed its mutation flush; the partition lock is (or will soon
-        // be) free, and mutations apply strictly after compute — the
-        // "take effect in superstep S+1" rule.
         let mut st = state.lock();
         let st = &mut *st;
         // Membership checks go through sorted-probe cursors: `groups` is a
@@ -1336,23 +1490,7 @@ fn mutate_task<P: VertexProgram>(
             }
         }
     }
-    // Mutations are applied and the partition lock is released: open this
-    // partition's slice of the next superstep's gate. A positive
-    // live_inserted count is, like compute's live count, a local proof
-    // that the job does not halt.
-    if let Some(tx) = done_tx {
-        let _ = tx.send(live_inserted);
-    }
-    let mut gs_sender = PartitioningSender::new(
-        vec![gs_end],
-        w.frame_bytes(),
-        w.id(),
-        vec![gs_worker],
-        w.counters().clone(),
-    )
-    .with_label("gs");
-    gs_sender.send_to(0, &encode_mut_stats(inserted, deleted, live_inserted))?;
-    gs_sender.finish()
+    Ok((inserted, deleted, live_inserted))
 }
 
 // ---------------------------------------------------------------------
@@ -1463,5 +1601,132 @@ fn gs_task<P: VertexProgram>(
         let _ = tx.send(new_gs.clone());
     }
     *outcome.lock() = Some(new_gs);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Confined-recovery replay (one partition, one superstep)
+// ---------------------------------------------------------------------
+
+/// Re-execute one lost superstep on one reloaded partition, feeding every
+/// inbound flow from the message logs instead of the live connectors:
+///
+/// 1. **compute-replay** — the exact join/compute/update pipeline over the
+///    partition's `Msg` run, with outbound messages and mutations discarded
+///    (the original execution logged and delivered them durably) and the
+///    `Vid` index rebuilt as usual.
+/// 2. **msgwrite-replay** — the partition's `Msg_{s+1}` run re-combined
+///    from the logged `src → p` message runs, fed in ascending src order
+///    (combiner-equivalent to the live exchange; see `msglog`) and written
+///    at the same ping-pong path the live `msgwrite[p]` would use.
+/// 3. **mutate-replay** — the logged `src → p` mutation requests grouped by
+///    vid and applied through `resolve`, exactly as `mutate[p]` would.
+///
+/// Aggregate/halt contributions are discarded: the caller re-derives the
+/// global-state chain from the pinned per-superstep GS history, so halting
+/// and aggregate semantics stay bit-identical by construction. `plan.join`
+/// must already be resolved (Adaptive never reaches task bodies).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn replay_partition_superstep<P: VertexProgram>(
+    w: &WorkerHandle,
+    state: Arc<Mutex<PartitionState>>,
+    program: Arc<P>,
+    gs: GlobalState,
+    plan: PlanConfig,
+    track_live: bool,
+    p: usize,
+    job_tag: &str,
+    msg_tuples: Vec<Vec<Vec<u8>>>,
+    mut_tuples: Vec<Vec<u8>>,
+    combiner: TupleCombiner,
+) -> Result<()> {
+    let superstep = gs.superstep;
+    let p_count = msg_tuples.len();
+    // --- compute-replay ---
+    {
+        let mut st = state.lock();
+        let st = &mut *st;
+        let agg_prev = if gs.aggregate.is_empty() {
+            P::Aggregate::default()
+        } else {
+            P::Aggregate::from_bytes(&gs.aggregate)?
+        };
+        let msg_run = st.msg_run.take();
+        let mut msgs = MsgStream::<P>::open(msg_run.as_ref(), w)?;
+        let mut side = ComputeSide {
+            program: Arc::clone(&program),
+            gs,
+            agg_prev,
+            local_gb: None,
+            mutation_tx: MutationSink::Discard,
+            stats: ComputeStats::default(),
+            agg_partial: None,
+            live_vids: Vec::new(),
+            track_live_vids: track_live,
+            counters: w.counters().clone(),
+            log: None,
+            p_count,
+            msg_scratch: Vec::new(),
+        };
+        join_and_compute(w, st, &mut side, &mut msgs, plan.join)?;
+        side.mutation_tx.finish()?;
+        rebuild_vid_index(w, st, &mut side)?;
+        drop(msg_run);
+    }
+    // --- msgwrite-replay ---
+    let mut gb = LocalGroupBy::new(
+        plan.groupby.kind(),
+        w.file_manager(),
+        "msg-replay",
+        w.groupby_budget(),
+        Some(&combiner),
+    );
+    let mut fed_runs = 0u64;
+    for tuples in &msg_tuples {
+        if tuples.is_empty() {
+            continue;
+        }
+        fed_runs += 1;
+        for t in tuples {
+            gb.add(t)?;
+        }
+    }
+    w.counters().add_log_runs_replayed(fed_runs);
+    let mut stream = gb.finish()?;
+    let path = w
+        .file_manager()
+        .root()
+        .join(format!("msg-{job_tag}-p{p}-{}.run", (superstep + 1) % 2));
+    let counters = w.counters().clone();
+    let threshold = 8 * w.frame_bytes();
+    let mut writer: Option<RunWriter> = None;
+    let mut combined = 0u64;
+    while let Some(t) = stream.next_tuple()? {
+        if combined % 4096 == 0 {
+            w.check_alive()?;
+        }
+        combined += 1;
+        if writer.is_none() {
+            writer = Some(RunWriter::create_buffered(&path, counters.clone(), threshold));
+        }
+        writer.as_mut().expect("just created").write_tuple(t)?;
+    }
+    drop(stream);
+    w.counters().add_messages_combined(combined);
+    let run = match writer {
+        Some(wr) => Some(wr.finish()?),
+        None => None,
+    };
+    state.lock().msg_run = run;
+    // --- mutate-replay ---
+    let mut groups: BTreeMap<Vid, Vec<Mutation<P>>> = BTreeMap::new();
+    for t in &mut_tuples {
+        let vid = tuple_vid(t)?;
+        groups
+            .entry(vid)
+            .or_default()
+            .push(decode_mutation::<P>(vid, tuple_payload(t)?)?);
+    }
+    apply_mutation_groups(w, &state, &program, groups)?;
     Ok(())
 }

@@ -459,6 +459,29 @@ impl Cluster {
         })
     }
 
+    /// Partial-job execution: run `tasks` (typically covering only a subset
+    /// of a job's partitions, e.g. a confined-recovery replay of the dead
+    /// worker's partitions), first verifying that every worker the task
+    /// list names is currently alive. A dead worker fails fast with
+    /// [`PregelixError::WorkerDead`] *before* any task runs — partial jobs
+    /// splice their results into live state, so a half-executed batch is
+    /// worth preventing cheaply even though per-task `check_alive` would
+    /// catch it anyway.
+    pub fn execute_partial(&self, tasks: Vec<Task>) -> Result<std::time::Duration> {
+        for t in &tasks {
+            if t.worker >= self.workers.len() {
+                return Err(PregelixError::plan(format!(
+                    "task {} scheduled on nonexistent worker {}",
+                    t.name, t.worker
+                )));
+            }
+            if self.workers[t.worker].failed.load(Ordering::Relaxed) {
+                return Err(PregelixError::WorkerDead { id: t.worker });
+            }
+        }
+        self.execute(tasks)
+    }
+
     /// Sequential-timed execution: tasks run in submission order on the
     /// calling thread; each task's wall time accrues to its worker; the
     /// returned duration is `max` over workers — what a truly parallel
@@ -633,6 +656,32 @@ mod tests {
         assert!(matches!(err, PregelixError::WorkerDead { id: 2 }), "{err}");
         c.heal_worker(2);
         c.execute(vec![Task::new("x", 2, |_| Ok(()))]).unwrap();
+    }
+
+    #[test]
+    fn execute_partial_fails_fast_before_any_task_runs() {
+        let c = small();
+        c.fail_worker(1);
+        let ran = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut tasks = Vec::new();
+        for p in [0usize, 1, 3] {
+            let ran = Arc::clone(&ran);
+            tasks.push(Task::new(format!("part{p}"), p, move |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }));
+        }
+        let err = c.execute_partial(tasks).unwrap_err();
+        assert!(matches!(err, PregelixError::WorkerDead { id: 1 }), "{err}");
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "pre-check runs before any task");
+        // With only alive workers named, partial execution proceeds.
+        let ran2 = Arc::clone(&ran);
+        c.execute_partial(vec![Task::new("ok", 3, move |_| {
+            ran2.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        })])
+        .unwrap();
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -171,9 +171,41 @@ pub fn replan_sticky(prev: &[usize], alive_workers: &[usize]) -> Result<Vec<usiz
     Ok(out)
 }
 
+/// Partition indices whose sticky pin is *not* in `alive_workers` — the
+/// partitions a worker death orphaned. Confined recovery reloads and
+/// replays exactly this set (the complement stays hot on survivors);
+/// an empty result means no partition state was lost.
+pub fn dead_partitions(sticky: &[usize], alive_workers: &[usize]) -> Vec<usize> {
+    sticky
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| !alive_workers.contains(w))
+        .map(|(p, _)| p)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dead_partitions_names_exactly_the_orphans() {
+        // prev = [0,1,2,0,1], worker 1 died.
+        assert_eq!(dead_partitions(&[0, 1, 2, 0, 1], &[0, 2]), vec![1, 4]);
+        // Nobody died: empty.
+        assert_eq!(dead_partitions(&[0, 1], &[0, 1, 2]), Vec::<usize>::new());
+        // Everybody died: all partitions.
+        assert_eq!(dead_partitions(&[3, 3], &[]), vec![0, 1]);
+        // Consistency with replan_sticky: only dead partitions move.
+        let prev = [0usize, 1, 2, 0, 1];
+        let alive = [0usize, 2];
+        let replanned = replan_sticky(&prev, &alive).unwrap();
+        for p in 0..prev.len() {
+            let moved = replanned[p] != prev[p];
+            let orphaned = dead_partitions(&prev, &alive).contains(&p);
+            assert_eq!(moved, orphaned, "partition {p}");
+        }
+    }
 
     #[test]
     fn any_spreads_round_robin() {

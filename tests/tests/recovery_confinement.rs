@@ -1,0 +1,516 @@
+//! Confined recovery (§5.5): sender-side message logging with
+//! partition-scoped checkpoint replay, differentially against both the
+//! global rollback path and fault-free runs.
+//!
+//! The contract under test: when a worker dies cleanly at a superstep
+//! boundary and the message logs are intact, the failure manager reloads
+//! and replays ONLY the dead worker's partitions — survivors stay hot —
+//! and the job still produces *bit-identical* vertex values, halting
+//! superstep, and final global state as (a) the same failure recovered
+//! through the global rollback (`with_confined_recovery(false)`) and (b) a
+//! run with no failure at all. Any log hole must trip the typed
+//! `ConfinedRecoveryUnavailable` fallback (counted in `confined_fallbacks`)
+//! rather than corrupt anything.
+//!
+//! Every test holds [`fault::exclusive`] (barrier scopes are bare superstep
+//! numbers any concurrent job could consume). With `CHAOS_DIGEST` set, each
+//! scenario appends its deterministic counters; CI runs the suite twice and
+//! diffs the digests.
+
+use pregelix::common::error::PregelixError;
+use pregelix::common::fault::{self, Fault, FaultPlan, Site};
+use pregelix::graphgen::btc;
+use pregelix::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+/// A chain component `start — … — start+len-1` (symmetric edges).
+fn chain(start: u64, len: u64) -> Vec<(u64, Vec<(u64, f64)>)> {
+    (0..len)
+        .map(|i| {
+            let vid = start + i;
+            let mut edges = Vec::new();
+            if i > 0 {
+                edges.push((vid - 1, 1.0));
+            }
+            if i + 1 < len {
+                edges.push((vid + 1, 1.0));
+            }
+            (vid, edges)
+        })
+        .collect()
+}
+
+/// Two chain components (min labels 0 and 100): long enough that a death at
+/// superstep 4 happens after real work, small enough for CI.
+fn two_chains() -> Vec<(u64, Vec<(u64, f64)>)> {
+    let mut records = chain(0, 8);
+    records.extend(chain(100, 6));
+    records
+}
+
+/// Run `program` over `records` on a fresh 4-worker cluster; returns the
+/// summary and the `(vid, value-bits)` relation sorted by vid. f64 values
+/// compare via `to_bits`, so "equal" means bit-equal.
+fn run_case<P, F>(
+    program: &Arc<P>,
+    job: &PregelixJob,
+    records: &[(u64, Vec<(u64, f64)>)],
+    to_bits: &F,
+) -> (JobSummary, Vec<(u64, u64)>)
+where
+    P: VertexProgram,
+    F: Fn(&P::VertexValue) -> u64,
+{
+    let cluster = Cluster::new(ClusterConfig::new(4, 8 << 20)).unwrap();
+    let (summary, graph) =
+        run_job_from_records(&cluster, program, job, records.to_vec()).unwrap();
+    let mut values: Vec<(u64, u64)> = graph
+        .collect_vertices::<P>()
+        .unwrap()
+        .into_iter()
+        .map(|v| (v.vid, to_bits(&v.value)))
+        .collect();
+    values.sort_unstable_by_key(|(vid, _)| *vid);
+    (summary, values)
+}
+
+/// FNV-1a over the value relation (the digest's stand-in for bit-identical
+/// final state).
+fn values_hash(values: &[(u64, u64)]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for (vid, val) in values {
+        for b in vid.to_le_bytes().into_iter().chain(val.to_le_bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Append one deterministic line per scenario to `$CHAOS_DIGEST`, if set.
+fn chaos_digest(scenario: &str, summary: &JobSummary, injected: u64, values: &[(u64, u64)]) {
+    let Ok(path) = std::env::var("CHAOS_DIGEST") else {
+        return;
+    };
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .unwrap();
+    writeln!(
+        f,
+        "{scenario} recoveries={} retries={} supersteps={} injected={injected} \
+         dead={} conf={} cfb={} logw={} logr={} ckret={} values={:016x}",
+        summary.recoveries,
+        summary.retries,
+        summary.supersteps,
+        summary.stats.workers_declared_dead,
+        summary.stats.confined_recoveries,
+        summary.stats.confined_fallbacks,
+        summary.stats.log_bytes_written,
+        summary.stats.log_runs_replayed,
+        summary.stats.ckpt_bytes_retired,
+        values_hash(values),
+    )
+    .unwrap();
+}
+
+/// The tentpole differential: for one program, run
+///
+/// 1. fault-free (reference),
+/// 2. worker death at superstep `fail_at` recovered via the GLOBAL path,
+/// 3. the same death recovered via the CONFINED path,
+///
+/// and require bit-identical values, halting supersteps, and final global
+/// state across all three, plus the confined/fallback counters landing
+/// exactly where the design says they must.
+fn assert_confined_matches_global<P, F>(
+    tag: &str,
+    guard: &fault::ChaosGuard,
+    program: &Arc<P>,
+    mode: ExecutionMode,
+    ckpt_interval: u64,
+    fail_at: u64,
+    records: &[(u64, Vec<(u64, f64)>)],
+    to_bits: F,
+) where
+    P: VertexProgram,
+    F: Fn(&P::VertexValue) -> u64,
+{
+    let base_job = PregelixJob::new(&format!("rc-{tag}"))
+        .with_checkpoint_interval(ckpt_interval)
+        .with_execution_mode(mode);
+
+    // 1. Fault-free reference. Logging is on (checkpointing is on), so the
+    // tee must be writing logs even though nobody ever replays them.
+    let (reference, expected) = run_case(program, &base_job, records, &to_bits);
+    assert_eq!(reference.recoveries, 0, "{tag}: no faults, no recoveries");
+    assert_eq!(reference.stats.confined_recoveries, 0, "{tag}");
+    assert_eq!(reference.stats.confined_fallbacks, 0, "{tag}");
+    assert!(
+        reference.stats.log_bytes_written > 0,
+        "{tag}: the message tee must persist logs when checkpointing is on"
+    );
+    assert!(fail_at < reference.supersteps, "{tag}: death must hit mid-job");
+
+    // 2. Global rollback: confined recovery disabled by the knob.
+    let plan = guard.install(FaultPlan::new().on(
+        Site::Barrier,
+        &fail_at.to_string(),
+        1,
+        Fault::FailWorker(2),
+    ));
+    let global_job = base_job.clone().with_confined_recovery(false);
+    let (global, global_values) = run_case(program, &global_job, records, &to_bits);
+    assert_eq!(plan.injected(), 1, "{tag}");
+    assert_eq!(global.recoveries, 1, "{tag}: global path, one recovery");
+    assert_eq!(global.stats.confined_recoveries, 0, "{tag}: knob off, never confined");
+    assert_eq!(global.stats.confined_fallbacks, 0, "{tag}: knob off, never attempted");
+    chaos_digest(&format!("{tag}-global"), &global, plan.injected(), &global_values);
+    guard.clear();
+
+    // 3. Confined recovery (the default).
+    let plan = guard.install(FaultPlan::new().on(
+        Site::Barrier,
+        &fail_at.to_string(),
+        1,
+        Fault::FailWorker(2),
+    ));
+    let (confined, confined_values) = run_case(program, &base_job, records, &to_bits);
+    assert_eq!(plan.injected(), 1, "{tag}");
+    assert_eq!(confined.recoveries, 1, "{tag}: confined path, one recovery");
+    assert_eq!(
+        confined.stats.confined_recoveries, 1,
+        "{tag}: the recovery must have been confined"
+    );
+    assert_eq!(
+        confined.stats.confined_fallbacks, 0,
+        "{tag}: intact logs, no fallback"
+    );
+    chaos_digest(&format!("{tag}-confined"), &confined, plan.injected(), &confined_values);
+    guard.clear();
+
+    // The differential contract.
+    assert_eq!(global_values, expected, "{tag}: global recovery vs fault-free");
+    assert_eq!(confined_values, expected, "{tag}: confined recovery vs fault-free");
+    for (name, run) in [("global", &global), ("confined", &confined)] {
+        assert_eq!(
+            run.supersteps, reference.supersteps,
+            "{tag}: {name} recovery must not shift the halting superstep"
+        );
+        assert_eq!(
+            run.final_gs, reference.final_gs,
+            "{tag}: {name} recovery must reproduce the final global state bit-for-bit"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The differential harness: three programs x two execution modes
+// ---------------------------------------------------------------------------
+
+/// CC, barrier mode. `checkpoint_interval(2)` with the death at superstep 4
+/// puts the newest checkpoint at superstep 3, so the confined path must
+/// actually REPLAY superstep 3 from the survivors' logs (not just reload).
+#[test]
+fn cc_barrier_confined_replay_is_bit_identical() {
+    let guard = fault::exclusive();
+    let program = Arc::new(ConnectedComponents);
+    assert_confined_matches_global(
+        "cc-b",
+        &guard,
+        &program,
+        ExecutionMode::Barrier,
+        2,
+        4,
+        &two_chains(),
+        |v: &u64| *v,
+    );
+}
+
+/// SSSP (f64 distances, unreachable component), barrier mode.
+#[test]
+fn sssp_barrier_confined_replay_is_bit_identical() {
+    let guard = fault::exclusive();
+    let program = Arc::new(ShortestPaths::new(0));
+    assert_confined_matches_global(
+        "sssp-b",
+        &guard,
+        &program,
+        ExecutionMode::Barrier,
+        2,
+        4,
+        &two_chains(),
+        |v: &f64| v.to_bits(),
+    );
+}
+
+/// PageRank (global aggregate + `num_vertices` reads), barrier mode: the
+/// replayed supersteps must see the exact per-superstep GS history —
+/// aggregate drift would shift every downstream rank.
+#[test]
+fn pagerank_barrier_confined_replay_is_bit_identical() {
+    let guard = fault::exclusive();
+    let program = Arc::new(PageRank::new(8));
+    assert_confined_matches_global(
+        "pr-b",
+        &guard,
+        &program,
+        ExecutionMode::Barrier,
+        2,
+        4,
+        &two_chains(),
+        |v: &f64| v.to_bits(),
+    );
+}
+
+/// CC in frontier mode. Frontier windows clamp to checkpoint boundaries, so
+/// a boundary death always has a fresh checkpoint (replay range is empty —
+/// confined recovery degenerates to reload-only) but the confined path,
+/// dead-partition selection, and GS-history validation all still run.
+#[test]
+fn cc_frontier_confined_recovery_is_bit_identical() {
+    let guard = fault::exclusive();
+    let program = Arc::new(ConnectedComponents);
+    assert_confined_matches_global(
+        "cc-f",
+        &guard,
+        &program,
+        ExecutionMode::Frontier,
+        2,
+        4,
+        &two_chains(),
+        |v: &u64| *v,
+    );
+}
+
+/// SSSP in frontier mode.
+#[test]
+fn sssp_frontier_confined_recovery_is_bit_identical() {
+    let guard = fault::exclusive();
+    let program = Arc::new(ShortestPaths::new(0));
+    assert_confined_matches_global(
+        "sssp-f",
+        &guard,
+        &program,
+        ExecutionMode::Frontier,
+        2,
+        4,
+        &two_chains(),
+        |v: &f64| v.to_bits(),
+    );
+}
+
+/// PageRank in frontier mode (not `frontier_safe`: windows run gated, no
+/// early advance — recovery must still be confined and bit-identical).
+#[test]
+fn pagerank_frontier_confined_recovery_is_bit_identical() {
+    let guard = fault::exclusive();
+    let program = Arc::new(PageRank::new(8));
+    assert_confined_matches_global(
+        "pr-f",
+        &guard,
+        &program,
+        ExecutionMode::Frontier,
+        2,
+        4,
+        &two_chains(),
+        |v: &f64| v.to_bits(),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Replayed work is real and partition-scoped
+// ---------------------------------------------------------------------------
+
+/// The confined run with a checkpoint 1 superstep behind the death must
+/// feed logged runs back through the combiner: `log_runs_replayed` > 0, and
+/// bounded by (supersteps replayed) x (sources) x (dead partitions).
+#[test]
+fn confined_replay_consumes_logged_runs() {
+    let guard = fault::exclusive();
+    let records = btc::btc(2_000, 4.0, 77);
+    let job = PregelixJob::new("rc-runs").with_checkpoint_interval(2);
+    let program = Arc::new(ConnectedComponents);
+    let (reference, expected) = run_case(&program, &job, &records, &|v: &u64| *v);
+    assert!(reference.supersteps > 4);
+
+    let plan =
+        guard.install(FaultPlan::new().on(Site::Barrier, "4", 1, Fault::FailWorker(2)));
+    let (summary, values) = run_case(&program, &job, &records, &|v: &u64| *v);
+    assert_eq!(plan.injected(), 1);
+    assert_eq!(summary.stats.confined_recoveries, 1);
+    assert_eq!(summary.stats.confined_fallbacks, 0);
+    // Death at gs=4 with the newest checkpoint at 3: exactly one superstep
+    // replayed, on exactly one dead partition, fed by at most one logged
+    // run per source partition.
+    assert!(
+        summary.stats.log_runs_replayed > 0,
+        "the replay must consume survivors' logged runs"
+    );
+    assert!(
+        summary.stats.log_runs_replayed <= 4,
+        "one superstep x one dead partition x <=4 sources, got {}",
+        summary.stats.log_runs_replayed
+    );
+    assert_eq!(values, expected);
+    chaos_digest("replay-runs", &summary, plan.injected(), &values);
+}
+
+// ---------------------------------------------------------------------------
+// Log holes provably fall back to the global path
+// ---------------------------------------------------------------------------
+
+/// A log WRITE fault (swallowed at tee time — logging is best-effort and
+/// must never fail a healthy superstep) leaves a hole that the confined
+/// pre-validation finds at recovery time: one counted fallback, global
+/// rollback, bit-identical values.
+#[test]
+fn torn_log_write_falls_back_to_global_recovery() {
+    let guard = fault::exclusive();
+    let records = two_chains();
+    let job = PregelixJob::new("rc-wfault").with_checkpoint_interval(2);
+    let program = Arc::new(ConnectedComponents);
+    let (reference, expected) = run_case(&program, &job, &records, &|v: &u64| *v);
+    assert!(reference.supersteps > 4);
+
+    // Superstep 3's src-1 log write dies (torn file on the DFS); worker 2
+    // dies at the superstep-4 barrier. Confined recovery needs that log.
+    let plan = guard.install(
+        FaultPlan::new()
+            .on(
+                Site::MsgLog,
+                "jobs/rc-wfault/msglog/3/src1",
+                1,
+                Fault::TornWrite { keep: 6 },
+            )
+            .on(Site::Barrier, "4", 1, Fault::FailWorker(2)),
+    );
+    let (summary, values) = run_case(&program, &job, &records, &|v: &u64| *v);
+    assert_eq!(plan.injected(), 2, "both the torn write and the death fired");
+    assert_eq!(summary.recoveries, 1, "the global fallback still recovers");
+    assert_eq!(summary.retries, 0, "the swallowed log write is not an in-place retry");
+    assert_eq!(
+        summary.stats.confined_fallbacks, 1,
+        "the log hole must be detected and counted as a fallback"
+    );
+    assert_eq!(
+        summary.stats.confined_recoveries, 0,
+        "a fallen-back recovery is not a confined recovery"
+    );
+    assert_eq!(values, expected, "the fallback path stays bit-identical");
+    chaos_digest("log-write-hole", &summary, plan.injected(), &values);
+}
+
+/// A log READ fault at replay time (the file is fine on disk, the read
+/// dies): same contract — typed unavailability, counted fallback, global
+/// rollback, identical values.
+#[test]
+fn log_read_failure_at_replay_falls_back_to_global_recovery() {
+    let guard = fault::exclusive();
+    let records = two_chains();
+    let job = PregelixJob::new("rc-rfault").with_checkpoint_interval(2);
+    let program = Arc::new(ConnectedComponents);
+    let (_, expected) = run_case(&program, &job, &records, &|v: &u64| *v);
+
+    let plan = guard.install(
+        FaultPlan::new()
+            .on(
+                Site::MsgLog,
+                "replay:jobs/rc-rfault/msglog/3",
+                1,
+                Fault::IoError,
+            )
+            .on(Site::Barrier, "4", 1, Fault::FailWorker(2)),
+    );
+    let (summary, values) = run_case(&program, &job, &records, &|v: &u64| *v);
+    assert_eq!(plan.injected(), 2);
+    assert_eq!(summary.recoveries, 1);
+    assert_eq!(summary.stats.confined_fallbacks, 1);
+    assert_eq!(summary.stats.confined_recoveries, 0);
+    assert_eq!(values, expected);
+    chaos_digest("log-read-hole", &summary, plan.injected(), &values);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery cap and GC satellites
+// ---------------------------------------------------------------------------
+
+/// `with_max_recoveries(0)` turns the first recoverable failure terminal:
+/// the typed `RecoveriesExhausted` error names the configured cap and the
+/// underlying fault instead of silently retrying forever.
+#[test]
+fn max_recoveries_zero_makes_the_first_failure_terminal() {
+    let guard = fault::exclusive();
+    let records = two_chains();
+    let job = PregelixJob::new("rc-cap")
+        .with_checkpoint_interval(1)
+        .with_max_recoveries(0);
+    guard.install(FaultPlan::new().on(Site::Barrier, "3", 1, Fault::FailWorker(2)));
+    let cluster = Cluster::new(ClusterConfig::new(4, 8 << 20)).unwrap();
+    let program = Arc::new(ConnectedComponents);
+    let err = run_job_from_records(&cluster, &program, &job, records).unwrap_err();
+    let PregelixError::RecoveriesExhausted { cap, last_error } = &err else {
+        panic!("expected RecoveriesExhausted, got: {err}");
+    };
+    assert_eq!(*cap, 0);
+    assert!(
+        last_error.contains("worker 2"),
+        "the exhaustion error must name the underlying fault: {last_error}"
+    );
+    assert!(!err.is_recoverable());
+    assert!(err.to_string().contains("max_recoveries = 0"), "{err}");
+}
+
+/// Each successful periodic checkpoint retires the checkpoints, message
+/// logs, and GS history it obsoletes — and a later confined recovery still
+/// finds everything it needs (GC must never eat live recovery state).
+#[test]
+fn gc_retires_old_state_without_breaking_confined_recovery() {
+    let guard = fault::exclusive();
+    let records = two_chains();
+    let job = PregelixJob::new("rc-gc").with_checkpoint_interval(2);
+    let program = Arc::new(ConnectedComponents);
+
+    // Fault-free: GC alone must be retiring bytes as checkpoints land.
+    guard.install(FaultPlan::new());
+    let (reference, expected) = run_case(&program, &job, &records, &|v: &u64| *v);
+    assert!(
+        reference.stats.ckpt_bytes_retired > 0,
+        "periodic checkpoints must retire their predecessors"
+    );
+    guard.clear();
+
+    // Death at superstep 4: the newest checkpoint (superstep 3) retired the
+    // superstep-1/2 logs, but the superstep-3 log the replay needs is newer
+    // than the checkpoint and must have survived GC.
+    let plan =
+        guard.install(FaultPlan::new().on(Site::Barrier, "4", 1, Fault::FailWorker(2)));
+    let (summary, values) = run_case(&program, &job, &records, &|v: &u64| *v);
+    assert_eq!(plan.injected(), 1);
+    assert_eq!(summary.stats.confined_recoveries, 1, "GC must not break replay");
+    assert_eq!(summary.stats.confined_fallbacks, 0);
+    assert!(summary.stats.log_runs_replayed > 0);
+    assert!(summary.stats.ckpt_bytes_retired > 0);
+    assert_eq!(values, expected);
+    chaos_digest("gc-then-confined", &summary, plan.injected(), &values);
+}
+
+/// With checkpointing off, the tee never writes a byte: confined recovery's
+/// cost is strictly opt-in via the checkpoint ladder.
+#[test]
+fn no_checkpoints_means_no_log_writes() {
+    let _guard = fault::exclusive();
+    let records = two_chains();
+    let job = PregelixJob::new("rc-nolog"); // no checkpoint interval
+    let program = Arc::new(ConnectedComponents);
+    let (summary, _) = run_case(&program, &job, &records, &|v: &u64| *v);
+    assert_eq!(summary.stats.log_bytes_written, 0);
+    assert_eq!(summary.stats.confined_recoveries, 0);
+    assert_eq!(summary.stats.ckpt_bytes_retired, 0);
+}

@@ -103,7 +103,7 @@ fn chaos_digest(scenario: &str, summary: &JobSummary, injected: u64, values: &[(
         "{scenario} recoveries={} retries={} supersteps={} injected={injected} \
          retx={} dedup={} corrupt={} dead={} probes={} redesc={} bloomneg={} \
          bloomfp={} radixn={} rskip={} cmpfb={} fadv={} bwa={} skew={} \
-         values={:016x}",
+         conf={} cfb={} logw={} logr={} ckret={} values={:016x}",
         summary.recoveries,
         summary.retries,
         summary.supersteps,
@@ -121,6 +121,11 @@ fn chaos_digest(scenario: &str, summary: &JobSummary, injected: u64, values: &[(
         summary.stats.frontier_advances,
         summary.stats.barrier_waits_avoided,
         summary.stats.max_partition_skew,
+        summary.stats.confined_recoveries,
+        summary.stats.confined_fallbacks,
+        summary.stats.log_bytes_written,
+        summary.stats.log_runs_replayed,
+        summary.stats.ckpt_bytes_retired,
         values_hash(values),
     )
     .unwrap();
