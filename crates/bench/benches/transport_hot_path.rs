@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks for the zero-copy shared-slab frame path:
+//! slab freeze vs legacy per-send encode+CRC, envelope header encode over a
+//! frozen payload, and the end-to-end windowed 1→1 reliable hop measured in
+//! frames moved per iteration. The `BENCH_transport.json` numbers come from
+//! the std-only extraction study in EXPERIMENTS.md §PR 8 (this container
+//! cannot run criterion); this target exists so `cargo bench --no-run`
+//! keeps the hot path compiling against the real crates.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pregelix::common::bytes::{crc32, BytesSlab};
+use pregelix::common::envelope::FrameEnvelope;
+use pregelix::common::frame::{keyed_tuple, Frame};
+use pregelix::common::stats::ClusterCounters;
+use pregelix::dataflow::transport::{reliable_channels, ReliableReceiver, ReliableSender};
+use std::sync::Arc;
+
+/// A realistic message frame: 128 vid-keyed tuples, 24-byte payloads.
+fn message_frame() -> Frame {
+    let mut f = Frame::with_capacity(1 << 16);
+    for vid in 0..128u64 {
+        assert!(f.try_append(&keyed_tuple(vid, &[0xAB; 24])));
+    }
+    f
+}
+
+fn bench_freeze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_path");
+    let frame = message_frame();
+    group.throughput(Throughput::Bytes(frame.wire_len() as u64));
+
+    // Legacy shape: every send serialized into a fresh Vec and CRC'd the
+    // whole wire form again (what the pre-slab transport paid per transmit
+    // and per retransmit).
+    group.bench_function("legacy_encode_and_crc_per_send", |b| {
+        b.iter(|| {
+            let mut wire = Vec::new();
+            frame.serialize(&mut wire);
+            black_box(crc32(&wire));
+            black_box(wire.len());
+        });
+    });
+
+    // Slab shape: one assembly copy into a pooled backing, CRC folded in at
+    // freeze; a retransmit is a clone of the envelope (refcount bump).
+    let slab = BytesSlab::new(1 << 16);
+    group.bench_function("slab_freeze_once", |b| {
+        b.iter(|| {
+            let shared = frame.freeze(&slab);
+            black_box(shared.crc());
+            drop(shared);
+            slab.harvest();
+        });
+    });
+
+    // What a retransmission costs now: cloning the built envelope.
+    let shared = frame.freeze(&slab);
+    let env = FrameEnvelope::data(Arc::from("bench"), 0, 1, shared);
+    group.bench_function("retransmit_clone", |b| {
+        b.iter(|| black_box(env.clone()));
+    });
+
+    group.finish();
+}
+
+fn bench_hop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_hop");
+    group.sample_size(20);
+    const FRAMES: usize = 256;
+    group.throughput(Throughput::Elements(FRAMES as u64));
+
+    group.bench_function("windowed_1to1_256_frames", |b| {
+        b.iter(|| {
+            let counters = ClusterCounters::new();
+            let slab = BytesSlab::with_counters(1 << 16, counters.clone());
+            let (mut txs, mut rxs) = reliable_channels(1, 1, Some(16));
+            let outs = std::mem::take(&mut txs[0]);
+            let template = message_frame();
+            let tx_counters = counters.clone();
+            let tx_slab = slab.clone();
+            let sender = std::thread::spawn(move || {
+                let mut tx =
+                    ReliableSender::new(outs, "bench", 0, 0, vec![1], tx_counters);
+                for _ in 0..FRAMES {
+                    tx.send_shared(0, template.freeze(&tx_slab)).unwrap();
+                }
+                tx.finish().unwrap();
+            });
+            let ins = std::mem::take(&mut rxs[0]);
+            let mut rx = ReliableReceiver::new(ins, counters);
+            let mut tuples = 0usize;
+            while let Some(f) = rx.next_frame().unwrap() {
+                tuples += f.len();
+            }
+            sender.join().unwrap();
+            slab.harvest();
+            black_box(tuples);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_freeze, bench_hop);
+criterion_main!(benches);

@@ -7,15 +7,31 @@
 //! frame is simply gone or doubled. This module supplies the missing
 //! transport header: every frame travelling a sender→receiver *stream* is
 //! wrapped in a [`FrameEnvelope`] carrying the stream label, the sender id,
-//! a monotonically increasing 1-based sequence number and a CRC32 over the
-//! whole envelope. Receivers deliver in sequence order, discard duplicates
-//! by seq, reject payloads whose CRC does not match (torn sends), and
-//! acknowledge cumulatively with [`Ack`] records; senders retransmit from an
-//! in-flight window on nack (see `pregelix_dataflow::transport`).
+//! a monotonically increasing 1-based sequence number and a CRC32. Receivers
+//! deliver in sequence order, discard duplicates by seq, reject payloads
+//! whose CRC does not match (torn sends), and acknowledge cumulatively with
+//! [`Ack`] records; senders retransmit from an in-flight window on nack (see
+//! `pregelix_dataflow::transport`).
+//!
+//! # CRC once: the checksum layering
+//!
+//! A frame's payload CRC is computed exactly once, at
+//! [`crate::frame::Frame::freeze`], over its slab-backed wire slice. The
+//! envelope CRC then covers the *header fields plus that payload CRC* —
+//! `crc32(label ‖ sender ‖ seq ‖ kind ‖ frame_crc)` — the same layering a
+//! real stack gets from separate link/transport checksums. Consequences:
+//!
+//! * Enveloping a frame is O(header): no per-tuple walk, no payload re-scan.
+//! * Retransmission re-sends the stored envelope verbatim — identical slab
+//!   slice, identical CRC, zero re-encoding.
+//! * A receiver verifies with one streaming pass over the logical payload
+//!   bytes (copy-on-write corruption overlays included), which recomputes
+//!   the frame CRC and therefore catches any flipped bit in payload *or*
+//!   header.
 //!
 //! Envelope kinds:
 //!
-//! * **Data** — carries one frame; `seq` runs `1..=last`.
+//! * **Data** — carries one frozen frame; `seq` runs `1..=last`.
 //! * **Fin** — end-of-stream marker; its `seq` is `last + 1`, so "the number
 //!   of data frames" is implied and the Fin itself is retransmittable under
 //!   the same seq-addressed nack machinery as data.
@@ -27,91 +43,28 @@
 //!   receiver, which re-nacks the first gap, which drives the resend. The
 //!   payload bytes are gone — only the schedule survives.
 //!
-//! The codec ([`FrameEnvelope::encode`]/[`FrameEnvelope::decode`]) is the
-//! byte form the envelope would take on a real wire. In-process channels
-//! move the struct itself (the payload frame behind an `Arc`, so sender-side
-//! retransmit buffers share rather than copy), but the CRC is always
-//! computed over the canonical byte stream, so a decoded envelope and an
-//! in-memory one agree.
+//! The codec ([`FrameEnvelope::encode`]/[`FrameEnvelope::decode_slice`]) is
+//! the byte form the envelope would take on a real wire. In-process channels
+//! move the struct itself (the payload a refcounted [`SharedFrame`] slice,
+//! so sender-side retransmit buffers share rather than copy), and
+//! `decode_slice` reverses `encode` *zero-copy*: the decoded frame aliases
+//! the receive slab instead of copying out of it.
 
+use crate::bytes::BytesSlice;
+pub use crate::bytes::{crc32, Crc32};
 use crate::error::{PregelixError, Result};
-use crate::frame::Frame;
+use crate::frame::SharedFrame;
 use std::sync::Arc;
 
 /// First byte of every encoded envelope.
 pub const ENVELOPE_MAGIC: u8 = 0xE7;
 
-/// CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`), table-driven.
-/// Streaming: feed bytes with [`Crc32::update`], read with [`Crc32::finish`].
-#[derive(Clone, Debug)]
-pub struct Crc32 {
-    state: u32,
-}
-
-/// The 256-entry lookup table for the reflected IEEE polynomial, built at
-/// compile time.
-const CRC32_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ 0xEDB8_8320
-            } else {
-                crc >> 1
-            };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-};
-
-impl Crc32 {
-    /// Start a fresh checksum.
-    pub fn new() -> Self {
-        Crc32 { state: !0 }
-    }
-
-    /// Absorb `bytes` into the checksum.
-    #[inline]
-    pub fn update(&mut self, bytes: &[u8]) {
-        let mut s = self.state;
-        for &b in bytes {
-            s = (s >> 8) ^ CRC32_TABLE[((s ^ b as u32) & 0xFF) as usize];
-        }
-        self.state = s;
-    }
-
-    /// Final checksum value.
-    #[inline]
-    pub fn finish(&self) -> u32 {
-        !self.state
-    }
-}
-
-impl Default for Crc32 {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-/// One-shot CRC32 of a byte slice.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = Crc32::new();
-    c.update(bytes);
-    c.finish()
-}
-
 /// What an envelope carries. See the module docs for the three kinds.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Payload {
-    /// One data frame. Shared, not copied: the sender's retransmit window
-    /// holds the same `Arc`.
-    Data(Arc<Frame>),
+    /// One frozen data frame. Shared, not copied: the sender's retransmit
+    /// window holds a view of the same slab slice.
+    Data(SharedFrame),
     /// End of stream; the envelope's `seq` is `last_data_seq + 1`.
     Fin,
     /// Stand-in for a lost envelope; the envelope's `seq` names the lost one.
@@ -138,35 +91,38 @@ pub struct FrameEnvelope {
     pub seq: u64,
     /// The cargo.
     pub payload: Payload,
-    /// CRC32 over the canonical byte stream of all fields above.
+    /// CRC32 over the header fields and the payload's freeze-time CRC (see
+    /// the module docs for the layering).
     pub crc: u32,
 }
 
-fn compute_crc(stream: &str, sender: u32, seq: u64, payload: &Payload) -> u32 {
+/// The envelope checksum: header fields plus the payload CRC. O(header) —
+/// the payload bytes were checksummed once at freeze and are never
+/// re-walked here.
+fn compute_crc(stream: &str, sender: u32, seq: u64, kind: u8, payload_crc: u32) -> u32 {
     let mut c = Crc32::new();
     c.update(&[stream.len() as u8]);
     c.update(stream.as_bytes());
     c.update(&sender.to_le_bytes());
     c.update(&seq.to_le_bytes());
-    match payload {
-        Payload::Data(f) => {
-            c.update(&[KIND_DATA]);
-            c.update(&(f.len() as u32).to_le_bytes());
-            for t in f.iter() {
-                c.update(&(t.len() as u32).to_le_bytes());
-                c.update(t);
-            }
-        }
-        Payload::Fin => c.update(&[KIND_FIN]),
-        Payload::Probe => c.update(&[KIND_PROBE]),
-    }
+    c.update(&[kind]);
+    c.update(&payload_crc.to_le_bytes());
     c.finish()
 }
 
+fn payload_kind(p: &Payload) -> u8 {
+    match p {
+        Payload::Data(_) => KIND_DATA,
+        Payload::Fin => KIND_FIN,
+        Payload::Probe => KIND_PROBE,
+    }
+}
+
 impl FrameEnvelope {
-    /// Envelope a data frame as seq `seq` of `stream`.
-    pub fn data(stream: Arc<str>, sender: u32, seq: u64, frame: Arc<Frame>) -> Self {
-        let crc = compute_crc(&stream, sender, seq, &Payload::Data(frame.clone()));
+    /// Envelope a frozen frame as seq `seq` of `stream`. O(header): the
+    /// frame's CRC was computed at freeze and is folded in, not recomputed.
+    pub fn data(stream: Arc<str>, sender: u32, seq: u64, frame: SharedFrame) -> Self {
+        let crc = compute_crc(&stream, sender, seq, KIND_DATA, frame.crc());
         FrameEnvelope {
             stream,
             sender,
@@ -179,7 +135,7 @@ impl FrameEnvelope {
     /// End-of-stream marker after `last_seq` data frames.
     pub fn fin(stream: Arc<str>, sender: u32, last_seq: u64) -> Self {
         let seq = last_seq + 1;
-        let crc = compute_crc(&stream, sender, seq, &Payload::Fin);
+        let crc = compute_crc(&stream, sender, seq, KIND_FIN, 0);
         FrameEnvelope {
             stream,
             sender,
@@ -191,7 +147,7 @@ impl FrameEnvelope {
 
     /// Probe standing in for the lost envelope `lost_seq`.
     pub fn probe(stream: Arc<str>, sender: u32, lost_seq: u64) -> Self {
-        let crc = compute_crc(&stream, sender, lost_seq, &Payload::Probe);
+        let crc = compute_crc(&stream, sender, lost_seq, KIND_PROBE, 0);
         FrameEnvelope {
             stream,
             sender,
@@ -201,56 +157,99 @@ impl FrameEnvelope {
         }
     }
 
-    /// Whether the stored CRC matches the payload — `false` after the wire
-    /// flipped a bit ([`crate::fault::Fault::CorruptFrame`]).
+    /// Whether the stored CRC matches the payload a receiver observes —
+    /// `false` after the wire flipped a bit
+    /// ([`crate::fault::Fault::CorruptFrame`], modeled as a copy-on-write
+    /// overlay on the shared slice).
     pub fn verify(&self) -> bool {
-        compute_crc(&self.stream, self.sender, self.seq, &self.payload) == self.crc
+        let payload_crc = match &self.payload {
+            Payload::Data(f) => f.wire_crc(),
+            Payload::Fin | Payload::Probe => 0,
+        };
+        compute_crc(&self.stream, self.sender, self.seq, payload_kind(&self.payload), payload_crc)
+            == self.crc
     }
 
     /// Append the canonical byte form:
     /// `[magic][kind][label_len u8][label][sender u32][seq u64][payload][crc u32]`
-    /// where a Data payload is the frame's own serialization and Fin/Probe
-    /// carry no payload bytes (their information is entirely in `seq`).
+    /// where a Data payload is the frame's own wire form (`[n][ends][data]`,
+    /// exactly the slab slice built at freeze) and Fin/Probe carry no
+    /// payload bytes (their information is entirely in `seq`).
     pub fn encode(&self, out: &mut Vec<u8>) {
         out.push(ENVELOPE_MAGIC);
-        out.push(match self.payload {
-            Payload::Data(_) => KIND_DATA,
-            Payload::Fin => KIND_FIN,
-            Payload::Probe => KIND_PROBE,
-        });
+        out.push(payload_kind(&self.payload));
         out.push(self.stream.len() as u8);
         out.extend_from_slice(self.stream.as_bytes());
         out.extend_from_slice(&self.sender.to_le_bytes());
         out.extend_from_slice(&self.seq.to_le_bytes());
         if let Payload::Data(f) = &self.payload {
-            f.serialize(out);
+            f.write_wire(out);
         }
         out.extend_from_slice(&self.crc.to_le_bytes());
     }
 
-    /// Inverse of [`FrameEnvelope::encode`]; consumes bytes from the front
-    /// of `buf`. Returns [`PregelixError::Corrupt`] on truncation, a bad
-    /// magic byte, malformed frame bytes, or a CRC that does not match the
-    /// decoded fields — and never panics on garbage.
-    pub fn decode(buf: &mut &[u8]) -> Result<FrameEnvelope> {
-        let magic = take_u8(buf)?;
+    /// Inverse of [`FrameEnvelope::encode`] over a slab slice, zero-copy:
+    /// the decoded Data payload *aliases* `slice` (sub-slices it, refcounted)
+    /// rather than copying out of it — the reorder buffer, dedup path and
+    /// consumer all end up holding views of the receive slab. Returns the
+    /// envelope and the unconsumed remainder of `slice`.
+    ///
+    /// Returns [`PregelixError::Corrupt`] on truncation, a bad magic byte,
+    /// malformed frame bytes, or a CRC that does not match the decoded
+    /// fields — and never panics on garbage.
+    pub fn decode_slice(slice: BytesSlice) -> Result<(FrameEnvelope, BytesSlice)> {
+        let b = slice.as_slice();
+        let mut pos = 0usize;
+        let take_u8 = |b: &[u8], pos: &mut usize| -> Result<u8> {
+            let v = *b
+                .get(*pos)
+                .ok_or_else(|| PregelixError::corrupt("envelope truncated"))?;
+            *pos += 1;
+            Ok(v)
+        };
+        let magic = take_u8(b, &mut pos)?;
         if magic != ENVELOPE_MAGIC {
             return Err(PregelixError::corrupt("envelope magic mismatch"));
         }
-        let kind = take_u8(buf)?;
-        let label_len = take_u8(buf)? as usize;
-        if buf.len() < label_len {
-            return Err(PregelixError::corrupt("envelope label truncated"));
-        }
-        let (label, rest) = buf.split_at(label_len);
-        *buf = rest;
+        let kind = take_u8(b, &mut pos)?;
+        let label_len = take_u8(b, &mut pos)? as usize;
+        let label = b
+            .get(pos..pos + label_len)
+            .ok_or_else(|| PregelixError::corrupt("envelope label truncated"))?;
+        pos += label_len;
         let stream: Arc<str> = std::str::from_utf8(label)
             .map_err(|_| PregelixError::corrupt("envelope label not utf-8"))?
             .into();
-        let sender = u32::from_le_bytes(take_array(buf)?);
-        let seq = u64::from_le_bytes(take_array(buf)?);
+        let sender = u32::from_le_bytes(take_n::<4>(b, &mut pos)?);
+        let seq = u64::from_le_bytes(take_n::<8>(b, &mut pos)?);
         let payload = match kind {
-            KIND_DATA => Payload::Data(Arc::new(Frame::deserialize(buf)?)),
+            KIND_DATA => {
+                // Size the payload from its own header (`[n][ends]`: the
+                // last end offset is the data length), then alias it.
+                let n = u32::from_le_bytes(take_n::<4>(b, &mut pos)?) as usize;
+                pos -= 4;
+                let table_end = pos
+                    .checked_add(4 + 4 * n)
+                    .ok_or_else(|| PregelixError::corrupt("frame tuple count overflow"))?;
+                if b.len() < table_end {
+                    return Err(PregelixError::corrupt("frame offset table truncated"));
+                }
+                let data_len = if n == 0 {
+                    0
+                } else {
+                    u32::from_le_bytes(b[table_end - 4..table_end].try_into().expect("4 bytes"))
+                        as usize
+                };
+                let payload_end = table_end
+                    .checked_add(data_len)
+                    .ok_or_else(|| PregelixError::corrupt("frame data length overflow"))?;
+                if b.len() < payload_end {
+                    return Err(PregelixError::corrupt("frame data truncated"));
+                }
+                let frame = SharedFrame::from_wire(slice.slice(pos..payload_end))?;
+                pos = payload_end;
+                Payload::Data(frame)
+            }
             KIND_FIN => Payload::Fin,
             KIND_PROBE => Payload::Probe,
             other => {
@@ -259,7 +258,7 @@ impl FrameEnvelope {
                 )))
             }
         };
-        let crc = u32::from_le_bytes(take_array(buf)?);
+        let crc = u32::from_le_bytes(take_n::<4>(b, &mut pos)?);
         let env = FrameEnvelope {
             stream,
             sender,
@@ -270,6 +269,18 @@ impl FrameEnvelope {
         if !env.verify() {
             return Err(PregelixError::corrupt("envelope crc mismatch"));
         }
+        let rest = slice.slice(pos..slice.len());
+        Ok((env, rest))
+    }
+
+    /// Owned-buffer decode: wraps `buf` in a one-shot backing and defers to
+    /// [`FrameEnvelope::decode_slice`]; consumes the envelope's bytes from
+    /// the front of `buf`. Test/tool convenience — the transport decodes
+    /// slab slices directly.
+    pub fn decode(buf: &mut &[u8]) -> Result<FrameEnvelope> {
+        let slice = BytesSlice::from_vec(buf.to_vec());
+        let (env, rest) = Self::decode_slice(slice)?;
+        *buf = &buf[buf.len() - rest.len()..];
         Ok(env)
     }
 }
@@ -301,51 +312,45 @@ impl Ack {
 
     /// Inverse of [`Ack::encode`].
     pub fn decode(buf: &mut &[u8]) -> Result<Ack> {
-        let cum = u64::from_le_bytes(take_array(buf)?);
-        let nack = u64::from_le_bytes(take_array(buf)?);
-        let crc = u32::from_le_bytes(take_array(buf)?);
+        let mut pos = 0usize;
+        let cum = u64::from_le_bytes(take_n::<8>(buf, &mut pos)?);
+        let nack = u64::from_le_bytes(take_n::<8>(buf, &mut pos)?);
+        let crc = u32::from_le_bytes(take_n::<4>(buf, &mut pos)?);
         let mut c = Crc32::new();
         c.update(&cum.to_le_bytes());
         c.update(&nack.to_le_bytes());
         if c.finish() != crc {
             return Err(PregelixError::corrupt("ack crc mismatch"));
         }
+        *buf = &buf[pos..];
         Ok(Ack { cum, nack })
     }
 }
 
 #[inline]
-fn take_u8(buf: &mut &[u8]) -> Result<u8> {
-    let (&b, rest) = buf
-        .split_first()
-        .ok_or_else(|| PregelixError::corrupt("envelope truncated"))?;
-    *buf = rest;
-    Ok(b)
-}
-
-#[inline]
-fn take_array<const N: usize>(buf: &mut &[u8]) -> Result<[u8; N]> {
-    let head: [u8; N] = buf
-        .get(..N)
+fn take_n<const N: usize>(b: &[u8], pos: &mut usize) -> Result<[u8; N]> {
+    let head: [u8; N] = b
+        .get(*pos..*pos + N)
         .ok_or_else(|| PregelixError::corrupt("envelope truncated"))?
         .try_into()
         .expect("sized slice");
-    *buf = &buf[N..];
+    *pos += N;
     Ok(head)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::frame::keyed_tuple;
+    use crate::frame::{keyed_tuple, Frame};
+
     use proptest::prelude::*;
 
-    fn frame_of(tuples: &[Vec<u8>]) -> Arc<Frame> {
+    fn frame_of(tuples: &[Vec<u8>]) -> SharedFrame {
         let mut f = Frame::with_capacity(1 << 20);
         for t in tuples {
             assert!(f.try_append(t));
         }
-        Arc::new(f)
+        f.freeze_standalone()
     }
 
     #[test]
@@ -356,16 +361,48 @@ mod tests {
     }
 
     #[test]
-    fn data_envelope_roundtrip() {
+    fn data_envelope_roundtrip_aliases_input() {
         let f = frame_of(&[keyed_tuple(7, b"abc"), keyed_tuple(9, b"")]);
         let env = FrameEnvelope::data("msg".into(), 2, 41, f);
         assert!(env.verify());
         let mut bytes = Vec::new();
         env.encode(&mut bytes);
+        let wire = BytesSlice::from_vec(bytes);
+        let (back, rest) = FrameEnvelope::decode_slice(wire.clone()).unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(back, env);
+        // The zero-copy property: the decoded payload is a sub-slice of the
+        // receive buffer, not a copy.
+        let Payload::Data(decoded) = &back.payload else {
+            panic!("data payload expected")
+        };
+        assert!(decoded.wire_bytes().aliases(&wire));
+    }
+
+    #[test]
+    fn owned_decode_consumes_from_the_front() {
+        let env = FrameEnvelope::data("msg".into(), 1, 3, frame_of(&[keyed_tuple(1, b"x")]));
+        let mut bytes = Vec::new();
+        env.encode(&mut bytes);
+        bytes.extend_from_slice(b"trailing");
         let mut buf = &bytes[..];
         let back = FrameEnvelope::decode(&mut buf).unwrap();
-        assert!(buf.is_empty());
         assert_eq!(back, env);
+        assert_eq!(buf, b"trailing");
+    }
+
+    #[test]
+    fn envelope_crc_folds_the_frame_crc_instead_of_rewalking() {
+        // Two content-identical frames in different backings freeze to the
+        // same payload CRC, so the envelope CRCs agree — the envelope layer
+        // never looks past `frame.crc()`.
+        let a = frame_of(&[keyed_tuple(1, b"abc")]);
+        let b = frame_of(&[keyed_tuple(1, b"abc")]);
+        assert!(!a.aliases(&b));
+        assert_eq!(a.crc(), b.crc());
+        let ea = FrameEnvelope::data("msg".into(), 0, 9, a);
+        let eb = FrameEnvelope::data("msg".into(), 0, 9, b);
+        assert_eq!(ea.crc, eb.crc);
     }
 
     #[test]
@@ -385,15 +422,21 @@ mod tests {
     #[test]
     fn tampered_payload_fails_verify() {
         let f = frame_of(&[keyed_tuple(1, b"payload")]);
-        let env = FrameEnvelope::data("msg".into(), 0, 1, f);
-        // Rebuild with a different frame but the original crc: the in-memory
-        // equivalent of the wire flipping a bit.
+        let env = FrameEnvelope::data("msg".into(), 0, 1, f.clone());
+        // A copy-on-write overlay: the in-memory equivalent of the wire
+        // flipping a bit — same backing allocation, patched logical bytes.
         let tampered = FrameEnvelope {
-            payload: Payload::Data(frame_of(&[keyed_tuple(1, b"pAyload")])),
+            payload: Payload::Data(f.corrupted()),
             ..env.clone()
         };
         assert!(env.verify());
         assert!(!tampered.verify());
+        // Substituting a different frame entirely is also caught.
+        let swapped = FrameEnvelope {
+            payload: Payload::Data(frame_of(&[keyed_tuple(1, b"pAyload")])),
+            ..env.clone()
+        };
+        assert!(!swapped.verify());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //!   comparison of key prefixes equals numeric comparison of vids. Sorting,
 //!   merging and B-tree search all exploit this.
 
+use crate::bytes::{crc32, BytesSlab, BytesSlice, Crc32};
 use crate::error::{PregelixError, Result};
 use crate::radix::{for_each_tie_group, RadixScratch, RADIX_MIN_ENTRIES};
 use crate::stats::ClusterCounters;
@@ -137,9 +138,14 @@ impl Frame {
     /// Create an empty frame with an explicit byte capacity. A frame always
     /// accepts at least one tuple even if that tuple alone exceeds the
     /// capacity (matching Hyracks' "big object" frames).
+    ///
+    /// The data buffer is reserved up front: a builder frame is a staging
+    /// area that gets filled to `capacity`, frozen, cleared, and refilled —
+    /// growing it byte-append by byte-append would pay a realloc-and-memcpy
+    /// ladder on the hottest path in the system.
     pub fn with_capacity(capacity: usize) -> Self {
         Frame {
-            data: Vec::new(),
+            data: Vec::with_capacity(capacity),
             ends: Vec::new(),
             capacity,
             scratch: SortScratch::default(),
@@ -280,9 +286,40 @@ impl Frame {
         std::mem::swap(ends, out_ends);
     }
 
-    /// Serialize the frame for spilling or for crossing a "network" channel:
+    /// Total wire-form size of this frame's content:
     /// `[u32 n][u32 ends; n][data]`.
-    pub fn serialize(&self, out: &mut Vec<u8>) {
+    #[inline]
+    pub fn wire_len(&self) -> usize {
+        4 + 4 * self.ends.len() + self.data.len()
+    }
+
+    /// Freeze the builder's content into its canonical, slab-backed wire
+    /// form. This is the **single** assembly copy (and the single CRC pass)
+    /// a frame pays on its way through the system: every later hop —
+    /// envelope encode, retransmit window, reorder buffer, consumer — holds
+    /// refcounted views of the slice built here. The builder keeps its
+    /// allocations; `clear()` it and refill.
+    pub fn freeze(&self, slab: &BytesSlab) -> SharedFrame {
+        let wire_len = self.wire_len();
+        let bytes = slab.seal_with(wire_len, |out| self.write_wire(out));
+        SharedFrame {
+            crc: crc32(&bytes),
+            n: self.ends.len(),
+            bytes,
+            overlay: None,
+        }
+    }
+
+    /// [`Frame::freeze`] without a slab: the backing is a plain one-shot
+    /// vector. For tests and standalone tools; the product path always
+    /// freezes through the cluster slab.
+    pub fn freeze_standalone(&self) -> SharedFrame {
+        let mut out = Vec::with_capacity(self.wire_len());
+        self.write_wire(&mut out);
+        SharedFrame::from_wire(BytesSlice::from_vec(out)).expect("builder wire form is valid")
+    }
+
+    fn write_wire(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&(self.ends.len() as u32).to_le_bytes());
         for e in &self.ends {
             out.extend_from_slice(&e.to_le_bytes());
@@ -290,60 +327,299 @@ impl Frame {
         out.extend_from_slice(&self.data);
     }
 
-    /// Inverse of [`Frame::serialize`]; consumes bytes from the front of
-    /// `buf`.
+    /// Append the wire form `[u32 n][u32 ends; n][data]` to `out`. Disk-write
+    /// path (run files, checkpoints): the on-disk frame record is byte-for-
+    /// byte the network wire form, so both sides share one codec.
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        self.write_wire(out);
+    }
+
+    /// Parse one wire-form frame from the front of `buf` into an owned
+    /// builder, advancing `buf` past it. Disk-read path: bytes coming off a
+    /// run file or checkpoint must be owned anyway. The network path never
+    /// calls this — it wraps slab slices zero-copy via
+    /// [`SharedFrame::from_wire`].
     pub fn deserialize(buf: &mut &[u8]) -> Result<Frame> {
-        let n = read_u32(buf)? as usize;
-        let mut ends = Vec::with_capacity(n.min(1 << 16));
-        for _ in 0..n {
-            ends.push(read_u32(buf)?);
+        let b = *buf;
+        let n = u32::from_le_bytes(
+            b.get(..4)
+                .ok_or_else(|| PregelixError::corrupt("frame header truncated"))?
+                .try_into()
+                .expect("4-byte slice"),
+        ) as usize;
+        let data_off = 4usize
+            .checked_add(
+                n.checked_mul(4)
+                    .ok_or_else(|| PregelixError::corrupt("frame tuple count overflow"))?,
+            )
+            .ok_or_else(|| PregelixError::corrupt("frame tuple count overflow"))?;
+        if b.len() < data_off {
+            return Err(PregelixError::corrupt("frame offset table truncated"));
         }
-        let data_len = ends.last().copied().unwrap_or(0) as usize;
-        if buf.len() < data_len {
-            return Err(PregelixError::corrupt("frame data truncated"));
-        }
-        // Validate monotone offsets so `tuple()` can never slice out of
-        // bounds or panic on a reversed range.
+        let mut ends = Vec::with_capacity(n);
         let mut prev = 0u32;
-        for &e in &ends {
+        for i in 0..n {
+            let e = u32::from_le_bytes(b[4 + 4 * i..8 + 4 * i].try_into().expect("4-byte slice"));
             if e < prev {
                 return Err(PregelixError::corrupt("frame offsets not monotone"));
             }
+            ends.push(e);
             prev = e;
         }
-        let (data, rest) = buf.split_at(data_len);
-        *buf = rest;
+        let total = data_off
+            .checked_add(prev as usize)
+            .ok_or_else(|| PregelixError::corrupt("frame data length overflow"))?;
+        if b.len() < total {
+            return Err(PregelixError::corrupt("frame data truncated"));
+        }
+        let data = b[data_off..total].to_vec();
+        *buf = &b[total..];
         Ok(Frame {
-            data: data.to_vec(),
+            capacity: data.len().max(DEFAULT_FRAME_BYTES),
+            data,
             ends,
-            capacity: DEFAULT_FRAME_BYTES,
             scratch: SortScratch::default(),
         })
     }
 }
 
-/// Frames compare by content — tuple bytes and boundaries. `capacity` is an
-/// allocation hint that [`Frame::deserialize`] does not preserve, and the
-/// sort scratch is working memory; neither participates in equality or a
-/// decoded frame would never equal its source.
-impl PartialEq for Frame {
-    fn eq(&self, other: &Self) -> bool {
-        self.data == other.data && self.ends == other.ends
+/// A frozen frame: a refcounted view over one slab slice holding the
+/// canonical wire form `[u32 n][u32 ends; n][data]` (all little-endian),
+/// plus the CRC32 of those bytes computed once at freeze time.
+///
+/// Cloning is O(1) — the retransmit window, the receiver's reorder buffer
+/// and the consumer all hold the *same allocation*. Equality is derived from
+/// the wire slice alone: no capacity field, no working memory, nothing that
+/// could make a delivered frame compare unequal to the frame that was sent
+/// (the PR 3 `Frame` capacity/`PartialEq` wart this type deletes).
+///
+/// A `SharedFrame` may carry a copy-on-write *corruption overlay* — a single
+/// `(index, xor-mask)` patch the fault injector applies in place of the old
+/// whole-frame deep copy. Overlaid frames fail CRC verification at the
+/// receiver and are retransmitted from the pristine slice; they never reach
+/// tuple accessors.
+#[derive(Clone)]
+pub struct SharedFrame {
+    /// The full wire form. Pristine even when an overlay is present.
+    bytes: BytesSlice,
+    /// Tuple count (cached from the header).
+    n: usize,
+    /// CRC32 over the pristine wire bytes, computed exactly once.
+    crc: u32,
+    /// Copy-on-write corruption patch: logical wire byte `i` reads as
+    /// `bytes[i] ^ mask`.
+    overlay: Option<(usize, u8)>,
+}
+
+impl SharedFrame {
+    /// Validate `bytes` as a frame wire form and wrap it zero-copy. The
+    /// returned frame *aliases* `bytes` — no payload copy — and its CRC is
+    /// computed here, once, over the slice.
+    pub fn from_wire(bytes: BytesSlice) -> Result<SharedFrame> {
+        let b = bytes.as_slice();
+        let n = u32::from_le_bytes(
+            b.get(..4)
+                .ok_or_else(|| PregelixError::corrupt("frame header truncated"))?
+                .try_into()
+                .expect("4-byte slice"),
+        ) as usize;
+        let data_off = 4usize
+            .checked_add(n.checked_mul(4).ok_or_else(|| PregelixError::corrupt("frame tuple count overflow"))?)
+            .ok_or_else(|| PregelixError::corrupt("frame tuple count overflow"))?;
+        if b.len() < data_off {
+            return Err(PregelixError::corrupt("frame offset table truncated"));
+        }
+        // Validate monotone offsets so `tuple()` can never slice out of
+        // bounds or panic on a reversed range.
+        let mut prev = 0u32;
+        for i in 0..n {
+            let e = u32::from_le_bytes(b[4 + 4 * i..8 + 4 * i].try_into().expect("4-byte slice"));
+            if e < prev {
+                return Err(PregelixError::corrupt("frame offsets not monotone"));
+            }
+            prev = e;
+        }
+        if b.len() != data_off + prev as usize {
+            return Err(PregelixError::corrupt("frame data length mismatch"));
+        }
+        Ok(SharedFrame {
+            crc: crc32(b),
+            n,
+            bytes,
+            overlay: None,
+        })
+    }
+
+    /// An empty frozen frame (no slab; the 4-byte wire form is one-shot).
+    pub fn empty() -> SharedFrame {
+        Frame::with_capacity(0).freeze_standalone()
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the frame holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Exclusive end offset of tuple `i` within the data section.
+    #[inline]
+    fn end(&self, i: usize) -> usize {
+        let b = self.bytes.as_slice();
+        u32::from_le_bytes(b[4 + 4 * i..8 + 4 * i].try_into().expect("4-byte slice")) as usize
+    }
+
+    /// Offset of the data section within the wire form.
+    #[inline]
+    fn data_off(&self) -> usize {
+        4 + 4 * self.n
+    }
+
+    /// Bytes of tuple data (excluding header and offset table).
+    #[inline]
+    pub fn data_bytes(&self) -> usize {
+        self.bytes.len() - self.data_off()
+    }
+
+    /// Total wire-form length in bytes.
+    #[inline]
+    pub fn wire_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Borrow tuple `i`. Corrupt-overlaid frames never reach delivery (the
+    /// receiver's CRC gate rejects them first), so accessors read the
+    /// pristine slice.
+    #[inline]
+    pub fn tuple(&self, i: usize) -> &[u8] {
+        debug_assert!(self.overlay.is_none(), "corrupt frame reached a tuple accessor");
+        let start = if i == 0 { 0 } else { self.end(i - 1) };
+        let off = self.data_off();
+        &self.bytes.as_slice()[off + start..off + self.end(i)]
+    }
+
+    /// Iterate over all tuples in order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        (0..self.n).map(move |i| self.tuple(i))
+    }
+
+    /// The CRC32 of the pristine wire bytes (computed once, at freeze).
+    #[inline]
+    pub fn crc(&self) -> u32 {
+        self.crc
+    }
+
+    /// The underlying (pristine) wire slice.
+    #[inline]
+    pub fn wire_bytes(&self) -> &BytesSlice {
+        &self.bytes
+    }
+
+    /// True when `self` and `other` view the same slab allocation — the
+    /// zero-copy witness used to prove a retransmission re-sent the
+    /// identical slice rather than a re-encoding.
+    pub fn aliases(&self, other: &SharedFrame) -> bool {
+        self.bytes.aliases(&other.bytes)
+    }
+
+    /// A copy-on-write corrupted view of this frame: the same backing with a
+    /// one-byte xor patch over the first data byte (or the header when the
+    /// frame carries no data). Replaces the old deep-copying `corrupt_copy`:
+    /// the pristine parked copy and the corrupt wire copy now share one
+    /// allocation.
+    pub fn corrupted(&self) -> SharedFrame {
+        let idx = if self.data_bytes() > 0 { self.data_off() } else { 0 };
+        SharedFrame {
+            bytes: self.bytes.clone(),
+            n: self.n,
+            crc: self.crc,
+            overlay: Some((idx, 0x01)),
+        }
+    }
+
+    /// Whether a corruption overlay is present (fault-injection paths only).
+    pub fn has_overlay(&self) -> bool {
+        self.overlay.is_some()
+    }
+
+    /// CRC32 of the *logical* wire bytes — what a receiver observes. With no
+    /// overlay this is the freeze-time CRC (the whole point of carrying it:
+    /// clean frames are never re-walked); with an overlay the three segments
+    /// around the patched byte are streamed without materializing a copy.
+    pub fn wire_crc(&self) -> u32 {
+        match self.overlay {
+            None => self.crc,
+            Some((idx, mask)) => {
+                let b = self.bytes.as_slice();
+                let mut h = Crc32::new();
+                h.update(&b[..idx]);
+                h.update(&[b[idx] ^ mask]);
+                h.update(&b[idx + 1..]);
+                h.finish()
+            }
+        }
+    }
+
+    /// Append the logical wire bytes (overlay applied) to `out`.
+    pub fn write_wire(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(self.bytes.as_slice());
+        if let Some((idx, mask)) = self.overlay {
+            out[start + idx] ^= mask;
+        }
+    }
+
+    /// Materialize an owned builder [`Frame`] with this frame's tuples,
+    /// charging the payload copy to `frame_bytes_copied`. Escape hatch for
+    /// consumers that must own their bytes; the transport path never calls
+    /// it.
+    pub fn to_frame(&self, counters: &ClusterCounters) -> Frame {
+        counters.add_frame_bytes_copied(self.bytes.len() as u64);
+        let mut f = Frame::with_capacity(self.data_bytes().max(1));
+        for t in self.iter() {
+            f.try_append(t);
+        }
+        f
     }
 }
 
-impl Eq for Frame {}
-
-#[inline]
-fn read_u32(buf: &mut &[u8]) -> Result<u32> {
-    let head: [u8; 4] = buf
-        .get(..4)
-        .ok_or_else(|| PregelixError::corrupt("frame header truncated"))?
-        .try_into()
-        .expect("4-byte slice");
-    *buf = &buf[4..];
-    Ok(u32::from_le_bytes(head))
+impl std::fmt::Debug for SharedFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedFrame")
+            .field("tuples", &self.n)
+            .field("wire_len", &self.bytes.len())
+            .field("crc", &self.crc)
+            .field("overlay", &self.overlay)
+            .finish()
+    }
 }
+
+/// Content equality over the logical wire form — and nothing else.
+impl PartialEq for SharedFrame {
+    fn eq(&self, other: &Self) -> bool {
+        if self.overlay.is_none() && other.overlay.is_none() {
+            return self.bytes.as_slice() == other.bytes.as_slice();
+        }
+        if self.wire_len() != other.wire_len() {
+            return false;
+        }
+        let (a, b) = (self.bytes.as_slice(), other.bytes.as_slice());
+        let patch = |ov: Option<(usize, u8)>, i: usize| -> u8 {
+            match ov {
+                Some((idx, mask)) if idx == i => mask,
+                _ => 0,
+            }
+        };
+        (0..a.len()).all(|i| a[i] ^ patch(self.overlay, i) == b[i] ^ patch(other.overlay, i))
+    }
+}
+
+impl Eq for SharedFrame {}
 
 #[cfg(test)]
 mod tests {
@@ -469,39 +745,123 @@ mod tests {
         }
         f.sort();
         let g = f.clone();
-        assert_eq!(f, g);
+        assert_eq!(f.freeze_standalone(), g.freeze_standalone());
         assert_eq!(g.scratch.entries.capacity(), 0, "scratch not cloned");
     }
 
     #[test]
-    fn serialize_roundtrip() {
+    fn freeze_roundtrip_aliases_and_preserves_tuples() {
         let mut f = Frame::new();
         f.try_append(&keyed_tuple(1, b"abc"));
         f.try_append(&keyed_tuple(2, b""));
-        let mut bytes = Vec::new();
-        f.serialize(&mut bytes);
-        let mut buf = &bytes[..];
-        let g = Frame::deserialize(&mut buf).unwrap();
-        assert!(buf.is_empty());
-        assert_eq!(g.len(), 2);
-        assert_eq!(g.tuple(0), &keyed_tuple(1, b"abc")[..]);
+        let shared = f.freeze_standalone();
+        assert_eq!(shared.len(), 2);
+        assert_eq!(shared.tuple(0), &keyed_tuple(1, b"abc")[..]);
+        assert_eq!(shared.tuple(1), &keyed_tuple(2, b"")[..]);
+        // Re-wrapping the wire slice is zero-copy and content-equal.
+        let back = SharedFrame::from_wire(shared.wire_bytes().clone()).unwrap();
+        assert_eq!(back, shared);
+        assert!(back.aliases(&shared));
+        assert_eq!(back.crc(), shared.crc());
     }
 
     #[test]
-    fn deserialize_rejects_garbage() {
-        assert!(Frame::deserialize(&mut &[1u8][..]).is_err());
+    fn freeze_through_slab_recycles_backings() {
+        use crate::bytes::BytesSlab;
+        let counters = ClusterCounters::new();
+        let slab = BytesSlab::with_counters(1 << 16, counters.clone());
+        let mut f = Frame::with_capacity(1 << 12);
+        f.try_append(&keyed_tuple(1, b"zzz"));
+        let a = f.freeze(&slab);
+        let a2 = a.clone();
+        assert!(a.aliases(&a2));
+        drop(a);
+        drop(a2);
+        assert_eq!(counters.slab_allocations(), 1);
+        assert_eq!(slab.harvest(), 1);
+        f.clear();
+        f.try_append(&keyed_tuple(2, b"yy"));
+        let b = f.freeze(&slab);
+        assert_eq!(counters.slab_allocations(), 1, "second freeze reuses the backing");
+        assert_eq!(b.tuple(0), &keyed_tuple(2, b"yy")[..]);
+    }
+
+    #[test]
+    fn serialize_is_the_wire_form_and_deserialize_advances() {
+        let mut f = Frame::new();
+        f.try_append(&keyed_tuple(1, b"abc"));
+        f.try_append(&keyed_tuple(2, b""));
+        let mut out = Vec::new();
+        f.serialize(&mut out);
+        // Disk records and network frames share one codec.
+        assert_eq!(out, f.freeze_standalone().wire_bytes().as_slice());
+        out.extend_from_slice(b"tail");
+        let mut buf = &out[..];
+        let g = Frame::deserialize(&mut buf).unwrap();
+        assert_eq!(buf, b"tail");
+        assert_eq!(g.freeze_standalone(), f.freeze_standalone());
+        assert!(Frame::deserialize(&mut &out[..3]).is_err());
+    }
+
+    #[test]
+    fn from_wire_rejects_garbage() {
+        let reject = |bytes: Vec<u8>| {
+            assert!(SharedFrame::from_wire(BytesSlice::from_vec(bytes)).is_err());
+        };
+        reject(vec![1u8]);
         // claims one tuple ending at 100 but provides no data
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&1u32.to_le_bytes());
         bytes.extend_from_slice(&100u32.to_le_bytes());
-        assert!(Frame::deserialize(&mut &bytes[..]).is_err());
+        reject(bytes);
         // non-monotone offsets
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&2u32.to_le_bytes());
         bytes.extend_from_slice(&4u32.to_le_bytes());
         bytes.extend_from_slice(&2u32.to_le_bytes());
         bytes.extend_from_slice(&[0u8; 4]);
-        assert!(Frame::deserialize(&mut &bytes[..]).is_err());
+        reject(bytes);
+        // trailing bytes beyond the declared data length
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.push(0);
+        reject(bytes);
+    }
+
+    #[test]
+    fn corruption_overlay_is_cow_and_detected() {
+        let mut f = Frame::new();
+        f.try_append(&keyed_tuple(3, b"payload"));
+        let clean = f.freeze_standalone();
+        let corrupt = clean.corrupted();
+        assert!(corrupt.aliases(&clean), "overlay shares the backing");
+        assert!(corrupt.has_overlay());
+        assert_eq!(clean.wire_crc(), clean.crc());
+        assert_ne!(corrupt.wire_crc(), corrupt.crc(), "patched bytes break the CRC");
+        assert_ne!(corrupt, clean);
+        // The logical wire bytes differ from the pristine ones in exactly
+        // one bit.
+        let mut wire = Vec::new();
+        corrupt.write_wire(&mut wire);
+        let pristine = clean.wire_bytes().as_slice();
+        let diff: Vec<usize> = (0..wire.len()).filter(|&i| wire[i] != pristine[i]).collect();
+        assert_eq!(diff.len(), 1);
+        assert_eq!(wire[diff[0]] ^ pristine[diff[0]], 0x01);
+        // An empty frame corrupts its header instead of data bytes.
+        let empty = Frame::with_capacity(16).freeze_standalone();
+        let ec = empty.corrupted();
+        assert_ne!(ec.wire_crc(), ec.crc());
+    }
+
+    #[test]
+    fn to_frame_charges_the_copy() {
+        let counters = ClusterCounters::new();
+        let mut f = Frame::new();
+        f.try_append(&keyed_tuple(1, b"abc"));
+        let shared = f.freeze_standalone();
+        let owned = shared.to_frame(&counters);
+        assert_eq!(owned.tuple(0), shared.tuple(0));
+        assert_eq!(counters.frame_bytes_copied(), shared.wire_len() as u64);
     }
 
     #[test]
@@ -516,9 +876,8 @@ mod tests {
             proptest::collection::vec(any::<u8>(), 0..50), 0..40)) {
             let mut f = Frame::with_capacity(1 << 20);
             for t in &tuples { prop_assert!(f.try_append(t)); }
-            let mut bytes = Vec::new();
-            f.serialize(&mut bytes);
-            let g = Frame::deserialize(&mut &bytes[..]).unwrap();
+            let shared = f.freeze_standalone();
+            let g = SharedFrame::from_wire(shared.wire_bytes().clone()).unwrap();
             prop_assert_eq!(g.len(), tuples.len());
             for (i, t) in tuples.iter().enumerate() {
                 prop_assert_eq!(g.tuple(i), &t[..]);

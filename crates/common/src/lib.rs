@@ -7,8 +7,14 @@
 //!   vertex values, edge values and messages. The name is a deliberate nod to
 //!   the Hadoop `Writable` interface that the original (Java) Pregelix API
 //!   exposed to users.
+//! * [`bytes`] — the refcounted byte-slab ([`bytes::BytesSlab`] /
+//!   [`bytes::BytesSlice`]): one pooled allocation whose sub-slices are held
+//!   simultaneously by transport, the retransmit window, and the consumer —
+//!   the zero-copy substrate under the frame path.
 //! * [`frame`] — contiguous byte *frames* holding batches of tuples, the unit
 //!   of data exchange between dataflow operators (mirrors Hyracks frames).
+//!   Builders ([`frame::Frame`]) freeze into slab-backed wire-form views
+//!   ([`frame::SharedFrame`]) that are encoded and CRC'd exactly once.
 //! * [`envelope`] — sequenced, CRC-checked envelopes wrapping frames on
 //!   connector streams, the wire format of the reliable transport.
 //! * [`arena`] — pooled tuple arenas backing operator buffers (external
@@ -29,6 +35,7 @@
 //!   collector (CPU-ish work units, I/O, network bytes, message counts).
 
 pub mod arena;
+pub mod bytes;
 pub mod dfs;
 pub mod envelope;
 pub mod error;

@@ -41,8 +41,8 @@
 //! superstep proceeds; a later confined recovery will find the hole and fall
 //! back), it never fails the superstep.
 
+use crate::bytes::crc32;
 use crate::dfs::SimDfs;
-use crate::envelope::crc32;
 use crate::error::{PregelixError, Result};
 use crate::fault::{self, Fault, Site};
 use crate::stats::ClusterCounters;
@@ -68,17 +68,53 @@ pub fn log_path(job: &str, superstep: Superstep, src: usize) -> String {
     format!("jobs/{job}/msglog/{superstep}/src{src}")
 }
 
+/// One destination's worth of tuples, already in wire shape: `buf` is the
+/// concatenation of `[len u32][tuple bytes]` records and `count` how many.
+/// Appending is a single `extend_from_slice` into one growing buffer — no
+/// per-tuple `Vec` — and `encode` can copy the section out wholesale.
+#[derive(Debug, Default, Clone)]
+struct Section {
+    count: u32,
+    buf: Vec<u8>,
+}
+
+impl Section {
+    fn push(&mut self, tuple: &[u8]) {
+        self.buf.extend_from_slice(&(tuple.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(tuple);
+        self.count += 1;
+    }
+
+    /// Iterate the framed tuples back out (test/inspection helper).
+    #[cfg(test)]
+    fn tuples(&self) -> impl Iterator<Item = &[u8]> {
+        let mut rest = self.buf.as_slice();
+        std::iter::from_fn(move || {
+            if rest.is_empty() {
+                return None;
+            }
+            let (len, tail) = rest.split_at(4);
+            let len = u32::from_le_bytes(len.try_into().unwrap()) as usize;
+            let (tuple, tail) = tail.split_at(len);
+            rest = tail;
+            Some(tuple)
+        })
+    }
+}
+
 /// Accumulates one source partition's outbound tuples for one superstep,
 /// bucketed by destination partition, and encodes them into the log file
-/// format above.
+/// format above. Tuples are framed into per-destination byte buffers as
+/// they arrive, so the tee costs one buffer append per tuple and `encode`
+/// is a handful of bulk copies regardless of tuple count.
 #[derive(Debug)]
 pub struct MsgLogWriter {
     superstep: Superstep,
     src: usize,
-    /// Per-destination post-combine message tuples, emission order.
-    msgs: Vec<Vec<Vec<u8>>>,
-    /// Per-destination mutation-request tuples, emission order.
-    muts: Vec<Vec<Vec<u8>>>,
+    /// Per-destination post-combine message sections, emission order.
+    msgs: Vec<Section>,
+    /// Per-destination mutation-request sections, emission order.
+    muts: Vec<Section>,
 }
 
 impl MsgLogWriter {
@@ -87,36 +123,40 @@ impl MsgLogWriter {
         Self {
             superstep,
             src,
-            msgs: vec![Vec::new(); p_count],
-            muts: vec![Vec::new(); p_count],
+            msgs: vec![Section::default(); p_count],
+            muts: vec![Section::default(); p_count],
         }
     }
 
     /// Record one post-combine message tuple bound for partition `dst`.
     pub fn add_msg(&mut self, dst: usize, tuple: &[u8]) {
-        self.msgs[dst].push(tuple.to_vec());
+        self.msgs[dst].push(tuple);
     }
 
     /// Record one mutation-request tuple bound for partition `dst`.
     pub fn add_mut(&mut self, dst: usize, tuple: &[u8]) {
-        self.muts[dst].push(tuple.to_vec());
+        self.muts[dst].push(tuple);
     }
 
     /// Serialize to the on-DFS byte form (header, per-dst sections, CRC).
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+        let body_len: usize = 4 + 2 + 8 + 4 + 4
+            + self
+                .msgs
+                .iter()
+                .chain(self.muts.iter())
+                .map(|s| 4 + s.buf.len())
+                .sum::<usize>();
+        let mut out = Vec::with_capacity(body_len + 4);
         out.extend_from_slice(&MAGIC.to_le_bytes());
         out.extend_from_slice(&VERSION.to_le_bytes());
         out.extend_from_slice(&self.superstep.to_le_bytes());
         out.extend_from_slice(&(self.src as u32).to_le_bytes());
         out.extend_from_slice(&(self.msgs.len() as u32).to_le_bytes());
         for dst in 0..self.msgs.len() {
-            for tuples in [&self.msgs[dst], &self.muts[dst]] {
-                out.extend_from_slice(&(tuples.len() as u32).to_le_bytes());
-                for t in tuples.iter() {
-                    out.extend_from_slice(&(t.len() as u32).to_le_bytes());
-                    out.extend_from_slice(t);
-                }
+            for section in [&self.msgs[dst], &self.muts[dst]] {
+                out.extend_from_slice(&section.count.to_le_bytes());
+                out.extend_from_slice(&section.buf);
             }
         }
         let crc = crc32(&out);
@@ -341,6 +381,40 @@ mod tests {
         assert_eq!(log.messages(2), &[b"gamma".to_vec()]);
         assert_eq!(log.mutations(3), &[b"delta".to_vec()]);
         assert_eq!(log.mutations(0), &[] as &[Vec<u8>]);
+    }
+
+    #[test]
+    fn streamed_sections_match_a_naive_reference_encoding() {
+        // Reference encoder: the straightforward per-tuple nested-Vec shape
+        // the writer used before sections were streamed. The file bytes must
+        // be identical so logs written by either are interchangeable.
+        let w = sample();
+        let msgs: Vec<Vec<&[u8]>> = vec![vec![b"alpha", b"beta"], vec![], vec![b"gamma"], vec![]];
+        let muts: Vec<Vec<&[u8]>> = vec![vec![], vec![], vec![], vec![b"delta"]];
+        let mut reference = Vec::new();
+        reference.extend_from_slice(&MAGIC.to_le_bytes());
+        reference.extend_from_slice(&VERSION.to_le_bytes());
+        reference.extend_from_slice(&3u64.to_le_bytes());
+        reference.extend_from_slice(&1u32.to_le_bytes());
+        reference.extend_from_slice(&4u32.to_le_bytes());
+        for dst in 0..4 {
+            for tuples in [&msgs[dst], &muts[dst]] {
+                reference.extend_from_slice(&(tuples.len() as u32).to_le_bytes());
+                for t in tuples.iter() {
+                    reference.extend_from_slice(&(t.len() as u32).to_le_bytes());
+                    reference.extend_from_slice(t);
+                }
+            }
+        }
+        let crc = crc32(&reference).to_le_bytes();
+        reference.extend_from_slice(&crc);
+        assert_eq!(w.encode(), reference);
+        // And the streaming section iterator walks the frames back out.
+        assert_eq!(
+            w.msgs[0].tuples().collect::<Vec<_>>(),
+            vec![b"alpha".as_slice(), b"beta".as_slice()]
+        );
+        assert_eq!(w.muts[3].tuples().collect::<Vec<_>>(), vec![b"delta".as_slice()]);
     }
 
     #[test]

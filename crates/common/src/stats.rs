@@ -125,6 +125,23 @@ struct Counters {
     /// Bytes of checkpoint, message-log, and GS-history files retired by
     /// garbage collection after a newer checkpoint committed.
     ckpt_bytes_retired: AtomicU64,
+    /// Fresh backing buffers allocated by the shared byte-slab
+    /// ([`crate::bytes::BytesSlab`]). Pool hits are not counted, so on a
+    /// steady-state frame path this converges to the peak number of frames
+    /// simultaneously in flight, independent of total frames moved.
+    slab_allocations: AtomicU64,
+    /// Backing buffers recycled through the slab pool: buffers whose last
+    /// [`crate::bytes::BytesSlice`] ref dropped and that a later
+    /// [`crate::bytes::BytesSlab::harvest`] restocked for reuse. Harvest runs
+    /// only at deterministic commit points (superstep-window boundaries), so
+    /// this count is scheduling-invariant.
+    slab_recycled: AtomicU64,
+    /// Frame payload bytes copied *beyond* the single canonical wire
+    /// encoding: slab-slice detaches (`BytesSlice::detach`) and shared-frame
+    /// materializations (`SharedFrame::to_frame`). Structurally zero on the
+    /// zero-copy transport path — clean or faulted — which is what the
+    /// `zero_copy` suite pins.
+    frame_bytes_copied: AtomicU64,
     /// Maximum observed partition superstep skew (overwrite-by-max): 1 when
     /// some in-window superstep boundary saw a strict subset of partitions
     /// advance early (so partitions were momentarily one superstep apart),
@@ -189,6 +206,9 @@ counter_api! {
     add_log_bytes_written / log_bytes_written => log_bytes_written,
     add_log_runs_replayed / log_runs_replayed => log_runs_replayed,
     add_ckpt_bytes_retired / ckpt_bytes_retired => ckpt_bytes_retired,
+    add_slab_allocations / slab_allocations => slab_allocations,
+    add_slab_recycled / slab_recycled => slab_recycled,
+    add_frame_bytes_copied / frame_bytes_copied => frame_bytes_copied,
 }
 
 impl ClusterCounters {
@@ -261,6 +281,9 @@ impl ClusterCounters {
             log_bytes_written: c.log_bytes_written.load(Ordering::Relaxed),
             log_runs_replayed: c.log_runs_replayed.load(Ordering::Relaxed),
             ckpt_bytes_retired: c.ckpt_bytes_retired.load(Ordering::Relaxed),
+            slab_allocations: c.slab_allocations.load(Ordering::Relaxed),
+            slab_recycled: c.slab_recycled.load(Ordering::Relaxed),
+            frame_bytes_copied: c.frame_bytes_copied.load(Ordering::Relaxed),
             max_partition_skew: c.max_partition_skew.load(Ordering::Relaxed),
             live_vertices: c.live_vertices.load(Ordering::Relaxed),
         }
@@ -304,6 +327,9 @@ pub struct StatsSnapshot {
     pub log_bytes_written: u64,
     pub log_runs_replayed: u64,
     pub ckpt_bytes_retired: u64,
+    pub slab_allocations: u64,
+    pub slab_recycled: u64,
+    pub frame_bytes_copied: u64,
     pub max_partition_skew: u64,
     pub live_vertices: u64,
 }
@@ -355,6 +381,9 @@ impl StatsSnapshot {
             log_bytes_written: self.log_bytes_written - earlier.log_bytes_written,
             log_runs_replayed: self.log_runs_replayed - earlier.log_runs_replayed,
             ckpt_bytes_retired: self.ckpt_bytes_retired - earlier.ckpt_bytes_retired,
+            slab_allocations: self.slab_allocations - earlier.slab_allocations,
+            slab_recycled: self.slab_recycled - earlier.slab_recycled,
+            frame_bytes_copied: self.frame_bytes_copied - earlier.frame_bytes_copied,
             // Like `live_vertices`, the skew indicator is a gauge rather
             // than a monotone counter: a delta carries the current value.
             max_partition_skew: self.max_partition_skew,
@@ -484,6 +513,24 @@ mod tests {
         assert_eq!(d.log_bytes_written, 512);
         assert_eq!(d.log_runs_replayed, 6);
         assert_eq!(d.ckpt_bytes_retired, 4096);
+    }
+
+    #[test]
+    fn slab_counters_flow_through_snapshot_and_delta() {
+        let c = ClusterCounters::new();
+        c.add_slab_allocations(2);
+        let before = c.snapshot();
+        c.add_slab_allocations(3);
+        c.add_slab_recycled(7);
+        c.add_frame_bytes_copied(4096);
+        let s = c.snapshot();
+        assert_eq!(s.slab_allocations, 5);
+        assert_eq!(s.slab_recycled, 7);
+        assert_eq!(s.frame_bytes_copied, 4096);
+        let d = s.delta_since(&before);
+        assert_eq!(d.slab_allocations, 3);
+        assert_eq!(d.slab_recycled, 7);
+        assert_eq!(d.frame_bytes_copied, 4096);
     }
 
     #[test]

@@ -649,6 +649,11 @@ pub fn run_superstep_window<P: VertexProgram>(
     if let Some((_, _, tally)) = &log_dfs {
         counters.add_log_bytes_written(tally.load(Ordering::Relaxed));
     }
+    // Restock the frame slab from the window's dropped frame backings.
+    // Harvesting only here — the single-threaded commit point, after every
+    // task joined — keeps `slab_recycled` and the next window's fresh-alloc
+    // counts independent of how tasks interleaved within the window.
+    cluster.slab().harvest();
     let final_gs = chain.last().expect("window >= 1 yields >= 1 outcome");
     counters.set_live_vertices(final_gs.live_vertices);
     Ok((chain, duration))
@@ -893,6 +898,7 @@ fn compute_task<P: VertexProgram>(
             PartitioningSender::new(
                 mut_ends,
                 w.frame_bytes(),
+                w.slab().clone(),
                 w.id(),
                 sticky.clone(),
                 w.counters().clone(),
@@ -924,6 +930,7 @@ fn compute_task<P: VertexProgram>(
             PartitioningSender::new(
                 outs,
                 w.frame_bytes(),
+                w.slab().clone(),
                 w.id(),
                 sticky.clone(),
                 w.counters().clone(),
@@ -988,6 +995,7 @@ fn compute_task<P: VertexProgram>(
     let mut gs_sender = PartitioningSender::new(
         vec![gs_end],
         w.frame_bytes(),
+        w.slab().clone(),
         w.id(),
         vec![gs_worker],
         w.counters().clone(),
@@ -1208,6 +1216,7 @@ fn ghost_compute(
     PartitioningSender::new(
         mut_ends,
         w.frame_bytes(),
+        w.slab().clone(),
         w.id(),
         sticky.to_vec(),
         w.counters().clone(),
@@ -1219,6 +1228,7 @@ fn ghost_compute(
             PartitioningSender::new(
                 outs,
                 w.frame_bytes(),
+                w.slab().clone(),
                 w.id(),
                 sticky.to_vec(),
                 w.counters().clone(),
@@ -1239,6 +1249,7 @@ fn ghost_compute(
     PartitioningSender::new(
         vec![gs_end],
         w.frame_bytes(),
+        w.slab().clone(),
         w.id(),
         vec![gs_worker],
         w.counters().clone(),
@@ -1365,6 +1376,7 @@ fn msgwrite_task(
     let mut gs_sender = PartitioningSender::new(
         vec![gs_end],
         w.frame_bytes(),
+        w.slab().clone(),
         w.id(),
         vec![gs_worker],
         w.counters().clone(),
@@ -1413,6 +1425,7 @@ fn mutate_task<P: VertexProgram>(
     let mut gs_sender = PartitioningSender::new(
         vec![gs_end],
         w.frame_bytes(),
+        w.slab().clone(),
         w.id(),
         vec![gs_worker],
         w.counters().clone(),

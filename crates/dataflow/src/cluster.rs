@@ -22,6 +22,7 @@
 //! measures are driven by the *ratio* of data to aggregate RAM and by the
 //! memory/disk data paths, both of which this scaled-down cluster preserves.
 
+use pregelix_common::bytes::BytesSlab;
 use pregelix_common::dfs::SimDfs;
 use pregelix_common::error::{PregelixError, Result};
 use pregelix_common::memory::MemoryAccountant;
@@ -113,6 +114,8 @@ pub struct WorkerNode {
     heap: MemoryAccountant,
     groupby_budget: usize,
     frame_bytes: usize,
+    /// Cluster-shared frame slab (every worker holds the same pool).
+    slab: BytesSlab,
     pool: WorkerPool,
 }
 
@@ -217,6 +220,12 @@ impl WorkerHandle {
         self.node.frame_bytes
     }
 
+    /// The cluster's shared frame slab: the allocation source every
+    /// connector frame freezes into. Cloning is a refcount.
+    pub fn slab(&self) -> &BytesSlab {
+        &self.node.slab
+    }
+
     /// The worker's simulated heap (used by process-centric baselines; the
     /// Pregelix data path does not allocate per-vertex objects on it).
     pub fn heap(&self) -> &MemoryAccountant {
@@ -273,6 +282,7 @@ pub struct Cluster {
     workers: Vec<Arc<WorkerNode>>,
     counters: ClusterCounters,
     dfs: SimDfs,
+    slab: BytesSlab,
     _tempdir: Option<TempDir>,
 }
 
@@ -292,6 +302,13 @@ impl Cluster {
         };
         let counters = ClusterCounters::new();
         let dfs = SimDfs::open_counted(root.join("dfs"), counters.clone())?;
+        // Shared frame slab. Chunks must fit the wire form of a full frame:
+        // `frame_bytes` of tuple data plus the offset table, which for
+        // vid-keyed tuples (>= 8 data bytes each) is at most half the data
+        // size — so 1.5x + header keeps every ordinary freeze on the pooled
+        // (recyclable) path. Oversized frames fall back to exact one-shot
+        // allocations inside the slab.
+        let slab = BytesSlab::with_counters(config.frame_bytes * 3 / 2 + 8, counters.clone());
         let mut workers = Vec::with_capacity(config.workers);
         for id in 0..config.workers {
             let fm = FileManager::new(
@@ -310,6 +327,7 @@ impl Cluster {
                 heap: MemoryAccountant::new(format!("worker-{id} heap"), config.worker_ram),
                 groupby_budget: (config.worker_ram as f64 * config.groupby_fraction) as usize,
                 frame_bytes: config.frame_bytes,
+                slab: slab.clone(),
                 pool: WorkerPool::new(),
             }));
         }
@@ -318,6 +336,7 @@ impl Cluster {
             workers,
             counters,
             dfs,
+            slab,
             _tempdir: tempdir,
         })
     }
@@ -340,6 +359,15 @@ impl Cluster {
     /// The simulated DFS shared by all workers.
     pub fn dfs(&self) -> &SimDfs {
         &self.dfs
+    }
+
+    /// The cluster-wide frame slab. The superstep driver calls
+    /// [`BytesSlab::harvest`] on it at window commits — the single-threaded
+    /// point where returned chunks are restocked (and `slab_recycled`
+    /// counted), keeping pool-hit accounting independent of task
+    /// interleaving.
+    pub fn slab(&self) -> &BytesSlab {
+        &self.slab
     }
 
     /// Bounded-channel capacity for connectors (`None` = unbounded, used

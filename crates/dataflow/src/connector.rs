@@ -37,9 +37,10 @@
 
 use crate::transport::{reliable_channels, ReliableReceiver, ReliableSender, StreamRx, StreamTx};
 use crossbeam::channel::{bounded, Receiver, Sender};
+use pregelix_common::bytes::BytesSlab;
 use pregelix_common::error::{PregelixError, Result};
 use pregelix_common::fault::{self, Fault, Site};
-use pregelix_common::frame::{tuple_vid, Frame};
+use pregelix_common::frame::{tuple_vid, Frame, SharedFrame};
 use pregelix_common::hash_partition;
 use pregelix_common::stats::ClusterCounters;
 use pregelix_storage::file::FileManager;
@@ -98,15 +99,18 @@ pub fn aggregator_channels_cap(m: usize, cap: Option<usize>) -> (Vec<StreamTx>, 
 pub struct PartitioningSender {
     tx: ReliableSender,
     staging: Vec<Frame>,
-    frame_bytes: usize,
+    slab: BytesSlab,
 }
 
 impl PartitioningSender {
     /// Wrap one sender's stream endpoints. `receiver_workers[r]` is the
-    /// machine hosting receiver partition `r` (for network accounting).
+    /// machine hosting receiver partition `r` (for network accounting);
+    /// `slab` is the (cluster-owned, pooled) allocation source every flushed
+    /// frame freezes into.
     pub fn new(
         outs: Vec<StreamTx>,
         frame_bytes: usize,
+        slab: BytesSlab,
         my_worker: usize,
         receiver_workers: Vec<usize>,
         counters: ClusterCounters,
@@ -123,11 +127,7 @@ impl PartitioningSender {
             receiver_workers,
             counters,
         );
-        PartitioningSender {
-            tx,
-            staging,
-            frame_bytes,
-        }
+        PartitioningSender { tx, staging, slab }
     }
 
     /// Tag the stream for fault-injection targeting (`Site::FrameSend` /
@@ -163,11 +163,13 @@ impl PartitioningSender {
         if self.staging[part].is_empty() {
             return Ok(());
         }
-        let replacement = Frame::with_capacity(self.frame_bytes);
-        let frame = std::mem::replace(&mut self.staging[part], replacement);
-        // Fault injection, network accounting and delivery guarantees all
-        // live in the transport now.
-        self.tx.send(part, frame)
+        // Freeze into the slab (the one assembly copy + one CRC this frame
+        // will ever pay) and clear-reuse the staging builder — no fresh
+        // allocation per flush on either side. Fault injection, network
+        // accounting and delivery guarantees all live in the transport.
+        let frame = self.staging[part].freeze(&self.slab);
+        self.staging[part].clear();
+        self.tx.send_shared(part, frame)
     }
 
     /// Flush residual frames and close all streams (receivers then see
@@ -186,7 +188,7 @@ impl PartitioningSender {
 /// re-ordered to seq order and deduplicated by the transport).
 pub struct PartitionReceiver {
     rx: ReliableReceiver,
-    pending: Arc<Frame>,
+    pending: SharedFrame,
     pending_idx: usize,
 }
 
@@ -195,13 +197,14 @@ impl PartitionReceiver {
     pub fn new(ins: Vec<StreamRx>, counters: ClusterCounters) -> PartitionReceiver {
         PartitionReceiver {
             rx: ReliableReceiver::new(ins, counters),
-            pending: Arc::new(Frame::default()),
+            pending: SharedFrame::empty(),
             pending_idx: 0,
         }
     }
 
     /// Next frame from any sender, or `None` once every sender finished.
-    pub fn next_frame(&mut self) -> Result<Option<Arc<Frame>>> {
+    /// The frame is the sender's own slab slice, delivered by refcount.
+    pub fn next_frame(&mut self) -> Result<Option<SharedFrame>> {
         self.rx.next_frame()
     }
 
@@ -512,6 +515,7 @@ mod tests {
                 let mut tx = PartitioningSender::new(
                     outs,
                     w.frame_bytes(),
+                    w.slab().clone(),
                     w.id(),
                     rw,
                     w.counters().clone(),
@@ -565,6 +569,7 @@ mod tests {
                 let mut tx = PartitioningSender::new(
                     outs,
                     w.frame_bytes(),
+                    w.slab().clone(),
                     w.id(),
                     vec![0],
                     w.counters().clone(),
@@ -762,6 +767,7 @@ mod tests {
                 let mut tx = PartitioningSender::new(
                     vec![tx_chan],
                     w.frame_bytes(),
+                    w.slab().clone(),
                     w.id(),
                     vec![0],
                     w.counters().clone(),
@@ -799,6 +805,7 @@ mod tests {
                 let mut tx = PartitioningSender::new(
                     outs,
                     256, // tiny frames -> many frames -> exercises bounding
+                    w.slab().clone(),
                     w.id(),
                     vec![1],
                     w.counters().clone(),

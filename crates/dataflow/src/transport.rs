@@ -42,7 +42,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Select, Sender, TryRecvEr
 use pregelix_common::envelope::{Ack, FrameEnvelope, Payload};
 use pregelix_common::error::{PregelixError, Result};
 use pregelix_common::fault::{self, Fault, Site};
-use pregelix_common::frame::Frame;
+use pregelix_common::frame::{Frame, SharedFrame};
 use pregelix_common::stats::ClusterCounters;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -84,9 +84,10 @@ impl Default for TransportConfig {
 /// "receiver done" from "receiver dead".
 #[derive(Debug, Default)]
 pub struct StreamCtrl {
-    /// Pristine copies of frames the wire lost (dropped or corrupted),
-    /// keyed by seq.
-    parked: BTreeMap<u64, Arc<Frame>>,
+    /// Pristine views of frames the wire lost (dropped or corrupted),
+    /// keyed by seq. Views, not copies: parking is a refcount on the slab
+    /// slice the sender already built.
+    parked: BTreeMap<u64, SharedFrame>,
     /// Last data seq of the stream, recorded by the open-loop finish.
     fin: Option<u64>,
     /// Set by the receiver once every data frame was delivered in order.
@@ -173,21 +174,12 @@ pub fn reliable_channels(
     (senders, receivers)
 }
 
-/// Deep-copy `frame` with one bit flipped in its first tuple — the payload
-/// a torn send delivers. Structure (tuple count/boundaries) is preserved so
-/// the damage is detectable only by checksum, exactly like a real bit flip.
-fn corrupt_copy(frame: &Frame) -> Frame {
-    let mut out = Frame::with_capacity(frame.footprint().max(1));
-    for (i, t) in frame.iter().enumerate() {
-        if i == 0 && !t.is_empty() {
-            let mut t = t.to_vec();
-            t[0] ^= 0x01;
-            out.try_append(&t);
-        } else {
-            out.try_append(t);
-        }
-    }
-    out
+/// Connector-level accounting size of a frozen frame: tuple data plus the
+/// 4-byte-per-tuple offset table (the builder's `footprint`, kept identical
+/// so network-byte counters stay comparable across PRs).
+#[inline]
+fn footprint(frame: &SharedFrame) -> usize {
+    frame.wire_len() - 4
 }
 
 struct OutStream {
@@ -196,8 +188,10 @@ struct OutStream {
     next_seq: u64,
     /// Highest cumulatively acked data seq.
     cum_acked: u64,
-    /// In-flight data frames awaiting ack (windowed mode only).
-    inflight: VecDeque<(u64, Arc<Frame>, u32)>,
+    /// In-flight envelopes awaiting ack (windowed mode only). The *built*
+    /// envelope is stored, CRC and all: a retransmission clones it — the
+    /// identical slab slice travels again, zero re-encode, zero copy.
+    inflight: VecDeque<(u64, FrameEnvelope, u32)>,
     /// Resends spent on the Fin envelope.
     fin_resends: u32,
     /// Whether the Fin envelope has been pushed at least once.
@@ -274,58 +268,82 @@ impl ReliableSender {
         self.outs.len()
     }
 
-    /// Ship `frame` as the next seq of stream `part`. In windowed mode this
-    /// blocks while the in-flight window is full, servicing acks and nacks.
+    /// Ship `frame` as the next seq of stream `part`, freezing it into a
+    /// standalone (unpooled) slab slice first. Convenience for callers that
+    /// still build owned frames; the connector hot path freezes through the
+    /// cluster slab and calls [`ReliableSender::send_shared`].
     pub fn send(&mut self, part: usize, frame: Frame) -> Result<()> {
-        let frame = Arc::new(frame);
+        self.send_shared(part, frame.freeze_standalone())
+    }
+
+    /// Ship a frozen frame as the next seq of stream `part`. In windowed
+    /// mode this blocks while the in-flight window is full, servicing acks
+    /// and nacks.
+    ///
+    /// The envelope is built — and its CRC folded — exactly once, here; the
+    /// in-flight window stores that envelope, so a retransmission re-sends
+    /// the identical slab slice with zero re-encoding and zero copying.
+    pub fn send_shared(&mut self, part: usize, frame: SharedFrame) -> Result<()> {
+        let fp = footprint(&frame) as u64;
         let seq = self.outs[part].next_seq;
         self.outs[part].next_seq += 1;
+        let env = FrameEnvelope::data(self.label.clone(), self.sender_id, seq, frame);
         if let Some(w) = self.outs[part].tx.window() {
             self.drain_acks(part)?;
             while self.outs[part].inflight.len() >= w {
                 self.await_ack(part)?;
             }
-            self.outs[part].inflight.push_back((seq, frame.clone(), 0));
+            self.outs[part].inflight.push_back((seq, env.clone(), 0));
         }
         if self.receiver_workers[part] != self.my_worker {
-            self.counters.add_network_bytes(frame.footprint() as u64);
+            self.counters.add_network_bytes(fp);
             self.counters.add_network_frames(1);
         }
-        self.transmit(part, seq, frame, Site::FrameSend)
+        self.transmit(part, env, Site::FrameSend)
     }
 
     /// Push one data envelope through the (possibly faulty) wire.
-    fn transmit(&mut self, part: usize, seq: u64, frame: Arc<Frame>, site: Site) -> Result<()> {
+    fn transmit(&mut self, part: usize, env: FrameEnvelope, site: Site) -> Result<()> {
         let mut duplicate = false;
-        let mut corrupt = false;
         if let Some(f) = fault::hit(site, &self.label) {
             self.counters.add_faults_injected(1);
             match f {
                 Fault::DropFrame => {
-                    // The payload is gone; park the pristine copy on the
+                    // The payload is gone; park the pristine view on the
                     // control plane and let the wire's schedule tick with a
                     // payload-free probe so the receiver can nack the gap.
-                    lock_ctrl(&self.outs[part].tx.ctrl).parked.insert(seq, frame);
-                    return self.push(part, FrameEnvelope::probe(self.label.clone(), self.sender_id, seq));
+                    if let Payload::Data(frame) = &env.payload {
+                        lock_ctrl(&self.outs[part].tx.ctrl)
+                            .parked
+                            .insert(env.seq, frame.clone());
+                    }
+                    return self.push(
+                        part,
+                        FrameEnvelope::probe(self.label.clone(), self.sender_id, env.seq),
+                    );
                 }
                 Fault::DuplicateFrame => duplicate = true,
-                Fault::CorruptFrame => corrupt = true,
+                Fault::CorruptFrame => {
+                    // CRC of the pristine frame, payload with a flipped bit
+                    // — via a copy-on-write overlay sharing the pristine
+                    // backing, not a deep copy: the receiver's verify fails
+                    // and it nacks. Pristine view parked for open-loop
+                    // recovery.
+                    if let Payload::Data(frame) = &env.payload {
+                        lock_ctrl(&self.outs[part].tx.ctrl)
+                            .parked
+                            .insert(env.seq, frame.clone());
+                        let torn = FrameEnvelope {
+                            payload: Payload::Data(frame.corrupted()),
+                            ..env
+                        };
+                        return self.push(part, torn);
+                    }
+                    return self.push(part, env);
+                }
                 _ => return Err(fault::injected_error(site, &self.label)),
             }
         }
-        let env = FrameEnvelope::data(self.label.clone(), self.sender_id, seq, frame.clone());
-        let env = if corrupt {
-            // CRC of the pristine frame, payload with a flipped bit: the
-            // receiver's verify fails and it nacks. Pristine copy parked for
-            // open-loop recovery.
-            lock_ctrl(&self.outs[part].tx.ctrl).parked.insert(seq, frame.clone());
-            FrameEnvelope {
-                payload: Payload::Data(Arc::new(corrupt_copy(&frame))),
-                ..env
-            }
-        } else {
-            env
-        };
         if duplicate {
             self.push(part, env.clone())?;
         }
@@ -518,17 +536,21 @@ impl ReliableSender {
         if seq == self.outs[part].last_seq() + 1 {
             self.transmit_fin(part, Site::FrameResend)
         } else {
-            let frame = self.outs[part]
+            // Clone the *stored envelope*: the identical slab slice travels
+            // again under the CRC folded at first send — no re-encode.
+            let env = self.outs[part]
                 .inflight
                 .iter()
                 .find(|(q, _, _)| *q == seq)
-                .map(|(_, f, _)| f.clone())
+                .map(|(_, e, _)| e.clone())
                 .expect("checked above");
             if self.receiver_workers[part] != self.my_worker {
-                self.counters.add_network_bytes(frame.footprint() as u64);
+                if let Payload::Data(f) = &env.payload {
+                    self.counters.add_network_bytes(footprint(f) as u64);
+                }
                 self.counters.add_network_frames(1);
             }
-            self.transmit(part, seq, frame, Site::FrameResend)
+            self.transmit(part, env, Site::FrameResend)
         }
     }
 
@@ -567,8 +589,9 @@ struct InStream {
     rx: StreamRx,
     /// Next data seq expected in order (1-based).
     next: u64,
-    /// Out-of-order arrivals awaiting the gap fill.
-    ooo: BTreeMap<u64, Arc<Frame>>,
+    /// Out-of-order arrivals awaiting the gap fill. Views of the sender's
+    /// slab slices — buffering costs a refcount, not a copy.
+    ooo: BTreeMap<u64, SharedFrame>,
     /// Seqs reported lost by a probe or corrupt arrival and not yet
     /// delivered. Evidence of gaps beyond `ooo`.
     lost: std::collections::BTreeSet<u64>,
@@ -595,7 +618,7 @@ impl InStream {
 /// arrival order.
 pub struct ReliableReceiver {
     ins: Vec<InStream>,
-    ready: VecDeque<Arc<Frame>>,
+    ready: VecDeque<SharedFrame>,
     counters: ClusterCounters,
 }
 
@@ -622,7 +645,9 @@ impl ReliableReceiver {
     }
 
     /// Next frame from any stream, or `None` once every stream completed.
-    pub fn next_frame(&mut self) -> Result<Option<Arc<Frame>>> {
+    /// The returned frame is the same slab slice the sender froze — delivery
+    /// hands over a view, never a copy.
+    pub fn next_frame(&mut self) -> Result<Option<SharedFrame>> {
         loop {
             if let Some(f) = self.ready.pop_front() {
                 return Ok(Some(f));
@@ -1088,6 +1113,74 @@ mod tests {
         // The fin probe forces a nack at the fin seq, which the sender's
         // completion-flag wait is still around to service — exactly once.
         assert_eq!(counters.frames_retransmitted(), 1);
+    }
+
+    /// Run one frozen frame through a 1→1 windowed stream under `plan`,
+    /// returning the delivered frames themselves (not just their vids) so
+    /// callers can assert slab-slice identity.
+    fn roundtrip_shared(
+        plan_counters: ClusterCounters,
+        frame: SharedFrame,
+    ) -> (Vec<SharedFrame>, Result<()>) {
+        let (mut txs, mut rxs) = reliable_channels(1, 1, Some(4));
+        let outs = std::mem::take(&mut txs[0]);
+        let counters = plan_counters.clone();
+        let h = std::thread::spawn(move || {
+            let mut tx = ReliableSender::new(outs, "msg", 0, 0, vec![1], counters);
+            tx.send_shared(0, frame)?;
+            tx.finish()
+        });
+        let ins = std::mem::take(&mut rxs[0]);
+        let mut rx = ReliableReceiver::new(ins, plan_counters);
+        let mut got = Vec::new();
+        while let Some(f) = rx.next_frame().unwrap() {
+            got.push(f);
+        }
+        (got, h.join().unwrap())
+    }
+
+    #[test]
+    fn delivery_hands_over_the_senders_slab_slice() {
+        let counters = ClusterCounters::new();
+        let frame = frame_with(&[7, 8]).freeze_standalone();
+        let (got, send_res) = roundtrip_shared(counters, frame.clone());
+        send_res.unwrap();
+        assert_eq!(got.len(), 1);
+        // Not merely equal bytes: the very same backing allocation.
+        assert!(got[0].aliases(&frame));
+        assert_eq!(got[0], frame);
+    }
+
+    #[test]
+    fn retransmission_resends_the_identical_slab_slice() {
+        let _guard = fault::exclusive();
+        _guard.install(FaultPlan::new().on(Site::FrameSend, "msg", 1, Fault::DropFrame));
+        let counters = ClusterCounters::new();
+        let frame = frame_with(&[42]).freeze_standalone();
+        let (got, send_res) = roundtrip_shared(counters.clone(), frame.clone());
+        send_res.unwrap();
+        assert_eq!(counters.frames_retransmitted(), 1);
+        assert_eq!(got.len(), 1);
+        // The resend travelled straight out of the in-flight window: same
+        // slab slice as the original send, no re-encode, no copy.
+        assert!(got[0].aliases(&frame));
+    }
+
+    #[test]
+    fn corruption_is_cow_and_recovery_delivers_the_pristine_slice() {
+        let _guard = fault::exclusive();
+        _guard.install(FaultPlan::new().on(Site::FrameSend, "msg", 1, Fault::CorruptFrame));
+        let counters = ClusterCounters::new();
+        let frame = frame_with(&[42]).freeze_standalone();
+        let (got, send_res) = roundtrip_shared(counters.clone(), frame.clone());
+        send_res.unwrap();
+        assert_eq!(counters.frames_corrupted(), 1);
+        assert_eq!(counters.frames_retransmitted(), 1);
+        assert_eq!(got.len(), 1);
+        // The torn copy on the wire was an overlay over this same backing;
+        // what finally arrived is the pristine view of it.
+        assert!(got[0].aliases(&frame));
+        assert!(!got[0].has_overlay());
     }
 
     #[test]

@@ -123,7 +123,7 @@ fn chaos_digest(scenario: &str, summary: &JobSummary, injected: u64, values: &[(
         "{scenario} recoveries={} retries={} supersteps={} injected={injected} \
          probes={} redesc={} bloomneg={} bloomfp={} radixn={} rskip={} cmpfb={} \
          fadv={} bwa={} skew={} conf={} cfb={} logw={} logr={} ckret={} \
-         values={:016x}",
+         slaba={} slabr={} fcopy={} values={:016x}",
         summary.recoveries,
         summary.retries,
         summary.supersteps,
@@ -142,6 +142,9 @@ fn chaos_digest(scenario: &str, summary: &JobSummary, injected: u64, values: &[(
         summary.stats.log_bytes_written,
         summary.stats.log_runs_replayed,
         summary.stats.ckpt_bytes_retired,
+        summary.stats.slab_allocations,
+        summary.stats.slab_recycled,
+        summary.stats.frame_bytes_copied,
         values_hash(values),
     )
     .unwrap();
