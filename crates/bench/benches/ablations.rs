@@ -142,7 +142,7 @@ fn pipelining_ablation() {
         let stages: Vec<Arc<ConnectedComponents>> =
             (0..3).map(|_| Arc::new(ConnectedComponents)).collect();
         let job = PregelixJob::new("pipe");
-        pregelix::graphgen::text::write_to_dfs(cluster.dfs(), &job.input_path, &records)
+        pregelix::graphgen::text::write_to_dfs(cluster.dfs(), job.input_path(), &records)
             .unwrap();
         let t = Instant::now();
         let summaries = run_pipeline(&cluster, &stages, &job).unwrap();

@@ -22,6 +22,9 @@
 //!   the message hot path performs no per-tuple heap allocation.
 //! * [`dfs`] — a directory-backed stand-in for HDFS used for graph
 //!   input/output, the global-state primary copy, and checkpoints.
+//! * [`job`] — the [`job::JobId`] newtype naming a job's DFS state
+//!   (`name` + service-assigned `instance`), so identically-named jobs can
+//!   never collide on checkpoints, message logs, or global state.
 //! * [`memory`] — a byte-granular memory accountant used to enforce simulated
 //!   per-worker RAM budgets (this is how the out-of-core experiments scale the
 //!   paper's 8 GB nodes down to laptop-size).
@@ -41,6 +44,7 @@ pub mod envelope;
 pub mod error;
 pub mod fault;
 pub mod frame;
+pub mod job;
 pub mod memory;
 pub mod msglog;
 pub mod radix;
@@ -48,6 +52,7 @@ pub mod stats;
 pub mod writable;
 
 pub use error::{PregelixError, Result};
+pub use job::JobId;
 pub use writable::Writable;
 
 /// Vertex identifier. The paper's built-in library uses `VLongWritable`; we

@@ -45,6 +45,7 @@ use crate::bytes::crc32;
 use crate::dfs::SimDfs;
 use crate::error::{PregelixError, Result};
 use crate::fault::{self, Fault, Site};
+use crate::job::JobId;
 use crate::stats::ClusterCounters;
 use crate::Superstep;
 
@@ -54,17 +55,17 @@ const MAGIC: u32 = 0x3147_4C4D;
 const VERSION: u16 = 1;
 
 /// DFS directory holding every message log of `job`.
-pub fn log_root(job: &str) -> String {
+pub fn log_root(job: &JobId) -> String {
     format!("jobs/{job}/msglog")
 }
 
 /// DFS directory holding the logs of one superstep.
-pub fn superstep_dir(job: &str, superstep: Superstep) -> String {
+pub fn superstep_dir(job: &JobId, superstep: Superstep) -> String {
     format!("jobs/{job}/msglog/{superstep}")
 }
 
 /// DFS path of the log written by partition `src` during `superstep`.
-pub fn log_path(job: &str, superstep: Superstep, src: usize) -> String {
+pub fn log_path(job: &JobId, superstep: Superstep, src: usize) -> String {
     format!("jobs/{job}/msglog/{superstep}/src{src}")
 }
 
@@ -272,7 +273,7 @@ fn take_tuples(buf: &mut &[u8]) -> Result<Vec<Vec<u8>>> {
 pub fn write_log(
     dfs: &SimDfs,
     counters: &ClusterCounters,
-    job: &str,
+    job: &JobId,
     log: &MsgLogWriter,
 ) -> Result<u64> {
     let path = log_path(job, log.superstep, log.src);
@@ -304,7 +305,7 @@ pub fn write_log(
 pub fn read_log(
     dfs: &SimDfs,
     counters: &ClusterCounters,
-    job: &str,
+    job: &JobId,
     superstep: Superstep,
     src: usize,
 ) -> Result<MsgLog> {
@@ -468,16 +469,42 @@ mod tests {
         let dir = TempDir::new();
         let dfs = SimDfs::open(dir.path()).unwrap();
         let counters = ClusterCounters::new();
+        let job = JobId::new("j");
         let w = sample();
-        let written = write_log(&dfs, &counters, "j", &w).unwrap();
+        let written = write_log(&dfs, &counters, &job, &w).unwrap();
         assert_eq!(written, w.encode().len() as u64);
         // The counter is the caller's job, at superstep-window commit.
         assert_eq!(counters.log_bytes_written(), 0);
-        let log = read_log(&dfs, &counters, "j", 3, 1).unwrap();
+        let log = read_log(&dfs, &counters, &job, 3, 1).unwrap();
         assert_eq!(log.messages(2), &[b"gamma".to_vec()]);
         // Wrong coordinates are a typed unavailability, not a panic.
-        let err = read_log(&dfs, &counters, "j", 4, 1).unwrap_err();
+        let err = read_log(&dfs, &counters, &job, 4, 1).unwrap_err();
         assert!(matches!(err, PregelixError::ConfinedRecoveryUnavailable(_)));
+    }
+
+    #[test]
+    fn instanced_jobs_log_to_disjoint_paths() {
+        let dir = TempDir::new();
+        let dfs = SimDfs::open(dir.path()).unwrap();
+        let counters = ClusterCounters::new();
+        let a = JobId::new("j");
+        let b = JobId::with_instance("j", 1);
+        assert_ne!(log_path(&a, 3, 1), log_path(&b, 3, 1));
+        write_log(&dfs, &counters, &a, &sample()).unwrap();
+        // Instance 1 sees no log at its own path even though instance 0
+        // wrote one under the same human name.
+        assert!(read_log(&dfs, &counters, &b, 3, 1).is_err());
+        let mut other = MsgLogWriter::new(3, 1, 4);
+        other.add_msg(1, b"omega");
+        write_log(&dfs, &counters, &b, &other).unwrap();
+        assert_eq!(
+            read_log(&dfs, &counters, &a, 3, 1).unwrap().messages(0),
+            &[b"alpha".to_vec(), b"beta".to_vec()]
+        );
+        assert_eq!(
+            read_log(&dfs, &counters, &b, 3, 1).unwrap().messages(1),
+            &[b"omega".to_vec()]
+        );
     }
 
     #[test]
@@ -486,6 +513,7 @@ mod tests {
         let dir = TempDir::new();
         let dfs = SimDfs::open(dir.path()).unwrap();
         let counters = ClusterCounters::new();
+        let job = JobId::new("j");
         let w = sample();
         let plan = guard.install(FaultPlan::new().on(
             Site::MsgLog,
@@ -493,12 +521,12 @@ mod tests {
             1,
             Fault::TornWrite { keep: 10 },
         ));
-        assert!(write_log(&dfs, &counters, "j", &w).is_err());
+        assert!(write_log(&dfs, &counters, &job, &w).is_err());
         assert_eq!(plan.injected(), 1);
         guard.clear();
         // The torn prefix is present on the DFS but fails verification.
-        assert!(dfs.exists(&log_path("j", 3, 1)));
-        let err = read_log(&dfs, &counters, "j", 3, 1).unwrap_err();
+        assert!(dfs.exists(&log_path(&job, 3, 1)));
+        let err = read_log(&dfs, &counters, &job, 3, 1).unwrap_err();
         assert!(matches!(err, PregelixError::ConfinedRecoveryUnavailable(_)));
     }
 
@@ -508,18 +536,19 @@ mod tests {
         let dir = TempDir::new();
         let dfs = SimDfs::open(dir.path()).unwrap();
         let counters = ClusterCounters::new();
-        write_log(&dfs, &counters, "j", &sample()).unwrap();
+        let job = JobId::new("j");
+        write_log(&dfs, &counters, &job, &sample()).unwrap();
         let plan = guard.install(FaultPlan::new().on(
             Site::MsgLog,
             "replay:jobs/j/msglog/3/src1",
             1,
             Fault::IoError,
         ));
-        let err = read_log(&dfs, &counters, "j", 3, 1).unwrap_err();
+        let err = read_log(&dfs, &counters, &job, 3, 1).unwrap_err();
         assert!(matches!(err, PregelixError::ConfinedRecoveryUnavailable(_)));
         assert_eq!(plan.injected(), 1);
         guard.clear();
         // The rule fired once; the same read now succeeds (transient site).
-        assert!(read_log(&dfs, &counters, "j", 3, 1).is_ok());
+        assert!(read_log(&dfs, &counters, &job, 3, 1).is_ok());
     }
 }

@@ -7,9 +7,55 @@
 //! serializable point-in-time view reported to harnesses and printed by the
 //! benchmark tables.
 
+//! ## Per-job counter scopes
+//!
+//! A long-running multi-tenant service shares one [`ClusterCounters`] across
+//! every admitted job, so the cluster totals alone cannot attribute work to
+//! the job that did it. A *scope* is a second `ClusterCounters` installed
+//! thread-locally via [`enter_job_scope`]: while the guard lives, every
+//! increment on any counter set is tee'd into the scope as well. The job
+//! service installs one scope per job — on the driver thread around each
+//! scheduling quantum, and (via the cluster executor) on every worker thread
+//! running that job's tasks — which works precisely because superstep
+//! windows of different jobs are serialized, never interleaved, so at any
+//! instant all running tasks belong to one job.
+
 use serde::Serialize;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+thread_local! {
+    /// The per-job counter scope installed on this thread, if any.
+    static JOB_SCOPE: RefCell<Option<ClusterCounters>> = const { RefCell::new(None) };
+}
+
+/// Install `scope` as this thread's per-job counter scope until the returned
+/// guard drops (the previous scope, if any, is restored). While installed,
+/// every counter increment — on *any* `ClusterCounters` except the scope
+/// itself — is mirrored into `scope`.
+pub fn enter_job_scope(scope: &ClusterCounters) -> JobScopeGuard {
+    let prev = JOB_SCOPE.with(|s| s.borrow_mut().replace(scope.clone()));
+    JobScopeGuard { prev }
+}
+
+/// This thread's currently-installed per-job scope, if any.
+pub fn current_job_scope() -> Option<ClusterCounters> {
+    JOB_SCOPE.with(|s| s.borrow().clone())
+}
+
+/// RAII guard restoring the previously-installed scope on drop.
+#[must_use = "dropping the guard immediately uninstalls the scope"]
+pub struct JobScopeGuard {
+    prev: Option<ClusterCounters>,
+}
+
+impl Drop for JobScopeGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        JOB_SCOPE.with(|s| *s.borrow_mut() = prev);
+    }
+}
 
 /// Shared atomic counters. Cheap to clone; clones share the same counters.
 #[derive(Clone, Debug, Default)]
@@ -160,6 +206,9 @@ macro_rules! counter_api {
                 #[inline]
                 pub fn $add(&self, n: u64) {
                     self.inner.$field.fetch_add(n, Ordering::Relaxed);
+                    self.tee(|scope| {
+                        scope.inner.$field.fetch_add(n, Ordering::Relaxed);
+                    });
                 }
                 #[doc = concat!("Current value of `", stringify!($field), "`.")]
                 #[inline]
@@ -217,9 +266,24 @@ impl ClusterCounters {
         Self::default()
     }
 
+    /// Mirror an increment into the thread's per-job scope, if one is
+    /// installed and is not this counter set itself (a scope never tees
+    /// into itself, so increments recorded *on* the scope stay single).
+    #[inline]
+    fn tee(&self, f: impl FnOnce(&ClusterCounters)) {
+        JOB_SCOPE.with(|s| {
+            if let Some(scope) = s.borrow().as_ref() {
+                if !Arc::ptr_eq(&scope.inner, &self.inner) {
+                    f(scope);
+                }
+            }
+        });
+    }
+
     /// Record the live-vertex count at a superstep boundary (overwrites).
     pub fn set_live_vertices(&self, n: u64) {
         self.inner.live_vertices.store(n, Ordering::Relaxed);
+        self.tee(|scope| scope.inner.live_vertices.store(n, Ordering::Relaxed));
     }
 
     /// Live vertices at the last superstep boundary.
@@ -230,6 +294,9 @@ impl ClusterCounters {
     /// Record an observed partition superstep skew (keeps the maximum).
     pub fn record_partition_skew(&self, n: u64) {
         self.inner.max_partition_skew.fetch_max(n, Ordering::Relaxed);
+        self.tee(|scope| {
+            scope.inner.max_partition_skew.fetch_max(n, Ordering::Relaxed);
+        });
     }
 
     /// Maximum partition superstep skew observed so far.
@@ -531,6 +598,69 @@ mod tests {
         assert_eq!(d.slab_allocations, 3);
         assert_eq!(d.slab_recycled, 7);
         assert_eq!(d.frame_bytes_copied, 4096);
+    }
+
+    #[test]
+    fn job_scope_tees_counters_and_gauges() {
+        let cluster = ClusterCounters::new();
+        let scope = ClusterCounters::new();
+        cluster.add_messages_sent(1); // outside any scope: not attributed
+        {
+            let _guard = enter_job_scope(&scope);
+            assert!(current_job_scope().is_some());
+            cluster.add_messages_sent(10);
+            cluster.add_compute_calls(4);
+            cluster.set_live_vertices(7);
+            cluster.record_partition_skew(1);
+        }
+        assert!(current_job_scope().is_none());
+        cluster.add_messages_sent(100); // after the guard drops: not attributed
+        assert_eq!(cluster.messages_sent(), 111);
+        assert_eq!(scope.messages_sent(), 10);
+        assert_eq!(scope.compute_calls(), 4);
+        assert_eq!(scope.live_vertices(), 7);
+        assert_eq!(scope.max_partition_skew(), 1);
+    }
+
+    #[test]
+    fn job_scope_never_tees_into_itself() {
+        let scope = ClusterCounters::new();
+        let _guard = enter_job_scope(&scope);
+        // Increments recorded directly on the scope must stay single, not
+        // double via the tee.
+        scope.add_messages_sent(5);
+        assert_eq!(scope.messages_sent(), 5);
+    }
+
+    #[test]
+    fn job_scopes_nest_and_restore() {
+        let cluster = ClusterCounters::new();
+        let outer = ClusterCounters::new();
+        let inner = ClusterCounters::new();
+        let _outer_guard = enter_job_scope(&outer);
+        cluster.add_cache_hits(1);
+        {
+            let _inner_guard = enter_job_scope(&inner);
+            cluster.add_cache_hits(2);
+        }
+        cluster.add_cache_hits(4);
+        assert_eq!(outer.cache_hits(), 5, "outer misses only the inner span");
+        assert_eq!(inner.cache_hits(), 2);
+        assert_eq!(cluster.cache_hits(), 7);
+    }
+
+    #[test]
+    fn job_scope_is_thread_local() {
+        let cluster = ClusterCounters::new();
+        let scope = ClusterCounters::new();
+        let _guard = enter_job_scope(&scope);
+        std::thread::scope(|s| {
+            let c = cluster.clone();
+            s.spawn(move || c.add_network_bytes(64)).join().unwrap();
+        });
+        cluster.add_network_bytes(1);
+        assert_eq!(cluster.network_bytes(), 65);
+        assert_eq!(scope.network_bytes(), 1, "other threads' work is not attributed");
     }
 
     #[test]

@@ -30,17 +30,21 @@ use parking_lot::Mutex;
 use pregelix_common::dfs::SimDfs;
 use pregelix_common::error::{PregelixError, Result};
 use pregelix_common::writable::Writable;
-use pregelix_common::Superstep;
+use pregelix_common::{JobId, Superstep};
 use pregelix_dataflow::cluster::{Cluster, Task};
 use pregelix_storage::btree::BTree;
 use pregelix_storage::runfile::RunWriter;
 use std::sync::Arc;
 
-fn ckpt_dir(job: &str, superstep: Superstep) -> String {
+fn ckpt_dir(job: &JobId, superstep: Superstep) -> String {
     format!("jobs/{job}/ckpt/{superstep}")
 }
 
-fn manifest_path(job: &str, superstep: Superstep) -> String {
+fn manifests_dir(job: &JobId) -> String {
+    format!("jobs/{job}/ckpt-manifests")
+}
+
+fn manifest_path(job: &JobId, superstep: Superstep) -> String {
     format!("jobs/{job}/ckpt-manifests/{superstep}")
 }
 
@@ -182,7 +186,7 @@ fn validate_manifest(
     }
     // Every partition the manifest promises must actually be present.
     let dfs = cluster.dfs();
-    let dir = ckpt_dir(&job.name, superstep);
+    let dir = ckpt_dir(&job.id, superstep);
     for p in 0..p_count {
         if !dfs.exists(&format!("{dir}/vertex-p{p}")) {
             return Err(PregelixError::corrupt(format!(
@@ -224,7 +228,7 @@ pub fn write_checkpoint(
     gs: &GlobalState,
 ) -> Result<()> {
     let dfs = cluster.dfs().clone();
-    let dir = ckpt_dir(&job.name, gs.superstep);
+    let dir = ckpt_dir(&job.id, gs.superstep);
     dfs.delete_dir(&dir)?;
     let has_vid = partitions
         .first()
@@ -278,14 +282,14 @@ pub fn write_checkpoint(
         log_watermark: gs.superstep,
     };
     dfs.write(
-        &manifest_path(&job.name, gs.superstep),
+        &manifest_path(&job.id, gs.superstep),
         &encode_manifest(&manifest),
     )
 }
 
 /// Latest checkpointed superstep for a job, if any.
-pub fn latest_checkpoint(dfs: &SimDfs, job: &str) -> Result<Option<Superstep>> {
-    let manifests = dfs.list(&format!("jobs/{job}/ckpt-manifests"))?;
+pub fn latest_checkpoint(dfs: &SimDfs, job: &JobId) -> Result<Option<Superstep>> {
+    let manifests = dfs.list(&manifests_dir(job))?;
     let mut best = None;
     for m in manifests {
         let ss: Superstep = m
@@ -316,7 +320,7 @@ pub fn recover(
     prev_sticky: &[usize],
 ) -> Result<(Vec<Arc<Mutex<PartitionState>>>, Vec<usize>, GlobalState)> {
     let dfs = cluster.dfs().clone();
-    let manifest = decode_manifest(&dfs.read(&manifest_path(&job.name, superstep))?)?;
+    let manifest = decode_manifest(&dfs.read(&manifest_path(&job.id, superstep))?)?;
     validate_manifest(cluster, job, superstep, &manifest)?;
     let p_count = manifest.partitions as usize;
     let alive = cluster.alive_workers();
@@ -362,7 +366,7 @@ pub fn reload_partitions(
         )));
     }
     let dfs = cluster.dfs().clone();
-    let dir = ckpt_dir(&job.name, superstep);
+    let dir = ckpt_dir(&job.id, superstep);
     let storage = job.plan.storage;
     let has_vid = manifest.has_vid;
     let slots: Vec<Arc<Mutex<Option<PartitionState>>>> =
@@ -430,13 +434,13 @@ pub fn newest_valid_checkpoint(
 ) -> Result<Option<(Superstep, Manifest)>> {
     let mut supersteps: Vec<Superstep> = cluster
         .dfs()
-        .list(&format!("jobs/{}/ckpt-manifests", job.name))?
+        .list(&manifests_dir(&job.id))?
         .into_iter()
         .filter_map(|m| m.rsplit('/').next().and_then(|s| s.parse().ok()))
         .collect();
     supersteps.sort_unstable();
     while let Some(ss) = supersteps.pop() {
-        let bytes = match cluster.dfs().read(&manifest_path(&job.name, ss)) {
+        let bytes = match cluster.dfs().read(&manifest_path(&job.id, ss)) {
             Ok(b) => b,
             Err(e) if e.is_recoverable() => return Err(e),
             Err(_) => continue,
@@ -470,7 +474,7 @@ pub fn recover_latest_valid(
 ) -> Result<Option<(Vec<Arc<Mutex<PartitionState>>>, Vec<usize>, GlobalState)>> {
     let mut supersteps: Vec<Superstep> = cluster
         .dfs()
-        .list(&format!("jobs/{}/ckpt-manifests", job.name))?
+        .list(&manifests_dir(&job.id))?
         .into_iter()
         .filter_map(|m| m.rsplit('/').next().and_then(|s| s.parse().ok()))
         .collect();
@@ -519,9 +523,9 @@ fn rewrap_run(
 
 /// Remove a job's checkpoints, message logs, and GS history
 /// (post-completion cleanup).
-pub fn clear_checkpoints(dfs: &SimDfs, job: &str) -> Result<()> {
+pub fn clear_checkpoints(dfs: &SimDfs, job: &JobId) -> Result<()> {
     dfs.delete_dir(&format!("jobs/{job}/ckpt"))?;
-    dfs.delete_dir(&format!("jobs/{job}/ckpt-manifests"))?;
+    dfs.delete_dir(&manifests_dir(job))?;
     dfs.delete_dir(&pregelix_common::msglog::log_root(job))?;
     dfs.delete_dir(&GlobalState::hist_dir(job))
 }
@@ -538,7 +542,7 @@ pub fn clear_checkpoints(dfs: &SimDfs, job: &str) -> Result<()> {
 pub fn retire_old_state(
     dfs: &SimDfs,
     counters: &pregelix_common::stats::ClusterCounters,
-    job: &str,
+    job: &JobId,
     newest: Superstep,
 ) -> u64 {
     let mut retired: u64 = 0;
@@ -557,7 +561,7 @@ pub fn retire_old_state(
         }
     }
     // Manifests + GS history entries, one file per superstep.
-    for root in [format!("jobs/{job}/ckpt-manifests"), GlobalState::hist_dir(job)] {
+    for root in [manifests_dir(job), GlobalState::hist_dir(job)] {
         for file in dfs.list(&root).unwrap_or_default() {
             if superstep_of(&file).is_some_and(|s| s < newest) {
                 retired += dfs.size(&file).unwrap_or(0);
@@ -627,7 +631,8 @@ mod tests {
             dfs.write(&format!("jobs/j/msglog/{ss}/src0"), b"lll").unwrap();
             dfs.write(&format!("jobs/j/gs-hist/{ss}"), b"g").unwrap();
         }
-        let retired = retire_old_state(&dfs, &counters, "j", 3);
+        let job = JobId::new("j");
+        let retired = retire_old_state(&dfs, &counters, &job, 3);
         // Supersteps 1 and 2: (4 + 2 + 3 + 1) bytes each.
         assert_eq!(retired, 2 * 10);
         assert_eq!(counters.ckpt_bytes_retired(), 20);
@@ -642,7 +647,7 @@ mod tests {
         assert!(dfs.exists("jobs/j/msglog/3/src0"));
         assert!(dfs.exists("jobs/j/gs-hist/3"));
         // Idempotent: a second pass retires nothing.
-        assert_eq!(retire_old_state(&dfs, &counters, "j", 3), 0);
+        assert_eq!(retire_old_state(&dfs, &counters, &job, 3), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -786,7 +791,7 @@ mod tests {
 
         /// Plant a checkpoint at `ss` with the given damage. `p_count`
         /// vertex files are written (or all but one, for `MissingFile`).
-        fn plant(dfs: &SimDfs, job: &str, ss: Superstep, p_count: u64, damage: Damage) {
+        fn plant(dfs: &SimDfs, job: &JobId, ss: Superstep, p_count: u64, damage: Damage) {
             let gs = GlobalState {
                 superstep: ss,
                 ..GlobalState::initial(10, Vec::new())
@@ -840,7 +845,7 @@ mod tests {
                 let job = PregelixJob::new("walk-props");
                 let dfs = cluster.dfs();
                 for (i, &d) in damages.iter().enumerate() {
-                    plant(dfs, &job.name, (i + 1) as Superstep, p_count, d);
+                    plant(dfs, &job.id, (i + 1) as Superstep, p_count, d);
                 }
                 // The model: the winner is the greatest superstep whose
                 // checkpoint is fully intact.
@@ -860,7 +865,7 @@ mod tests {
                 }
                 // `latest_checkpoint` (the validity-blind maximum) must
                 // never be *older* than the validated winner.
-                let latest = latest_checkpoint(dfs, &job.name).unwrap();
+                let latest = latest_checkpoint(dfs, &job.id).unwrap();
                 prop_assert_eq!(latest, Some(damages.len() as Superstep));
             }
         }

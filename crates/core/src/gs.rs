@@ -9,7 +9,7 @@
 use pregelix_common::dfs::SimDfs;
 use pregelix_common::error::Result;
 use pregelix_common::writable::Writable;
-use pregelix_common::Superstep;
+use pregelix_common::{JobId, Superstep};
 
 /// The `GS` tuple, extended with the Pregel-specific statistics the
 /// Pregelix statistics collector tracks per superstep (vertex count, live
@@ -69,28 +69,28 @@ impl GlobalState {
     }
 
     /// DFS path of a job's GS tuple.
-    pub fn dfs_path(job: &str) -> String {
+    pub fn dfs_path(job: &JobId) -> String {
         format!("jobs/{job}/gs")
     }
 
     /// Write this state as the job's GS primary copy.
-    pub fn store(&self, dfs: &SimDfs, job: &str) -> Result<()> {
+    pub fn store(&self, dfs: &SimDfs, job: &JobId) -> Result<()> {
         dfs.write(&Self::dfs_path(job), &self.encode())
     }
 
     /// Read a job's GS primary copy.
-    pub fn fetch(dfs: &SimDfs, job: &str) -> Result<GlobalState> {
+    pub fn fetch(dfs: &SimDfs, job: &JobId) -> Result<GlobalState> {
         GlobalState::decode(&dfs.read(&Self::dfs_path(job))?)
     }
 
     /// DFS directory of a job's per-superstep GS history (confined
     /// recovery), one immutable file per superstep boundary.
-    pub fn hist_dir(job: &str) -> String {
+    pub fn hist_dir(job: &JobId) -> String {
         format!("jobs/{job}/gs-hist")
     }
 
     /// DFS path of the historical GS tuple *feeding* `superstep`.
-    pub fn hist_path(job: &str, superstep: Superstep) -> String {
+    pub fn hist_path(job: &JobId, superstep: Superstep) -> String {
         format!("jobs/{job}/gs-hist/{superstep}")
     }
 
@@ -101,13 +101,13 @@ impl GlobalState {
     /// the identical tuple. Confined recovery re-derives halting/aggregate
     /// semantics for replayed supersteps from these pinned entries instead
     /// of recomputing them.
-    pub fn store_hist(&self, dfs: &SimDfs, job: &str) -> Result<()> {
+    pub fn store_hist(&self, dfs: &SimDfs, job: &JobId) -> Result<()> {
         dfs.write(&Self::hist_path(job, self.superstep), &self.encode())
     }
 
     /// Read the historical GS feeding `superstep`, verifying the entry
     /// names the superstep it is filed under.
-    pub fn fetch_hist(dfs: &SimDfs, job: &str, superstep: Superstep) -> Result<GlobalState> {
+    pub fn fetch_hist(dfs: &SimDfs, job: &JobId, superstep: Superstep) -> Result<GlobalState> {
         let gs = GlobalState::decode(&dfs.read(&Self::hist_path(job, superstep))?)?;
         if gs.superstep != superstep {
             return Err(pregelix_common::error::PregelixError::corrupt(format!(
@@ -150,9 +150,10 @@ mod tests {
     fn dfs_store_fetch() {
         let dir = std::env::temp_dir().join(format!("gs-test-{}", std::process::id()));
         let dfs = SimDfs::open(&dir).unwrap();
+        let job = JobId::new("job1");
         let gs = GlobalState::initial(3, b"agg".to_vec());
-        gs.store(&dfs, "job1").unwrap();
-        assert_eq!(GlobalState::fetch(&dfs, "job1").unwrap(), gs);
+        gs.store(&dfs, &job).unwrap();
+        assert_eq!(GlobalState::fetch(&dfs, &job).unwrap(), gs);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -160,20 +161,21 @@ mod tests {
     fn history_entries_are_per_superstep_and_self_checking() {
         let dir = std::env::temp_dir().join(format!("gs-hist-test-{}", std::process::id()));
         let dfs = SimDfs::open(&dir).unwrap();
+        let job = JobId::new("j");
         let mut g2 = GlobalState::initial(3, Vec::new());
         g2.superstep = 2;
         let mut g3 = g2.clone();
         g3.superstep = 3;
         g3.messages = 9;
-        g2.store_hist(&dfs, "j").unwrap();
-        g3.store_hist(&dfs, "j").unwrap();
-        assert_eq!(GlobalState::fetch_hist(&dfs, "j", 2).unwrap(), g2);
-        assert_eq!(GlobalState::fetch_hist(&dfs, "j", 3).unwrap(), g3);
+        g2.store_hist(&dfs, &job).unwrap();
+        g3.store_hist(&dfs, &job).unwrap();
+        assert_eq!(GlobalState::fetch_hist(&dfs, &job, 2).unwrap(), g2);
+        assert_eq!(GlobalState::fetch_hist(&dfs, &job, 3).unwrap(), g3);
         // A mis-filed entry (wrong superstep inside) is rejected.
-        dfs.write(&GlobalState::hist_path("j", 5), &g2.encode()).unwrap();
-        assert!(GlobalState::fetch_hist(&dfs, "j", 5).is_err());
+        dfs.write(&GlobalState::hist_path(&job, 5), &g2.encode()).unwrap();
+        assert!(GlobalState::fetch_hist(&dfs, &job, 5).is_err());
         // Absent entries are an error, not a default.
-        assert!(GlobalState::fetch_hist(&dfs, "j", 4).is_err());
+        assert!(GlobalState::fetch_hist(&dfs, &job, 4).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -36,6 +36,9 @@
 //!   from sender-side message logs (§5.5).
 //! * [`runtime`] — the driver: superstep loop, failure manager, job
 //!   pipelining (§5.6), statistics collection.
+//! * [`service`] — the multi-tenant job service: concurrent job admission
+//!   over the shared cluster behind the submission API ([`JobService`]),
+//!   with per-job page budgets, counter scopes, and fair-share placement.
 
 pub mod api;
 pub mod checkpoint;
@@ -44,6 +47,7 @@ pub mod load;
 pub mod plan;
 pub mod recovery;
 pub mod runtime;
+pub mod service;
 pub mod store;
 pub mod superstep;
 pub mod vertex;
@@ -52,4 +56,5 @@ pub use api::{ComputeContext, MessageCombiner, Mutation, VertexProgram};
 pub use gs::GlobalState;
 pub use plan::{JoinStrategy, PlanConfig, PregelixJob, VertexStorageKind};
 pub use runtime::{run_job, run_pipeline, JobSummary, LoadedGraph};
+pub use service::{JobHandle, JobService, JobStatus, ServiceConfig};
 pub use vertex::{Edge, VertexData};

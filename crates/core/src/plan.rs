@@ -11,6 +11,7 @@
 pub use pregelix_dataflow::groupby::GroupByStrategy;
 
 use pregelix_common::stats::StatsSnapshot;
+use pregelix_common::JobId;
 
 /// Measured probe-path costs feeding the [`JoinStrategy::Adaptive`]
 /// decision.
@@ -215,41 +216,47 @@ impl PlanConfig {
 
 /// A Pregelix job: what to run, on what data, with which physical plan.
 /// Mirrors `PregelixJob` from Figure 9.
+///
+/// Construction is builder-only: [`PregelixJob::new`] plus `with_*`
+/// setters. The fields are private so every job the runtime sees went
+/// through the builder's invariants (derived I/O paths, clamped partition
+/// counts) — struct-literal construction and field poking are not part of
+/// the API. Read access goes through the accessor methods.
 #[derive(Clone, Debug)]
 pub struct PregelixJob {
-    /// Job name (used in DFS paths for GS, checkpoints, output).
-    pub name: String,
+    /// Job identity (names the DFS subtree for GS, checkpoints, logs).
+    pub(crate) id: JobId,
     /// DFS path of the input adjacency text (see [`crate::load`]).
-    pub input_path: String,
+    pub(crate) input_path: String,
     /// DFS directory for the output dump.
-    pub output_path: String,
+    pub(crate) output_path: String,
     /// Physical plan hints.
-    pub plan: PlanConfig,
+    pub(crate) plan: PlanConfig,
     /// Superstep execution mode: barrier-synchronous (the paper's §5.1
     /// default) or frontier-based asynchronous windows.
-    pub execution: ExecutionMode,
+    pub(crate) execution: ExecutionMode,
     /// Vertex partitions per worker machine (the scheduler assigns as many
     /// partitions to a machine as cores, §5.7; default 1 at our scale).
-    pub partitions_per_worker: usize,
+    pub(crate) partitions_per_worker: usize,
     /// Checkpoint every N supersteps (`None` = no checkpoints), §5.5.
-    pub checkpoint_interval: Option<u64>,
+    pub(crate) checkpoint_interval: Option<u64>,
     /// Hard stop after this many supersteps (`None` = run to fixpoint).
     /// PageRank-style algorithms typically bound iterations instead of
     /// converging exactly.
-    pub max_supersteps: Option<u64>,
+    pub(crate) max_supersteps: Option<u64>,
     /// In-place retries of recoverable checkpoint-write failures before the
     /// failure manager falls back to checkpoint recovery (§5.7). Transient
     /// I/O hiccups are absorbed here without consuming a recovery.
-    pub io_retries: u32,
+    pub(crate) io_retries: u32,
     /// Base delay of the runtime's capped exponential backoff between
     /// retries and recovery attempts. Pacing only: no fault is ever
     /// *triggered* by time, so `Duration::ZERO` (no pauses) is fully
     /// deterministic too.
-    pub retry_backoff: std::time::Duration,
+    pub(crate) retry_backoff: std::time::Duration,
     /// Recoveries the failure manager attempts before giving up with a
     /// typed `RecoveriesExhausted` error naming this cap. Previously a
     /// hard-coded 32 inside the runtime.
-    pub max_recoveries: u32,
+    pub(crate) max_recoveries: u32,
     /// Enable confined recovery: tee every partition's outbound
     /// post-combine messages (and mutation requests) into per-superstep
     /// logs on the DFS, and on a worker death reload + replay *only* the
@@ -257,7 +264,11 @@ pub struct PregelixJob {
     /// Any hole in the logs falls back to the global rollback, so turning
     /// this off only changes recovery cost, never recovery semantics.
     /// Meaningful only when `checkpoint_interval` is set.
-    pub confined_recovery: bool,
+    pub(crate) confined_recovery: bool,
+    /// Buffer-cache pages the job service reserves for this job at
+    /// admission (`None` = the service's default share). Ignored outside
+    /// the service.
+    pub(crate) page_budget: Option<u64>,
 }
 
 impl PregelixJob {
@@ -267,7 +278,7 @@ impl PregelixJob {
         PregelixJob {
             input_path: format!("input/{name}"),
             output_path: format!("output/{name}"),
-            name,
+            id: JobId::new(name),
             plan: PlanConfig::default(),
             execution: ExecutionMode::default(),
             partitions_per_worker: 1,
@@ -277,7 +288,90 @@ impl PregelixJob {
             retry_backoff: std::time::Duration::from_millis(1),
             max_recoveries: 32,
             confined_recovery: true,
+            page_budget: None,
         }
+    }
+
+    /// The job's identity (name + service-assigned instance).
+    pub fn id(&self) -> &JobId {
+        &self.id
+    }
+
+    /// The human-chosen job name.
+    pub fn name(&self) -> &str {
+        self.id.name()
+    }
+
+    /// DFS path of the input adjacency text.
+    pub fn input_path(&self) -> &str {
+        &self.input_path
+    }
+
+    /// DFS directory for the output dump.
+    pub fn output_path(&self) -> &str {
+        &self.output_path
+    }
+
+    /// Physical plan hints.
+    pub fn plan(&self) -> PlanConfig {
+        self.plan
+    }
+
+    /// Superstep execution mode.
+    pub fn execution(&self) -> ExecutionMode {
+        self.execution
+    }
+
+    /// Vertex partitions per worker machine.
+    pub fn partitions_per_worker(&self) -> usize {
+        self.partitions_per_worker
+    }
+
+    /// Checkpoint interval in supersteps (`None` = no checkpoints).
+    pub fn checkpoint_interval(&self) -> Option<u64> {
+        self.checkpoint_interval
+    }
+
+    /// Superstep cap (`None` = run to fixpoint).
+    pub fn max_supersteps(&self) -> Option<u64> {
+        self.max_supersteps
+    }
+
+    /// In-place retries of recoverable I/O failures.
+    pub fn io_retries(&self) -> u32 {
+        self.io_retries
+    }
+
+    /// Base retry/recovery backoff delay.
+    pub fn retry_backoff(&self) -> std::time::Duration {
+        self.retry_backoff
+    }
+
+    /// Failure-manager recovery cap.
+    pub fn max_recoveries(&self) -> u32 {
+        self.max_recoveries
+    }
+
+    /// Whether confined recovery is enabled.
+    pub fn confined_recovery(&self) -> bool {
+        self.confined_recovery
+    }
+
+    /// Buffer-cache pages requested from the job service at admission
+    /// (`None` = the service default).
+    pub fn page_budget(&self) -> Option<u64> {
+        self.page_budget
+    }
+
+    /// Derive the descriptor of pipeline stage `i`: identical settings
+    /// under the stage identity `<name>-stage<i>` (same service instance),
+    /// so consecutive stages of one submission share I/O paths but never
+    /// collide on per-job DFS state. Replaces the struct-literal clone the
+    /// pipeline runner historically performed.
+    pub fn derive_stage(&self, i: usize) -> PregelixJob {
+        let mut stage = self.clone();
+        stage.id = self.id.derive(&format!("stage{i}"));
+        stage
     }
 
     /// Set the message–vertex join strategy (Figure 9's
@@ -362,6 +456,13 @@ impl PregelixJob {
     /// [`PregelixJob::confined_recovery`]).
     pub fn with_confined_recovery(mut self, on: bool) -> Self {
         self.confined_recovery = on;
+        self
+    }
+
+    /// Buffer-cache pages the job service should reserve for this job at
+    /// admission (overrides the service's default per-job share).
+    pub fn with_page_budget(mut self, pages: u64) -> Self {
+        self.page_budget = Some(pages);
         self
     }
 }
@@ -462,28 +563,52 @@ mod tests {
             .with_max_recoveries(7)
             .with_confined_recovery(false)
             .with_io("in/graph", "out/sssp");
-        assert_eq!(job.plan.join, JoinStrategy::LeftOuter);
-        assert_eq!(job.plan.groupby, GroupByStrategy::HashSortUnmerged);
-        assert_eq!(job.plan.storage, VertexStorageKind::Lsm);
-        assert_eq!(job.checkpoint_interval, Some(5));
-        assert_eq!(job.max_supersteps, Some(30));
-        assert_eq!(job.partitions_per_worker, 2);
-        assert_eq!(job.max_recoveries, 7);
-        assert!(!job.confined_recovery);
-        assert_eq!(job.input_path, "in/graph");
+        assert_eq!(job.plan().join, JoinStrategy::LeftOuter);
+        assert_eq!(job.plan().groupby, GroupByStrategy::HashSortUnmerged);
+        assert_eq!(job.plan().storage, VertexStorageKind::Lsm);
+        assert_eq!(job.checkpoint_interval(), Some(5));
+        assert_eq!(job.max_supersteps(), Some(30));
+        assert_eq!(job.partitions_per_worker(), 2);
+        assert_eq!(job.max_recoveries(), 7);
+        assert!(!job.confined_recovery());
+        assert_eq!(job.input_path(), "in/graph");
+        assert_eq!(job.name(), "sssp");
+        assert_eq!(job.id(), &JobId::new("sssp"));
         // Fresh jobs carry the documented recovery defaults.
         let fresh = PregelixJob::new("defaults");
-        assert_eq!(fresh.max_recoveries, 32);
-        assert!(fresh.confined_recovery);
+        assert_eq!(fresh.max_recoveries(), 32);
+        assert!(fresh.confined_recovery());
+        assert_eq!(fresh.page_budget(), None);
+        assert_eq!(
+            fresh.with_page_budget(128).page_budget(),
+            Some(128)
+        );
+    }
+
+    #[test]
+    fn derive_stage_renames_only_the_identity() {
+        let job = PregelixJob::new("pipe")
+            .with_io("in/g", "out/g")
+            .with_checkpoint_interval(3);
+        let stage = job.derive_stage(1);
+        assert_eq!(stage.name(), "pipe-stage1");
+        assert_eq!(stage.id().tag(), "pipe-stage1");
+        assert_eq!(stage.input_path(), "in/g");
+        assert_eq!(stage.output_path(), "out/g");
+        assert_eq!(stage.checkpoint_interval(), Some(3));
+        // Stages of an instanced submission inherit the instance.
+        let mut instanced = job.clone();
+        instanced.id = JobId::with_instance("pipe", 2);
+        assert_eq!(instanced.derive_stage(0).id().tag(), "pipe-stage0.2");
     }
 
     #[test]
     fn execution_mode_defaults_to_barrier() {
         assert_eq!(ExecutionMode::default(), ExecutionMode::Barrier);
         let job = PregelixJob::new("em");
-        assert_eq!(job.execution, ExecutionMode::Barrier);
+        assert_eq!(job.execution(), ExecutionMode::Barrier);
         let job = job.with_execution_mode(ExecutionMode::Frontier);
-        assert_eq!(job.execution, ExecutionMode::Frontier);
+        assert_eq!(job.execution(), ExecutionMode::Frontier);
         // The mode is a job setting, not a plan point: the sixteen-plan
         // space is unchanged.
         assert_eq!(PlanConfig::all().len(), 16);

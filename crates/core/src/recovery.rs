@@ -102,7 +102,7 @@ pub fn confined_recover<P: VertexProgram>(
     let mut gs_chain: Vec<GlobalState> = Vec::with_capacity((gs.superstep - base) as usize + 1);
     gs_chain.push(manifest.gs.clone());
     for s in base + 1..=gs.superstep {
-        let entry = GlobalState::fetch_hist(dfs, &job.name, s).map_err(|e| {
+        let entry = GlobalState::fetch_hist(dfs, &job.id, s).map_err(|e| {
             PregelixError::confined_unavailable(format!("gs history entry {s}: {e}"))
         })?;
         gs_chain.push(entry);
@@ -121,11 +121,11 @@ pub fn confined_recover<P: VertexProgram>(
     for s in base..gs.superstep {
         let mut per_src = Vec::with_capacity(p_count);
         for src in 0..p_count {
-            let log = msglog::read_log(dfs, &counters, &job.name, s, src)?;
+            let log = msglog::read_log(dfs, &counters, &job.id, s, src)?;
             if log.partitions() != p_count {
                 return Err(PregelixError::confined_unavailable(format!(
                     "log {} is bucketed over {} partitions, job runs {p_count}",
-                    msglog::log_path(&job.name, s, src),
+                    msglog::log_path(&job.id, s, src),
                     log.partitions()
                 )));
             }
@@ -202,7 +202,7 @@ fn replay_superstep<P: VertexProgram>(
         let program_c = Arc::clone(program);
         let gs_c = gs.clone();
         let combiner_c = Arc::clone(&combiner);
-        let job_tag = job.name.clone();
+        let job_tag = job.id.tag().to_string();
         // Owned slices of the logged flows bound for partition p, in
         // ascending src order.
         let msg_tuples: Vec<Vec<Vec<u8>>> =

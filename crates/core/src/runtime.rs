@@ -2,15 +2,24 @@
 //!
 //! [`run_job`] is the top-level entry point mirroring `Client.run` from
 //! Figure 9: load the graph, iterate supersteps until the global halt,
-//! dump the result. [`LoadedGraph`] keeps the partitioned `Vertex` relation
-//! resident between jobs, which is what makes job pipelining (§5.6)
-//! possible: compatible contiguous jobs run back-to-back "without HDFS
-//! writes/reads nor index bulk-loads".
+//! dump the result. Since the job-service redesign it is a thin wrapper
+//! over a single-job [`crate::service::JobService`] — the submission API
+//! that also admits *concurrent* jobs against the shared cluster (§7.4).
+//! [`LoadedGraph`] keeps the partitioned `Vertex` relation resident
+//! between jobs, which is what makes job pipelining (§5.6) possible:
+//! compatible contiguous jobs run back-to-back "without HDFS writes/reads
+//! nor index bulk-loads".
 //!
-//! The failure manager (§5.7) lives in [`LoadedGraph::run`]: recoverable
+//! The failure manager (§5.7) lives in [`RunLoop::step`]: recoverable
 //! infrastructure failures (worker powered off, I/O errors) trigger
 //! recovery from the latest checkpoint onto the remaining alive workers;
-//! application exceptions are forwarded to the caller.
+//! application exceptions are forwarded to the caller. [`RunLoop`] is the
+//! resumable form of the old monolithic superstep loop: `begin` runs the
+//! job prologue, each `step` executes one superstep window (including any
+//! recovery it needs), and `finish` folds the counters into a
+//! [`JobSummary`]. [`LoadedGraph::run`] drives it to completion in a
+//! plain loop; the job service interleaves `step` calls of many jobs for
+//! fair-share scheduling.
 //!
 //! Failure *detection* is heartbeat-based (§5.5): every successful
 //! `check_alive` bumps the worker's beat counter, and the driver runs a
@@ -41,14 +50,14 @@ use crate::superstep::{run_superstep_window, PartitionState};
 use parking_lot::Mutex;
 use pregelix_common::error::{PregelixError, Result};
 use pregelix_common::fault::{self, Fault, Site};
-use pregelix_common::frame::tuple_vid;
-use pregelix_common::stats::StatsSnapshot;
-use pregelix_common::{Superstep, Vid};
+use pregelix_common::frame::{tuple_vid, vid_to_key};
+use pregelix_common::stats::{current_job_scope, StatsSnapshot};
+use pregelix_common::{hash_partition, Superstep, Vid};
 use pregelix_dataflow::cluster::{Cluster, FailureDetector, Task};
-use pregelix_dataflow::scheduler::sticky_assignment;
+use pregelix_dataflow::scheduler::sticky_assignment_offset;
 use pregelix_storage::btree::BTree;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Frontier-mode superstep window: how many consecutive supersteps share
 /// one dataflow job. Larger windows buy more straggler absorption (a slow
@@ -61,7 +70,8 @@ pub const FRONTIER_WINDOW: usize = 4;
 /// What a finished job reports (feeds the experiment harnesses).
 #[derive(Clone, Debug)]
 pub struct JobSummary {
-    /// Job name.
+    /// Display tag of the job (the [`pregelix_common::JobId`] tag, which
+    /// carries the service instance suffix when the name was reused).
     pub name: String,
     /// Supersteps actually executed.
     pub supersteps: u64,
@@ -74,13 +84,22 @@ pub struct JobSummary {
     pub elapsed: Duration,
     /// Final global state.
     pub final_gs: GlobalState,
-    /// Cluster counter delta over the run.
+    /// Cluster counter delta over the run. Under concurrent service
+    /// execution this includes work other admitted jobs did while this
+    /// job's supersteps ran — use [`JobSummary::job_stats`] for the
+    /// per-job attribution.
     pub stats: StatsSnapshot,
     /// Per-job counter deltas (the statistics collector's per-superstep
     /// view, §5.7): one entry per superstep job, same granularity and
     /// order as `superstep_times` — per superstep in barrier mode, per
     /// window in frontier mode.
     pub superstep_stats: Vec<StatsSnapshot>,
+    /// Counters attributed to *this job only*: the delta of the job's
+    /// counter scope (`pregelix_common::stats::enter_job_scope`) over the
+    /// run when one is installed — the service installs one per job —
+    /// falling back to the cluster delta (== `stats`) when the job ran
+    /// without a scope. This is what multi-tenant chaos digests compare.
+    pub job_stats: StatsSnapshot,
     /// Number of checkpoint recoveries performed.
     pub recoveries: u32,
     /// In-place retries of recoverable failures absorbed *without* a
@@ -156,9 +175,23 @@ impl LoadedGraph {
         program: &Arc<P>,
         job: &PregelixJob,
     ) -> Result<LoadedGraph> {
+        Self::load_with_offset(cluster, program, job, 0)
+    }
+
+    /// Load with the sticky assignment rotated by `offset` worker slots.
+    /// The job service hands each admitted job a distinct offset so their
+    /// partition-0 hot spots land on different machines (fair-share
+    /// spread); placement never affects values, only load balance.
+    /// `offset == 0` is exactly [`LoadedGraph::load`].
+    pub fn load_with_offset<P: VertexProgram>(
+        cluster: &Cluster,
+        program: &Arc<P>,
+        job: &PregelixJob,
+        offset: usize,
+    ) -> Result<LoadedGraph> {
         let alive = cluster.alive_workers();
         let p_count = alive.len() * job.partitions_per_worker;
-        let sticky = sticky_assignment(p_count, &alive);
+        let sticky = sticky_assignment_offset(p_count, &alive, offset);
         let (partitions, vertex_count) =
             load::load_partitions(cluster, program, job, &sticky)?;
         Ok(LoadedGraph {
@@ -177,7 +210,7 @@ impl LoadedGraph {
     ) -> Result<LoadedGraph> {
         let alive = cluster.alive_workers();
         let p_count = alive.len() * job.partitions_per_worker;
-        let sticky = sticky_assignment(p_count, &alive);
+        let sticky = sticky_assignment_offset(p_count, &alive, 0);
         let (partitions, vertex_count) =
             load::load_partitions_from_records(cluster, program, job, &sticky, records)?;
         Ok(LoadedGraph {
@@ -208,311 +241,9 @@ impl LoadedGraph {
         program: &Arc<P>,
         job: &PregelixJob,
     ) -> Result<JobSummary> {
-        // LOJ plans need the Vid live-vertex index; a fresh job starts with
-        // every vertex live. FOJ plans drop any stale index.
-        match job.plan.join {
-            JoinStrategy::LeftOuter | JoinStrategy::Adaptive => {
-                self.build_full_vid_indexes(cluster)?
-            }
-            JoinStrategy::FullOuter => {
-                for p in &self.partitions {
-                    if let Some(old) = p.lock().vid_index.take() {
-                        old.destroy()?;
-                    }
-                }
-            }
-        }
-        // Drop stale message runs from a previous job.
-        for p in &self.partitions {
-            if let Some(run) = p.lock().msg_run.take() {
-                run.delete()?;
-            }
-        }
-
-        let mut gs = GlobalState::initial(self.vertex_count, Vec::new());
-        gs.store(cluster.dfs(), &job.name)?;
-        let stats_before = cluster.counters().snapshot();
-        let started = Instant::now();
-        let mut superstep_times = Vec::new();
-        let mut superstep_stats = Vec::new();
-        let mut recoveries = 0u32;
-        // Heartbeat failure detector (§5.5): one observation per superstep
-        // barrier, expecting a beat from every worker holding partitions.
-        let mut detector = FailureDetector::new(cluster);
-
-        // With checkpointing enabled, snapshot the *initial* state too, so
-        // a failure before the first periodic checkpoint can restart from
-        // superstep 1 rather than aborting the job.
-        let mut initial_ckpt_done = false;
-        // Measured probe-cost model for Adaptive join resolution (§7.5):
-        // re-derived from each superstep's counter delta whenever that
-        // superstep actually probed, and carried forward otherwise (a
-        // full-outer superstep measures nothing new).
-        let mut cost_model: Option<ProbeCostModel> = None;
-        // Confined recovery (§5.5) needs both its knob and a checkpoint
-        // ladder to replay from; when on, every superstep's post-combine
-        // message flow is also tee'd into the per-partition logs.
-        let confined_on = job.confined_recovery && job.checkpoint_interval.is_some();
-        // Set when the attempt failed on the *pre-flight* aliveness check —
-        // i.e. the death was detected at a window boundary, before any task
-        // of the attempt ran. Only then are the survivors guaranteed to sit
-        // exactly at the current superstep with their Msg runs intact, which
-        // is what makes a confined (partition-scoped) recovery sound. A
-        // death detected mid-window always takes the global rollback.
-        let mut clean_death;
-        loop {
-            clean_death = false;
-            let before = cluster.counters().snapshot();
-            let attempt = (|| -> Result<(GlobalState, Duration)> {
-                if job.checkpoint_interval.is_some() && !initial_ckpt_done {
-                    retry_recoverable(cluster, job.io_retries, job.retry_backoff, || {
-                        checkpoint::write_checkpoint(
-                            cluster,
-                            job,
-                            &self.partitions,
-                            &self.sticky,
-                            &gs,
-                        )
-                    })?;
-                }
-                // How many supersteps the next job covers. Barrier mode is
-                // always one; frontier mode batches up to FRONTIER_WINDOW,
-                // clamped so the window ends exactly on any periodic
-                // checkpoint boundary and never overruns max_supersteps.
-                // Adaptive join plans re-resolve from each superstep's
-                // exact live fraction, which only a window of one provides.
-                let window = match job.execution {
-                    ExecutionMode::Barrier => 1,
-                    ExecutionMode::Frontier => {
-                        let mut w = if job.plan.join == JoinStrategy::Adaptive {
-                            1
-                        } else {
-                            FRONTIER_WINDOW
-                        };
-                        if let Some(n) = job.checkpoint_interval {
-                            if n > 0 {
-                                let to_boundary = n - ((gs.superstep - 1) % n);
-                                w = w.min(to_boundary as usize);
-                            }
-                        }
-                        if let Some(max) = job.max_supersteps {
-                            let remaining = max.saturating_sub(gs.superstep - 1);
-                            w = w.min(remaining as usize);
-                        }
-                        w.max(1)
-                    }
-                };
-                // Superstep-barrier fault site: lets tests fail a worker (or
-                // inject an error) at an exact superstep boundary, after any
-                // initial checkpoint but before the superstep runs. The
-                // context string is the superstep number, so a rule scoped
-                // to `"3"` fires exactly when superstep 3 is about to start.
-                // In frontier mode the mid-window boundaries are not driver
-                // events, so every superstep the window covers is checked
-                // up front — a rule scoped to any of them still fires
-                // exactly once, before the window runs.
-                if fault::active() {
-                    for off in 0..window as u64 {
-                        let ctx = (gs.superstep + off).to_string();
-                        if let Some(f) = fault::hit(Site::Barrier, &ctx) {
-                            cluster.counters().add_faults_injected(1);
-                            match f {
-                                Fault::FailWorker(id) => cluster.fail_worker(id),
-                                _ => {
-                                    return Err(fault::injected_error(Site::Barrier, &ctx))
-                                }
-                            }
-                        }
-                    }
-                }
-                // Pre-flight aliveness check: catch a worker death at the
-                // window boundary, *before* any task of this attempt runs.
-                // A death caught here is "clean" — every surviving partition
-                // is still exactly at `gs.superstep` with its Msg run
-                // intact — and therefore eligible for confined recovery.
-                // (Without this check the window itself would fail on the
-                // unsatisfiable absolute constraint anyway; the check just
-                // classifies the failure earlier.)
-                let alive_now = cluster.alive_workers();
-                if let Some(&dead) =
-                    self.sticky.iter().find(|wk| !alive_now.contains(wk))
-                {
-                    clean_death = true;
-                    return Err(PregelixError::WorkerDead { id: dead });
-                }
-                let (chain, duration) = run_superstep_window(
-                    cluster,
-                    program,
-                    &job.name,
-                    job.plan,
-                    &self.partitions,
-                    &self.sticky,
-                    &gs,
-                    cost_model,
-                    window,
-                    confined_on,
-                )?;
-                // Pin this window's GS history entries (best-effort: a
-                // missing entry makes confined recovery fall back to the
-                // global path rather than corrupting anything).
-                if confined_on {
-                    for g in &chain {
-                        let _ = g.store_hist(cluster.dfs(), &job.name);
-                    }
-                }
-                let new_gs = chain
-                    .last()
-                    .cloned()
-                    .ok_or_else(|| PregelixError::internal("empty superstep window"))?;
-                let finished_ss = new_gs.superstep - 1;
-                let checkpoint_due = job
-                    .checkpoint_interval
-                    .map(|n| n > 0 && finished_ss % n == 0)
-                    .unwrap_or(false);
-                if checkpoint_due && !new_gs.halt {
-                    retry_recoverable(cluster, job.io_retries, job.retry_backoff, || {
-                        checkpoint::write_checkpoint(
-                            cluster,
-                            job,
-                            &self.partitions,
-                            &self.sticky,
-                            &new_gs,
-                        )
-                    })?;
-                    // The new checkpoint makes every older checkpoint,
-                    // message log, and GS history entry dead weight for
-                    // recovery: any replay now starts at `new_gs.superstep`
-                    // or later. Retire them (counted in ckpt_bytes_retired).
-                    checkpoint::retire_old_state(
-                        cluster.dfs(),
-                        cluster.counters(),
-                        &job.name,
-                        new_gs.superstep,
-                    );
-                }
-                Ok((new_gs, duration))
-            })();
-            // Barrier observation: workers holding partitions were expected
-            // to beat during the attempt (deduped — observe counts misses
-            // per listed entry).
-            let mut expected = self.sticky.clone();
-            expected.sort_unstable();
-            expected.dedup();
-            match attempt {
-                Ok((new_gs, duration)) => {
-                    detector.observe(cluster, &expected);
-                    initial_ckpt_done = true;
-                    superstep_times.push(duration);
-                    let delta = cluster.counters().snapshot().delta_since(&before);
-                    if let Some(m) = ProbeCostModel::from_counters(&delta) {
-                        cost_model = Some(m);
-                    }
-                    superstep_stats.push(delta);
-                    gs = new_gs;
-                    self.vertex_count = gs.vertex_count;
-                    if gs.halt {
-                        break;
-                    }
-                    if let Some(max) = job.max_supersteps {
-                        // gs.superstep - 1 = last finished superstep.
-                        if gs.superstep - 1 >= max {
-                            break;
-                        }
-                    }
-                }
-                Err(e) if e.is_recoverable() => {
-                    // Failure manager (§5.7): run a detector observation so
-                    // dead workers are formally declared and blacklisted,
-                    // then recover. A failure *during* recovery loops back
-                    // here and retries against the shrunken worker set.
-                    detector.observe(cluster, &expected);
-                    if recoveries >= job.max_recoveries {
-                        return Err(PregelixError::RecoveriesExhausted {
-                            cap: job.max_recoveries,
-                            last_error: e.to_string(),
-                        });
-                    }
-                    recoveries += 1;
-                    if job.retry_backoff > Duration::ZERO {
-                        std::thread::sleep(
-                            job.retry_backoff
-                                * (1u32 << (recoveries.saturating_sub(1)).min(4)),
-                        );
-                    }
-                    // Confined path first (§5.5): a clean boundary death
-                    // with message logging on replays ONLY the dead
-                    // partitions from the newest valid checkpoint, feeding
-                    // their inbound flows from the survivors' sender-side
-                    // logs — survivors stay hot at the current superstep.
-                    if confined_on && clean_death {
-                        match recovery::confined_recover(
-                            cluster,
-                            program,
-                            job,
-                            &self.partitions,
-                            &self.sticky,
-                            &gs,
-                        ) {
-                            Ok(new_sticky) => {
-                                self.sticky = new_sticky;
-                                continue;
-                            }
-                            // Typed unavailability (log hole, diverged GS
-                            // history, no checkpoint): fall back to the
-                            // global rollback below, and count the fallback.
-                            Err(PregelixError::ConfinedRecoveryUnavailable(_)) => {
-                                cluster.counters().add_confined_fallbacks(1);
-                            }
-                            // Another worker died mid-replay: loop back and
-                            // re-attempt (the pre-flight check will classify
-                            // the new death; half-replayed dead partitions
-                            // are re-reloaded from the checkpoint).
-                            Err(re) if re.is_recoverable() => continue,
-                            Err(re) => return Err(re),
-                        }
-                    }
-                    // Global rollback: recover from the newest *valid*
-                    // checkpoint onto the survivors — keeping every
-                    // surviving sticky pin and re-planning only the dead
-                    // workers' partitions (§5.5), walking back past torn
-                    // or stale manifests.
-                    match checkpoint::recover_latest_valid(cluster, job, &self.sticky) {
-                        Ok(Some((partitions, sticky, ckpt_gs))) => {
-                            self.partitions = partitions;
-                            self.sticky = sticky;
-                            self.vertex_count = ckpt_gs.vertex_count;
-                            gs = ckpt_gs;
-                        }
-                        // No usable checkpoint at all: surface the original
-                        // failure to the caller.
-                        Ok(None) => return Err(e),
-                        // The recovery itself hit a recoverable fault (e.g.
-                        // a flaky manifest read): loop back and re-attempt.
-                        Err(re) if re.is_recoverable() => {}
-                        Err(re) => return Err(re),
-                    }
-                }
-                Err(e) => return Err(e),
-            }
-        }
-
-        let _wall = started.elapsed();
-        let stats = cluster.counters().snapshot().delta_since(&stats_before);
-        let retries = stats.fault_retries;
-        Ok(JobSummary {
-            name: job.name.clone(),
-            supersteps: gs.superstep.saturating_sub(1),
-            // Sum of superstep durations: equals wall time in parallel
-            // mode (modulo checkpoint writes), and the simulated parallel
-            // time in sequential-timed mode.
-            elapsed: superstep_times.iter().sum(),
-            superstep_times,
-            final_gs: gs,
-            stats,
-            superstep_stats,
-            recoveries,
-            retries,
-        })
+        let mut lp = RunLoop::begin(cluster, program, job, self)?;
+        while !lp.step(cluster, self)? {}
+        Ok(lp.finish(cluster))
     }
 
     /// Dump the final `Vertex` relation to the job's DFS output path.
@@ -523,6 +254,51 @@ impl LoadedGraph {
         job: &PregelixJob,
     ) -> Result<()> {
         load::dump_partitions(cluster, program, job, &self.partitions, &self.sticky)
+    }
+
+    /// Point read: fetch one vertex by vid through the partition's
+    /// sorted-probe cursor, without materialising anything else. This is
+    /// the job service's `query` path over a finished job's resident
+    /// vertex store.
+    pub fn probe_vertex<P: VertexProgram>(
+        &self,
+        vid: Vid,
+    ) -> Result<Option<crate::vertex::VertexData<P>>> {
+        if self.partitions.is_empty() {
+            return Ok(None);
+        }
+        let p = hash_partition(vid, self.partitions.len());
+        let st = self.partitions[p].lock();
+        let mut cursor = st.store.probe_cursor();
+        match cursor.probe(&vid_to_key(vid))? {
+            Some(bytes) => Ok(Some(crate::vertex::VertexData::decode(vid, &bytes)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Range read: all vertices with `lo <= vid <= hi`, ascending. Each
+    /// partition is scanned from `lo` (a single descent, then leaf-order
+    /// iteration) and cut off past `hi`; results merge across partitions
+    /// by vid.
+    pub fn range_vertices<P: VertexProgram>(
+        &self,
+        lo: Vid,
+        hi: Vid,
+    ) -> Result<Vec<crate::vertex::VertexData<P>>> {
+        let mut out = Vec::new();
+        for state in &self.partitions {
+            let st = state.lock();
+            let mut scan = st.store.scan_from(&vid_to_key(lo))?;
+            while let Some((k, v)) = scan.next_entry()? {
+                let vid = tuple_vid(&k)?;
+                if vid > hi {
+                    break;
+                }
+                out.push(crate::vertex::VertexData::<P>::decode(vid, &v)?);
+            }
+        }
+        out.sort_by_key(|v| v.vid);
+        Ok(out)
     }
 
     /// Build `Vid` indexes containing *every* vertex (job start: all
@@ -586,18 +362,403 @@ impl LoadedGraph {
     }
 }
 
+/// The resumable superstep loop of one job: the old monolithic
+/// `LoadedGraph::run` split into `begin` (prologue) / `step` (one
+/// superstep window, with its failure handling) / `finish` (summary).
+/// The job service interleaves `step` calls of many admitted jobs over
+/// the shared cluster; [`LoadedGraph::run`] is the degenerate single-job
+/// driver. State lives here rather than across a call stack so a job can
+/// be parked between windows indefinitely.
+pub(crate) struct RunLoop<P: VertexProgram> {
+    program: Arc<P>,
+    job: PregelixJob,
+    gs: GlobalState,
+    stats_before: StatsSnapshot,
+    /// Snapshot of the job's counter scope at `begin`, when one was
+    /// installed — `finish` reports the delta so pipeline stages sharing
+    /// one scope each get their own attribution.
+    scope_before: Option<StatsSnapshot>,
+    superstep_times: Vec<Duration>,
+    superstep_stats: Vec<StatsSnapshot>,
+    recoveries: u32,
+    detector: FailureDetector,
+    initial_ckpt_done: bool,
+    cost_model: Option<ProbeCostModel>,
+    confined_on: bool,
+}
+
+impl<P: VertexProgram> RunLoop<P> {
+    /// Job prologue: prepare the resident graph's per-job indexes, store
+    /// the initial `GS`, and snapshot the counters the summary will delta
+    /// against.
+    pub(crate) fn begin(
+        cluster: &Cluster,
+        program: &Arc<P>,
+        job: &PregelixJob,
+        graph: &mut LoadedGraph,
+    ) -> Result<RunLoop<P>> {
+        // LOJ plans need the Vid live-vertex index; a fresh job starts with
+        // every vertex live. FOJ plans drop any stale index.
+        match job.plan.join {
+            JoinStrategy::LeftOuter | JoinStrategy::Adaptive => {
+                graph.build_full_vid_indexes(cluster)?
+            }
+            JoinStrategy::FullOuter => {
+                for p in &graph.partitions {
+                    if let Some(old) = p.lock().vid_index.take() {
+                        old.destroy()?;
+                    }
+                }
+            }
+        }
+        // Drop stale message runs from a previous job.
+        for p in &graph.partitions {
+            if let Some(run) = p.lock().msg_run.take() {
+                run.delete()?;
+            }
+        }
+
+        let gs = GlobalState::initial(graph.vertex_count, Vec::new());
+        gs.store(cluster.dfs(), &job.id)?;
+        Ok(RunLoop {
+            program: Arc::clone(program),
+            job: job.clone(),
+            gs,
+            stats_before: cluster.counters().snapshot(),
+            scope_before: current_job_scope().map(|s| s.snapshot()),
+            superstep_times: Vec::new(),
+            superstep_stats: Vec::new(),
+            recoveries: 0,
+            // Heartbeat failure detector (§5.5): one observation per
+            // superstep barrier, expecting a beat from every worker
+            // holding partitions.
+            detector: FailureDetector::new(cluster),
+            // With checkpointing enabled, snapshot the *initial* state
+            // too, so a failure before the first periodic checkpoint can
+            // restart from superstep 1 rather than aborting the job.
+            initial_ckpt_done: false,
+            // Measured probe-cost model for Adaptive join resolution
+            // (§7.5): re-derived from each superstep's counter delta
+            // whenever that superstep actually probed, and carried
+            // forward otherwise.
+            cost_model: None,
+            // Confined recovery (§5.5) needs both its knob and a
+            // checkpoint ladder to replay from; when on, every
+            // superstep's post-combine message flow is also tee'd into
+            // the per-partition logs.
+            confined_on: job.confined_recovery && job.checkpoint_interval.is_some(),
+        })
+    }
+
+    /// Superstep the job is about to run (monotone across `step` calls).
+    pub(crate) fn superstep(&self) -> Superstep {
+        self.gs.superstep
+    }
+
+    /// Execute one superstep window (one attempt plus whatever recovery it
+    /// needs). Returns `Ok(true)` when the job is finished — global halt
+    /// or the superstep cap — and `Ok(false)` when another `step` is due.
+    pub(crate) fn step(
+        &mut self,
+        cluster: &Cluster,
+        graph: &mut LoadedGraph,
+    ) -> Result<bool> {
+        let job = &self.job;
+        let program = &self.program;
+        // Set when the attempt failed on the *pre-flight* aliveness check —
+        // i.e. the death was detected at a window boundary, before any task
+        // of the attempt ran. Only then are the survivors guaranteed to sit
+        // exactly at the current superstep with their Msg runs intact, which
+        // is what makes a confined (partition-scoped) recovery sound. A
+        // death detected mid-window always takes the global rollback.
+        let mut clean_death = false;
+        let gs = &self.gs;
+        let initial_ckpt_done = self.initial_ckpt_done;
+        let cost_model = self.cost_model;
+        let before = cluster.counters().snapshot();
+        let attempt = (|| -> Result<(GlobalState, Duration)> {
+            if job.checkpoint_interval.is_some() && !initial_ckpt_done {
+                retry_recoverable(cluster, job.io_retries, job.retry_backoff, || {
+                    checkpoint::write_checkpoint(
+                        cluster,
+                        job,
+                        &graph.partitions,
+                        &graph.sticky,
+                        gs,
+                    )
+                })?;
+            }
+            // How many supersteps the next job covers. Barrier mode is
+            // always one; frontier mode batches up to FRONTIER_WINDOW,
+            // clamped so the window ends exactly on any periodic
+            // checkpoint boundary and never overruns max_supersteps.
+            // Adaptive join plans re-resolve from each superstep's
+            // exact live fraction, which only a window of one provides.
+            let window = match job.execution {
+                ExecutionMode::Barrier => 1,
+                ExecutionMode::Frontier => {
+                    let mut w = if job.plan.join == JoinStrategy::Adaptive {
+                        1
+                    } else {
+                        FRONTIER_WINDOW
+                    };
+                    if let Some(n) = job.checkpoint_interval {
+                        if n > 0 {
+                            let to_boundary = n - ((gs.superstep - 1) % n);
+                            w = w.min(to_boundary as usize);
+                        }
+                    }
+                    if let Some(max) = job.max_supersteps {
+                        let remaining = max.saturating_sub(gs.superstep - 1);
+                        w = w.min(remaining as usize);
+                    }
+                    w.max(1)
+                }
+            };
+            // Superstep-barrier fault site: lets tests fail a worker (or
+            // inject an error) at an exact superstep boundary, after any
+            // initial checkpoint but before the superstep runs. The
+            // context string is the superstep number, so a rule scoped
+            // to `"3"` fires exactly when superstep 3 is about to start.
+            // In frontier mode the mid-window boundaries are not driver
+            // events, so every superstep the window covers is checked
+            // up front — a rule scoped to any of them still fires
+            // exactly once, before the window runs.
+            if fault::active() {
+                for off in 0..window as u64 {
+                    let ctx = (gs.superstep + off).to_string();
+                    if let Some(f) = fault::hit(Site::Barrier, &ctx) {
+                        cluster.counters().add_faults_injected(1);
+                        match f {
+                            Fault::FailWorker(id) => cluster.fail_worker(id),
+                            _ => {
+                                return Err(fault::injected_error(Site::Barrier, &ctx))
+                            }
+                        }
+                    }
+                }
+            }
+            // Pre-flight aliveness check: catch a worker death at the
+            // window boundary, *before* any task of this attempt runs.
+            // A death caught here is "clean" — every surviving partition
+            // is still exactly at `gs.superstep` with its Msg run
+            // intact — and therefore eligible for confined recovery.
+            // (Without this check the window itself would fail on the
+            // unsatisfiable absolute constraint anyway; the check just
+            // classifies the failure earlier.)
+            let alive_now = cluster.alive_workers();
+            if let Some(&dead) =
+                graph.sticky.iter().find(|wk| !alive_now.contains(wk))
+            {
+                clean_death = true;
+                return Err(PregelixError::WorkerDead { id: dead });
+            }
+            let (chain, duration) = run_superstep_window(
+                cluster,
+                program,
+                &job.id,
+                job.plan,
+                &graph.partitions,
+                &graph.sticky,
+                gs,
+                cost_model,
+                window,
+                self.confined_on,
+            )?;
+            // Pin this window's GS history entries (best-effort: a
+            // missing entry makes confined recovery fall back to the
+            // global path rather than corrupting anything).
+            if self.confined_on {
+                for g in &chain {
+                    let _ = g.store_hist(cluster.dfs(), &job.id);
+                }
+            }
+            let new_gs = chain
+                .last()
+                .cloned()
+                .ok_or_else(|| PregelixError::internal("empty superstep window"))?;
+            let finished_ss = new_gs.superstep - 1;
+            let checkpoint_due = job
+                .checkpoint_interval
+                .map(|n| n > 0 && finished_ss % n == 0)
+                .unwrap_or(false);
+            if checkpoint_due && !new_gs.halt {
+                retry_recoverable(cluster, job.io_retries, job.retry_backoff, || {
+                    checkpoint::write_checkpoint(
+                        cluster,
+                        job,
+                        &graph.partitions,
+                        &graph.sticky,
+                        &new_gs,
+                    )
+                })?;
+                // The new checkpoint makes every older checkpoint,
+                // message log, and GS history entry dead weight for
+                // recovery: any replay now starts at `new_gs.superstep`
+                // or later. Retire them (counted in ckpt_bytes_retired).
+                checkpoint::retire_old_state(
+                    cluster.dfs(),
+                    cluster.counters(),
+                    &job.id,
+                    new_gs.superstep,
+                );
+            }
+            Ok((new_gs, duration))
+        })();
+        // Barrier observation: workers holding partitions were expected
+        // to beat during the attempt (deduped — observe counts misses
+        // per listed entry).
+        let mut expected = graph.sticky.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        match attempt {
+            Ok((new_gs, duration)) => {
+                self.detector.observe(cluster, &expected);
+                self.initial_ckpt_done = true;
+                self.superstep_times.push(duration);
+                let delta = cluster.counters().snapshot().delta_since(&before);
+                if let Some(m) = ProbeCostModel::from_counters(&delta) {
+                    self.cost_model = Some(m);
+                }
+                self.superstep_stats.push(delta);
+                self.gs = new_gs;
+                graph.vertex_count = self.gs.vertex_count;
+                if self.gs.halt {
+                    return Ok(true);
+                }
+                if let Some(max) = self.job.max_supersteps {
+                    // gs.superstep - 1 = last finished superstep.
+                    if self.gs.superstep - 1 >= max {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Err(e) if e.is_recoverable() => {
+                // Failure manager (§5.7): run a detector observation so
+                // dead workers are formally declared and blacklisted,
+                // then recover. A failure *during* recovery comes back
+                // through the next `step` and retries against the
+                // shrunken worker set.
+                self.detector.observe(cluster, &expected);
+                if self.recoveries >= self.job.max_recoveries {
+                    return Err(PregelixError::RecoveriesExhausted {
+                        cap: self.job.max_recoveries,
+                        last_error: e.to_string(),
+                    });
+                }
+                self.recoveries += 1;
+                if self.job.retry_backoff > Duration::ZERO {
+                    std::thread::sleep(
+                        self.job.retry_backoff
+                            * (1u32 << (self.recoveries.saturating_sub(1)).min(4)),
+                    );
+                }
+                // Confined path first (§5.5): a clean boundary death
+                // with message logging on replays ONLY the dead
+                // partitions from the newest valid checkpoint, feeding
+                // their inbound flows from the survivors' sender-side
+                // logs — survivors stay hot at the current superstep.
+                if self.confined_on && clean_death {
+                    match recovery::confined_recover(
+                        cluster,
+                        &self.program,
+                        &self.job,
+                        &graph.partitions,
+                        &graph.sticky,
+                        &self.gs,
+                    ) {
+                        Ok(new_sticky) => {
+                            graph.sticky = new_sticky;
+                            return Ok(false);
+                        }
+                        // Typed unavailability (log hole, diverged GS
+                        // history, no checkpoint): fall back to the
+                        // global rollback below, and count the fallback.
+                        Err(PregelixError::ConfinedRecoveryUnavailable(_)) => {
+                            cluster.counters().add_confined_fallbacks(1);
+                        }
+                        // Another worker died mid-replay: the next step's
+                        // pre-flight check will classify the new death;
+                        // half-replayed dead partitions are re-reloaded
+                        // from the checkpoint.
+                        Err(re) if re.is_recoverable() => return Ok(false),
+                        Err(re) => return Err(re),
+                    }
+                }
+                // Global rollback: recover from the newest *valid*
+                // checkpoint onto the survivors — keeping every
+                // surviving sticky pin and re-planning only the dead
+                // workers' partitions (§5.5), walking back past torn
+                // or stale manifests.
+                match checkpoint::recover_latest_valid(cluster, &self.job, &graph.sticky) {
+                    Ok(Some((partitions, sticky, ckpt_gs))) => {
+                        graph.partitions = partitions;
+                        graph.sticky = sticky;
+                        graph.vertex_count = ckpt_gs.vertex_count;
+                        self.gs = ckpt_gs;
+                        Ok(false)
+                    }
+                    // No usable checkpoint at all: surface the original
+                    // failure to the caller.
+                    Ok(None) => Err(e),
+                    // The recovery itself hit a recoverable fault (e.g.
+                    // a flaky manifest read): the next step re-attempts.
+                    Err(re) if re.is_recoverable() => Ok(false),
+                    Err(re) => Err(re),
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Fold the run into a [`JobSummary`]. Call after `step` returned
+    /// `Ok(true)`.
+    pub(crate) fn finish(&mut self, cluster: &Cluster) -> JobSummary {
+        let stats = cluster.counters().snapshot().delta_since(&self.stats_before);
+        // Per-job attribution: the job scope's delta when one is
+        // installed (the service's per-job tee), else the cluster delta —
+        // which for a lone job is the same thing.
+        let job_stats = match current_job_scope() {
+            Some(scope) => {
+                let snap = scope.snapshot();
+                match &self.scope_before {
+                    Some(b) => snap.delta_since(b),
+                    None => snap,
+                }
+            }
+            None => stats.clone(),
+        };
+        let retries = stats.fault_retries;
+        JobSummary {
+            name: self.job.id.tag().to_string(),
+            supersteps: self.gs.superstep.saturating_sub(1),
+            // Sum of superstep durations: equals wall time in parallel
+            // mode (modulo checkpoint writes), and the simulated parallel
+            // time in sequential-timed mode.
+            elapsed: self.superstep_times.iter().sum(),
+            superstep_times: std::mem::take(&mut self.superstep_times),
+            final_gs: self.gs.clone(),
+            stats,
+            superstep_stats: std::mem::take(&mut self.superstep_stats),
+            job_stats,
+            recoveries: self.recoveries,
+            retries,
+        }
+    }
+}
+
 /// Run a complete job: load → superstep loop → dump. The Figure 9
-/// `Client.run` path.
+/// `Client.run` path, expressed as a single-job submission to the
+/// [`crate::service::JobService`] — identical behaviour, one tenant.
 pub fn run_job<P: VertexProgram>(
     cluster: &Cluster,
     program: &Arc<P>,
     job: &PregelixJob,
 ) -> Result<JobSummary> {
-    let mut graph = LoadedGraph::load(cluster, program, job)?;
-    let summary = graph.run(cluster, program, job)?;
-    graph.dump(cluster, program, job)?;
-    checkpoint::clear_checkpoints(cluster.dfs(), &job.name)?;
-    Ok(summary)
+    let service = crate::service::JobService::new(cluster, crate::service::ServiceConfig::default());
+    let handle = service.submit(Arc::clone(program), job.clone())?;
+    handle.wait()
 }
 
 /// Job pipelining (§5.6): run a sequence of compatible jobs (same vertex
@@ -606,26 +767,18 @@ pub fn run_job<P: VertexProgram>(
 ///
 /// "A user can choose to enable this option to get improved performance
 /// with reduced fault-tolerance" — checkpoints are per-stage; a failure in
-/// stage k restarts that stage's superstep loop only.
+/// stage k restarts that stage's superstep loop only. Stage identities
+/// come from [`PregelixJob::derive_stage`], and the service teardown
+/// clears every stage's checkpoints, logs, and GS history on success —
+/// the old direct pipeline leaked them.
 pub fn run_pipeline<P: VertexProgram>(
     cluster: &Cluster,
     stages: &[Arc<P>],
     job: &PregelixJob,
 ) -> Result<Vec<JobSummary>> {
-    let first = stages
-        .first()
-        .ok_or_else(|| PregelixError::plan("empty pipeline"))?;
-    let mut graph = LoadedGraph::load(cluster, first, job)?;
-    let mut summaries = Vec::with_capacity(stages.len());
-    for (i, program) in stages.iter().enumerate() {
-        let stage_job = PregelixJob {
-            name: format!("{}-stage{i}", job.name),
-            ..job.clone()
-        };
-        summaries.push(graph.run(cluster, program, &stage_job)?);
-    }
-    graph.dump(cluster, stages.last().expect("non-empty"), job)?;
-    Ok(summaries)
+    let service = crate::service::JobService::new(cluster, crate::service::ServiceConfig::default());
+    let handle = service.submit_pipeline(stages.to_vec(), job.clone())?;
+    handle.wait_all()
 }
 
 /// Convenience used by tests and benches: run a job over in-memory records

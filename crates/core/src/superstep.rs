@@ -47,7 +47,7 @@ use pregelix_common::fault::{self, Fault, Site};
 use pregelix_common::frame::{keyed_tuple, tuple_payload, tuple_vid, vid_to_key};
 use pregelix_common::msglog::{self, MsgLogWriter};
 use pregelix_common::writable::Writable;
-use pregelix_common::{hash_partition, Vid};
+use pregelix_common::{hash_partition, JobId, Vid};
 use pregelix_dataflow::cluster::{Cluster, Task, WorkerHandle};
 use pregelix_dataflow::connector::{
     aggregator_channels_cap, merging_channels, partition_channels_cap, AggregatorReceiver,
@@ -277,7 +277,7 @@ enum MsgSenderEnds {
 pub fn run_superstep<P: VertexProgram>(
     cluster: &Cluster,
     program: &Arc<P>,
-    job_name: &str,
+    job: &JobId,
     plan: PlanConfig,
     partitions: &[Arc<Mutex<PartitionState>>],
     sticky: &[usize],
@@ -285,7 +285,7 @@ pub fn run_superstep<P: VertexProgram>(
     cost_model: Option<crate::plan::ProbeCostModel>,
 ) -> Result<(GlobalState, std::time::Duration)> {
     let (mut chain, duration) = run_superstep_window(
-        cluster, program, job_name, plan, partitions, sticky, gs, cost_model, 1, false,
+        cluster, program, job, plan, partitions, sticky, gs, cost_model, 1, false,
     )?;
     let new_gs = chain
         .pop()
@@ -309,7 +309,7 @@ pub fn run_superstep<P: VertexProgram>(
 pub fn run_superstep_window<P: VertexProgram>(
     cluster: &Cluster,
     program: &Arc<P>,
-    job_name: &str,
+    job: &JobId,
     plan: PlanConfig,
     partitions: &[Arc<Mutex<PartitionState>>],
     sticky: &[usize],
@@ -394,10 +394,10 @@ pub fn run_superstep_window<P: VertexProgram>(
     // window commits — which partitions reach their tee before an aborting
     // fault is thread-scheduling dependent, and counting them would break
     // the chaos-digest double runs.
-    let log_dfs: Option<(SimDfs, String, Arc<AtomicU64>)> = if log_messages {
+    let log_dfs: Option<(SimDfs, JobId, Arc<AtomicU64>)> = if log_messages {
         Some((
             cluster.dfs().clone(),
-            job_name.to_string(),
+            job.clone(),
             Arc::new(AtomicU64::new(0)),
         ))
     } else {
@@ -556,7 +556,7 @@ pub fn run_superstep_window<P: VertexProgram>(
             let gs_end = gs_tx[p_count + p].take().expect("gs endpoint claimed once");
             let combiner_c = Arc::clone(&combiner);
             let gb_kind = plan.groupby.kind();
-            let job_tag = job_name.to_string();
+            let job_tag = job.tag().to_string();
             tasks.push(Task::new(
                 format!("msgwrite[{p}]@{superstep}"),
                 schedule.worker(1, p),
@@ -590,11 +590,11 @@ pub fn run_superstep_window<P: VertexProgram>(
         };
         let outcome = Arc::clone(&outcomes[s_idx]);
         let dfs = cluster.dfs().clone();
-        let job_name_c = job_name.to_string();
+        let job_c = job.clone();
         let expected = 3 * p_count as u64;
         tasks.push(Task::new(format!("gs@{superstep}"), gs_worker, move |w| {
             gs_task(
-                w, program_c, prev, gs_rx, expected, gs_release, outcome, dfs, job_name_c,
+                w, program_c, prev, gs_rx, expected, gs_release, outcome, dfs, job_c,
             )
         }));
 
@@ -824,7 +824,7 @@ fn compute_task<P: VertexProgram>(
     gs_end: StreamTx,
     live_tx: Option<mpsc::Sender<u64>>,
     p: usize,
-    log_to: Option<(SimDfs, String, Arc<AtomicU64>)>,
+    log_to: Option<(SimDfs, JobId, Arc<AtomicU64>)>,
     sticky: Vec<usize>,
     combiner: TupleCombiner,
     gs_worker: usize,
@@ -1520,7 +1520,7 @@ fn gs_task<P: VertexProgram>(
     release: Vec<mpsc::Sender<GlobalState>>,
     outcome: Arc<Mutex<Option<GlobalState>>>,
     dfs: pregelix_common::dfs::SimDfs,
-    job_name: String,
+    job: JobId,
 ) -> Result<()> {
     // Mid-window gs tasks chain off the previous superstep's EXACT revised
     // GS (aggregates and vertex-count arithmetic never run on predictions),
@@ -1606,7 +1606,7 @@ fn gs_task<P: VertexProgram>(
         live_vertices: live + live_inserted,
         messages: combined,
     };
-    new_gs.store(&dfs, &job_name)?;
+    new_gs.store(&dfs, &job)?;
     // Release every partition gate (and the next gs task in the chain)
     // still blocked on the exact GS. Early-advanced partitions dropped
     // their receiving ends — those sends are no-ops.

@@ -283,6 +283,12 @@ pub struct Cluster {
     counters: ClusterCounters,
     dfs: SimDfs,
     slab: BytesSlab,
+    /// Per-job counter scope the multi-tenant job service installs around
+    /// each quantum: task bodies run under it so worker-side counter
+    /// updates tee into the owning job's scope (see
+    /// `pregelix_common::stats::enter_job_scope`). `None` outside service
+    /// quanta — the common case — costs one mutex lock per `execute`.
+    job_scope: std::sync::Mutex<Option<ClusterCounters>>,
     _tempdir: Option<TempDir>,
 }
 
@@ -337,6 +343,7 @@ impl Cluster {
             counters,
             dfs,
             slab,
+            job_scope: std::sync::Mutex::new(None),
             _tempdir: tempdir,
         })
     }
@@ -354,6 +361,14 @@ impl Cluster {
     /// Shared cluster counters.
     pub fn counters(&self) -> &ClusterCounters {
         &self.counters
+    }
+
+    /// Install (or clear) the per-job counter scope task bodies run under.
+    /// The job service sets this for the length of one quantum; each
+    /// `execute` batch captures the scope once at submission, so a batch
+    /// already in flight is unaffected by a scope change.
+    pub fn set_job_scope(&self, scope: Option<ClusterCounters>) {
+        *self.job_scope.lock().unwrap() = scope;
     }
 
     /// The simulated DFS shared by all workers.
@@ -430,14 +445,21 @@ impl Cluster {
             return self.execute_sequential(tasks);
         }
         let started = std::time::Instant::now();
+        // Capture the job scope once per batch: every task of this batch
+        // tees its counters into the scope active at submission.
+        let scope = self.job_scope.lock().unwrap().clone();
         let mut errors: Vec<(String, PregelixError)> = Vec::new();
         let mut pending = Vec::with_capacity(tasks.len());
         for task in tasks {
             let handle = self.worker(task.worker);
             let name = task.name;
             let body = task.run;
+            let scope = scope.clone();
             let (done_tx, done_rx) = crossbeam::channel::bounded::<Result<()>>(1);
             self.workers[handle.id()].pool.submit(Box::new(move || {
+                let _scope_guard = scope
+                    .as_ref()
+                    .map(pregelix_common::stats::enter_job_scope);
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                     move || -> Result<()> {
                         handle.check_alive()?;
@@ -517,6 +539,10 @@ impl Cluster {
     /// ordered (producers before consumers), which the superstep builder
     /// guarantees by emitting tasks phase-major.
     fn execute_sequential(&self, tasks: Vec<Task>) -> Result<std::time::Duration> {
+        let scope = self.job_scope.lock().unwrap().clone();
+        let _scope_guard = scope
+            .as_ref()
+            .map(pregelix_common::stats::enter_job_scope);
         let mut per_worker = vec![std::time::Duration::ZERO; self.workers.len()];
         for task in tasks {
             let handle = self.worker(task.worker);

@@ -18,7 +18,7 @@ pub use pregelix_storage as storage;
 /// Everything a typical Pregelix application needs.
 pub mod prelude {
     pub use pregelix_algorithms::*;
-    pub use pregelix_common::{Superstep, Vid};
+    pub use pregelix_common::{JobId, Superstep, Vid};
     pub use pregelix_core::api::{ComputeContext, MessageCombiner, Mutation, VertexProgram};
     pub use pregelix_core::gs::GlobalState;
     pub use pregelix_core::plan::{
@@ -28,6 +28,7 @@ pub mod prelude {
     pub use pregelix_core::runtime::{
         run_job, run_job_from_records, run_pipeline, JobSummary, LoadedGraph,
     };
+    pub use pregelix_core::service::{JobHandle, JobService, JobStatus, ServiceConfig};
     pub use pregelix_core::vertex::{Edge, VertexData};
     pub use pregelix_dataflow::cluster::{Cluster, ClusterConfig};
 }

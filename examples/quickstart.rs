@@ -1,13 +1,16 @@
-//! Quickstart: rank the pages of a small synthetic web graph.
+//! Quickstart: rank the pages of a small synthetic web graph — and run a
+//! second analysis concurrently through the multi-tenant job service.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! The flow mirrors Figure 9's `Client.run` path end to end: generate a
-//! Webmap-like graph, write it to the (simulated) DFS as text, run
-//! PageRank on a 4-machine simulated cluster with the default physical
-//! plan, dump the result back to the DFS, and read the top pages.
+//! The flow mirrors Figure 9's `Client.run` path end to end, behind the
+//! job-service submission API: generate a Webmap-like graph, write it to
+//! the (simulated) DFS as text, submit PageRank *and* single-source
+//! shortest paths to one `JobService` over a 4-machine simulated cluster,
+//! wait for both, and query results straight out of the finished jobs'
+//! resident vertex stores — no re-load, no output parsing.
 
 use pregelix::graphgen;
 use pregelix::prelude::*;
@@ -25,27 +28,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Stage the input in the DFS as adjacency text (the HDFS load path).
     graphgen::text::write_to_dfs(cluster.dfs(), "input/web", &records)?;
 
-    // Describe the job: 10 PageRank iterations, default plan (index
-    // full-outer join + sort-based group-by + B-tree storage).
-    let job = PregelixJob::new("quickstart-pagerank").with_io("input/web", "output/ranks");
-    let program = Arc::new(PageRank::new(10));
+    // One service, two tenants: each job reserves pages from the shared
+    // admission budget and interleaves superstep windows fairly with the
+    // other — per-job results stay bit-identical to running alone.
+    let service = JobService::new(&cluster, ServiceConfig::default());
 
-    let summary = run_job(&cluster, &program, &job)?;
-    println!(
-        "ran {} supersteps in {:?} ({:?}/superstep)",
-        summary.supersteps,
-        summary.elapsed,
-        summary.avg_superstep()
-    );
-    println!(
-        "cluster stats: {} compute calls, {} messages sent, {} combined, {:.1} MB network",
-        summary.stats.compute_calls,
-        summary.stats.messages_sent,
-        summary.stats.messages_combined,
-        summary.stats.network_bytes as f64 / (1024.0 * 1024.0)
-    );
+    let ranks = service.submit(
+        Arc::new(PageRank::new(10)),
+        PregelixJob::new("quickstart-pagerank")
+            .with_io("input/web", "output/ranks")
+            .with_page_budget(256),
+    )?;
+    let paths = service.submit(
+        Arc::new(ShortestPaths::new(0)),
+        PregelixJob::new("quickstart-sssp")
+            .with_io("input/web", "output/paths")
+            .with_page_budget(256),
+    )?;
 
-    // Read the dumped output and show the 10 highest-ranked pages.
+    let rank_summary = ranks.wait()?;
+    let path_summary = paths.wait()?;
+    for summary in [&rank_summary, &path_summary] {
+        println!(
+            "{}: {} supersteps in {:?} ({:?}/superstep)",
+            summary.name,
+            summary.supersteps,
+            summary.elapsed,
+            summary.avg_superstep()
+        );
+        // `job_stats` is this job's own work — the shared-cluster delta
+        // (`stats`) would also count the other tenant's supersteps.
+        println!(
+            "  this job: {} compute calls, {} messages sent, {} combined",
+            summary.job_stats.compute_calls,
+            summary.job_stats.messages_sent,
+            summary.job_stats.messages_combined
+        );
+    }
+
+    // Query the finished jobs in place: point + range reads through the
+    // partitions' sorted-probe cursors, formatted by each program.
+    assert_eq!(ranks.status(), JobStatus::Done);
+    if let Some(line) = ranks.query_vertex(0)? {
+        println!("page 0 rank line: {line}");
+    }
+    println!("pages 0..8 by shortest path from page 0:");
+    for (vid, line) in paths.query_range(0, 7)? {
+        println!("  page {vid}: {}", line.split_whitespace().nth(1).unwrap_or("?"));
+    }
+
+    // The dumped DFS output is still written, exactly as before: show the
+    // 10 highest-ranked pages from it.
     let mut output = pregelix::core::load::read_output(cluster.dfs(), "output/ranks")?;
     output.sort_by(|(_, a), (_, b)| {
         let ra: f64 = a.split_whitespace().nth(1).unwrap().parse().unwrap();

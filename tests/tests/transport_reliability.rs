@@ -104,7 +104,7 @@ fn chaos_digest(scenario: &str, summary: &JobSummary, injected: u64, values: &[(
          retx={} dedup={} corrupt={} dead={} probes={} redesc={} bloomneg={} \
          bloomfp={} radixn={} rskip={} cmpfb={} fadv={} bwa={} skew={} \
          conf={} cfb={} logw={} logr={} ckret={} slaba={} slabr={} fcopy={} \
-         values={:016x}",
+         jcmp={} jmsgs={} jcomb={} values={:016x}",
         summary.recoveries,
         summary.retries,
         summary.supersteps,
@@ -130,6 +130,9 @@ fn chaos_digest(scenario: &str, summary: &JobSummary, injected: u64, values: &[(
         summary.stats.slab_allocations,
         summary.stats.slab_recycled,
         summary.stats.frame_bytes_copied,
+        summary.job_stats.compute_calls,
+        summary.job_stats.messages_sent,
+        summary.job_stats.messages_combined,
         values_hash(values),
     )
     .unwrap();
